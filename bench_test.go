@@ -1,0 +1,359 @@
+// Package repro's root benchmark suite regenerates the paper's evaluation:
+// one benchmark per table/figure (Tables II–III, Figs. 4–5) plus the design
+// ablations called out in DESIGN.md (scalar vs bit-sliced sensitivity,
+// naive vs spectral OSDV, exhaustive canon vs matcher). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The npnbench command produces the paper-formatted tables; these benchmarks
+// measure the per-function costs behind them.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bdd"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/cut"
+	"repro/internal/decomp"
+	"repro/internal/gen"
+	"repro/internal/mapper"
+	"repro/internal/match"
+	"repro/internal/npn"
+	"repro/internal/sig"
+	"repro/internal/tt"
+)
+
+var (
+	workloadOnce sync.Once
+	workloads    map[int][]*tt.TT
+)
+
+// circuitWorkload returns a cached deduplicated cut-function workload.
+func circuitWorkload(n int) []*tt.TT {
+	workloadOnce.Do(func() {
+		workloads = make(map[int][]*tt.TT)
+		for _, k := range []int{4, 5, 6, 7, 8} {
+			workloads[k] = bench.Workload(k, bench.WorkloadOpts{
+				Kind: bench.WorkloadCircuit, MaxPerNode: 8, Seed: 1, MaxFuncs: 4000,
+			})
+		}
+	})
+	return workloads[n]
+}
+
+// BenchmarkTable2SignatureVectors measures per-function MSV key computation
+// for each signature combination of Table II on the 6-variable circuit
+// workload.
+func BenchmarkTable2SignatureVectors(b *testing.B) {
+	fs := circuitWorkload(6)
+	for _, cfg := range bench.Table2Configs() {
+		cfg := cfg
+		cfg.FastOSDV = true
+		b.Run(cfg.Enabled(), func(b *testing.B) {
+			cls := core.New(6, cfg)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cls.Hash(fs[i%len(fs)])
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Classifiers measures the per-function cost of every
+// classifier column of Table III on the 6-variable circuit workload.
+func BenchmarkTable3Classifiers(b *testing.B) {
+	fs := circuitWorkload(6)
+	b.Run("kitty-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := fs[i%len(fs)]
+			npn.CanonWord(f.Word(), 6)
+		}
+	})
+	for _, bl := range []*baseline.Classifier{
+		baseline.NewHuang(), baseline.NewHierarchical(), baseline.NewHybrid(),
+	} {
+		bl := bl
+		b.Run(bl.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bl.Key(fs[i%len(fs)])
+			}
+		})
+	}
+	b.Run("ours", func(b *testing.B) {
+		cfg := core.ConfigAll()
+		cfg.FastOSDV = true
+		cls := core.New(6, cfg)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cls.Hash(fs[i%len(fs)])
+		}
+	})
+}
+
+// BenchmarkFig4DiscriminatorSearch measures the exhaustive 4-variable scan
+// behind Fig. 4 (one iteration = the whole 65536-function universe).
+func BenchmarkFig4DiscriminatorSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig4(nil, true)
+		if r.SplitByOIV == 0 {
+			b.Fatal("Fig.4 phenomenon vanished")
+		}
+	}
+}
+
+// BenchmarkFig5Scaling measures end-to-end classification of a fixed-size
+// consecutive-encoding workload, the paper's Fig. 5 streaming setting.
+func BenchmarkFig5Scaling(b *testing.B) {
+	for _, n := range []int{5, 7} {
+		n := n
+		fs := gen.Consecutive(n, 20000, 99)
+		b.Run(map[int]string{5: "5bit-20k", 7: "7bit-20k"}[n], func(b *testing.B) {
+			cfg := core.ConfigAll()
+			cfg.FastOSDV = true
+			for i := 0; i < b.N; i++ {
+				cls := core.New(n, cfg)
+				cls.NumClasses(fs)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5HybridBaseline is the comparison series of Fig. 5: the
+// hybrid canonical-form baseline on the same stream.
+func BenchmarkFig5HybridBaseline(b *testing.B) {
+	for _, n := range []int{5, 7} {
+		n := n
+		fs := gen.Consecutive(n, 2000, 99)
+		b.Run(map[int]string{5: "5bit-2k", 7: "7bit-2k"}[n], func(b *testing.B) {
+			hyb := baseline.NewHybrid()
+			for i := 0; i < b.N; i++ {
+				hyb.NumClasses(fs)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSensitivity compares the scalar and bit-sliced paths for
+// the per-minterm sensitivity profile (DESIGN.md ablation 1).
+func BenchmarkAblationSensitivity(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		n := n
+		fs := gen.UniformRandom(n, 64, 5)
+		e := sig.NewEngine(n)
+		b.Run(map[int]string{6: "scalar-n6", 8: "scalar-n8", 10: "scalar-n10"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.SenProfileScalar(fs[i%len(fs)])
+			}
+		})
+		b.Run(map[int]string{6: "bitsliced-n6", 8: "bitsliced-n8", 10: "bitsliced-n10"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.SenProfile(fs[i%len(fs)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOSDV compares the quadratic pair enumeration and the
+// spectral (Krawtchouk) computation of OSDV (DESIGN.md ablation 2).
+func BenchmarkAblationOSDV(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		n := n
+		fs := gen.UniformRandom(n, 32, 6)
+		e := sig.NewEngine(n)
+		b.Run(map[int]string{6: "naive-n6", 8: "naive-n8", 10: "naive-n10"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.OSDV01(fs[i%len(fs)])
+			}
+		})
+		b.Run(map[int]string{6: "spectral-n6", 8: "spectral-n8", 10: "spectral-n10"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.OSDV01Fast(fs[i%len(fs)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBalancedPhase measures the extra cost of the balanced-
+// function double-key computation (DESIGN.md ablation 3).
+func BenchmarkAblationBalancedPhase(b *testing.B) {
+	n := 8
+	cfg := core.ConfigAll()
+	cfg.FastOSDV = true
+	cls := core.New(n, cfg)
+	unb := tt.FromFunc(n, func(x int) bool { return x%5 == 0 }) // unbalanced
+	bal := tt.FromFunc(n, func(x int) bool { return x&1 == 1 }) // balanced
+	b.Run("unbalanced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cls.KeyBytes(unb)
+		}
+	})
+	b.Run("balanced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cls.KeyBytes(bal)
+		}
+	})
+}
+
+// BenchmarkAblationStrictKeys measures hash bucketing vs full-key bucketing
+// (DESIGN.md ablation 4).
+func BenchmarkAblationStrictKeys(b *testing.B) {
+	fs := gen.UniformRandom(6, 4000, 8)
+	for _, strict := range []bool{false, true} {
+		strict := strict
+		name := "hashed"
+		if strict {
+			name = "strict"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.ConfigAll()
+			cfg.FastOSDV = true
+			cfg.StrictKeys = strict
+			for i := 0; i < b.N; i++ {
+				core.New(6, cfg).NumClasses(fs)
+			}
+		})
+	}
+}
+
+// BenchmarkSifting measures the semi-canonical sifting form — the cheap
+// heuristic alternative to exhaustive canonicalization, usable at any n.
+func BenchmarkSifting(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		n := n
+		fs := gen.UniformRandom(n, 64, 11)
+		b.Run(map[int]string{6: "n6", 8: "n8", 10: "n10"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				npn.SiftCanon(fs[i%len(fs)])
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRefinement compares the monolithic all-signature
+// classifier against the staged refinement classifier that computes
+// expensive vectors only inside ambiguous buckets.
+func BenchmarkAblationRefinement(b *testing.B) {
+	fs := circuitWorkload(7)
+	b.Run("monolithic", func(b *testing.B) {
+		cfg := core.ConfigAll()
+		cfg.FastOSDV = true
+		cfg.StrictKeys = true
+		for i := 0; i < b.N; i++ {
+			core.New(7, cfg).Classify(fs)
+		}
+	})
+	b.Run("refined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ClassifyRefined(7, core.DefaultStages(), fs)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		cfg := core.ConfigAll()
+		cfg.FastOSDV = true
+		for i := 0; i < b.N; i++ {
+			core.ClassifyParallel(7, cfg, fs, 0)
+		}
+	})
+}
+
+// BenchmarkExactCanon measures exhaustive canonicalization per function by
+// arity — the kitty column cost model of Table III.
+func BenchmarkExactCanon(b *testing.B) {
+	for _, n := range []int{4, 5, 6} {
+		n := n
+		fs := gen.UniformRandom(n, 128, 9)
+		b.Run(map[int]string{4: "n4", 5: "n5", 6: "n6"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := fs[i%len(fs)]
+				npn.CanonWord(f.Word(), n)
+			}
+		})
+	}
+}
+
+// BenchmarkMatcher measures the pairwise exact matcher on equivalent pairs
+// (worst case: a witness must be found) at n = 8.
+func BenchmarkMatcher(b *testing.B) {
+	n := 8
+	fs := gen.UniformRandom(n, 64, 10)
+	m := match.NewMatcher(n)
+	pairs := make([]*tt.TT, len(fs))
+	for i, f := range fs {
+		tr := npn.Identity(n)
+		tr.Perm[0], tr.Perm[n-1] = uint8(n-1), 0
+		tr.NegMask = 0b1010
+		pairs[i] = tr.Apply(f)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Equivalent(fs[i%len(fs)], pairs[i%len(fs)]); !ok {
+			b.Fatal("pair not matched")
+		}
+	}
+}
+
+// BenchmarkMapper measures end-to-end LUT mapping of an arithmetic circuit.
+func BenchmarkMapper(b *testing.B) {
+	g := gen.ArrayMultiplier(6)
+	for _, mode := range []mapper.Mode{mapper.Depth, mapper.Area} {
+		mode := mode
+		name := map[mapper.Mode]string{mapper.Depth: "depth", mapper.Area: "area"}[mode]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mapper.Map(g, mapper.Options{K: 6, Mode: mode}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBDD measures BDD construction from truth tables — the canonical
+// representation the signature classifier avoids building.
+func BenchmarkBDD(b *testing.B) {
+	fs := gen.UniformRandom(10, 32, 12)
+	b.Run("fromTT-n10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := bdd.New(10)
+			m.FromTT(fs[i%len(fs)])
+		}
+	})
+}
+
+// BenchmarkDecompose measures disjoint-decomposition extraction.
+func BenchmarkDecompose(b *testing.B) {
+	fs := gen.CircuitWorkload(8, 8, 13)
+	if len(fs) > 256 {
+		fs = fs[:256]
+	}
+	b.Run("circuit-n8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			decomp.Decompose(fs[i%len(fs)])
+		}
+	})
+}
+
+// BenchmarkCutEnumeration measures the workload-extraction pipeline itself:
+// cut enumeration plus per-cut truth tables over an arithmetic circuit.
+func BenchmarkCutEnumeration(b *testing.B) {
+	g := gen.ArrayMultiplier(6)
+	b.Run("enumerate-k6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cuts := cut.Enumerate(g, cut.Options{K: 6, MaxPerNode: 8})
+			cutEnumSink = len(cuts)
+		}
+	})
+	b.Run("harvest-k5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fs := cut.Harvest(g, 5, cut.Options{K: 5, MaxPerNode: 8})
+			cutEnumSink = len(fs)
+		}
+	})
+}
+
+var cutEnumSink int

@@ -1,0 +1,121 @@
+// Command npnbench regenerates the paper's evaluation tables and figures on
+// the synthetic workloads (see DESIGN.md for the substitution rationale).
+//
+// Usage:
+//
+//	npnbench -experiment table2|table3|fig4|fig5|ext|all [flags]
+//
+// Scale flags keep default runs laptop-sized; raise them to approach the
+// paper's workload sizes:
+//
+//	-ns 4,5,6,7        arities for table2/table3
+//	-maxfuncs 20000    workload cap per arity
+//	-cuts 16           priority cuts per node
+//	-fig5ns 5,7        arities for fig5
+//	-fig5counts ...    workload sizes for fig5
+//	-fig5sets 3        differently-seeded sets per fig5 point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "table2, table3, fig4, fig5, ext, or all")
+		nsFlag     = flag.String("ns", "4,5,6", "comma-separated arities for table2/table3")
+		maxFuncs   = flag.Int("maxfuncs", 20000, "max functions per arity (0 = unlimited)")
+		cutsPer    = flag.Int("cuts", 16, "priority cuts per node for the circuit workload")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		fig5ns     = flag.String("fig5ns", "5,7", "arities for fig5")
+		fig5counts = flag.String("fig5counts", "20000,40000,60000,80000", "workload sizes for fig5")
+		fig5sets   = flag.Int("fig5sets", 3, "random sets per fig5 point")
+	)
+	flag.Parse()
+
+	ns, err := parseInts(*nsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	opts := bench.WorkloadOpts{
+		Kind:       bench.WorkloadCircuit,
+		MaxFuncs:   *maxFuncs,
+		Seed:       *seed,
+		MaxPerNode: *cutsPer,
+	}
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+	any := false
+
+	if run("table2") {
+		any = true
+		fmt.Println("== Table II: classification with different signature vectors ==")
+		fmt.Print(bench.FormatTable2(bench.RunTable2(ns, opts)))
+		fmt.Println()
+	}
+	if run("table3") {
+		any = true
+		fmt.Println("== Table III: runtime and accuracy of NPN classifiers ==")
+		fmt.Print(bench.FormatTable3(bench.RunTable3(ns, opts)))
+		fmt.Println()
+	}
+	if run("fig4") {
+		any = true
+		fmt.Println("== Fig. 4: point characteristics refine cofactor signatures ==")
+		fmt.Print(bench.RunFig4(nil, true).Format())
+		fmt.Println()
+	}
+	if run("ext") {
+		any = true
+		fmt.Println("== Extensions: spectral and higher-order cofactor signatures ==")
+		fmt.Print(bench.FormatExtensions(bench.RunExtensions(ns, opts)))
+		fmt.Println()
+	}
+	if run("fig5") {
+		any = true
+		f5ns, err := parseInts(*fig5ns)
+		if err != nil {
+			fatal(err)
+		}
+		counts, err := parseInts(*fig5counts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== Fig. 5: runtime stability over consecutive-encoding workloads ==")
+		fmt.Print(bench.FormatFig5(bench.RunFig5(f5ns, counts, *fig5sets, *seed)))
+		fmt.Println()
+	}
+	if !any {
+		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty integer list %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npnbench:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,113 @@
+// Command npnclassify reads truth tables (one hexadecimal table per line)
+// and classifies them under NPN equivalence with the paper's signature
+// classifier. It prints the class count and, optionally, the class id of
+// every input function or an exact-classification comparison.
+//
+// Usage:
+//
+//	npnclassify -n 6 [-in file] [-sig all|ocv1|oiv|osv|...] [-ids] [-exact] [-strict]
+//
+// Input lines may be blank or start with '#' (ignored). With -in omitted,
+// stdin is read.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/tt"
+	"repro/internal/ttio"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 0, "number of variables (required)")
+		inPath = flag.String("in", "", "input file (default stdin)")
+		sigSel = flag.String("sig", "all", "signature selection: comma list of ocv1,ocv2,oiv,osv,osdv or 'all'")
+		ids    = flag.Bool("ids", false, "print per-function class ids")
+		exact  = flag.Bool("exact", false, "also run the exact classifier and report accuracy")
+		strict = flag.Bool("strict", false, "bucket by full MSV keys instead of 64-bit hashes")
+	)
+	flag.Parse()
+	if *n <= 0 || *n > tt.MaxVars {
+		fmt.Fprintf(os.Stderr, "npnclassify: -n must be in 1..%d\n", tt.MaxVars)
+		os.Exit(2)
+	}
+
+	cfg, err := parseConfig(*sigSel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npnclassify:", err)
+		os.Exit(2)
+	}
+	cfg.StrictKeys = *strict
+	cfg.FastOSDV = true
+
+	in := os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npnclassify:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	fs, err := ttio.Read(in, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npnclassify:", err)
+		os.Exit(1)
+	}
+
+	cls := core.New(*n, cfg)
+	start := time.Now()
+	res := cls.Classify(fs)
+	elapsed := time.Since(start)
+
+	fmt.Printf("functions: %d\n", len(fs))
+	fmt.Printf("classes:   %d (signatures: %s)\n", res.NumClasses, cfg.Enabled())
+	fmt.Printf("time:      %.4fs\n", elapsed.Seconds())
+
+	if *exact {
+		start = time.Now()
+		ex := match.ExactClassify(fs)
+		fmt.Printf("exact:     %d classes in %.4fs (pairwise comparisons: %d)\n",
+			ex.NumClasses, time.Since(start).Seconds(), ex.Comparisons)
+	}
+
+	if *ids {
+		for i, f := range fs {
+			fmt.Printf("%s %d\n", f.Hex(), res.ClassOf[i])
+		}
+	}
+}
+
+func parseConfig(sel string) (core.Config, error) {
+	if sel == "all" {
+		return core.ConfigAll(), nil
+	}
+	var cfg core.Config
+	for _, part := range strings.Split(sel, ",") {
+		switch strings.TrimSpace(strings.ToLower(part)) {
+		case "ocv1":
+			cfg.OCV1 = true
+		case "ocv2":
+			cfg.OCV2 = true
+		case "oiv":
+			cfg.OIV = true
+		case "osv":
+			cfg.OSV = true
+		case "osdv":
+			cfg.OSDV = true
+		case "":
+		default:
+			return cfg, fmt.Errorf("unknown signature %q", part)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,92 @@
+// Command npngen generates NPN-classification workloads as hexadecimal truth
+// tables, one per line — the format npnclassify consumes.
+//
+// Usage:
+//
+//	npngen -kind circuit|uniform|consecutive -n 6 [-count 1000] [-seed 1] [-cuts 16]
+//
+// The circuit kind runs cut enumeration over the synthetic EPFL-like suite
+// and emits deduplicated cut functions of exactly n variables (the paper's
+// §V-A workload); uniform and consecutive emit random truth-table streams
+// (consecutive is the Fig. 5 encoding).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	aigpkg "repro/internal/aig"
+	"repro/internal/cut"
+	"repro/internal/gen"
+	"repro/internal/tt"
+	"repro/internal/ttio"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "circuit", "workload kind: circuit, uniform, consecutive, aag")
+		n     = flag.Int("n", 6, "number of variables")
+		count = flag.Int("count", 0, "number of functions (uniform/consecutive; 0 for circuit = all)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		cuts  = flag.Int("cuts", 16, "priority cuts per node (circuit kind)")
+		aag   = flag.String("aag", "", "ASCII AIGER file to harvest cuts from (kind=aag)")
+	)
+	flag.Parse()
+	if *n <= 0 || *n > tt.MaxVars {
+		fmt.Fprintf(os.Stderr, "npngen: -n must be in 1..%d\n", tt.MaxVars)
+		os.Exit(2)
+	}
+
+	var fs []*tt.TT
+	switch *kind {
+	case "circuit":
+		fs = gen.CircuitWorkload(*n, *cuts, *seed)
+		if *count > 0 && len(fs) > *count {
+			fs = fs[:*count]
+		}
+	case "uniform":
+		c := *count
+		if c == 0 {
+			c = 1000
+		}
+		fs = gen.UniformRandom(*n, c, *seed)
+	case "consecutive":
+		c := *count
+		if c == 0 {
+			c = 1000
+		}
+		fs = gen.Consecutive(*n, c, *seed)
+	case "aag":
+		// Harvest cuts from a user-supplied AIGER circuit — with EPFL
+		// benchmark files on disk this is the paper's original pipeline.
+		if *aag == "" {
+			fmt.Fprintln(os.Stderr, "npngen: kind=aag requires -aag <file>")
+			os.Exit(2)
+		}
+		f, err := os.Open(*aag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npngen:", err)
+			os.Exit(1)
+		}
+		g, err := aigpkg.ReadAAG(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npngen:", err)
+			os.Exit(1)
+		}
+		fs = cut.Harvest(g, *n, cut.Options{K: *n, MaxPerNode: *cuts})
+		if *count > 0 && len(fs) > *count {
+			fs = fs[:*count]
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "npngen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	header := fmt.Sprintf("kind=%s n=%d count=%d seed=%d", *kind, *n, len(fs), *seed)
+	if err := ttio.Write(os.Stdout, fs, header); err != nil {
+		fmt.Fprintln(os.Stderr, "npngen:", err)
+		os.Exit(1)
+	}
+}

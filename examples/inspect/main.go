@@ -1,0 +1,79 @@
+// Inspect: a Boolean-function inspector. Give it a truth table (hex) and
+// its arity and it prints everything this library knows about the function:
+// two-level form, signatures (the paper's face and point characteristics),
+// hypercube-view invariants, symmetries, unateness, canonical forms.
+//
+// Run with: go run ./examples/inspect e8 3
+// (defaults to the paper's 3-majority if no arguments are given)
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/hypercube"
+	"repro/internal/npn"
+	"repro/internal/sig"
+	"repro/internal/symmetry"
+	"repro/internal/tt"
+)
+
+func main() {
+	hex, n := "e8", 3
+	if len(os.Args) == 3 {
+		hex = os.Args[1]
+		v, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "inspect: bad arity:", err)
+			os.Exit(2)
+		}
+		n = v
+	}
+	f, err := tt.FromHex(n, hex)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("f = 0x%s on %d variables\n", f.Hex(), n)
+	fmt.Printf("  SOP (irredundant):  %s\n", f.SOPString())
+	d := decomp.Decompose(f)
+	fmt.Printf("  decomposition:      %s   (shape %s)\n", d, d.Shape())
+	fmt.Printf("  |f| = %d / %d, balanced: %v, support: %v\n",
+		f.CountOnes(), f.NumBits(), f.IsBalanced(), f.Support())
+
+	e := sig.NewEngine(n)
+	h0, h1 := e.OSV01(f)
+	fmt.Println("\nface characteristics (cofactors):")
+	fmt.Printf("  OCV1 = %v\n", e.OCV1(f))
+	fmt.Printf("  OCV2 = %v\n", e.OCV2(f))
+	fmt.Println("point characteristics (sensitivity):")
+	fmt.Printf("  OSV1 = %v   OSV0 = %v   sen(f) = %d\n", h1.Expand(), h0.Expand(), e.Sensitivity(f))
+	fmt.Println("point-face characteristics (influence):")
+	fmt.Printf("  OIV = %v   total influence = %d\n", e.OIV(f), e.TotalInfluence(f))
+
+	fmt.Println("\nhypercube onset graph:")
+	fmt.Printf("  degree sequence: %v (degree = n − sensitivity at each 1-point)\n",
+		hypercube.DegreeSequence(f))
+	fmt.Printf("  edges: %d, components: %v\n", hypercube.EdgeCount(f), hypercube.Components(f))
+
+	fmt.Println("\nstructure:")
+	fmt.Printf("  symmetry classes: %v, totally symmetric: %v, self-dual: %v\n",
+		symmetry.Classes(f), symmetry.TotallySymmetric(f), symmetry.SelfDual(f))
+	prof := sig.UnatenessProfile(f)
+	fmt.Printf("  unateness: %v, unate: %v\n", prof, sig.IsUnate(f))
+
+	fmt.Println("\ncanonical forms:")
+	fmt.Printf("  sifting (semi-canonical): 0x%s\n", npn.SiftCanon(f).Hex())
+	if n <= npn.MaxExactVars {
+		canon, w := npn.CanonWithWitness(f)
+		fmt.Printf("  exact NPN canonical:      0x%s via %v\n", canon.Hex(), w)
+	} else {
+		fmt.Printf("  exact NPN canonical:      (n > %d: use the MSV key below)\n", npn.MaxExactVars)
+	}
+	cls := core.New(n, core.ConfigAll())
+	fmt.Printf("  MSV class key (FNV-64):   %016x\n", cls.Hash(f))
+}

@@ -1,0 +1,66 @@
+// Mapping: full technology-mapping flow — map arithmetic circuits to
+// k-input LUTs, verify the mapping functionally, and show how NPN
+// classification compresses the cell library the mapping needs. This is the
+// end-to-end version of the paper's motivating application.
+//
+// Run with: go run ./examples/mapping
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/aig"
+	"repro/internal/gen"
+	"repro/internal/mapper"
+)
+
+func main() {
+	circuits := []struct {
+		name string
+		g    *aig.AIG
+	}{
+		{"adder16 (ripple)", gen.RippleCarryAdder(16)},
+		{"adder12 (lookahead)", gen.CarryLookaheadAdder(12)},
+		{"mult6", gen.ArrayMultiplier(6)},
+		{"shifter32", gen.BarrelShifter(32)},
+		{"alu8", gen.ALUSlice(8)},
+		{"voter81", gen.Voter(4)},
+	}
+
+	k := 6
+	fmt.Printf("%d-LUT technology mapping (depth mode), functionally verified:\n\n", k)
+	fmt.Printf("%-22s %8s %8s %8s %10s %10s\n", "circuit", "ANDs", "LUTs", "depth", "functions", "NPNclasses")
+	for _, c := range circuits {
+		r, err := mapper.Map(c.g, mapper.Options{K: k, Mode: mapper.Depth})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mapping:", err)
+			os.Exit(1)
+		}
+		// Exhaustive verification when the PI count allows a global truth
+		// table; random-simulation verification beyond that.
+		var verr error
+		if c.g.NumPIs() <= 14 {
+			verr = mapper.Verify(c.g, r)
+		} else {
+			verr = mapper.VerifySampled(c.g, r, 64, 1)
+		}
+		if verr != nil {
+			fmt.Fprintln(os.Stderr, "verification FAILED:", verr)
+			os.Exit(1)
+		}
+		fmt.Printf("%-22s %8d %8d %8d %10d %10d\n",
+			c.name, c.g.NumAnds(), r.Area(), r.Depth, r.Funcs, r.NumClasses())
+	}
+
+	fmt.Println("\nall mappings verified equivalent to the original circuits.")
+	fmt.Println("the NPNclasses column is the cell-library size the mapper actually needs —")
+	fmt.Println("the compression from 'functions' to 'classes' is what NPN classification buys.")
+
+	// Depth vs area mode on one circuit.
+	g := gen.ArrayMultiplier(6)
+	d, _ := mapper.Map(g, mapper.Options{K: k, Mode: mapper.Depth})
+	a, _ := mapper.Map(g, mapper.Options{K: k, Mode: mapper.Area})
+	fmt.Printf("\nmult6 objective trade-off: depth mode %d LUTs @ depth %d; area mode %d LUTs @ depth %d\n",
+		d.Area(), d.Depth, a.Area(), a.Depth)
+}

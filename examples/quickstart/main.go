@@ -1,0 +1,48 @@
+// Quickstart: classify a handful of Boolean functions under NPN equivalence
+// and inspect why two of them land in the same class.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/tt"
+)
+
+func main() {
+	// Four 3-variable functions given as hex truth tables:
+	//   maj     = majority(x1,x2,x3)        (paper's f1, Fig. 1a)
+	//   majNeg  = an NP transform of maj    (paper's f2-style function)
+	//   single  = x3                        (paper's f3, Fig. 1c)
+	//   parity  = x1 ⊕ x2 ⊕ x3
+	maj := tt.MustFromHex(3, "e8")
+	majNeg := maj.FlipVar(0).SwapVars(1, 2) // still NPN-equivalent to maj
+	single := tt.MustFromHex(3, "f0")
+	parity := tt.MustFromHex(3, "96")
+
+	fs := []*tt.TT{maj, majNeg, single, parity}
+	names := []string{"maj", "majNeg", "single", "parity"}
+
+	// Classify with the full Mixed Signature Vector (Algorithm 1).
+	cls := core.New(3, core.ConfigAll())
+	res := cls.Classify(fs)
+
+	fmt.Printf("classified %d functions into %d NPN classes\n\n", len(fs), res.NumClasses)
+	for i, f := range fs {
+		fmt.Printf("  %-7s %s -> class %d\n", names[i], f.Hex(), res.ClassOf[i])
+	}
+
+	// The matcher can produce an explicit witness for the merged pair.
+	m := match.NewMatcher(3)
+	if tr, ok := m.Equivalent(maj, majNeg); ok {
+		fmt.Printf("\nwitness: majNeg = τ(maj) with τ: %v\n", tr)
+	}
+
+	// And certify the negative verdicts.
+	if _, ok := m.Equivalent(maj, parity); !ok {
+		fmt.Println("maj and parity are certified NPN-inequivalent")
+	}
+}

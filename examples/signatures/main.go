@@ -1,0 +1,53 @@
+// Signatures: reproduce Table I of the paper — every signature vector of the
+// 3-majority f1 and the single-variable function f3, plus the same vectors
+// for a function of your choice.
+//
+// Run with: go run ./examples/signatures [hex-truth-table n]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/sig"
+	"repro/internal/tt"
+)
+
+func main() {
+	fmt.Println("Table I reproduction (paper, DATE 2023):")
+	show("f1 (3-majority)", tt.MustFromHex(3, "e8"))
+	show("f3 (single variable)", tt.MustFromHex(3, "f0"))
+
+	if len(os.Args) == 3 {
+		n, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad arity:", err)
+			os.Exit(2)
+		}
+		f, err := tt.FromHex(n, os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad truth table:", err)
+			os.Exit(2)
+		}
+		show(fmt.Sprintf("user function (%d vars)", n), f)
+	}
+}
+
+func show(name string, f *tt.TT) {
+	e := sig.NewEngine(f.NumVars())
+	h0, h1 := e.OSV01(f)
+	d0, d1 := e.OSDV01(f)
+	fmt.Printf("\n%s  truth table 0x%s, |f| = %d\n", name, f.Hex(), f.CountOnes())
+	fmt.Printf("  OCV1  = %v\n", e.OCV1(f))
+	fmt.Printf("  OCV2  = %v\n", e.OCV2(f))
+	fmt.Printf("  OIV   = %v\n", e.OIV(f))
+	fmt.Printf("  OSV1  = %v\n", h1.Expand())
+	fmt.Printf("  OSV0  = %v\n", h0.Expand())
+	fmt.Printf("  OSV   = %v\n", h0.Add(h1).Expand())
+	fmt.Printf("  OSDV1 = %v\n", d1.Flatten())
+	fmt.Printf("  OSDV0 = %v\n", d0.Flatten())
+	fmt.Printf("  OSDV  = %v\n", e.OSDV(f).Flatten())
+	fmt.Printf("  sensitivity sen(f) = %d, total influence = %d\n",
+		e.Sensitivity(f), e.TotalInfluence(f))
+}

@@ -1,0 +1,137 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the ASCII AIGER format ("aag"), the interchange
+// format the EPFL benchmark suite ships in. Supporting it means the paper's
+// original workload pipeline can be run unchanged on the real benchmark
+// files when they are available: ReadAAG → cut.Harvest → core.Classify.
+// Only combinational AIGs are supported (latches are rejected).
+//
+// AIGER literal convention: variable v ↦ literals 2v (positive) and 2v+1
+// (negated); variable 0 is constant false. Inputs are variables 1..I; AND
+// definitions follow in topological order. This matches the package's own
+// literal packing, so conversion is direct.
+
+// WriteAAG serializes g in ASCII AIGER format.
+func WriteAAG(w io.Writer, g *AIG) error {
+	bw := bufio.NewWriter(w)
+	maxVar := g.NumNodes() - 1
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", maxVar, g.NumPIs(), len(g.pos), g.NumAnds())
+	for i := 0; i < g.NumPIs(); i++ {
+		fmt.Fprintln(bw, uint32(g.PI(i)))
+	}
+	for _, po := range g.pos {
+		fmt.Fprintln(bw, uint32(po))
+	}
+	for n := uint32(1 + g.NumPIs()); int(n) < g.NumNodes(); n++ {
+		f0, f1 := g.Fanins(n)
+		fmt.Fprintf(bw, "%d %d %d\n", n<<1, uint32(f0), uint32(f1))
+	}
+	return bw.Flush()
+}
+
+// ReadAAG parses an ASCII AIGER file. Latches are rejected; AND definitions
+// must be in topological order with ascending left-hand sides, as the
+// format requires for reencoded files.
+func ReadAAG(r io.Reader) (*AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aig: empty AAG input")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 6 || fields[0] != "aag" {
+		return nil, fmt.Errorf("aig: bad AAG header %q", sc.Text())
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(fields[i+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aig: bad AAG header field %q", fields[i+1])
+		}
+		nums[i] = v
+	}
+	maxVar, numIn, numLatch, numOut, numAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if numLatch != 0 {
+		return nil, fmt.Errorf("aig: sequential AAG not supported (%d latches)", numLatch)
+	}
+	if maxVar != numIn+numAnd {
+		return nil, fmt.Errorf("aig: AAG header inconsistent: M=%d, I+A=%d", maxVar, numIn+numAnd)
+	}
+
+	readLine := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return strings.TrimSpace(sc.Text()), nil
+	}
+
+	g := New(numIn)
+	for i := 0; i < numIn; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aig: reading input %d: %v", i, err)
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil || v != int(uint32(g.PI(i))) {
+			return nil, fmt.Errorf("aig: input %d has literal %q, want %d", i, line, uint32(g.PI(i)))
+		}
+	}
+	outLits := make([]uint32, numOut)
+	for i := 0; i < numOut; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aig: reading output %d: %v", i, err)
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil || v < 0 || v > 2*maxVar+1 {
+			return nil, fmt.Errorf("aig: output %d literal %q out of range", i, line)
+		}
+		outLits[i] = uint32(v)
+	}
+	for i := 0; i < numAnd; i++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, fmt.Errorf("aig: reading AND %d: %v", i, err)
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("aig: AND line %q malformed", line)
+		}
+		vals := make([]int, 3)
+		for k, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("aig: AND literal %q invalid", p)
+			}
+			vals[k] = v
+		}
+		lhs, rhs0, rhs1 := vals[0], vals[1], vals[2]
+		wantLHS := 2 * (1 + numIn + i)
+		if lhs != wantLHS {
+			return nil, fmt.Errorf("aig: AND %d lhs %d, want %d (reencoded topological order required)", i, lhs, wantLHS)
+		}
+		if rhs0 >= lhs || rhs1 >= lhs {
+			return nil, fmt.Errorf("aig: AND %d fanins (%d, %d) not earlier than lhs %d", i, rhs0, rhs1, lhs)
+		}
+		// Insert without strashing/rewrite so node numbering is preserved.
+		g.nodes = append(g.nodes, node{fan0: Lit(rhs0), fan1: Lit(rhs1)})
+	}
+	for _, l := range outLits {
+		if int(l>>1) >= g.NumNodes() {
+			return nil, fmt.Errorf("aig: output literal %d references missing node", l)
+		}
+		g.AddPO(Lit(l))
+	}
+	return g, nil
+}

@@ -1,0 +1,104 @@
+package aig
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func buildSample() *AIG {
+	g := New(3)
+	a, b, c := g.PI(0), g.PI(1), g.PI(2)
+	m := g.Maj(a, b, c)
+	x := g.Xor(a, b)
+	g.AddPO(m)
+	g.AddPO(x.Not())
+	return g
+}
+
+func TestAAGRoundTrip(t *testing.T) {
+	g := buildSample()
+	var buf bytes.Buffer
+	if err := WriteAAG(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadAAG(&buf)
+	if err != nil {
+		t.Fatalf("ReadAAG: %v", err)
+	}
+	if h.NumPIs() != g.NumPIs() || h.NumAnds() != g.NumAnds() || len(h.POs()) != len(g.POs()) {
+		t.Fatal("shape changed in round trip")
+	}
+	for i, po := range g.POs() {
+		want := g.GlobalFunc(po)
+		got := h.GlobalFunc(h.POs()[i])
+		if !got.Equal(want) {
+			t.Fatalf("PO %d function changed: %s vs %s", i, got.Hex(), want.Hex())
+		}
+	}
+}
+
+func TestReadAAGMinimal(t *testing.T) {
+	// Single AND of two inputs, output the AND.
+	src := "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"
+	g, err := ReadAAG(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := g.GlobalFunc(g.POs()[0])
+	if f.Hex() != "8" {
+		t.Errorf("and2 = %s, want 8", f.Hex())
+	}
+}
+
+func TestReadAAGConstantOutputs(t *testing.T) {
+	// Outputs may reference constants: 0 = false, 1 = true.
+	src := "aag 1 1 0 2 0\n2\n0\n1\n"
+	g, err := ReadAAG(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.GlobalFunc(g.POs()[0]).IsConst0() || !g.GlobalFunc(g.POs()[1]).IsConst1() {
+		t.Error("constant outputs wrong")
+	}
+}
+
+func TestReadAAGErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad magic":        "aig 1 1 0 0 0\n2\n",
+		"short header":     "aag 1 1 0\n",
+		"negative field":   "aag 1 -1 0 0 0\n",
+		"latches":          "aag 2 1 1 0 0\n2\n4 2\n",
+		"inconsistent M":   "aag 5 1 0 0 1\n2\n4 2 2\n",
+		"bad input lit":    "aag 3 2 0 1 1\n2\n5\n6\n6 2 4\n",
+		"output range":     "aag 3 2 0 1 1\n2\n4\n99\n6 2 4\n",
+		"and lhs order":    "aag 3 2 0 1 1\n2\n4\n6\n8 2 4\n",
+		"and fanin fwd":    "aag 3 2 0 1 1\n2\n4\n6\n6 6 4\n",
+		"and malformed":    "aag 3 2 0 1 1\n2\n4\n6\n6 2\n",
+		"truncated inputs": "aag 3 2 0 1 1\n2\n",
+		"truncated ands":   "aag 3 2 0 1 1\n2\n4\n6\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadAAG(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteAAGHeaderShape(t *testing.T) {
+	g := buildSample()
+	var buf bytes.Buffer
+	if err := WriteAAG(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	var m, i, l, o, a int
+	if _, err := fmt.Sscanf(first, "aag %d %d %d %d %d", &m, &i, &l, &o, &a); err != nil {
+		t.Fatalf("header %q: %v", first, err)
+	}
+	if i != 3 || l != 0 || o != 2 || m != i+a {
+		t.Errorf("header fields wrong: %q", first)
+	}
+}

@@ -1,0 +1,181 @@
+// Package aig implements structurally hashed And-Inverter Graphs, the
+// circuit representation the paper's benchmark pipeline is built on: EPFL
+// benchmark circuits are represented as AIGs, k-feasible cuts are enumerated
+// over them (internal/cut), and each cut's local function becomes one truth
+// table of the classification workload.
+//
+// Representation: node 0 is the constant-false node, nodes 1..NumPIs are
+// primary inputs, and the remaining nodes are two-input AND gates created in
+// topological order. A literal packs a node id with a complement bit.
+package aig
+
+import "fmt"
+
+// Lit is a literal: node id << 1 | complement bit.
+type Lit uint32
+
+// MakeLit builds a literal from a node id and complement flag.
+func MakeLit(node uint32, compl bool) Lit {
+	l := Lit(node << 1)
+	if compl {
+		l |= 1
+	}
+	return l
+}
+
+// Node returns the node id of the literal.
+func (l Lit) Node() uint32 { return uint32(l) >> 1 }
+
+// Compl reports whether the literal is complemented.
+func (l Lit) Compl() bool { return l&1 == 1 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// ConstFalse and ConstTrue are the constant literals of node 0.
+const (
+	ConstFalse = Lit(0)
+	ConstTrue  = Lit(1)
+)
+
+type node struct {
+	fan0, fan1 Lit
+}
+
+// AIG is a combinational and-inverter graph.
+type AIG struct {
+	nodes  []node
+	numPIs int
+	pos    []Lit
+	strash map[[2]Lit]uint32
+}
+
+// New returns an empty AIG with the given number of primary inputs.
+func New(numPIs int) *AIG {
+	g := &AIG{numPIs: numPIs, strash: make(map[[2]Lit]uint32)}
+	g.nodes = make([]node, 1+numPIs) // const + PIs
+	return g
+}
+
+// NumPIs returns the number of primary inputs.
+func (g *AIG) NumPIs() int { return g.numPIs }
+
+// NumNodes returns the total node count (constant + PIs + ANDs).
+func (g *AIG) NumNodes() int { return len(g.nodes) }
+
+// NumAnds returns the number of AND nodes.
+func (g *AIG) NumAnds() int { return len(g.nodes) - 1 - g.numPIs }
+
+// PI returns the literal of primary input i (0-based).
+func (g *AIG) PI(i int) Lit {
+	if i < 0 || i >= g.numPIs {
+		panic(fmt.Sprintf("aig: PI %d out of range", i))
+	}
+	return MakeLit(uint32(1+i), false)
+}
+
+// IsPI reports whether the node id is a primary input.
+func (g *AIG) IsPI(n uint32) bool { return n >= 1 && int(n) <= g.numPIs }
+
+// IsAnd reports whether the node id is an AND gate.
+func (g *AIG) IsAnd(n uint32) bool { return int(n) > g.numPIs && int(n) < len(g.nodes) }
+
+// Fanins returns the two fanin literals of an AND node.
+func (g *AIG) Fanins(n uint32) (Lit, Lit) {
+	if !g.IsAnd(n) {
+		panic(fmt.Sprintf("aig: node %d is not an AND", n))
+	}
+	nd := g.nodes[n]
+	return nd.fan0, nd.fan1
+}
+
+// And returns a literal for a∧b, applying constant/idempotence rules and
+// structural hashing before creating a node.
+func (g *AIG) And(a, b Lit) Lit {
+	// Trivial rules.
+	switch {
+	case a == ConstFalse || b == ConstFalse:
+		return ConstFalse
+	case a == ConstTrue:
+		return b
+	case b == ConstTrue:
+		return a
+	case a == b:
+		return a
+	case a == b.Not():
+		return ConstFalse
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]Lit{a, b}
+	if n, ok := g.strash[key]; ok {
+		return MakeLit(n, false)
+	}
+	n := uint32(len(g.nodes))
+	g.nodes = append(g.nodes, node{fan0: a, fan1: b})
+	g.strash[key] = n
+	return MakeLit(n, false)
+}
+
+// Or returns a∨b.
+func (g *AIG) Or(a, b Lit) Lit { return g.And(a.Not(), b.Not()).Not() }
+
+// Xor returns a⊕b (two AND nodes).
+func (g *AIG) Xor(a, b Lit) Lit {
+	return g.Or(g.And(a, b.Not()), g.And(a.Not(), b))
+}
+
+// Xnor returns ¬(a⊕b).
+func (g *AIG) Xnor(a, b Lit) Lit { return g.Xor(a, b).Not() }
+
+// Mux returns s ? t : e.
+func (g *AIG) Mux(s, t, e Lit) Lit {
+	return g.Or(g.And(s, t), g.And(s.Not(), e))
+}
+
+// Maj returns the majority of three literals.
+func (g *AIG) Maj(a, b, c Lit) Lit {
+	return g.Or(g.And(a, b), g.Or(g.And(a, c), g.And(b, c)))
+}
+
+// AddPO registers a primary output literal.
+func (g *AIG) AddPO(l Lit) { g.pos = append(g.pos, l) }
+
+// POs returns the registered primary outputs.
+func (g *AIG) POs() []Lit { return g.pos }
+
+// Level returns the per-node logic depth (PIs and constant at level 0).
+func (g *AIG) Level() []int {
+	lv := make([]int, len(g.nodes))
+	for n := uint32(1 + g.numPIs); int(n) < len(g.nodes); n++ {
+		nd := g.nodes[n]
+		l0, l1 := lv[nd.fan0.Node()], lv[nd.fan1.Node()]
+		if l0 > l1 {
+			lv[n] = l0 + 1
+		} else {
+			lv[n] = l1 + 1
+		}
+	}
+	return lv
+}
+
+// ConeSize returns the number of AND nodes in the transitive fanin cone of
+// the given node.
+func (g *AIG) ConeSize(root uint32) int {
+	seen := make(map[uint32]bool)
+	var dfs func(n uint32)
+	count := 0
+	dfs = func(n uint32) {
+		if seen[n] || !g.IsAnd(n) {
+			return
+		}
+		seen[n] = true
+		count++
+		nd := g.nodes[n]
+		dfs(nd.fan0.Node())
+		dfs(nd.fan1.Node())
+	}
+	dfs(root)
+	return count
+}

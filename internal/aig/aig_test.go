@@ -1,0 +1,172 @@
+package aig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestLitPacking(t *testing.T) {
+	l := MakeLit(5, true)
+	if l.Node() != 5 || !l.Compl() {
+		t.Error("MakeLit/Node/Compl wrong")
+	}
+	if l.Not().Compl() || l.Not().Node() != 5 {
+		t.Error("Not wrong")
+	}
+	if ConstTrue != ConstFalse.Not() {
+		t.Error("constants wrong")
+	}
+}
+
+func TestAndTrivialRules(t *testing.T) {
+	g := New(2)
+	a, b := g.PI(0), g.PI(1)
+	if g.And(a, ConstFalse) != ConstFalse {
+		t.Error("a∧0 != 0")
+	}
+	if g.And(ConstTrue, b) != b {
+		t.Error("1∧b != b")
+	}
+	if g.And(a, a) != a {
+		t.Error("a∧a != a")
+	}
+	if g.And(a, a.Not()) != ConstFalse {
+		t.Error("a∧¬a != 0")
+	}
+	if g.NumAnds() != 0 {
+		t.Error("trivial rules created nodes")
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	g := New(2)
+	a, b := g.PI(0), g.PI(1)
+	x := g.And(a, b)
+	y := g.And(b, a) // commuted
+	if x != y {
+		t.Error("strashing missed commuted AND")
+	}
+	if g.NumAnds() != 1 {
+		t.Errorf("NumAnds = %d, want 1", g.NumAnds())
+	}
+}
+
+func TestGlobalFuncGates(t *testing.T) {
+	g := New(3)
+	a, b, c := g.PI(0), g.PI(1), g.PI(2)
+
+	cases := []struct {
+		lit  Lit
+		want func(x int) bool
+	}{
+		{g.And(a, b), func(x int) bool { return x&1 == 1 && x>>1&1 == 1 }},
+		{g.Or(a, b), func(x int) bool { return x&1 == 1 || x>>1&1 == 1 }},
+		{g.Xor(a, b), func(x int) bool { return x&1 != x>>1&1 }},
+		{g.Xnor(a, c), func(x int) bool { return x&1 == x>>2&1 }},
+		{g.Mux(a, b, c), func(x int) bool {
+			if x&1 == 1 {
+				return x>>1&1 == 1
+			}
+			return x>>2&1 == 1
+		}},
+		{g.Maj(a, b, c), func(x int) bool { return x&1+x>>1&1+x>>2&1 >= 2 }},
+		{a.Not(), func(x int) bool { return x&1 == 0 }},
+		{ConstTrue, func(x int) bool { return true }},
+	}
+	for i, tc := range cases {
+		got := g.GlobalFunc(tc.lit)
+		want := tt.FromFunc(3, tc.want)
+		if !got.Equal(want) {
+			t.Errorf("case %d: got %s want %s", i, got.Hex(), want.Hex())
+		}
+	}
+}
+
+func TestMaj3MatchesPaperTable(t *testing.T) {
+	g := New(3)
+	m := g.Maj(g.PI(0), g.PI(1), g.PI(2))
+	if got := g.GlobalFunc(m).Hex(); got != "e8" {
+		t.Errorf("majority = %s, want e8", got)
+	}
+}
+
+func TestSimulateRandomAgainstGlobalFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	g := New(4)
+	lits := []Lit{g.PI(0), g.PI(1), g.PI(2), g.PI(3)}
+	// Build a random layered circuit.
+	for i := 0; i < 30; i++ {
+		a := lits[rng.Intn(len(lits))]
+		b := lits[rng.Intn(len(lits))]
+		if rng.Intn(2) == 0 {
+			a = a.Not()
+		}
+		if rng.Intn(2) == 0 {
+			b = b.Not()
+		}
+		lits = append(lits, g.And(a, b))
+	}
+	out := lits[len(lits)-1]
+	g.AddPO(out)
+	f := g.GlobalFunc(out)
+	// Evaluate pointwise through Simulate with unit patterns.
+	for x := 0; x < 16; x++ {
+		pi := make([][]uint64, 4)
+		for i := range pi {
+			v := uint64(0)
+			if x>>i&1 == 1 {
+				v = 1
+			}
+			pi[i] = []uint64{v}
+		}
+		vals := g.Simulate(pi)
+		got := vals[out.Node()][0]&1 == 1
+		if out.Compl() {
+			got = !got
+		}
+		if got != f.Get(x) {
+			t.Fatalf("simulate disagrees with GlobalFunc at %d", x)
+		}
+	}
+	if len(g.POs()) != 1 || g.POs()[0] != out {
+		t.Error("PO bookkeeping wrong")
+	}
+}
+
+func TestLevelAndConeSize(t *testing.T) {
+	g := New(2)
+	a, b := g.PI(0), g.PI(1)
+	x := g.Xor(a, b) // 3 AND nodes, depth 2
+	lv := g.Level()
+	if lv[x.Node()] != 2 {
+		t.Errorf("xor depth = %d, want 2", lv[x.Node()])
+	}
+	if got := g.ConeSize(x.Node()); got != 3 {
+		t.Errorf("xor cone size = %d, want 3", got)
+	}
+	if g.ConeSize(a.Node()) != 0 {
+		t.Error("PI cone size must be 0")
+	}
+}
+
+func TestPIBoundsPanic(t *testing.T) {
+	g := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("PI out of range accepted")
+		}
+	}()
+	g.PI(2)
+}
+
+func TestFaninsPanicsOnPI(t *testing.T) {
+	g := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Fanins of PI accepted")
+		}
+	}()
+	g.Fanins(1)
+}

@@ -1,0 +1,59 @@
+package aig
+
+import "repro/internal/tt"
+
+// Simulate evaluates every node under word-parallel input patterns: pi[i] is
+// the bit-pattern slice of primary input i (all the same length). The result
+// is indexed by node id; each entry has the same word length.
+func (g *AIG) Simulate(pi [][]uint64) [][]uint64 {
+	if len(pi) != g.numPIs {
+		panic("aig: Simulate needs one pattern per PI")
+	}
+	nw := 0
+	if g.numPIs > 0 {
+		nw = len(pi[0])
+	}
+	vals := make([][]uint64, len(g.nodes))
+	vals[0] = make([]uint64, nw) // constant false
+	for i := 0; i < g.numPIs; i++ {
+		if len(pi[i]) != nw {
+			panic("aig: Simulate pattern lengths differ")
+		}
+		vals[1+i] = pi[i]
+	}
+	fetch := func(l Lit, w int) uint64 {
+		v := vals[l.Node()][w]
+		if l.Compl() {
+			return ^v
+		}
+		return v
+	}
+	for n := 1 + g.numPIs; n < len(g.nodes); n++ {
+		nd := g.nodes[n]
+		row := make([]uint64, nw)
+		for w := 0; w < nw; w++ {
+			row[w] = fetch(nd.fan0, w) & fetch(nd.fan1, w)
+		}
+		vals[n] = row
+	}
+	return vals
+}
+
+// GlobalFunc computes the truth table of a literal in terms of all primary
+// inputs. The PI count must be at most tt.MaxVars.
+func (g *AIG) GlobalFunc(l Lit) *tt.TT {
+	n := g.numPIs
+	pi := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		pi[i] = tt.Projection(n, i).Words()
+	}
+	vals := g.Simulate(pi)
+	out := tt.New(n)
+	copy(out.Words(), vals[l.Node()])
+	if l.Compl() {
+		out.NotInPlace() // also clears padding
+	} else {
+		out.Normalize()
+	}
+	return out
+}

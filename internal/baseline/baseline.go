@@ -1,0 +1,272 @@
+// Package baseline reimplements the three comparison NPN classifiers the
+// paper benchmarks against (Table III, Fig. 5), following the published
+// ideas of the cited works. All three are canonical-form methods: they map
+// each function to a heuristic canonical truth table and bucket by it. They
+// differ in how much of the transform space they explore to resolve
+// heuristic ties:
+//
+//   - Huang (testnpn -6 analogue, Huang et al. FPT'13): pure heuristic —
+//     output phase by satisfy count, input phases by cofactor count, variable
+//     order by sorted cofactor counts, no tie enumeration. Ultra fast, badly
+//     over-splits classes.
+//   - Hierarchical (testnpn -7 analogue, Petkovska et al. FPL'16): the same
+//     skeleton plus a small bounded enumeration of tied variable orders and
+//     phases.
+//   - Hybrid (testnpn -11 analogue, Zhou et al. TC'20): co-designed canonical
+//     form — symmetry classes collapse interchangeable variables, remaining
+//     ties are enumerated under a large budget. Accurate, but its runtime
+//     depends on the function's tie/symmetry structure, which is exactly the
+//     workload-sensitive behaviour Fig. 5 shows. Per the paper's fair-
+//     comparison note, the final exhaustive-enumeration fallback of the
+//     original is removed: the budget caps the search.
+//
+// Canonical-form methods err in the opposite direction from signature
+// methods: heuristic canonical forms may split a true NPN class (too many
+// classes), whereas MSV signatures may merge distinct classes (too few).
+// The experiments reproduce that asymmetry.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/npn"
+	"repro/internal/symmetry"
+	"repro/internal/tt"
+)
+
+// Classifier is a baseline canonical-form classifier.
+type Classifier struct {
+	name string
+	// budget caps how many candidate transforms are evaluated per function;
+	// 1 means the bare heuristic.
+	budget int
+	// useSymmetry collapses tied variables that are provably symmetric.
+	useSymmetry bool
+}
+
+// NewHuang returns the testnpn -6 analogue (heuristic only).
+func NewHuang() *Classifier { return &Classifier{name: "huang13", budget: 1} }
+
+// NewHierarchical returns the testnpn -7 analogue (small tie enumeration).
+func NewHierarchical() *Classifier { return &Classifier{name: "hier16", budget: 48} }
+
+// NewHybrid returns the testnpn -11 analogue (symmetry-aware, large budget).
+func NewHybrid() *Classifier {
+	return &Classifier{name: "hybrid20", budget: 4096, useSymmetry: true}
+}
+
+// Name identifies the baseline in experiment tables.
+func (c *Classifier) Name() string { return c.name }
+
+// Key returns the canonical truth-table key of f under this baseline.
+func (c *Classifier) Key(f *tt.TT) []byte {
+	canon := c.Canon(f)
+	words := canon.Words()
+	key := make([]byte, 0, len(words)*8)
+	for _, w := range words {
+		for b := 0; b < 8; b++ {
+			key = append(key, byte(w>>(8*uint(b))))
+		}
+	}
+	return key
+}
+
+// NumClasses buckets the list by canonical key.
+func (c *Classifier) NumClasses(fs []*tt.TT) int {
+	seen := make(map[string]struct{})
+	for _, f := range fs {
+		seen[string(c.Key(f))] = struct{}{}
+	}
+	return len(seen)
+}
+
+// varInfo is the per-variable sort record of the heuristic ordering.
+type varInfo struct {
+	idx      int
+	flip     bool // input phase chosen by the heuristic
+	c1, c0   int  // cofactor counts after phase normalization (c1 ≥ c0)
+	phaseTie bool
+}
+
+// Canon computes the heuristic canonical form of f.
+func (c *Classifier) Canon(f *tt.TT) *tt.TT {
+	n := f.NumVars()
+	half := f.NumBits() / 2
+	ones := f.CountOnes()
+
+	outPhases := []bool{false}
+	switch {
+	case ones > half:
+		outPhases = []bool{true}
+	case ones == half:
+		outPhases = []bool{false, true}
+	}
+
+	var best *tt.TT
+	budget := c.budget
+	for _, out := range outPhases {
+		g := f
+		if out {
+			g = f.Not()
+		}
+		cand, used := c.canonPhase(g, n)
+		if best == nil || cand.Less(best) {
+			best = cand
+		}
+		budget -= used
+		if budget <= 0 {
+			break
+		}
+	}
+	return best
+}
+
+// canonPhase canonicalizes one output phase; returns the best candidate and
+// the number of transform evaluations spent.
+func (c *Classifier) canonPhase(g *tt.TT, n int) (*tt.TT, int) {
+	vars := make([]varInfo, n)
+	for i := 0; i < n; i++ {
+		c1 := g.CofactorCount(i, true)
+		c0 := g.CountOnes() - c1
+		v := varInfo{idx: i}
+		if c1 < c0 {
+			v.flip, v.c1, v.c0 = true, c0, c1
+		} else {
+			v.c1, v.c0 = c1, c0
+			v.phaseTie = c1 == c0
+		}
+		vars[i] = v
+	}
+	// Heuristic order: descending c1, original index as tiebreak (the
+	// tiebreak is what makes the bare heuristic inexact).
+	sort.SliceStable(vars, func(a, b int) bool { return vars[a].c1 > vars[b].c1 })
+
+	// Tie groups: runs of equal c1 are candidate reorderings.
+	type group struct{ lo, hi int } // [lo, hi)
+	var groups []group
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && vars[hi].c1 == vars[lo].c1 {
+			hi++
+		}
+		if hi-lo > 1 {
+			groups = append(groups, group{lo, hi})
+		}
+		lo = hi
+	}
+
+	// Symmetry collapse: inside a tie group, variables that are symmetric in
+	// g are interchangeable — fixing their relative order loses nothing.
+	symRep := make([]int, n)
+	for i := range symRep {
+		symRep[i] = i
+	}
+	if c.useSymmetry {
+		for _, cls := range symmetry.Classes(g) {
+			for _, v := range cls {
+				symRep[v] = cls[0]
+			}
+		}
+	}
+
+	apply := func(order []varInfo, phaseMask uint32) *tt.TT {
+		tr := npn.Identity(n)
+		for pos, v := range order {
+			tr.Perm[pos] = uint8(v.idx)
+			bit := uint32(0)
+			if v.flip {
+				bit = 1
+			}
+			if v.phaseTie && phaseMask>>uint(pos)&1 == 1 {
+				bit ^= 1
+			}
+			tr.NegMask |= bit << uint(pos)
+		}
+		return tr.Apply(g)
+	}
+
+	best := apply(vars, 0)
+	used := 1
+	if c.budget <= 1 {
+		return best, used
+	}
+
+	// Enumerate alternative orders within tie groups (product of group
+	// permutations) and phase flips of tied variables, capped by budget.
+	tiedPhases := make([]int, 0, n)
+	for pos, v := range vars {
+		if v.phaseTie {
+			tiedPhases = append(tiedPhases, pos)
+		}
+	}
+
+	order := make([]varInfo, n)
+	copy(order, vars)
+	stop := false
+
+	var enumGroups func(gi int)
+	tryPhases := func() {
+		limit := 1 << uint(len(tiedPhases))
+		for m := 0; m < limit && !stop; m++ {
+			var phaseMask uint32
+			for k, pos := range tiedPhases {
+				if m>>uint(k)&1 == 1 {
+					phaseMask |= 1 << uint(pos)
+				}
+			}
+			cand := apply(order, phaseMask)
+			used++
+			if cand.Less(best) {
+				best = cand
+			}
+			if used >= c.budget {
+				stop = true
+			}
+		}
+	}
+	enumGroups = func(gi int) {
+		if stop {
+			return
+		}
+		if gi == len(groups) {
+			tryPhases()
+			return
+		}
+		g0 := groups[gi]
+		permuteRange(order, g0.lo, g0.hi, symRep, func() { enumGroups(gi + 1) }, &stop)
+	}
+	if len(groups) == 0 {
+		tryPhases()
+	} else {
+		enumGroups(0)
+	}
+	return best, used
+}
+
+// permuteRange enumerates permutations of order[lo:hi] in place, skipping
+// reorderings that only exchange symmetry-equivalent variables (same
+// representative), and calls leaf for each arrangement.
+func permuteRange(order []varInfo, lo, hi int, symRep []int, leaf func(), stop *bool) {
+	var rec func(k int)
+	rec = func(k int) {
+		if *stop {
+			return
+		}
+		if k == hi {
+			leaf()
+			return
+		}
+		seenRep := make(map[int]bool)
+		for i := k; i < hi; i++ {
+			rep := symRep[order[i].idx]
+			if seenRep[rep] {
+				continue // interchangeable with an already-tried choice
+			}
+			seenRep[rep] = true
+			order[k], order[i] = order[i], order[k]
+			rec(k + 1)
+			order[k], order[i] = order[i], order[k]
+		}
+	}
+	rec(lo)
+}

@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+func allBaselines() []*Classifier {
+	return []*Classifier{NewHuang(), NewHierarchical(), NewHybrid()}
+}
+
+// TestCanonIsInClass: the canonical form must itself be an NPN transform
+// image of the input — baselines may over-split classes but can never merge
+// distinct ones.
+func TestCanonIsInClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, c := range allBaselines() {
+		for n := 1; n <= 5; n++ {
+			for rep := 0; rep < 20; rep++ {
+				f := tt.Random(n, rng)
+				canon := c.Canon(f)
+				if !npn.ExactCanon(canon).Equal(npn.ExactCanon(f)) {
+					t.Fatalf("%s: canonical form left the NPN class (n=%d, f=%s)", c.Name(), n, f.Hex())
+				}
+			}
+		}
+	}
+}
+
+// TestNeverMergesClasses: exhaustively over all 2^16 4-variable functions is
+// too slow here; verify on a sample that equal keys imply true equivalence.
+func TestNeverMergesClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, c := range allBaselines() {
+		keys := make(map[string]*tt.TT)
+		for rep := 0; rep < 2000; rep++ {
+			f := tt.Random(4, rng)
+			k := string(c.Key(f))
+			if g, ok := keys[k]; ok {
+				if !npn.Equivalent(f, g) {
+					t.Fatalf("%s merged inequivalent functions %s and %s", c.Name(), f.Hex(), g.Hex())
+				}
+			} else {
+				keys[k] = f
+			}
+		}
+	}
+}
+
+// TestAccuracyOrdering: on NPN-transform pairs, stronger baselines must
+// match at least as often as weaker ones, and the class-count ordering of
+// Table III (huang ≥ hier ≥ hybrid ≥ exact) must hold.
+func TestAccuracyOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	n := 5
+	var fs []*tt.TT
+	for i := 0; i < 1500; i++ {
+		f := tt.Random(n, rng)
+		fs = append(fs, f, npn.RandomTransform(n, rng).Apply(f))
+	}
+	exact := npn.ClassCount(fs)
+	huang := NewHuang().NumClasses(fs)
+	hier := NewHierarchical().NumClasses(fs)
+	hybrid := NewHybrid().NumClasses(fs)
+	if !(huang >= hier && hier >= hybrid && hybrid >= exact) {
+		t.Errorf("class count ordering violated: huang=%d hier=%d hybrid=%d exact=%d",
+			huang, hier, hybrid, exact)
+	}
+	if hybrid > exact*3 {
+		t.Errorf("hybrid too inaccurate: %d vs exact %d", hybrid, exact)
+	}
+}
+
+// TestHybridMatchesTransformPairs: the symmetry-aware baseline should
+// identify most transform pairs of structured functions.
+func TestHybridMatchesTransformPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	c := NewHybrid()
+	n := 4
+	matched, total := 0, 0
+	for rep := 0; rep < 300; rep++ {
+		f := tt.Random(n, rng)
+		g := npn.RandomTransform(n, rng).Apply(f)
+		total++
+		if bytes.Equal(c.Key(f), c.Key(g)) {
+			matched++
+		}
+	}
+	if matched*10 < total*9 {
+		t.Errorf("hybrid matched only %d/%d transform pairs", matched, total)
+	}
+}
+
+func TestKeyDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for _, c := range allBaselines() {
+		f := tt.Random(6, rng)
+		if !bytes.Equal(c.Key(f), c.Key(f.Clone())) {
+			t.Errorf("%s key not deterministic", c.Name())
+		}
+	}
+}
+
+func TestTotallySymmetricFunctionsCanonicalizeFast(t *testing.T) {
+	// Majority of 5 variables: one symmetry class, so hybrid enumeration
+	// collapses to a single candidate per phase; canonical form must still
+	// be in class.
+	maj5 := tt.FromFunc(5, func(x int) bool {
+		ones := 0
+		for b := 0; b < 5; b++ {
+			ones += x >> b & 1
+		}
+		return ones >= 3
+	})
+	c := NewHybrid()
+	canon := c.Canon(maj5)
+	m := maj5.Clone()
+	if !bytes.Equal(c.Key(m), c.Key(maj5.FlipVar(1).SwapVars(0, 4))) {
+		t.Error("hybrid failed to canonicalize a transform of majority")
+	}
+	_ = canon
+}
+
+func TestNamesAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range allBaselines() {
+		if seen[c.Name()] {
+			t.Fatalf("duplicate baseline name %s", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+}

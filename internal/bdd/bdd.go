@@ -1,0 +1,322 @@
+// Package bdd implements reduced ordered binary decision diagrams, the
+// classical canonical function representation of logic verification (the
+// paper's related work checks equivalence with partial BDDs [Thornton'02],
+// and BDD-based matchers are the traditional alternative to the signature
+// methods reproduced here). The manager hash-conses nodes, caches ITE
+// results, and converts to and from the package's truth tables, giving an
+// independent canonical form that the test suite cross-checks the
+// truth-table kernel against.
+//
+// Representation: nodes are integers into a manager-owned table; 0 and 1
+// are the terminal constants. Variables are tested in increasing index
+// order from the root. No complement edges — reduction invariants stay
+// simple: no node has equal children, and (var, lo, hi) triples are unique.
+package bdd
+
+import (
+	"fmt"
+
+	"repro/internal/tt"
+)
+
+// Ref is a node reference within a Manager.
+type Ref int32
+
+// Terminal constants.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable index; terminals use a sentinel above all vars
+	lo, hi Ref
+}
+
+// Manager owns BDD nodes for functions over a fixed variable count.
+type Manager struct {
+	n      int
+	nodes  []node
+	unique map[node]Ref
+	ite    map[[3]Ref]Ref
+}
+
+const terminalLevel = int32(1 << 30)
+
+// New returns a manager for n variables.
+func New(n int) *Manager {
+	if n < 0 || n > tt.MaxVars {
+		panic(fmt.Sprintf("bdd: variable count %d out of range", n))
+	}
+	m := &Manager{
+		n:      n,
+		unique: make(map[node]Ref),
+		ite:    make(map[[3]Ref]Ref),
+	}
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel}, // False
+		node{level: terminalLevel}, // True
+	)
+	return m
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.n }
+
+// Size returns the number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.n {
+		panic("bdd: variable out of range")
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// mk returns the canonical node (level, lo, hi), applying reduction.
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = r
+	return r
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+// ITE computes if-then-else(f, g, h) — the universal BDD operator.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := [3]Ref{f, g, h}
+	if r, ok := m.ite[key]; ok {
+		return r
+	}
+	// Split on the top variable among the three.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cof(f, top)
+	g0, g1 := m.cof(g, top)
+	h0, h1 := m.cof(h, top)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.ite[key] = r
+	return r
+}
+
+// cof returns the cofactors of r with respect to the variable at `level`.
+func (m *Manager) cof(r Ref, level int32) (lo, hi Ref) {
+	nd := m.nodes[r]
+	if nd.level != level {
+		return r, r
+	}
+	return nd.lo, nd.hi
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// Implies returns ¬f ∨ g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, True) }
+
+// Restrict fixes variable i to value v in f.
+func (m *Manager) Restrict(f Ref, i int, v bool) Ref {
+	if i < 0 || i >= m.n {
+		panic("bdd: variable out of range")
+	}
+	memo := make(map[Ref]Ref)
+	var rec func(r Ref) Ref
+	rec = func(r Ref) Ref {
+		nd := m.nodes[r]
+		if nd.level > int32(i) {
+			return r // variable cannot appear below
+		}
+		if got, ok := memo[r]; ok {
+			return got
+		}
+		var out Ref
+		if nd.level == int32(i) {
+			if v {
+				out = nd.hi
+			} else {
+				out = nd.lo
+			}
+		} else {
+			out = m.mk(nd.level, rec(nd.lo), rec(nd.hi))
+		}
+		memo[r] = out
+		return out
+	}
+	return rec(f)
+}
+
+// Exists existentially quantifies variable i: f|x_i=0 ∨ f|x_i=1.
+func (m *Manager) Exists(f Ref, i int) Ref {
+	return m.Or(m.Restrict(f, i, false), m.Restrict(f, i, true))
+}
+
+// SatCount returns the number of satisfying assignments over all n vars.
+func (m *Manager) SatCount(f Ref) int {
+	memo := make(map[Ref]float64)
+	var rec func(r Ref, level int32) float64
+	rec = func(r Ref, level int32) float64 {
+		nd := m.nodes[r]
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return pow2(int32(m.n) - level)
+		}
+		key := r
+		var base float64
+		if got, ok := memo[key]; ok {
+			base = got
+		} else {
+			base = rec(nd.lo, nd.level+1) + rec(nd.hi, nd.level+1)
+			memo[key] = base
+		}
+		return base * pow2(nd.level-level)
+	}
+	return int(rec(f, 0))
+}
+
+func pow2(e int32) float64 {
+	v := 1.0
+	for ; e > 0; e-- {
+		v *= 2
+	}
+	return v
+}
+
+// Support returns the variables f depends on, ascending.
+func (m *Manager) Support(f Ref) []int {
+	seen := make(map[Ref]bool)
+	vars := make(map[int32]bool)
+	var rec func(r Ref)
+	rec = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		nd := m.nodes[r]
+		vars[nd.level] = true
+		rec(nd.lo)
+		rec(nd.hi)
+	}
+	rec(f)
+	var out []int
+	for i := 0; i < m.n; i++ {
+		if vars[int32(i)] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NodeCount returns the number of internal nodes reachable from f.
+func (m *Manager) NodeCount(f Ref) int {
+	seen := make(map[Ref]bool)
+	var rec func(r Ref)
+	count := 0
+	rec = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		count++
+		rec(m.nodes[r].lo)
+		rec(m.nodes[r].hi)
+	}
+	rec(f)
+	return count
+}
+
+// FromTT builds the BDD of a truth table (Shannon expansion, memoized on
+// sub-table content).
+func (m *Manager) FromTT(f *tt.TT) Ref {
+	if f.NumVars() != m.n {
+		panic("bdd: arity mismatch")
+	}
+	memo := make(map[string]Ref)
+	var rec func(g *tt.TT, level int) Ref
+	rec = func(g *tt.TT, level int) Ref {
+		if g.IsConst0() {
+			return False
+		}
+		if g.IsConst1() {
+			return True
+		}
+		key := g.Hex()
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		// Find the next variable it depends on.
+		v := level
+		for v < m.n && !g.DependsOn(v) {
+			v++
+		}
+		if v == m.n {
+			panic("bdd: non-constant table with empty support")
+		}
+		r := m.mk(int32(v), rec(g.Cofactor(v, false), v+1), rec(g.Cofactor(v, true), v+1))
+		memo[key] = r
+		return r
+	}
+	return rec(f, 0)
+}
+
+// ToTT expands the BDD back into a truth table.
+func (m *Manager) ToTT(f Ref) *tt.TT {
+	out := tt.New(m.n)
+	for x := 0; x < out.NumBits(); x++ {
+		if m.Eval(f, x) {
+			out.Set(x, true)
+		}
+	}
+	return out
+}
+
+// Eval evaluates f on the assignment packed into x (bit i = variable i).
+func (m *Manager) Eval(f Ref, x int) bool {
+	r := f
+	for r > True {
+		nd := m.nodes[r]
+		if x>>uint(nd.level)&1 == 1 {
+			r = nd.hi
+		} else {
+			r = nd.lo
+		}
+	}
+	return r == True
+}

@@ -1,0 +1,210 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tt"
+)
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := New(3)
+	if m.Eval(True, 5) != true || m.Eval(False, 5) != false {
+		t.Fatal("terminal evaluation wrong")
+	}
+	x1 := m.Var(1)
+	for x := 0; x < 8; x++ {
+		if m.Eval(x1, x) != (x>>1&1 == 1) {
+			t.Fatalf("Var(1) wrong at %d", x)
+		}
+	}
+	// Hash-consing: same variable twice is the same node.
+	if m.Var(1) != x1 {
+		t.Error("unique table missed")
+	}
+}
+
+func TestFromToTTRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(190))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := New(n)
+		f := tt.Random(n, rng)
+		return m.ToTT(m.FromTT(f)).Equal(f)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	// Equal functions must be the identical node — BDDs are canonical.
+	rng := rand.New(rand.NewSource(191))
+	m := New(5)
+	for rep := 0; rep < 50; rep++ {
+		f := tt.Random(5, rng)
+		a := m.FromTT(f)
+		// Rebuild via operations: f = (f ∧ 1) ∨ (f ∧ 0).
+		b := m.Or(m.And(a, True), False)
+		if a != b {
+			t.Fatal("canonicity violated")
+		}
+		// ¬¬f = f as the same node.
+		if m.Not(m.Not(a)) != a {
+			t.Fatal("double negation changed node")
+		}
+	}
+}
+
+func TestOpsAgainstTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(192))
+	for n := 1; n <= 7; n++ {
+		m := New(n)
+		f := tt.Random(n, rng)
+		g := tt.Random(n, rng)
+		bf, bg := m.FromTT(f), m.FromTT(g)
+		cases := []struct {
+			name string
+			got  Ref
+			want *tt.TT
+		}{
+			{"and", m.And(bf, bg), f.And(g)},
+			{"or", m.Or(bf, bg), f.Or(g)},
+			{"xor", m.Xor(bf, bg), f.Xor(g)},
+			{"not", m.Not(bf), f.Not()},
+			{"implies", m.Implies(bf, bg), f.Not().Or(g)},
+			{"ite", m.ITE(bf, bg, m.Not(bg)), f.And(g).Or(f.Not().And(g.Not()))},
+		}
+		for _, c := range cases {
+			if !m.ToTT(c.got).Equal(c.want) {
+				t.Fatalf("%s wrong at n=%d", c.name, n)
+			}
+		}
+	}
+}
+
+func TestSatCountMatchesPopcount(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	for n := 0; n <= 9; n++ {
+		m := New(n)
+		f := tt.Random(n, rng)
+		if got := m.SatCount(m.FromTT(f)); got != f.CountOnes() {
+			t.Fatalf("SatCount = %d, want %d (n=%d)", got, f.CountOnes(), n)
+		}
+	}
+	m := New(4)
+	if m.SatCount(True) != 16 || m.SatCount(False) != 0 {
+		t.Error("terminal sat counts wrong")
+	}
+}
+
+func TestRestrictAndExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(194))
+	for rep := 0; rep < 20; rep++ {
+		n := 2 + rng.Intn(5)
+		m := New(n)
+		f := tt.Random(n, rng)
+		bf := m.FromTT(f)
+		i := rng.Intn(n)
+		if !m.ToTT(m.Restrict(bf, i, true)).Equal(f.Cofactor(i, true)) {
+			t.Fatal("Restrict(true) wrong")
+		}
+		if !m.ToTT(m.Restrict(bf, i, false)).Equal(f.Cofactor(i, false)) {
+			t.Fatal("Restrict(false) wrong")
+		}
+		want := f.Cofactor(i, false).Or(f.Cofactor(i, true))
+		if !m.ToTT(m.Exists(bf, i)).Equal(want) {
+			t.Fatal("Exists wrong")
+		}
+	}
+}
+
+func TestSupportMatchesTT(t *testing.T) {
+	rng := rand.New(rand.NewSource(195))
+	for rep := 0; rep < 20; rep++ {
+		n := 1 + rng.Intn(7)
+		m := New(n)
+		f := tt.Random(n, rng)
+		got := m.Support(m.FromTT(f))
+		want := f.Support()
+		if len(got) != len(want) {
+			t.Fatalf("support size %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatal("support differs")
+			}
+		}
+	}
+}
+
+func TestNodeCountKnownShapes(t *testing.T) {
+	m := New(4)
+	// A single variable is one node.
+	if m.NodeCount(m.Var(2)) != 1 {
+		t.Error("Var node count wrong")
+	}
+	// Parity of n variables has n internal nodes... with both polarities
+	// tracked explicitly (no complement edges) it is 2n-1.
+	parity := tt.FromFunc(4, func(x int) bool {
+		v := 0
+		for b := 0; b < 4; b++ {
+			v ^= x >> b & 1
+		}
+		return v == 1
+	})
+	if got := m.NodeCount(m.FromTT(parity)); got != 2*4-1 {
+		t.Errorf("parity node count = %d, want 7", got)
+	}
+	if m.NodeCount(True) != 0 {
+		t.Error("terminal node count wrong")
+	}
+}
+
+func TestEquivalenceViaCanonicity(t *testing.T) {
+	// BDD equality decides function equivalence — the verification use case.
+	m := New(6)
+	rng := rand.New(rand.NewSource(196))
+	f := tt.Random(6, rng)
+	// Build the same function two structurally different ways.
+	a := m.FromTT(f)
+	var b Ref = False
+	for _, c := range f.ISOP() {
+		cube := True
+		for i := 0; i < 6; i++ {
+			if c.Mask>>uint(i)&1 == 0 {
+				continue
+			}
+			v := m.Var(i)
+			if c.Lits>>uint(i)&1 == 0 {
+				v = m.Not(v)
+			}
+			cube = m.And(cube, v)
+		}
+		b = m.Or(b, cube)
+	}
+	if a != b {
+		t.Error("ISOP rebuild not equivalent to direct build")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := New(2)
+	for _, f := range []func(){
+		func() { m.Var(2) },
+		func() { m.Restrict(True, -1, true) },
+		func() { m.FromTT(tt.New(3)) },
+		func() { New(tt.MaxVars + 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid input accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallOpts() WorkloadOpts {
+	return WorkloadOpts{Kind: WorkloadCircuit, MaxPerNode: 6, Seed: 7, MaxFuncs: 400}
+}
+
+func TestWorkloadKinds(t *testing.T) {
+	circ := Workload(4, smallOpts())
+	if len(circ) == 0 {
+		t.Fatal("circuit workload empty")
+	}
+	uni := Workload(5, WorkloadOpts{Kind: WorkloadUniform, MaxFuncs: 200, Seed: 1})
+	if len(uni) == 0 || len(uni) > 200 {
+		t.Fatalf("uniform workload size %d", len(uni))
+	}
+	cons := Workload(5, WorkloadOpts{Kind: WorkloadConsecutive, MaxFuncs: 150, Seed: 1})
+	if len(cons) != 150 {
+		t.Fatalf("consecutive workload size %d", len(cons))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown workload kind accepted")
+		}
+	}()
+	Workload(4, WorkloadOpts{Kind: WorkloadKind(99)})
+}
+
+func TestRunTable2ShapeAndOrdering(t *testing.T) {
+	rows := RunTable2([]int{4}, smallOpts())
+	if len(rows) != 1 {
+		t.Fatal("wrong row count")
+	}
+	r := rows[0]
+	if len(r.Counts) != len(Table2Configs()) {
+		t.Fatal("wrong column count")
+	}
+	// Every signature combination must under-count or equal the exact count
+	// (signatures never split classes), and the all-signatures column must
+	// dominate each single-vector column.
+	all := r.Counts[len(r.Counts)-1]
+	for i, c := range r.Counts {
+		if c > r.Exact {
+			t.Errorf("column %s produced %d classes > exact %d", r.Labels[i], c, r.Exact)
+		}
+		if c > all {
+			t.Errorf("column %s produced %d classes > all-signatures %d", r.Labels[i], c, all)
+		}
+	}
+	// The paper's qualitative ordering: OIV alone is weakest of the three
+	// single vectors; OSV beats OCV1.
+	byLabel := map[string]int{}
+	for i, l := range r.Labels {
+		byLabel[l] = r.Counts[i]
+	}
+	if byLabel["OSV"] < byLabel["OCV1"] {
+		t.Errorf("expected OSV (%d) ≥ OCV1 (%d) on circuit workloads", byLabel["OSV"], byLabel["OCV1"])
+	}
+	if s := FormatTable2(rows); !strings.Contains(s, "#Exact") {
+		t.Error("FormatTable2 missing header")
+	}
+}
+
+func TestRunTable3ShapeAndAccuracy(t *testing.T) {
+	rows := RunTable3([]int{4}, smallOpts())
+	r := rows[0]
+	if len(r.Entries) != 5 {
+		t.Fatalf("expected 5 classifiers, got %d", len(r.Entries))
+	}
+	names := []string{"kitty", "huang13", "hier16", "hybrid20", "ours"}
+	for i, e := range r.Entries {
+		if e.Name != names[i] {
+			t.Fatalf("entry %d = %s, want %s", i, e.Name, names[i])
+		}
+	}
+	kitty, huang, hybrid, ours := r.Entries[0], r.Entries[1], r.Entries[3], r.Entries[4]
+	if kitty.Classes != r.Exact {
+		t.Errorf("kitty (exhaustive) %d != exact %d", kitty.Classes, r.Exact)
+	}
+	// Canonical-form baselines over-split; ours under-splits.
+	if huang.Classes < r.Exact {
+		t.Errorf("huang %d < exact %d: canonical form cannot merge classes", huang.Classes, r.Exact)
+	}
+	if hybrid.Classes < r.Exact {
+		t.Errorf("hybrid %d < exact %d", hybrid.Classes, r.Exact)
+	}
+	if ours.Classes > r.Exact {
+		t.Errorf("ours %d > exact %d: signatures cannot split classes", ours.Classes, r.Exact)
+	}
+	if s := FormatTable3(rows); !strings.Contains(s, "ours") {
+		t.Error("FormatTable3 missing classifier name")
+	}
+}
+
+func TestRunTable3SkipsKittyBeyondSix(t *testing.T) {
+	rows := RunTable3([]int{7}, WorkloadOpts{Kind: WorkloadUniform, MaxFuncs: 60, Seed: 3})
+	if !rows[0].Entries[0].Skipped {
+		t.Error("kitty must be skipped at n=7")
+	}
+	if strings.Count(FormatTable3(rows), "-") < 2 {
+		t.Error("skipped cells not rendered")
+	}
+}
+
+func TestRunFig4FindsWitnesses(t *testing.T) {
+	r := RunFig4(nil, true)
+	if r.NumFuncs != 1<<16 {
+		t.Fatalf("exhaustive scan covered %d functions", r.NumFuncs)
+	}
+	// The paper's Fig. 4 exhibits both phenomena; the exhaustive scan over
+	// all 4-input functions must find them.
+	if r.SplitByOIV == 0 || r.OIVWitness[0] == "" {
+		t.Error("no OCV12-equal/OIV-different pair found; Fig. 4 claim not reproduced")
+	}
+	if r.SplitByOSV == 0 || r.OSVWitness[0] == "" {
+		t.Error("no OCV12+OIV-equal/OSV-different pair found; Fig. 4 claim not reproduced")
+	}
+	if !strings.Contains(r.Format(), "witness") {
+		t.Error("Format missing witnesses")
+	}
+}
+
+func TestRunFig5StabilityShape(t *testing.T) {
+	pts := RunFig5([]int{5}, []int{300, 600}, 2, 11)
+	if len(pts) != 2 {
+		t.Fatal("wrong point count")
+	}
+	for _, p := range pts {
+		if p.Ours.Mean <= 0 || p.Hyb.Mean <= 0 {
+			t.Error("timings must be positive")
+		}
+		if p.Ours.Min > p.Ours.Mean || p.Ours.Mean > p.Ours.Max {
+			t.Error("stats ordering violated")
+		}
+	}
+	if s := FormatFig5(pts); !strings.Contains(s, "ours") {
+		t.Error("FormatFig5 missing header")
+	}
+}
+
+func TestRunExtensionsLadder(t *testing.T) {
+	rows := RunExtensions([]int{4}, smallOpts())
+	r := rows[0]
+	if len(r.Counts) != 4 {
+		t.Fatalf("ladder has %d rungs", len(r.Counts))
+	}
+	base := r.Counts[0]
+	for i, c := range r.Counts {
+		// Extensions refine: counts are non-decreasing along the ladder and
+		// never exceed exact.
+		if c < base {
+			t.Errorf("extension %s decreased classes: %d < %d", r.Labels[i], c, base)
+		}
+		if c > r.Exact {
+			t.Errorf("extension %s exceeded exact: %d > %d", r.Labels[i], c, r.Exact)
+		}
+	}
+	if s := FormatExtensions(rows); !strings.Contains(s, "SPEC") {
+		t.Error("FormatExtensions missing labels")
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	if Accuracy(100, 100) != 0 {
+		t.Error("exact accuracy must be 0")
+	}
+	if Accuracy(110, 100) != 0.1 || Accuracy(90, 100) != 0.1 {
+		t.Error("relative error wrong")
+	}
+	if Accuracy(5, 0) != 0 {
+		t.Error("zero exact must not divide")
+	}
+}
+
+func TestStatsSpread(t *testing.T) {
+	s := summarize([]float64{1, 2, 3})
+	if s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Error("summarize wrong")
+	}
+	if s.Spread() != 1 {
+		t.Errorf("spread = %f, want 1", s.Spread())
+	}
+	if (Stats{}).Spread() != 0 {
+		t.Error("zero-mean spread must be 0")
+	}
+}

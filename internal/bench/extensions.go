@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ExtRow measures the extension signatures beyond the paper's MSV — the
+// Walsh weight moments (related work [7]) and a higher-order cofactor vector
+// — quantifying the paper's closing remark that the approach "still has
+// great potential to be extended".
+type ExtRow struct {
+	N        int
+	NumFuncs int
+	Exact    int
+	Labels   []string
+	Counts   []int
+	Seconds  []float64
+}
+
+// ExtConfigs returns the extension ladder: the paper's full MSV, then MSV
+// plus spectral moments, plus 3-ary cofactors, plus both.
+func ExtConfigs() []core.Config {
+	all := core.ConfigAll()
+	all.FastOSDV = true
+	spec := all
+	spec.Spectral = true
+	ocv3 := all
+	ocv3.OCVL = 3
+	both := spec
+	both.OCVL = 3
+	return []core.Config{all, spec, ocv3, both}
+}
+
+// RunExtensions measures class counts and runtime of the extension ladder.
+func RunExtensions(ns []int, opts WorkloadOpts) []ExtRow {
+	var rows []ExtRow
+	for _, n := range ns {
+		fs := Workload(n, opts)
+		row := ExtRow{N: n, NumFuncs: len(fs), Exact: exactCount(fs)}
+		for _, cfg := range ExtConfigs() {
+			cls := core.New(n, cfg)
+			classes, secs := timeIt(func() int { return cls.NumClasses(fs) })
+			row.Labels = append(row.Labels, cfg.Enabled())
+			row.Counts = append(row.Counts, classes)
+			row.Seconds = append(row.Seconds, secs)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatExtensions renders the ladder.
+func FormatExtensions(rows []ExtRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-8s %-8s", "n", "#Func", "#Exact")
+	if len(rows) > 0 {
+		for _, l := range rows[0].Labels {
+			fmt.Fprintf(&b, " %-32s", l)
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-3d %-8d %-8d", r.N, r.NumFuncs, r.Exact)
+		for i := range r.Counts {
+			fmt.Fprintf(&b, " %-20d (%.3fs)    ", r.Counts[i], r.Seconds[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

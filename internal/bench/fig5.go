@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// Fig5Point is one measurement of Fig. 5: classifying `Count` functions of
+// arity N, repeated over `Sets` different random sets; Min/Mean/Max expose
+// the runtime variance that distinguishes the signature classifier (stable)
+// from the hybrid canonical-form baseline (workload-dependent).
+type Fig5Point struct {
+	N     int
+	Count int
+	Ours  Stats
+	Hyb   Stats
+}
+
+// Stats summarizes repeated timings in seconds.
+type Stats struct {
+	Min, Mean, Max float64
+}
+
+func summarize(xs []float64) Stats {
+	s := Stats{Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	return s
+}
+
+// RunFig5 measures classification runtime versus workload size for
+// consecutive-encoding random functions, for the paper's two arities
+// (5-bit and 7-bit by default). sets controls how many differently-seeded
+// workloads are timed per point.
+func RunFig5(ns []int, counts []int, sets int, seed int64) []Fig5Point {
+	var out []Fig5Point
+	for _, n := range ns {
+		for _, count := range counts {
+			var oursT, hybT []float64
+			for s := 0; s < sets; s++ {
+				fs := gen.Consecutive(n, count, seed+int64(100*s))
+
+				cfg := core.ConfigAll()
+				cfg.FastOSDV = true
+				ours := core.New(n, cfg)
+				start := time.Now()
+				ours.NumClasses(fs)
+				oursT = append(oursT, time.Since(start).Seconds())
+
+				hyb := baseline.NewHybrid()
+				start = time.Now()
+				hyb.NumClasses(fs)
+				hybT = append(hybT, time.Since(start).Seconds())
+			}
+			out = append(out, Fig5Point{N: n, Count: count, Ours: summarize(oursT), Hyb: summarize(hybT)})
+		}
+	}
+	return out
+}
+
+// FormatFig5 renders the series.
+func FormatFig5(points []Fig5Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-9s  %-28s  %-28s\n", "n", "#funcs", "ours min/mean/max (s)", "hybrid min/mean/max (s)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-4d %-9d  %-8.4f %-8.4f %-8.4f    %-8.4f %-8.4f %-8.4f\n",
+			p.N, p.Count, p.Ours.Min, p.Ours.Mean, p.Ours.Max, p.Hyb.Min, p.Hyb.Mean, p.Hyb.Max)
+	}
+	return b.String()
+}
+
+// Spread returns (max-min)/mean, the relative runtime variability used to
+// verify the stability claim.
+func (s Stats) Spread() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / s.Mean
+}

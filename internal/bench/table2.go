@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/tt"
+)
+
+// Table2Configs are the signature-vector combinations of the paper's
+// Table II, in column order.
+func Table2Configs() []core.Config {
+	return []core.Config{
+		{OIV: true},
+		{OCV1: true},
+		{OSV: true},
+		{OIV: true, OSV: true},
+		{OCV1: true, OSV: true},
+		{OCV1: true, OCV2: true, OSV: true},
+		{OIV: true, OSV: true, OSDV: true},
+		core.ConfigAll(),
+	}
+}
+
+// Table2Row is one arity row of Table II.
+type Table2Row struct {
+	N        int
+	NumFuncs int
+	Exact    int
+	Labels   []string
+	Counts   []int
+}
+
+// RunTable2 reproduces Table II for the given arities: the number of classes
+// produced by each signature combination versus the exact NPN class count.
+func RunTable2(ns []int, opts WorkloadOpts) []Table2Row {
+	var rows []Table2Row
+	for _, n := range ns {
+		fs := Workload(n, opts)
+		row := Table2Row{N: n, NumFuncs: len(fs)}
+		row.Exact = exactCount(fs)
+		for _, cfg := range Table2Configs() {
+			cfg.FastOSDV = true
+			cls := core.New(n, cfg)
+			row.Labels = append(row.Labels, cfg.Enabled())
+			row.Counts = append(row.Counts, cls.NumClasses(fs))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// exactCount picks the exact classifier appropriate for the arity, matching
+// the paper's "Kitty when n ≤ 6 and the exact version in [19] when n > 6".
+func exactCount(fs []*tt.TT) int {
+	if len(fs) == 0 {
+		return 0
+	}
+	return match.ExactClassCount(fs)
+}
+
+// FormatTable2 renders rows in the paper's layout.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-8s %-8s", "n", "#Func", "#Exact")
+	if len(rows) > 0 {
+		for _, l := range rows[0].Labels {
+			fmt.Fprintf(&b, " %-18s", l)
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-3d %-8d %-8d", r.N, r.NumFuncs, r.Exact)
+		for _, c := range r.Counts {
+			fmt.Fprintf(&b, " %-18d", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/npn"
+)
+
+// Table3Entry is one classifier's measurement in a Table III row.
+type Table3Entry struct {
+	Name    string
+	Classes int
+	Seconds float64
+	Skipped bool // classifier not applicable at this arity (like Kitty n>6)
+}
+
+// Table3Row is one arity row of Table III.
+type Table3Row struct {
+	N        int
+	NumFuncs int
+	Exact    int
+	Entries  []Table3Entry
+}
+
+// RunTable3 reproduces Table III: class counts and wall-clock runtime of the
+// exact (kitty-like) canonicalizer, the three testnpn-analogue baselines,
+// and the paper's signature classifier ("ours").
+func RunTable3(ns []int, opts WorkloadOpts) []Table3Row {
+	var rows []Table3Row
+	for _, n := range ns {
+		fs := Workload(n, opts)
+		row := Table3Row{N: n, NumFuncs: len(fs)}
+		row.Exact = exactCount(fs)
+
+		// Kitty-like exhaustive canonicalization, n ≤ 6 only.
+		if n <= npn.MaxExactVars {
+			classes, secs := timeIt(func() int { return npn.ClassCount(fs) })
+			row.Entries = append(row.Entries, Table3Entry{Name: "kitty", Classes: classes, Seconds: secs})
+		} else {
+			row.Entries = append(row.Entries, Table3Entry{Name: "kitty", Skipped: true})
+		}
+
+		for _, bl := range []*baseline.Classifier{
+			baseline.NewHuang(), baseline.NewHierarchical(), baseline.NewHybrid(),
+		} {
+			bl := bl
+			classes, secs := timeIt(func() int { return bl.NumClasses(fs) })
+			row.Entries = append(row.Entries, Table3Entry{Name: bl.Name(), Classes: classes, Seconds: secs})
+		}
+
+		cfg := core.ConfigAll()
+		cfg.FastOSDV = true
+		ours := core.New(n, cfg)
+		classes, secs := timeIt(func() int { return ours.NumClasses(fs) })
+		row.Entries = append(row.Entries, Table3Entry{Name: "ours", Classes: classes, Seconds: secs})
+
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func timeIt(f func() int) (int, float64) {
+	start := time.Now()
+	v := f()
+	return v, time.Since(start).Seconds()
+}
+
+// FormatTable3 renders rows in the paper's layout.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-8s %-8s", "n", "#Func", "#Exact")
+	if len(rows) > 0 {
+		for _, e := range rows[0].Entries {
+			fmt.Fprintf(&b, " %-10s %-9s", e.Name+"#cls", "time(s)")
+		}
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-3d %-8d %-8d", r.N, r.NumFuncs, r.Exact)
+		for _, e := range r.Entries {
+			if e.Skipped {
+				fmt.Fprintf(&b, " %-10s %-9s", "-", "-")
+			} else {
+				fmt.Fprintf(&b, " %-10d %-9.4f", e.Classes, e.Seconds)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Accuracy returns |classes - exact| / exact as a relative class-count error
+// for reporting in EXPERIMENTS.md.
+func Accuracy(classes, exact int) float64 {
+	if exact == 0 {
+		return 0
+	}
+	d := classes - exact
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / float64(exact)
+}

@@ -1,0 +1,66 @@
+// Package bench reproduces the paper's experimental evaluation: Table II
+// (discriminating power of signature-vector combinations), Table III
+// (runtime and accuracy of classifiers), Fig. 4 (existence of functions
+// separated by point characteristics but not by cofactors), and Fig. 5
+// (runtime stability and linearity). Each experiment is a pure function
+// from parameters to a result struct with a paper-style text rendering, so
+// the same code backs the npnbench CLI and the root testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/tt"
+)
+
+// WorkloadKind selects how classification inputs are produced.
+type WorkloadKind int
+
+const (
+	// WorkloadCircuit harvests deduplicated cut functions from the synthetic
+	// EPFL-like circuit suite (the paper's §V-A pipeline).
+	WorkloadCircuit WorkloadKind = iota
+	// WorkloadUniform draws uniform random truth tables.
+	WorkloadUniform
+	// WorkloadConsecutive draws consecutive-binary-encoding truth tables
+	// (the Fig. 5 stream).
+	WorkloadConsecutive
+)
+
+// WorkloadOpts parameterizes workload construction.
+type WorkloadOpts struct {
+	Kind WorkloadKind
+	// MaxFuncs truncates the workload (0 = no limit). Random kinds generate
+	// exactly MaxFuncs functions.
+	MaxFuncs int
+	Seed     int64
+	// MaxPerNode bounds priority cuts per node for the circuit kind.
+	MaxPerNode int
+}
+
+// Workload builds the n-variable function list.
+func Workload(n int, o WorkloadOpts) []*tt.TT {
+	switch o.Kind {
+	case WorkloadCircuit:
+		fs := gen.CircuitWorkload(n, o.MaxPerNode, o.Seed)
+		if o.MaxFuncs > 0 && len(fs) > o.MaxFuncs {
+			fs = fs[:o.MaxFuncs]
+		}
+		return fs
+	case WorkloadUniform:
+		count := o.MaxFuncs
+		if count == 0 {
+			count = 1000
+		}
+		return gen.Dedup(gen.UniformRandom(n, count, o.Seed))
+	case WorkloadConsecutive:
+		count := o.MaxFuncs
+		if count == 0 {
+			count = 1000
+		}
+		return gen.Consecutive(n, count, o.Seed)
+	default:
+		panic(fmt.Sprintf("bench: unknown workload kind %d", o.Kind))
+	}
+}

@@ -1,0 +1,115 @@
+// Package classdb maintains a persistent NPN class library: one
+// representative function per class, keyed by the MSV signature. This is
+// the object a technology-mapping flow keeps between runs — cells are
+// characterized once per class, and Lookup rewires any later function onto
+// its class representative with an explicit transform witness.
+package classdb
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/npn"
+	"repro/internal/tt"
+	"repro/internal/ttio"
+)
+
+// Library is an NPN class database for functions of a fixed arity.
+type Library struct {
+	n    int
+	cls  *core.Classifier
+	m    *match.Matcher
+	reps map[uint64]*tt.TT
+}
+
+// New returns an empty library for n-variable functions.
+func New(n int) *Library {
+	cfg := core.ConfigAll()
+	cfg.FastOSDV = true
+	return &Library{
+		n:    n,
+		cls:  core.New(n, cfg),
+		m:    match.NewMatcher(n),
+		reps: make(map[uint64]*tt.TT),
+	}
+}
+
+// NumVars returns the arity.
+func (l *Library) NumVars() int { return l.n }
+
+// Size returns the number of classes stored.
+func (l *Library) Size() int { return len(l.reps) }
+
+// Add inserts f's class if absent, returning the class key and whether a
+// new class was created (f becomes the representative).
+func (l *Library) Add(f *tt.TT) (key uint64, isNew bool) {
+	key = l.cls.Hash(f)
+	if _, ok := l.reps[key]; ok {
+		return key, false
+	}
+	l.reps[key] = f.Clone()
+	return key, true
+}
+
+// Lookup finds f's class. On a hit it returns the representative and a
+// witness transform τ with τ(rep) = f, certified by the exact matcher.
+// If the signature matches but exact matching fails — an MSV collision
+// between inequivalent functions — Lookup returns a non-nil error so the
+// caller can fall back to exact handling for that function; signatures are
+// necessary conditions only, and the error is the honest signal.
+func (l *Library) Lookup(f *tt.TT) (rep *tt.TT, witness npn.Transform, ok bool, err error) {
+	key := l.cls.Hash(f)
+	rep, hit := l.reps[key]
+	if !hit {
+		return nil, npn.Transform{}, false, nil
+	}
+	tr, eq := l.m.Equivalent(rep, f)
+	if !eq {
+		return nil, npn.Transform{}, false,
+			fmt.Errorf("classdb: MSV collision: %s and %s share key %016x but are not NPN equivalent",
+				rep.Hex(), f.Hex(), key)
+	}
+	return rep, tr, true, nil
+}
+
+// Keys returns the stored class keys in ascending order.
+func (l *Library) Keys() []uint64 {
+	out := make([]uint64, 0, len(l.reps))
+	for k := range l.reps {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Save writes the library as a ttio workload file (one representative per
+// line) with an arity header comment.
+func (l *Library) Save(w io.Writer) error {
+	fs := make([]*tt.TT, 0, len(l.reps))
+	for _, k := range l.Keys() {
+		fs = append(fs, l.reps[k])
+	}
+	return ttio.Write(w, fs, fmt.Sprintf("classdb n=%d classes=%d", l.n, len(fs)))
+}
+
+// Load reads a library saved by Save (or any ttio workload of the right
+// arity) and inserts every function as a class representative.
+func Load(r io.Reader, n int) (*Library, error) {
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, r); err != nil {
+		return nil, fmt.Errorf("classdb: %w", err)
+	}
+	fs, err := ttio.Read(strings.NewReader(sb.String()), n)
+	if err != nil {
+		return nil, fmt.Errorf("classdb: %w", err)
+	}
+	l := New(n)
+	for _, f := range fs {
+		l.Add(f)
+	}
+	return l, nil
+}

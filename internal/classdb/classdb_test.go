@@ -1,0 +1,95 @@
+package classdb
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+func TestAddAndLookupWithWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	n := 5
+	l := New(n)
+	base := make([]*tt.TT, 10)
+	for i := range base {
+		base[i] = tt.Random(n, rng)
+		if _, isNew := l.Add(base[i]); !isNew && i == 0 {
+			t.Fatal("first add not new")
+		}
+	}
+	if l.Size() > 10 {
+		t.Fatalf("library size %d > 10", l.Size())
+	}
+	// Every NPN variant must hit its class with a verifying witness.
+	for _, f := range base {
+		variant := npn.RandomTransform(n, rng).Apply(f)
+		rep, w, ok, err := l.Lookup(variant)
+		if err != nil {
+			t.Fatalf("lookup error: %v", err)
+		}
+		if !ok {
+			t.Fatalf("variant of stored class missed")
+		}
+		if !w.Apply(rep).Equal(variant) {
+			t.Fatal("witness does not verify")
+		}
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	l := New(3)
+	l.Add(tt.MustFromHex(3, "e8"))
+	_, _, ok, err := l.Lookup(tt.MustFromHex(3, "96")) // parity: different class
+	if err != nil || ok {
+		t.Fatal("parity must miss a majority-only library")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	n := 4
+	l := New(n)
+	for i := 0; i < 30; i++ {
+		l.Add(tt.Random(n, rng))
+	}
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Load(&buf, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Size() != l.Size() {
+		t.Fatalf("size changed: %d -> %d", l.Size(), l2.Size())
+	}
+	k1, k2 := l.Keys(), l2.Keys()
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatal("keys changed in round trip")
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	if _, err := Load(strings.NewReader("zz\n"), 4); err == nil {
+		t.Error("bad hex accepted")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	l := New(3)
+	f := tt.MustFromHex(3, "e8")
+	k1, new1 := l.Add(f)
+	k2, new2 := l.Add(f.FlipVar(1)) // same class
+	if !new1 || new2 || k1 != k2 {
+		t.Fatal("class identity not respected by Add")
+	}
+	if l.Size() != 1 {
+		t.Fatal("duplicate class stored")
+	}
+}

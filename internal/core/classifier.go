@@ -1,0 +1,237 @@
+// Package core implements the paper's NPN classifier (Algorithm 1).
+//
+// For each function the classifier computes a Mixed Signature Vector (MSV) —
+// a configurable concatenation of the NPN-invariant signature vectors from
+// internal/sig (OCV1, OCV2, OIV, OSV0/OSV1, OSDV0/OSDV1) — canonicalizes the
+// output phase, and buckets functions by a hash of the serialized MSV. Two
+// functions receive the same class exactly when their MSVs agree, which by
+// Theorems 1–4 is a necessary condition for NPN equivalence: the classifier
+// never separates NPN-equivalent functions, but may merge inequivalent ones
+// whose signatures collide (measured in EXPERIMENTS.md against the exact
+// classifier, reproducing Tables II and III).
+//
+// Output-phase canonicalization: signatures are invariant under input
+// negation and permutation (PN) but not under output negation. For an
+// unbalanced function the phase is normalized by satisfy count (complement
+// when |f| > 2^(n-1)); for a balanced function both phases are serialized
+// and the lexicographically smaller MSV is used, which subsumes the paper's
+// rule of ordering the (OSV1, OSV0) pair (Theorems 3–4).
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/tt"
+)
+
+// Config selects which signature vectors participate in the MSV.
+type Config struct {
+	OCV1 bool // 1-ary ordered cofactor vector
+	OCV2 bool // 2-ary ordered cofactor vector
+	OIV  bool // ordered influence vector
+	OSV  bool // ordered 0-/1-sensitivity vectors
+	OSDV bool // ordered 0-/1-sensitivity distance vectors
+
+	// OSDVCombined additionally includes the all-minterms OSDV, whose
+	// cross-polarity pairs are not derivable from OSDV0/OSDV1.
+	OSDVCombined bool
+
+	// Spectral additionally includes the Walsh weight-moment signature
+	// (related-work extension; see internal/spectra).
+	Spectral bool
+
+	// OCVL, when ≥ 3, additionally includes the ℓ-ary ordered cofactor
+	// vector of that order. All-ary cofactor vectors form a canonical form
+	// (Abdollahi'08); a single higher order is a cheap step toward it.
+	OCVL int
+
+	// FastOSDV computes sensitivity-distance vectors via the spectral
+	// (Krawtchouk) path instead of pair enumeration.
+	FastOSDV bool
+
+	// StrictKeys buckets by the full serialized MSV instead of its 64-bit
+	// FNV hash, eliminating any possibility of hash collisions.
+	StrictKeys bool
+}
+
+// ConfigAll enables every signature vector — the paper's "All" column and
+// the configuration of the final classifier ("Ours" in Table III).
+func ConfigAll() Config {
+	return Config{OCV1: true, OCV2: true, OIV: true, OSV: true, OSDV: true}
+}
+
+// Enabled returns a short label of the enabled components, e.g.
+// "OCV1+OSV".
+func (c Config) Enabled() string {
+	s := ""
+	add := func(on bool, name string) {
+		if on {
+			if s != "" {
+				s += "+"
+			}
+			s += name
+		}
+	}
+	add(c.OCV1, "OCV1")
+	add(c.OCV2, "OCV2")
+	add(c.OIV, "OIV")
+	add(c.OSV, "OSV")
+	add(c.OSDV, "OSDV")
+	add(c.Spectral, "SPEC")
+	if c.OCVL >= 3 {
+		add(true, fmt.Sprintf("OCV%d", c.OCVL))
+	}
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+// Classifier computes MSV keys for functions of a fixed arity. It reuses
+// scratch buffers and is not safe for concurrent use.
+type Classifier struct {
+	n      int
+	cfg    Config
+	eng    *sig.Engine
+	keyCap int
+}
+
+// New returns a classifier for n-variable functions.
+func New(n int, cfg Config) *Classifier {
+	return &Classifier{n: n, cfg: cfg, eng: sig.NewEngine(n)}
+}
+
+// NumVars returns the arity this classifier serves.
+func (c *Classifier) NumVars() int { return c.n }
+
+// Config returns the signature selection.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// KeyBytes returns the canonical serialized MSV of f. The returned slice is
+// freshly allocated and owned by the caller.
+func (c *Classifier) KeyBytes(f *tt.TT) []byte {
+	if f.NumVars() != c.n {
+		panic("core: function arity does not match classifier")
+	}
+	ones := f.CountOnes()
+	half := f.NumBits() / 2
+	switch {
+	case ones > half:
+		return c.rawKey(f.Not())
+	case ones < half:
+		return c.rawKey(f)
+	default:
+		// Balanced: output negation cannot be resolved by satisfy count
+		// (Theorems 3–4); take the lexicographically smaller serialization.
+		a := c.rawKey(f)
+		b := c.rawKey(f.Not())
+		if lexLess(b, a) {
+			return b
+		}
+		return a
+	}
+}
+
+// Hash returns the 64-bit FNV-1a hash of the canonical MSV.
+func (c *Classifier) Hash(f *tt.TT) uint64 { return fnv1a(c.KeyBytes(f)) }
+
+// rawKey serializes the MSV of f in its given output phase.
+func (c *Classifier) rawKey(f *tt.TT) []byte {
+	if c.keyCap == 0 {
+		c.keyCap = 64
+	}
+	// Component order is cheap-to-expensive so that staged refinement
+	// (ClassifyRefined) and the monolithic key agree on the lexicographic
+	// phase choice for balanced functions.
+	k := make([]byte, 0, c.keyCap)
+	k = appendInt(k, f.CountOnes())
+	if c.cfg.OCV1 {
+		k = appendInts(k, c.eng.OCV1(f))
+	}
+	if c.cfg.OIV {
+		k = appendInts(k, c.eng.OIV(f))
+	}
+	if c.cfg.OSV {
+		h0, h1 := c.eng.OSV01(f)
+		k = appendInts(k, h0)
+		k = appendInts(k, h1)
+	}
+	if c.cfg.OCV2 {
+		k = appendInts(k, c.eng.OCV2(f))
+	}
+	if c.cfg.OCVL >= 3 && c.cfg.OCVL <= f.NumVars() {
+		k = appendInts(k, c.eng.OCVL(f, c.cfg.OCVL))
+	}
+	if c.cfg.OSDV {
+		var d0, d1 sig.SDV
+		if c.cfg.FastOSDV {
+			d0, d1 = c.eng.OSDV01Fast(f)
+		} else {
+			d0, d1 = c.eng.OSDV01(f)
+		}
+		k = appendSDV(k, d0)
+		k = appendSDV(k, d1)
+		if c.cfg.OSDVCombined {
+			if c.cfg.FastOSDV {
+				k = appendSDV(k, c.eng.OSDVFast(f))
+			} else {
+				k = appendSDV(k, c.eng.OSDV(f))
+			}
+		}
+	}
+	if c.cfg.Spectral {
+		k = appendSpectral(k, f)
+	}
+	if len(k) > c.keyCap {
+		c.keyCap = len(k)
+	}
+	return k
+}
+
+func appendInt(k []byte, v int) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	return append(k, b[:]...)
+}
+
+func appendInts(k []byte, vs []int) []byte {
+	for _, v := range vs {
+		k = appendInt(k, v)
+	}
+	return k
+}
+
+func appendSDV(k []byte, d sig.SDV) []byte {
+	for _, row := range d {
+		k = appendInts(k, row)
+	}
+	return k
+}
+
+func lexLess(a, b []byte) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// fnv1a is the 64-bit FNV-1a hash.
+func fnv1a(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+func TestClassifyParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	var fs []*tt.TT
+	for i := 0; i < 3000; i++ {
+		fs = append(fs, tt.Random(6, rng))
+	}
+	cfg := ConfigAll()
+	cfg.FastOSDV = true
+	seq := New(6, cfg).Classify(fs)
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		par := ClassifyParallel(6, cfg, fs, workers)
+		if par.NumClasses != seq.NumClasses {
+			t.Fatalf("workers=%d: %d classes, sequential %d", workers, par.NumClasses, seq.NumClasses)
+		}
+		// Partitions must be identical as set partitions (ids may renumber,
+		// but we assemble in input order, so they should match exactly).
+		for i := range fs {
+			if par.ClassOf[i] != seq.ClassOf[i] {
+				t.Fatalf("workers=%d: assignment differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestClassifyParallelStrict(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	var fs []*tt.TT
+	for i := 0; i < 500; i++ {
+		fs = append(fs, tt.Random(5, rng))
+	}
+	cfg := ConfigAll()
+	cfg.StrictKeys = true
+	seq := New(5, cfg).Classify(fs)
+	par := ClassifyParallel(5, cfg, fs, 3)
+	if par.NumClasses != seq.NumClasses {
+		t.Fatalf("strict parallel %d != sequential %d", par.NumClasses, seq.NumClasses)
+	}
+}
+
+func TestClassifyParallelSmallInputs(t *testing.T) {
+	cfg := ConfigAll()
+	if got := ClassifyParallel(4, cfg, nil, 4); got.NumClasses != 0 {
+		t.Error("empty input should produce 0 classes")
+	}
+	f := tt.MustFromHex(4, "e8e8")
+	r := ClassifyParallel(4, cfg, []*tt.TT{f}, 8)
+	if r.NumClasses != 1 || r.ClassOf[0] != 0 {
+		t.Error("singleton classification wrong")
+	}
+}
+
+func TestSpectralConfigInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	cfg := Config{Spectral: true, OCV1: true}
+	if cfg.Enabled() != "OCV1+SPEC" {
+		t.Errorf("label = %q", cfg.Enabled())
+	}
+	for rep := 0; rep < 50; rep++ {
+		n := 2 + rng.Intn(5)
+		c := New(n, cfg)
+		f := tt.Random(n, rng)
+		g := npn.RandomTransform(n, rng).Apply(f)
+		if !bytes.Equal(c.KeyBytes(f), c.KeyBytes(g)) {
+			t.Fatalf("spectral MSV not NPN-invariant (n=%d, f=%s)", n, f.Hex())
+		}
+	}
+}
+
+func TestSpectralRefinesClassification(t *testing.T) {
+	// Adding the spectral moments can never decrease the class count.
+	rng := rand.New(rand.NewSource(133))
+	var fs []*tt.TT
+	for i := 0; i < 2000; i++ {
+		fs = append(fs, tt.Random(4, rng))
+	}
+	base := New(4, Config{OCV1: true}).NumClasses(fs)
+	withSpec := New(4, Config{OCV1: true, Spectral: true}).NumClasses(fs)
+	if withSpec < base {
+		t.Errorf("spectral config decreased classes: %d -> %d", base, withSpec)
+	}
+}

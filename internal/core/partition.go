@@ -1,0 +1,91 @@
+package core
+
+import "repro/internal/tt"
+
+// Partitioner assigns class ids to a stream of functions, bucketing by the
+// classifier's MSV key. It is the runtime object behind Algorithm 1's
+// "hash(MSV)" step and supports both hashed and strict (full-key) modes.
+type Partitioner struct {
+	c       *Classifier
+	byHash  map[uint64]int
+	byKey   map[string]int
+	sizes   []int
+	strict  bool
+	numSeen int
+}
+
+// NewPartitioner returns an empty partition over the classifier's key space.
+func NewPartitioner(c *Classifier) *Partitioner {
+	p := &Partitioner{c: c, strict: c.cfg.StrictKeys}
+	if p.strict {
+		p.byKey = make(map[string]int)
+	} else {
+		p.byHash = make(map[uint64]int)
+	}
+	return p
+}
+
+// Add classifies f and returns its class id (dense, starting at 0).
+func (p *Partitioner) Add(f *tt.TT) int {
+	p.numSeen++
+	if p.strict {
+		key := string(p.c.KeyBytes(f))
+		if id, ok := p.byKey[key]; ok {
+			p.sizes[id]++
+			return id
+		}
+		id := len(p.byKey)
+		p.byKey[key] = id
+		p.sizes = append(p.sizes, 1)
+		return id
+	}
+	h := p.c.Hash(f)
+	if id, ok := p.byHash[h]; ok {
+		p.sizes[id]++
+		return id
+	}
+	id := len(p.byHash)
+	p.byHash[h] = id
+	p.sizes = append(p.sizes, 1)
+	return id
+}
+
+// NumClasses returns the number of distinct classes seen so far.
+func (p *Partitioner) NumClasses() int { return len(p.sizes) }
+
+// NumSeen returns how many functions have been added.
+func (p *Partitioner) NumSeen() int { return p.numSeen }
+
+// Sizes returns the per-class function counts (indexed by class id).
+func (p *Partitioner) Sizes() []int { return p.sizes }
+
+// Result is the outcome of classifying a function list.
+type Result struct {
+	// ClassOf[i] is the class id of input i.
+	ClassOf []int
+	// NumClasses is the number of distinct classes.
+	NumClasses int
+	// Sizes[id] is the number of inputs in class id.
+	Sizes []int
+}
+
+// Classify buckets the whole list and returns the dense class assignment.
+func (c *Classifier) Classify(fs []*tt.TT) *Result {
+	p := NewPartitioner(c)
+	r := &Result{ClassOf: make([]int, len(fs))}
+	for i, f := range fs {
+		r.ClassOf[i] = p.Add(f)
+	}
+	r.NumClasses = p.NumClasses()
+	r.Sizes = p.Sizes()
+	return r
+}
+
+// NumClasses is a convenience wrapper returning only the class count.
+func (c *Classifier) NumClasses(fs []*tt.TT) int {
+	p := NewPartitioner(c)
+	for _, f := range fs {
+		p.Add(f)
+	}
+	return p.NumClasses()
+}

@@ -1,0 +1,151 @@
+package core
+
+import "repro/internal/tt"
+
+// DefaultStages orders the signature vectors cheap-to-expensive for
+// refinement classification: 1-ary cofactors and influence are linear scans,
+// sensitivity histograms cost one bit-sliced pass, 2-ary cofactors are
+// quadratic in n, and sensitivity-distance vectors are the most expensive.
+// The order matches the monolithic MSV serialization, which makes staged and
+// monolithic classification provably identical (see ClassifyRefined).
+func DefaultStages() []Config {
+	return []Config{
+		{OCV1: true},
+		{OIV: true},
+		{OSV: true},
+		{OCV2: true},
+		{OSDV: true, FastOSDV: true},
+	}
+}
+
+// ClassifyRefined performs staged classification: functions are first
+// bucketed by the cheapest signature stage; only buckets still holding more
+// than one function have the next stage computed, and so on. Expensive
+// vectors are therefore computed only for the small fraction of functions
+// that cheap vectors fail to separate — the "runtime saving" variant
+// sketched in §IV-B of the paper.
+//
+// Output-phase handling for balanced functions is propagated across stages:
+// a function starts with both phases as candidates, each stage keeps the
+// phases whose stage key is minimal, and later stages only consider the
+// survivors. This is exactly the greedy evaluation of the lexicographic
+// phase minimum over the concatenated key, so when the stages partition the
+// components of a monolithic Config in serialization order, ClassifyRefined
+// returns the same partition as Classify with the combined Config.
+func ClassifyRefined(n int, stages []Config, fs []*tt.TT) *Result {
+	r := &Result{ClassOf: make([]int, len(fs))}
+	if len(fs) == 0 {
+		return r
+	}
+	if len(stages) == 0 {
+		panic("core: ClassifyRefined needs at least one stage")
+	}
+
+	// Per-function phase state: the function, its complement (lazily
+	// built), and the surviving phase candidates (bit 0: as-is, bit 1:
+	// complemented).
+	type state struct {
+		f, fn *tt.TT
+		cand  uint8
+	}
+	states := make([]state, len(fs))
+	for i, f := range fs {
+		ones := f.CountOnes()
+		half := f.NumBits() / 2
+		switch {
+		case ones > half:
+			states[i] = state{f: f, cand: 2}
+		case ones < half:
+			states[i] = state{f: f, cand: 1}
+		default:
+			states[i] = state{f: f, cand: 3}
+		}
+	}
+	complemented := func(i int) *tt.TT {
+		if states[i].fn == nil {
+			states[i].fn = states[i].f.Not()
+		}
+		return states[i].fn
+	}
+
+	classifiers := make([]*Classifier, len(stages))
+	for s, cfg := range stages {
+		classifiers[s] = New(n, cfg)
+	}
+
+	// stageKey returns the minimal stage-s key over surviving phases and
+	// narrows the candidate set to the argmin phases.
+	stageKey := func(s, i int) string {
+		c := classifiers[s]
+		var k0, k1 []byte
+		if states[i].cand&1 != 0 {
+			k0 = c.rawKey(states[i].f)
+		}
+		if states[i].cand&2 != 0 {
+			k1 = c.rawKey(complemented(i))
+		}
+		switch {
+		case k1 == nil:
+			return string(k0)
+		case k0 == nil:
+			return string(k1)
+		case lexLess(k0, k1):
+			states[i].cand = 1
+			return string(k0)
+		case lexLess(k1, k0):
+			states[i].cand = 2
+			return string(k1)
+		default:
+			return string(k0) // tie: both phases stay alive
+		}
+	}
+
+	groups := [][]int{make([]int, len(fs))}
+	for i := range fs {
+		groups[0][i] = i
+	}
+	var final [][]int
+	for s := range stages {
+		var next [][]int
+		for _, g := range groups {
+			if len(g) == 1 {
+				final = append(final, g)
+				continue
+			}
+			split := make(map[string][]int)
+			for _, idx := range g {
+				k := stageKey(s, idx)
+				split[k] = append(split[k], idx)
+			}
+			for _, sub := range split {
+				next = append(next, sub)
+			}
+		}
+		groups = next
+		if len(groups) == 0 {
+			break
+		}
+	}
+	final = append(final, groups...)
+
+	// Assign dense ids in first-seen input order, matching Classify.
+	groupOf := make([]int, len(fs))
+	for gi, g := range final {
+		for _, i := range g {
+			groupOf[i] = gi
+		}
+	}
+	idOfGroup := make(map[int]int, len(final))
+	for i := range fs {
+		gi := groupOf[i]
+		id, ok := idOfGroup[gi]
+		if !ok {
+			id = len(idOfGroup)
+			idOfGroup[gi] = id
+			r.Sizes = append(r.Sizes, len(final[gi]))
+		}
+		r.ClassOf[i] = id
+	}
+	r.NumClasses = len(idOfGroup)
+	return r
+}

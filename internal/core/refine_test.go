@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+func TestClassifyRefinedMatchesMonolithic(t *testing.T) {
+	// Refinement with the default stages must produce exactly the partition
+	// of the combined all-signature strict classifier.
+	rng := rand.New(rand.NewSource(150))
+	for _, n := range []int{4, 5, 6} {
+		var fs []*tt.TT
+		for i := 0; i < 2500; i++ {
+			fs = append(fs, tt.Random(n, rng))
+		}
+		cfg := ConfigAll()
+		cfg.FastOSDV = true
+		cfg.StrictKeys = true
+		mono := New(n, cfg).Classify(fs)
+		ref := ClassifyRefined(n, DefaultStages(), fs)
+		if mono.NumClasses != ref.NumClasses {
+			t.Fatalf("n=%d: refined %d classes, monolithic %d", n, ref.NumClasses, mono.NumClasses)
+		}
+		for i := range fs {
+			if mono.ClassOf[i] != ref.ClassOf[i] {
+				t.Fatalf("n=%d: assignment differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestClassifyRefinedInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	n := 5
+	var fs []*tt.TT
+	for i := 0; i < 200; i++ {
+		f := tt.Random(n, rng)
+		fs = append(fs, f, npn.RandomTransform(n, rng).Apply(f))
+	}
+	r := ClassifyRefined(n, DefaultStages(), fs)
+	for i := 0; i < len(fs); i += 2 {
+		if r.ClassOf[i] != r.ClassOf[i+1] {
+			t.Fatalf("refined classification split an NPN pair at %d", i)
+		}
+	}
+}
+
+func TestClassifyRefinedEdgeCases(t *testing.T) {
+	if r := ClassifyRefined(4, DefaultStages(), nil); r.NumClasses != 0 {
+		t.Error("empty input wrong")
+	}
+	f := tt.MustFromHex(4, "00ff")
+	r := ClassifyRefined(4, DefaultStages(), []*tt.TT{f, f.Clone()})
+	if r.NumClasses != 1 || r.Sizes[0] != 2 {
+		t.Error("duplicate input classification wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no stages accepted")
+		}
+	}()
+	ClassifyRefined(4, nil, []*tt.TT{f})
+}
+
+func TestClassifyRefinedSingleStage(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	var fs []*tt.TT
+	for i := 0; i < 800; i++ {
+		fs = append(fs, tt.Random(4, rng))
+	}
+	stage := Config{OCV1: true, StrictKeys: true}
+	ref := ClassifyRefined(4, []Config{{OCV1: true}}, fs)
+	mono := New(4, stage).Classify(fs)
+	if ref.NumClasses != mono.NumClasses {
+		t.Fatalf("single-stage refined %d != monolithic %d", ref.NumClasses, mono.NumClasses)
+	}
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"repro/internal/spectra"
+	"repro/internal/tt"
+)
+
+// appendSpectral serializes the Walsh weight-moment signature (the related-
+// work spectral signature [Clarke'93] offered as an MSV extension). The
+// moments Σ_{wt(s)=w} Ŝ(s)² are invariant under input permutation and
+// negation, and — because the spectrum is ±1-encoded — under output negation
+// as well, so they can join the MSV without phase handling.
+func appendSpectral(k []byte, f *tt.TT) []byte {
+	m := spectra.WeightMoments(f.NumVars(), spectra.Spectrum(f))
+	for _, v := range m {
+		k = appendInt(k, int(v&0xFFFFFFFF))
+		k = appendInt(k, int(v>>32))
+	}
+	return k
+}

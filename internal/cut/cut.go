@@ -1,0 +1,260 @@
+// Package cut enumerates k-feasible cuts of an AIG and computes each cut's
+// local Boolean function. This is the workload-extraction pipeline of the
+// paper's evaluation: "the truth tables are extracted from these benchmarks
+// using cut enumeration" (§V-A). The enumeration is the standard bottom-up
+// priority-cut algorithm used by technology mappers: a node's cuts are the
+// pairwise unions of its fanins' cuts, filtered to at most k leaves,
+// dominance-pruned, and truncated to a per-node limit; every node also keeps
+// its trivial cut {node}.
+package cut
+
+import (
+	"sort"
+
+	"repro/internal/aig"
+	"repro/internal/tt"
+)
+
+// Cut is a set of at most k leaf nodes, sorted ascending, with a 64-bit
+// Bloom-style signature for fast dominance tests.
+type Cut struct {
+	Leaves []uint32
+	sign   uint64
+}
+
+func newCut(leaves []uint32) Cut {
+	c := Cut{Leaves: leaves}
+	for _, l := range leaves {
+		c.sign |= 1 << (l & 63)
+	}
+	return c
+}
+
+// Size returns the number of leaves.
+func (c Cut) Size() int { return len(c.Leaves) }
+
+// dominates reports whether c's leaves are a subset of o's (c dominates o:
+// o is redundant).
+func (c Cut) dominates(o Cut) bool {
+	if len(c.Leaves) > len(o.Leaves) || c.sign&^o.sign != 0 {
+		return false
+	}
+	i := 0
+	for _, l := range o.Leaves {
+		if i < len(c.Leaves) && c.Leaves[i] == l {
+			i++
+		}
+	}
+	return i == len(c.Leaves)
+}
+
+// mergeLeaves unions two sorted leaf lists, returning nil if the union
+// exceeds k leaves.
+func mergeLeaves(a, b []uint32, k int) []uint32 {
+	out := make([]uint32, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v uint32
+		switch {
+		case i == len(a):
+			v = b[j]
+			j++
+		case j == len(b):
+			v = a[i]
+			i++
+		case a[i] < b[j]:
+			v = a[i]
+			i++
+		case a[i] > b[j]:
+			v = b[j]
+			j++
+		default:
+			v = a[i]
+			i++
+			j++
+		}
+		if len(out) == k {
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// addCut inserts c into set with dominance filtering: if an existing cut is
+// a subset of c, c is redundant and dropped; any existing cut that c
+// dominates is removed. Duplicate leaf sets are kept once.
+func addCut(set []Cut, c Cut) []Cut {
+	for _, o := range set {
+		if o.dominates(c) {
+			return set
+		}
+	}
+	out := set[:0]
+	for _, o := range set {
+		if !c.dominates(o) {
+			out = append(out, o)
+		}
+	}
+	return append(out, c)
+}
+
+// addCutDedup inserts c unless an identical leaf set is already present
+// (harvest mode: dominated cuts are kept on purpose).
+func addCutDedup(set []Cut, c Cut) []Cut {
+	for _, o := range set {
+		if o.sign == c.sign && len(o.Leaves) == len(c.Leaves) {
+			same := true
+			for i := range o.Leaves {
+				if o.Leaves[i] != c.Leaves[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return set
+			}
+		}
+	}
+	return append(set, c)
+}
+
+// Options controls the enumeration.
+type Options struct {
+	K          int // maximum cut size (leaves)
+	MaxPerNode int // priority-cut limit per node (0 = default 16)
+
+	// PreferLarge keeps the largest cuts per node instead of the smallest
+	// and skips dominance pruning. Technology mappers want small cuts; the
+	// workload harvester wants wide ones — an n-variable function can only
+	// come from a cut with at least n leaves.
+	PreferLarge bool
+}
+
+// Enumerate returns, for every node id, its cut set. PIs and the constant
+// node get only their trivial cut.
+func Enumerate(g *aig.AIG, opt Options) [][]Cut {
+	if opt.K < 1 || opt.K > tt.MaxVars {
+		panic("cut: K out of range")
+	}
+	limit := opt.MaxPerNode
+	if limit <= 0 {
+		limit = 16
+	}
+	cuts := make([][]Cut, g.NumNodes())
+	cuts[0] = []Cut{newCut(nil)} // constant: empty cut
+	for i := 0; i < g.NumPIs(); i++ {
+		n := g.PI(i).Node()
+		cuts[n] = []Cut{newCut([]uint32{n})}
+	}
+	for n := uint32(1 + g.NumPIs()); int(n) < g.NumNodes(); n++ {
+		f0, f1 := g.Fanins(n)
+		var set []Cut
+		for _, c0 := range cuts[f0.Node()] {
+			for _, c1 := range cuts[f1.Node()] {
+				leaves := mergeLeaves(c0.Leaves, c1.Leaves, opt.K)
+				if leaves == nil {
+					continue
+				}
+				if opt.PreferLarge {
+					set = addCutDedup(set, newCut(leaves))
+				} else {
+					set = addCut(set, newCut(leaves))
+				}
+			}
+		}
+		// Priority: smaller cuts first (mapping mode) or larger first
+		// (harvest mode), then lexicographic for determinism.
+		sort.Slice(set, func(a, b int) bool {
+			if len(set[a].Leaves) != len(set[b].Leaves) {
+				if opt.PreferLarge {
+					return len(set[a].Leaves) > len(set[b].Leaves)
+				}
+				return len(set[a].Leaves) < len(set[b].Leaves)
+			}
+			for i := range set[a].Leaves {
+				if set[a].Leaves[i] != set[b].Leaves[i] {
+					return set[a].Leaves[i] < set[b].Leaves[i]
+				}
+			}
+			return false
+		})
+		if len(set) > limit {
+			set = set[:limit]
+		}
+		// The trivial cut keeps the node composable as a leaf upstream.
+		set = append(set, newCut([]uint32{n}))
+		cuts[n] = set
+	}
+	return cuts
+}
+
+// Function computes the local function of root expressed over the cut
+// leaves, in leaf order: variable i of the result is leaves[i].
+func Function(g *aig.AIG, root uint32, leaves []uint32) *tt.TT {
+	k := len(leaves)
+	memo := make(map[uint32]*tt.TT)
+	for i, l := range leaves {
+		memo[l] = tt.Projection(k, i)
+	}
+	memo[0] = tt.New(k) // constant false
+
+	var eval func(n uint32) *tt.TT
+	eval = func(n uint32) *tt.TT {
+		if f, ok := memo[n]; ok {
+			return f
+		}
+		if !g.IsAnd(n) {
+			panic("cut: cone reaches a PI outside the cut leaves")
+		}
+		f0, f1 := g.Fanins(n)
+		a := eval(f0.Node())
+		if f0.Compl() {
+			a = a.Not()
+		}
+		b := eval(f1.Node())
+		if f1.Compl() {
+			b = b.Not()
+		}
+		r := a.And(b)
+		memo[n] = r
+		return r
+	}
+	return eval(root)
+}
+
+// Harvest enumerates cuts of at least n leaves (up to opt.K), computes each
+// cut's local function, minimizes its support, and returns the deduplicated
+// functions that depend on exactly n variables. This mirrors the paper's
+// workload construction — truth tables extracted by cut enumeration with
+// duplicates deleted — and letting K exceed n admits cuts whose function
+// collapses onto an n-variable support, enriching the population.
+func Harvest(g *aig.AIG, n int, opt Options) []*tt.TT {
+	if opt.K < n {
+		opt.K = n
+	}
+	all := Enumerate(g, opt)
+	seen := make(map[string]bool)
+	var out []*tt.TT
+	for node := uint32(1 + g.NumPIs()); int(node) < g.NumNodes(); node++ {
+		for _, c := range all[node] {
+			if c.Size() < n || (c.Size() == 1 && c.Leaves[0] == node) {
+				continue
+			}
+			f := Function(g, node, c.Leaves)
+			if f.SupportSize() != n {
+				continue // support too small or spread over more leaves
+			}
+			if c.Size() != n {
+				f = f.ShrinkSupport()
+			}
+			key := f.Hex()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

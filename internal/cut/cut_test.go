@@ -1,0 +1,187 @@
+package cut
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/tt"
+)
+
+// buildXorChain returns an AIG computing x0⊕x1⊕...⊕x_{n-1} plus the graph.
+func buildXorChain(n int) (*aig.AIG, aig.Lit) {
+	g := aig.New(n)
+	acc := g.PI(0)
+	for i := 1; i < n; i++ {
+		acc = g.Xor(acc, g.PI(i))
+	}
+	g.AddPO(acc)
+	return g, acc
+}
+
+func TestEnumerateLeafSets(t *testing.T) {
+	g := aig.New(2)
+	a, b := g.PI(0), g.PI(1)
+	x := g.And(a, b)
+	cuts := Enumerate(g, Options{K: 2})
+	set := cuts[x.Node()]
+	// Expect the structural cut {a,b} and the trivial cut {x}.
+	if len(set) != 2 {
+		t.Fatalf("AND node has %d cuts, want 2", len(set))
+	}
+	if set[0].Size() != 2 || set[0].Leaves[0] != a.Node() || set[0].Leaves[1] != b.Node() {
+		t.Errorf("structural cut = %v", set[0].Leaves)
+	}
+	if set[1].Size() != 1 || set[1].Leaves[0] != x.Node() {
+		t.Errorf("trivial cut = %v", set[1].Leaves)
+	}
+}
+
+func TestEnumerateRespectsK(t *testing.T) {
+	g, out := buildXorChain(6)
+	for k := 2; k <= 6; k++ {
+		cuts := Enumerate(g, Options{K: k, MaxPerNode: 100})
+		for n := uint32(0); int(n) < g.NumNodes(); n++ {
+			for _, c := range cuts[n] {
+				if c.Size() > k {
+					t.Fatalf("cut of size %d found with K=%d", c.Size(), k)
+				}
+			}
+		}
+	}
+	_ = out
+}
+
+func TestDominanceFiltering(t *testing.T) {
+	// addCut must drop supersets of existing cuts and evict dominated ones.
+	a := newCut([]uint32{1, 2})
+	b := newCut([]uint32{1, 2, 3})
+	set := addCut(nil, a)
+	set = addCut(set, b)
+	if len(set) != 1 {
+		t.Fatalf("dominated cut kept: %v", set)
+	}
+	set = addCut(nil, b)
+	set = addCut(set, a)
+	if len(set) != 1 || set[0].Size() != 2 {
+		t.Fatalf("dominating cut did not evict: %v", set)
+	}
+	if !a.dominates(b) || b.dominates(a) || !a.dominates(a) {
+		t.Error("dominates verdicts wrong")
+	}
+}
+
+func TestFunctionXor(t *testing.T) {
+	g, out := buildXorChain(3)
+	cuts := Enumerate(g, Options{K: 3, MaxPerNode: 50})
+	want := tt.FromFunc(3, func(x int) bool {
+		return (x&1)^(x>>1&1)^(x>>2&1) == 1
+	})
+	found := false
+	for _, c := range cuts[out.Node()] {
+		if c.Size() != 3 {
+			continue
+		}
+		f := Function(g, out.Node(), c.Leaves)
+		// Leaves of the 3-cut over PIs are the PIs in ascending node order,
+		// which matches variable order 0,1,2.
+		allPI := true
+		for _, l := range c.Leaves {
+			if !g.IsPI(l) {
+				allPI = false
+			}
+		}
+		if allPI {
+			found = true
+			// Function computes the node's polarity; the xor output literal
+			// may be complemented.
+			if out.Compl() {
+				f = f.Not()
+			}
+			if !f.Equal(want) {
+				t.Errorf("xor cut function = %s, want %s", f.Hex(), want.Hex())
+			}
+		}
+	}
+	if !found {
+		t.Error("no full-PI 3-cut found for xor chain")
+	}
+}
+
+func TestFunctionMatchesGlobalSimulation(t *testing.T) {
+	// For cuts whose leaves are exactly the PIs, Function must agree with
+	// the AIG's global simulation.
+	g := aig.New(4)
+	p := []aig.Lit{g.PI(0), g.PI(1), g.PI(2), g.PI(3)}
+	n1 := g.And(p[0], p[1].Not())
+	n2 := g.Or(n1, p[2])
+	n3 := g.Mux(p[3], n2, n1)
+	g.AddPO(n3)
+	cuts := Enumerate(g, Options{K: 4, MaxPerNode: 64})
+	checked := 0
+	for node := uint32(1 + g.NumPIs()); int(node) < g.NumNodes(); node++ {
+		for _, c := range cuts[node] {
+			allPI := c.Size() == 4
+			for _, l := range c.Leaves {
+				if !g.IsPI(l) {
+					allPI = false
+				}
+			}
+			if !allPI {
+				continue
+			}
+			got := Function(g, node, c.Leaves)
+			want := g.GlobalFunc(aig.MakeLit(node, false))
+			if !got.Equal(want) {
+				t.Fatalf("cut function differs from global at node %d", node)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no full-PI cuts checked")
+	}
+}
+
+func TestHarvestProperties(t *testing.T) {
+	g, _ := buildXorChain(8)
+	for n := 2; n <= 5; n++ {
+		fs := Harvest(g, n, Options{K: n, MaxPerNode: 32})
+		seen := map[string]bool{}
+		for _, f := range fs {
+			if f.NumVars() != n {
+				t.Fatalf("harvested function has %d vars, want %d", f.NumVars(), n)
+			}
+			if f.SupportSize() != n {
+				t.Fatalf("harvested function has support %d, want %d", f.SupportSize(), n)
+			}
+			if seen[f.Hex()] {
+				t.Fatalf("duplicate truth table %s in harvest", f.Hex())
+			}
+			seen[f.Hex()] = true
+		}
+		if n <= 4 && len(fs) == 0 {
+			t.Errorf("harvest empty at n=%d", n)
+		}
+	}
+}
+
+func TestEnumerateKValidation(t *testing.T) {
+	g := aig.New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("K=0 accepted")
+		}
+	}()
+	Enumerate(g, Options{K: 0})
+}
+
+func TestFunctionPanicsOnBadLeaves(t *testing.T) {
+	g := aig.New(2)
+	x := g.And(g.PI(0), g.PI(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("cone escaping the cut accepted")
+		}
+	}()
+	Function(g, x.Node(), []uint32{g.PI(0).Node()}) // PI(1) not a leaf
+}

@@ -1,0 +1,299 @@
+// Package decomp extracts the top-level disjoint decomposition structure of
+// Boolean functions: the maximal tree of AND/OR/XOR blocks with single-
+// literal inputs above a prime (undecomposable) core. The shape of this
+// tree is invariant under NPN transformations — input negation moves
+// literal polarities, output negation dualizes AND/OR (normalized here as a
+// complement flag) — so the skeleton doubles as a structural signature, and
+// decomposition is the standard preprocessing step of canonical-form
+// matchers (Bertacco–Damiani style DSD, restricted to literal extraction).
+package decomp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tt"
+)
+
+// Kind labels a decomposition node.
+type Kind uint8
+
+const (
+	// Const is a constant function (Value holds it).
+	Const Kind = iota
+	// Leaf is a single literal.
+	Leaf
+	// And is a conjunction of literals and an optional residue child.
+	And
+	// Xor is a parity of literals and an optional residue child.
+	Xor
+	// Prime is an undecomposable core over ≥ 3 variables.
+	Prime
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Const:
+		return "CONST"
+	case Leaf:
+		return "LEAF"
+	case And:
+		return "AND"
+	case Xor:
+		return "XOR"
+	default:
+		return "PRIME"
+	}
+}
+
+// Literal is a possibly complemented variable.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+func (l Literal) String() string {
+	if l.Neg {
+		return fmt.Sprintf("¬x%d", l.Var)
+	}
+	return fmt.Sprintf("x%d", l.Var)
+}
+
+// Node is one level of the decomposition tree.
+type Node struct {
+	Kind  Kind
+	Neg   bool      // output complement of this node
+	Value bool      // Const: the constant
+	Lit   Literal   // Leaf: the literal (Neg folded into Lit, node Neg unused)
+	Lits  []Literal // And/Xor: stripped literal inputs, ascending by Var
+	Child *Node     // And/Xor: residue after stripping (nil if none)
+	Prime *tt.TT    // Prime: support-shrunk core function
+	Vars  []int     // Prime: original variable indices of the core, ascending
+}
+
+// Decompose extracts the decomposition tree of f.
+func Decompose(f *tt.TT) *Node {
+	if f.IsConst0() {
+		return &Node{Kind: Const, Value: false}
+	}
+	if f.IsConst1() {
+		return &Node{Kind: Const, Value: true}
+	}
+	sup := f.Support()
+	if len(sup) == 1 {
+		v := sup[0]
+		// f is x_v (off-face empty) or ¬x_v.
+		if f.CofactorCount(v, false) == 0 {
+			return &Node{Kind: Leaf, Lit: Literal{Var: v}}
+		}
+		return &Node{Kind: Leaf, Lit: Literal{Var: v, Neg: true}}
+	}
+
+	// AND block: literals whose off-face is empty.
+	if lits, residue := stripAnd(f); len(lits) > 0 {
+		return andNode(lits, residue, false)
+	}
+	// OR block = complemented AND block of ¬f.
+	if lits, residue := stripAnd(f.Not()); len(lits) > 0 {
+		return andNode(lits, residue, true)
+	}
+	// XOR block: variables with complementary cofactors.
+	if lits, residue := stripXor(f); len(lits) > 0 {
+		return xorNode(lits, residue)
+	}
+	return &Node{Kind: Prime, Prime: f.ShrinkSupport(), Vars: sup}
+}
+
+// stripAnd removes every literal l with f = l ∧ g, returning the literals
+// and the residue g (with the stripped variables vacuous).
+func stripAnd(f *tt.TT) ([]Literal, *tt.TT) {
+	var lits []Literal
+	g := f
+	for {
+		found := false
+		for _, v := range g.Support() {
+			switch {
+			case g.CofactorCount(v, false) == 0:
+				lits = append(lits, Literal{Var: v})
+				g = g.Cofactor(v, true)
+				found = true
+			case g.CofactorCount(v, true) == 0:
+				lits = append(lits, Literal{Var: v, Neg: true})
+				g = g.Cofactor(v, false)
+				found = true
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	sort.Slice(lits, func(a, b int) bool { return lits[a].Var < lits[b].Var })
+	return lits, g
+}
+
+// stripXor removes every variable v with f = x_v ⊕ g, returning positive
+// literals and the residue with those variables set to 0.
+func stripXor(f *tt.TT) ([]Literal, *tt.TT) {
+	var lits []Literal
+	g := f
+	for {
+		found := false
+		for _, v := range g.Support() {
+			c0 := g.Cofactor(v, false)
+			if c0.Equal(g.Cofactor(v, true).Not()) {
+				lits = append(lits, Literal{Var: v})
+				g = c0
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	sort.Slice(lits, func(a, b int) bool { return lits[a].Var < lits[b].Var })
+	return lits, g
+}
+
+// andNode builds the And node. Semantics: value = (∧ Lits ∧ Child) ⊕ Neg.
+// For orDual the strip ran on ¬f, so Lits and residue describe ¬f and the
+// complement flag restores f = ¬(∧ …) — an OR block by De Morgan.
+func andNode(lits []Literal, residue *tt.TT, orDual bool) *Node {
+	n := &Node{Kind: And, Lits: lits, Neg: orDual}
+	if !residue.IsConst1() {
+		// residue const0 is impossible: f (or ¬f) would be constant.
+		n.Child = Decompose(residue)
+	}
+	return n
+}
+
+func xorNode(lits []Literal, residue *tt.TT) *Node {
+	n := &Node{Kind: Xor, Lits: lits}
+	if residue.IsConst0() {
+		return n
+	}
+	if residue.IsConst1() {
+		n.Neg = true
+		return n
+	}
+	n.Child = Decompose(residue)
+	return n
+}
+
+// Eval reconstructs the function the tree denotes, over n variables.
+func (nd *Node) Eval(n int) *tt.TT {
+	var out *tt.TT
+	switch nd.Kind {
+	case Const:
+		out = tt.Const(n, nd.Value)
+	case Leaf:
+		out = tt.CofactorMask(n, nd.Lit.Var, !nd.Lit.Neg)
+	case And:
+		acc := tt.Const(n, true)
+		for _, l := range nd.Lits {
+			acc = acc.And(tt.CofactorMask(n, l.Var, !l.Neg))
+		}
+		if nd.Child != nil {
+			acc = acc.And(nd.Child.Eval(n))
+		}
+		out = acc
+		if nd.Neg {
+			out = out.Not()
+		}
+	case Xor:
+		acc := tt.New(n)
+		for _, l := range nd.Lits {
+			acc = acc.Xor(tt.CofactorMask(n, l.Var, !l.Neg))
+		}
+		if nd.Child != nil {
+			acc = acc.Xor(nd.Child.Eval(n))
+		}
+		out = acc
+		if nd.Neg {
+			out = out.Not()
+		}
+	case Prime:
+		out = tt.New(n)
+		for x := 0; x < out.NumBits(); x++ {
+			idx := 0
+			for k, v := range nd.Vars {
+				idx |= x >> uint(v) & 1 << uint(k)
+			}
+			if nd.Prime.Get(idx) {
+				out.Set(x, true)
+			}
+		}
+	}
+	return out
+}
+
+// Shape serializes the NPN-invariant skeleton: node kinds, literal counts,
+// and prime arities — no variable names, no polarities.
+func (nd *Node) Shape() string {
+	var b strings.Builder
+	nd.shape(&b)
+	return b.String()
+}
+
+func (nd *Node) shape(b *strings.Builder) {
+	switch nd.Kind {
+	case Const:
+		b.WriteString("CONST")
+	case Leaf:
+		b.WriteString("LEAF")
+	case And, Xor:
+		fmt.Fprintf(b, "%s(%d", nd.Kind, len(nd.Lits))
+		if nd.Child != nil {
+			b.WriteByte(',')
+			nd.Child.shape(b)
+		}
+		b.WriteByte(')')
+	case Prime:
+		fmt.Fprintf(b, "PRIME%d", nd.Prime.NumVars())
+	}
+}
+
+// String renders the tree with literals, e.g. "x0·¬x2·XOR(x1,x3)".
+func (nd *Node) String() string {
+	switch nd.Kind {
+	case Const:
+		if nd.Value {
+			return "1"
+		}
+		return "0"
+	case Leaf:
+		return nd.Lit.String()
+	case And:
+		var parts []string
+		for _, l := range nd.Lits {
+			parts = append(parts, l.String())
+		}
+		if nd.Child != nil {
+			parts = append(parts, nd.Child.String())
+		}
+		s := strings.Join(parts, "·")
+		if nd.Neg {
+			return "¬(" + s + ")"
+		}
+		return s
+	case Xor:
+		var parts []string
+		for _, l := range nd.Lits {
+			parts = append(parts, l.String())
+		}
+		if nd.Child != nil {
+			parts = append(parts, nd.Child.String())
+		}
+		s := "XOR(" + strings.Join(parts, ",") + ")"
+		if nd.Neg {
+			return "¬" + s
+		}
+		return s
+	default:
+		return fmt.Sprintf("PRIME%d%v", nd.Prime.NumVars(), nd.Vars)
+	}
+}

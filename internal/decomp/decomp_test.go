@@ -1,0 +1,148 @@
+package decomp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+func TestEvalReconstructsFunction(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(210))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		f := tt.Random(n, rng)
+		return Decompose(f).Eval(n).Equal(f)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalReconstructsStructuredFunctions(t *testing.T) {
+	// Structured functions hit the AND/OR/XOR strip paths deliberately.
+	n := 6
+	cases := []func(x int) bool{
+		func(x int) bool { return x&0b111 == 0b111 },                         // AND of 3
+		func(x int) bool { return x&0b111 != 0 },                             // OR of 3
+		func(x int) bool { return (x&1)^(x>>1&1)^(x>>2&1) == 1 },             // XOR of 3
+		func(x int) bool { return x&1 == 1 && (x>>1&1)^(x>>2&1) == 1 },       // x0 ∧ XOR
+		func(x int) bool { return x&1 == 1 || (x>>1&1 == 1 && x>>2&1 == 1) }, // x0 ∨ AND
+		func(x int) bool { return (x&1)^(x>>1&1&(x>>2&1)) == 1 },             // x0 ⊕ AND
+		func(x int) bool { return x>>5&1 == 0 && (x&3 == 3 || x>>2&3 == 3) }, // ¬x5 ∧ prime-ish
+	}
+	for i, fn := range cases {
+		f := tt.FromFunc(n, fn)
+		if !Decompose(f).Eval(n).Equal(f) {
+			t.Errorf("case %d not reconstructed", i)
+		}
+	}
+}
+
+func TestKnownShapes(t *testing.T) {
+	and3 := tt.FromFunc(3, func(x int) bool { return x == 7 })
+	if s := Decompose(and3).Shape(); s != "AND(3)" {
+		t.Errorf("and3 shape = %q", s)
+	}
+	or3 := tt.FromFunc(3, func(x int) bool { return x != 0 })
+	if s := Decompose(or3).Shape(); s != "AND(3)" {
+		t.Errorf("or3 shape = %q (OR normalizes to complemented AND)", s)
+	}
+	xor4 := tt.FromFunc(4, func(x int) bool {
+		v := 0
+		for b := 0; b < 4; b++ {
+			v ^= x >> b & 1
+		}
+		return v == 1
+	})
+	if s := Decompose(xor4).Shape(); s != "XOR(4)" {
+		t.Errorf("xor4 shape = %q", s)
+	}
+	maj := tt.MustFromHex(3, "e8")
+	if s := Decompose(maj).Shape(); s != "PRIME3" {
+		t.Errorf("majority shape = %q", s)
+	}
+	mixed := tt.FromFunc(5, func(x int) bool {
+		maj3 := x&1 + x>>1&1 + x>>2&1
+		return x>>4&1 == 1 && x>>3&1 == 1 && maj3 >= 2
+	})
+	if s := Decompose(mixed).Shape(); s != "AND(2,PRIME3)" {
+		t.Errorf("x4·x3·maj shape = %q", s)
+	}
+	if Decompose(tt.New(4)).Shape() != "CONST" {
+		t.Error("const shape wrong")
+	}
+	if Decompose(tt.Projection(4, 2)).Shape() != "LEAF" {
+		t.Error("leaf shape wrong")
+	}
+}
+
+func TestShapeNPNInvariant(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(211))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		// Bias toward structured functions: AND a random function with a
+		// literal or XOR it with one, so strip paths are exercised.
+		f := tt.Random(n, rng)
+		switch rng.Intn(3) {
+		case 0:
+			f = f.And(tt.Projection(n, rng.Intn(n)))
+		case 1:
+			f = f.Xor(tt.Projection(n, rng.Intn(n)))
+		}
+		g := npn.RandomTransform(n, rng).Apply(f)
+		return Decompose(f).Shape() == Decompose(g).Shape()
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := tt.FromFunc(4, func(x int) bool { return x&1 == 1 && (x>>1&1)^(x>>2&1) == 1 })
+	s := Decompose(f).String()
+	if !strings.Contains(s, "x0") || !strings.Contains(s, "XOR") {
+		t.Errorf("rendering %q missing parts", s)
+	}
+	if Decompose(tt.New(2)).String() != "0" || Decompose(tt.Const(2, true)).String() != "1" {
+		t.Error("const rendering wrong")
+	}
+	neg := tt.FromFunc(2, func(x int) bool { return x != 3 }) // NAND
+	sn := Decompose(neg).String()
+	if !strings.HasPrefix(sn, "¬(") {
+		t.Errorf("nand rendering %q missing complement", sn)
+	}
+	lit := Literal{Var: 3, Neg: true}
+	if lit.String() != "¬x3" {
+		t.Error("literal rendering wrong")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Const: "CONST", Leaf: "LEAF", And: "AND", Xor: "XOR", Prime: "PRIME"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestShapeAsClassifierSignature(t *testing.T) {
+	// Shape never splits an NPN class (it is invariant), so bucketing by
+	// (exact canon, shape) has exactly as many classes as exact canon.
+	rng := rand.New(rand.NewSource(212))
+	seen := make(map[uint64]string)
+	for rep := 0; rep < 500; rep++ {
+		f := tt.Random(4, rng)
+		canon := npn.CanonWord(f.Word(), 4)
+		shape := Decompose(f).Shape()
+		if prev, ok := seen[canon]; ok && prev != shape {
+			t.Fatalf("shape split an NPN class: %q vs %q", prev, shape)
+		}
+		seen[canon] = shape
+	}
+}

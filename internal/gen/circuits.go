@@ -1,0 +1,216 @@
+// Package gen generates classification workloads. The paper evaluates on
+// truth tables extracted from the EPFL combinational benchmarks by cut
+// enumeration; those benchmark files are external data, so this package
+// synthesizes circuits of the same two families the suite is built from —
+// arithmetic (adders, multipliers, shifters, comparators) and random/control
+// logic (mux trees, majority/parity trees, random AIGs) — and harvests cut
+// functions from them with the same pipeline (internal/cut). It also
+// generates the random truth-table streams of Fig. 5 (uniform and
+// consecutive binary encoding).
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/aig"
+)
+
+// RippleCarryAdder returns an AIG adding two w-bit numbers: PIs are
+// a0..a_{w-1}, b0..b_{w-1}; POs are the w sum bits and the carry out.
+func RippleCarryAdder(w int) *aig.AIG {
+	g := aig.New(2 * w)
+	carry := aig.ConstFalse
+	for i := 0; i < w; i++ {
+		a, b := g.PI(i), g.PI(w+i)
+		axb := g.Xor(a, b)
+		sum := g.Xor(axb, carry)
+		carry = g.Or(g.And(a, b), g.And(axb, carry))
+		g.AddPO(sum)
+	}
+	g.AddPO(carry)
+	return g
+}
+
+// ArrayMultiplier returns an AIG multiplying two w-bit numbers with a simple
+// carry-save array; POs are the 2w product bits.
+func ArrayMultiplier(w int) *aig.AIG {
+	g := aig.New(2 * w)
+	// partial[c] collects the literals to be summed in column c.
+	partial := make([][]aig.Lit, 2*w)
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			partial[i+j] = append(partial[i+j], g.And(g.PI(i), g.PI(w+j)))
+		}
+	}
+	for c := 0; c < 2*w; c++ {
+		for len(partial[c]) > 1 {
+			if len(partial[c]) >= 3 {
+				a, b, ci := partial[c][0], partial[c][1], partial[c][2]
+				partial[c] = partial[c][3:]
+				axb := g.Xor(a, b)
+				sum := g.Xor(axb, ci)
+				carry := g.Or(g.And(a, b), g.And(axb, ci))
+				partial[c] = append(partial[c], sum)
+				partial[c+1] = append(partial[c+1], carry)
+			} else {
+				a, b := partial[c][0], partial[c][1]
+				partial[c] = partial[c][2:]
+				sum := g.Xor(a, b)
+				carry := g.And(a, b)
+				partial[c] = append(partial[c], sum)
+				partial[c+1] = append(partial[c+1], carry)
+			}
+		}
+		if len(partial[c]) == 1 {
+			g.AddPO(partial[c][0])
+		} else {
+			g.AddPO(aig.ConstFalse)
+		}
+	}
+	return g
+}
+
+// BarrelShifter returns an AIG rotating w data bits (w a power of two) left
+// by a log2(w)-bit amount: PIs are d0..d_{w-1} then s0..s_{log2(w)-1}.
+func BarrelShifter(w int) *aig.AIG {
+	logw := 0
+	for 1<<logw < w {
+		logw++
+	}
+	if 1<<logw != w {
+		panic("gen: BarrelShifter width must be a power of two")
+	}
+	g := aig.New(w + logw)
+	cur := make([]aig.Lit, w)
+	for i := 0; i < w; i++ {
+		cur[i] = g.PI(i)
+	}
+	for s := 0; s < logw; s++ {
+		sel := g.PI(w + s)
+		shift := 1 << s
+		next := make([]aig.Lit, w)
+		for i := 0; i < w; i++ {
+			next[i] = g.Mux(sel, cur[(i+w-shift)%w], cur[i])
+		}
+		cur = next
+	}
+	for _, l := range cur {
+		g.AddPO(l)
+	}
+	return g
+}
+
+// Comparator returns an AIG computing a > b, a = b for two w-bit inputs.
+func Comparator(w int) *aig.AIG {
+	g := aig.New(2 * w)
+	gt := aig.ConstFalse
+	eq := aig.ConstTrue
+	// Scan from the most significant bit down.
+	for i := w - 1; i >= 0; i-- {
+		a, b := g.PI(i), g.PI(w+i)
+		bitGt := g.And(a, b.Not())
+		bitEq := g.Xnor(a, b)
+		gt = g.Or(gt, g.And(eq, bitGt))
+		eq = g.And(eq, bitEq)
+	}
+	g.AddPO(gt)
+	g.AddPO(eq)
+	return g
+}
+
+// MajorityTree returns an AIG of a balanced tree of 3-majority gates over
+// 3^depth primary inputs.
+func MajorityTree(depth int) *aig.AIG {
+	n := 1
+	for d := 0; d < depth; d++ {
+		n *= 3
+	}
+	g := aig.New(n)
+	layer := make([]aig.Lit, n)
+	for i := range layer {
+		layer[i] = g.PI(i)
+	}
+	for len(layer) > 1 {
+		next := make([]aig.Lit, 0, len(layer)/3)
+		for i := 0; i+2 < len(layer); i += 3 {
+			next = append(next, g.Maj(layer[i], layer[i+1], layer[i+2]))
+		}
+		layer = next
+	}
+	g.AddPO(layer[0])
+	return g
+}
+
+// ParityTree returns an AIG computing the parity of n inputs as a balanced
+// XOR tree.
+func ParityTree(n int) *aig.AIG {
+	g := aig.New(n)
+	layer := make([]aig.Lit, n)
+	for i := range layer {
+		layer[i] = g.PI(i)
+	}
+	for len(layer) > 1 {
+		var next []aig.Lit
+		for i := 0; i+1 < len(layer); i += 2 {
+			next = append(next, g.Xor(layer[i], layer[i+1]))
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	g.AddPO(layer[0])
+	return g
+}
+
+// MuxTree returns an AIG selecting one of 2^sel data inputs: PIs are the
+// 2^sel data bits followed by the sel select bits.
+func MuxTree(sel int) *aig.AIG {
+	w := 1 << sel
+	g := aig.New(w + sel)
+	layer := make([]aig.Lit, w)
+	for i := range layer {
+		layer[i] = g.PI(i)
+	}
+	for s := 0; s < sel; s++ {
+		sb := g.PI(w + s)
+		next := make([]aig.Lit, len(layer)/2)
+		for i := range next {
+			next[i] = g.Mux(sb, layer[2*i+1], layer[2*i])
+		}
+		layer = next
+	}
+	g.AddPO(layer[0])
+	return g
+}
+
+// RandomLogic returns a random AIG with nPI inputs and about nAnds AND
+// nodes, built by combining random existing literals; it models the
+// "random/control" half of the EPFL suite.
+func RandomLogic(nPI, nAnds int, seed int64) *aig.AIG {
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New(nPI)
+	lits := make([]aig.Lit, 0, nPI+nAnds)
+	for i := 0; i < nPI; i++ {
+		lits = append(lits, g.PI(i))
+	}
+	for attempts := 0; g.NumAnds() < nAnds && attempts < 20*nAnds; attempts++ {
+		a := lits[rng.Intn(len(lits))]
+		b := lits[rng.Intn(len(lits))]
+		if rng.Intn(2) == 0 {
+			a = a.Not()
+		}
+		if rng.Intn(2) == 0 {
+			b = b.Not()
+		}
+		l := g.And(a, b)
+		if g.IsAnd(l.Node()) {
+			lits = append(lits, l)
+		}
+	}
+	// Expose the deepest nodes as outputs.
+	for i := 0; i < 4 && i < len(lits); i++ {
+		g.AddPO(lits[len(lits)-1-i])
+	}
+	return g
+}

@@ -1,0 +1,131 @@
+package gen
+
+import "repro/internal/aig"
+
+// CarryLookaheadAdder returns a w-bit adder built from generate/propagate
+// prefix logic — functionally identical to RippleCarryAdder but with a very
+// different structure, so its cut functions populate different NPN classes
+// of the workload (and the pair doubles as an equivalence-checking fixture).
+func CarryLookaheadAdder(w int) *aig.AIG {
+	g := aig.New(2 * w)
+	gen := make([]aig.Lit, w) // generate: a_i ∧ b_i
+	pro := make([]aig.Lit, w) // propagate: a_i ⊕ b_i
+	for i := 0; i < w; i++ {
+		a, b := g.PI(i), g.PI(w+i)
+		gen[i] = g.And(a, b)
+		pro[i] = g.Xor(a, b)
+	}
+	// Serial prefix: c_{i+1} = g_i ∨ (p_i ∧ c_i), expanded lookahead-style.
+	carry := make([]aig.Lit, w+1)
+	carry[0] = aig.ConstFalse
+	for i := 0; i < w; i++ {
+		carry[i+1] = g.Or(gen[i], g.And(pro[i], carry[i]))
+	}
+	for i := 0; i < w; i++ {
+		g.AddPO(g.Xor(pro[i], carry[i]))
+	}
+	g.AddPO(carry[w])
+	return g
+}
+
+// Decoder returns an n-to-2^n one-hot decoder.
+func Decoder(n int) *aig.AIG {
+	g := aig.New(n)
+	out := make([]aig.Lit, 1)
+	out[0] = aig.ConstTrue
+	for i := 0; i < n; i++ {
+		sel := g.PI(i)
+		next := make([]aig.Lit, len(out)*2)
+		for k, o := range out {
+			next[k] = g.And(o, sel.Not())
+			next[k+len(out)] = g.And(o, sel)
+		}
+		out = next
+	}
+	for _, o := range out {
+		g.AddPO(o)
+	}
+	return g
+}
+
+// PriorityEncoder returns a w-input priority encoder: outputs are the
+// ceil(log2(w)) index bits of the highest set input plus a valid flag.
+func PriorityEncoder(w int) *aig.AIG {
+	g := aig.New(w)
+	logw := 0
+	for 1<<logw < w {
+		logw++
+	}
+	idx := make([]aig.Lit, logw)
+	for k := range idx {
+		idx[k] = aig.ConstFalse
+	}
+	valid := aig.ConstFalse
+	// Scan inputs from lowest to highest priority; higher index wins.
+	for i := 0; i < w; i++ {
+		in := g.PI(i)
+		for k := 0; k < logw; k++ {
+			bit := aig.ConstFalse
+			if i>>k&1 == 1 {
+				bit = aig.ConstTrue
+			}
+			idx[k] = g.Mux(in, bit, idx[k])
+		}
+		valid = g.Or(valid, in)
+	}
+	for _, l := range idx {
+		g.AddPO(l)
+	}
+	g.AddPO(valid)
+	return g
+}
+
+// ALUSlice returns a w-bit ALU with a 2-bit opcode: 00 = AND, 01 = OR,
+// 10 = XOR, 11 = ADD. PIs: a (w), b (w), op (2).
+func ALUSlice(w int) *aig.AIG {
+	g := aig.New(2*w + 2)
+	op0, op1 := g.PI(2*w), g.PI(2*w+1)
+	carry := aig.ConstFalse
+	for i := 0; i < w; i++ {
+		a, b := g.PI(i), g.PI(w+i)
+		andO := g.And(a, b)
+		orO := g.Or(a, b)
+		xorO := g.Xor(a, b)
+		sum := g.Xor(xorO, carry)
+		carry = g.Or(andO, g.And(xorO, carry))
+		// op1 selects between {AND,OR} and {XOR,ADD}; op0 picks within.
+		lo := g.Mux(op0, orO, andO)
+		hi := g.Mux(op0, sum, xorO)
+		g.AddPO(g.Mux(op1, hi, lo))
+	}
+	return g
+}
+
+// Voter returns the EPFL-style "voter": a deep tree of 3-majority gates over
+// 3^depth inputs with inverted stages, producing irregular cut functions.
+func Voter(depth int) *aig.AIG {
+	n := 1
+	for d := 0; d < depth; d++ {
+		n *= 3
+	}
+	g := aig.New(n)
+	layer := make([]aig.Lit, n)
+	for i := range layer {
+		layer[i] = g.PI(i)
+	}
+	stage := 0
+	for len(layer) > 1 {
+		next := make([]aig.Lit, 0, len(layer)/3)
+		for i := 0; i+2 < len(layer); i += 3 {
+			m := g.Maj(layer[i], layer[i+1], layer[i+2])
+			if stage%2 == 1 {
+				m = m.Not()
+			}
+			next = append(next, m)
+		}
+		layer = next
+		stage++
+	}
+	g.AddPO(layer[0])
+	return g
+}

@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestCarryLookaheadAdderMatchesRipple(t *testing.T) {
+	w := 4
+	cla := CarryLookaheadAdder(w)
+	rca := RippleCarryAdder(w)
+	if len(cla.POs()) != len(rca.POs()) {
+		t.Fatal("PO count differs")
+	}
+	for i := range cla.POs() {
+		a := cla.GlobalFunc(cla.POs()[i])
+		b := rca.GlobalFunc(rca.POs()[i])
+		if !a.Equal(b) {
+			t.Fatalf("CLA and RCA differ at output %d", i)
+		}
+	}
+	// Structures must actually differ for the workload to gain anything.
+	if cla.NumAnds() == rca.NumAnds() {
+		t.Log("note: CLA and RCA have identical AND counts (allowed, but unexpected)")
+	}
+}
+
+func TestDecoder(t *testing.T) {
+	n := 3
+	g := Decoder(n)
+	if len(g.POs()) != 1<<n {
+		t.Fatalf("decoder POs = %d", len(g.POs()))
+	}
+	for line, po := range g.POs() {
+		f := g.GlobalFunc(po)
+		want := tt.FromFunc(n, func(x int) bool { return x == line })
+		if !f.Equal(want) {
+			t.Fatalf("decoder line %d wrong", line)
+		}
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	w := 6
+	g := PriorityEncoder(w)
+	logw := 3
+	if len(g.POs()) != logw+1 {
+		t.Fatalf("encoder POs = %d, want %d", len(g.POs()), logw+1)
+	}
+	outs := make([]*tt.TT, logw+1)
+	for i, po := range g.POs() {
+		outs[i] = g.GlobalFunc(po)
+	}
+	for x := 0; x < 1<<w; x++ {
+		// Highest set input index, or invalid.
+		top, valid := 0, false
+		for i := 0; i < w; i++ {
+			if x>>i&1 == 1 {
+				top, valid = i, true
+			}
+		}
+		if outs[logw].Get(x) != valid {
+			t.Fatalf("valid flag wrong at %06b", x)
+		}
+		if !valid {
+			continue
+		}
+		for k := 0; k < logw; k++ {
+			if outs[k].Get(x) != (top>>k&1 == 1) {
+				t.Fatalf("index bit %d wrong at %06b (top=%d)", k, x, top)
+			}
+		}
+	}
+}
+
+func TestALUSlice(t *testing.T) {
+	w := 3
+	g := ALUSlice(w)
+	outs := make([]*tt.TT, w)
+	for i, po := range g.POs() {
+		outs[i] = g.GlobalFunc(po)
+	}
+	for x := 0; x < 1<<(2*w+2); x++ {
+		a := x & (1<<w - 1)
+		b := x >> w & (1<<w - 1)
+		op := x >> (2 * w) & 3
+		var want int
+		switch op {
+		case 0:
+			want = a & b
+		case 1:
+			want = a | b
+		case 2:
+			want = a ^ b
+		case 3:
+			want = (a + b) & (1<<w - 1)
+		}
+		for bit := 0; bit < w; bit++ {
+			if outs[bit].Get(x) != (want>>bit&1 == 1) {
+				t.Fatalf("ALU op=%d bit %d wrong at a=%d b=%d", op, bit, a, b)
+			}
+		}
+	}
+}
+
+func TestVoter(t *testing.T) {
+	// Depth-1 voter is plain majority; depth-2 has one inverted stage.
+	v1 := Voter(1)
+	if got := v1.GlobalFunc(v1.POs()[0]).Hex(); got != "e8" {
+		t.Errorf("voter depth 1 = %s, want e8", got)
+	}
+	v2 := Voter(2)
+	f := v2.GlobalFunc(v2.POs()[0])
+	// Verify against direct evaluation: maj of three inverted majorities.
+	want := tt.FromFunc(9, func(x int) bool {
+		maj := func(a, b, c int) int {
+			if a+b+c >= 2 {
+				return 1
+			}
+			return 0
+		}
+		m0 := 1 - maj(x&1, x>>1&1, x>>2&1)
+		m1 := 1 - maj(x>>3&1, x>>4&1, x>>5&1)
+		m2 := 1 - maj(x>>6&1, x>>7&1, x>>8&1)
+		return maj(m0, m1, m2) == 1
+	})
+	if !f.Equal(want) {
+		t.Error("voter depth 2 wrong")
+	}
+}
+
+func TestSuiteShapes(t *testing.T) {
+	suite := Suite(1)
+	if len(suite) < 12 {
+		t.Fatalf("suite has %d circuits", len(suite))
+	}
+	for i, g := range suite {
+		if g.NumAnds() == 0 {
+			t.Errorf("suite circuit %d has no logic", i)
+		}
+		if len(g.POs()) == 0 {
+			t.Errorf("suite circuit %d has no outputs", i)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestRippleCarryAdder(t *testing.T) {
+	w := 3
+	g := RippleCarryAdder(w)
+	if len(g.POs()) != w+1 {
+		t.Fatalf("adder POs = %d, want %d", len(g.POs()), w+1)
+	}
+	// Verify arithmetic through global simulation.
+	outs := make([]*tt.TT, w+1)
+	for i, po := range g.POs() {
+		outs[i] = g.GlobalFunc(po)
+	}
+	for x := 0; x < 1<<(2*w); x++ {
+		a := x & (1<<w - 1)
+		b := x >> w
+		sum := a + b
+		for bit := 0; bit <= w; bit++ {
+			if outs[bit].Get(x) != (sum>>bit&1 == 1) {
+				t.Fatalf("adder bit %d wrong at a=%d b=%d", bit, a, b)
+			}
+		}
+	}
+}
+
+func TestArrayMultiplier(t *testing.T) {
+	w := 3
+	g := ArrayMultiplier(w)
+	if len(g.POs()) != 2*w {
+		t.Fatalf("multiplier POs = %d, want %d", len(g.POs()), 2*w)
+	}
+	outs := make([]*tt.TT, 2*w)
+	for i, po := range g.POs() {
+		outs[i] = g.GlobalFunc(po)
+	}
+	for x := 0; x < 1<<(2*w); x++ {
+		a := x & (1<<w - 1)
+		b := x >> w
+		prod := a * b
+		for bit := 0; bit < 2*w; bit++ {
+			if outs[bit].Get(x) != (prod>>bit&1 == 1) {
+				t.Fatalf("multiplier bit %d wrong at a=%d b=%d", bit, a, b)
+			}
+		}
+	}
+}
+
+func TestBarrelShifter(t *testing.T) {
+	w := 4
+	g := BarrelShifter(w)
+	if len(g.POs()) != w {
+		t.Fatalf("shifter POs = %d", len(g.POs()))
+	}
+	outs := make([]*tt.TT, w)
+	for i, po := range g.POs() {
+		outs[i] = g.GlobalFunc(po)
+	}
+	for x := 0; x < 1<<(w+2); x++ {
+		data := x & (1<<w - 1)
+		sh := x >> w // 2 select bits
+		rotated := (data<<sh | data>>(w-sh)) & (1<<w - 1)
+		for bit := 0; bit < w; bit++ {
+			if outs[bit].Get(x) != (rotated>>bit&1 == 1) {
+				t.Fatalf("shifter bit %d wrong at data=%04b sh=%d", bit, data, sh)
+			}
+		}
+	}
+}
+
+func TestBarrelShifterRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 3 accepted")
+		}
+	}()
+	BarrelShifter(3)
+}
+
+func TestComparator(t *testing.T) {
+	w := 3
+	g := Comparator(w)
+	gt := g.GlobalFunc(g.POs()[0])
+	eq := g.GlobalFunc(g.POs()[1])
+	for x := 0; x < 1<<(2*w); x++ {
+		a := x & (1<<w - 1)
+		b := x >> w
+		if gt.Get(x) != (a > b) {
+			t.Fatalf("gt wrong at a=%d b=%d", a, b)
+		}
+		if eq.Get(x) != (a == b) {
+			t.Fatalf("eq wrong at a=%d b=%d", a, b)
+		}
+	}
+}
+
+func TestMajorityAndParityTrees(t *testing.T) {
+	g := MajorityTree(1)
+	if got := g.GlobalFunc(g.POs()[0]).Hex(); got != "e8" {
+		t.Errorf("1-level majority tree = %s, want e8", got)
+	}
+	p := ParityTree(5)
+	f := p.GlobalFunc(p.POs()[0])
+	for x := 0; x < 32; x++ {
+		v := 0
+		for b := 0; b < 5; b++ {
+			v ^= x >> b & 1
+		}
+		if f.Get(x) != (v == 1) {
+			t.Fatalf("parity tree wrong at %d", x)
+		}
+	}
+}
+
+func TestMuxTree(t *testing.T) {
+	g := MuxTree(2) // 4 data + 2 select
+	f := g.GlobalFunc(g.POs()[0])
+	for x := 0; x < 64; x++ {
+		data := x & 15
+		sel := x >> 4 & 3
+		if f.Get(x) != (data>>sel&1 == 1) {
+			t.Fatalf("mux tree wrong at data=%04b sel=%d", data, sel)
+		}
+	}
+}
+
+func TestRandomLogicDeterministicBySeed(t *testing.T) {
+	a := RandomLogic(8, 100, 7)
+	b := RandomLogic(8, 100, 7)
+	if a.NumNodes() != b.NumNodes() {
+		t.Error("RandomLogic not deterministic for equal seeds")
+	}
+	if a.NumAnds() < 100 {
+		t.Errorf("RandomLogic produced %d ANDs, want ≥ 100", a.NumAnds())
+	}
+}
+
+func TestUniformRandomAndConsecutive(t *testing.T) {
+	u := UniformRandom(6, 100, 1)
+	if len(u) != 100 {
+		t.Fatal("wrong count")
+	}
+	for _, f := range u {
+		if f.NumVars() != 6 {
+			t.Fatal("wrong arity")
+		}
+	}
+	c := Consecutive(5, 50, 1)
+	// Consecutive encodings differ by 1 in their integer value.
+	for i := 1; i < len(c); i++ {
+		prev := c[i-1].Words()[0]
+		cur := c[i].Words()[0]
+		if cur != (prev+1)&tt.WordMask(5) {
+			t.Fatalf("consecutive encoding broken at %d: %x -> %x", i, prev, cur)
+		}
+	}
+	// Multi-word carry: force a boundary crossing at n=7.
+	c7 := Consecutive(7, 10, 3)
+	if len(c7) != 10 {
+		t.Fatal("consecutive n=7 count wrong")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	a := tt.MustFromHex(3, "e8")
+	fs := []*tt.TT{a, a.Clone(), tt.MustFromHex(3, "f0"), a.Clone()}
+	d := Dedup(fs)
+	if len(d) != 2 {
+		t.Fatalf("dedup kept %d, want 2", len(d))
+	}
+	if !d[0].Equal(a) {
+		t.Error("dedup reordered inputs")
+	}
+}
+
+func TestCircuitWorkload(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		fs := CircuitWorkload(n, 8, 42)
+		if len(fs) < 50 {
+			t.Errorf("workload at n=%d too small: %d", n, len(fs))
+		}
+		seen := map[string]bool{}
+		for _, f := range fs {
+			if f.NumVars() != n || f.SupportSize() != n {
+				t.Fatalf("workload function wrong shape at n=%d", n)
+			}
+			if seen[f.Hex()] {
+				t.Fatalf("duplicate in workload at n=%d", n)
+			}
+			seen[f.Hex()] = true
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/aig"
+	"repro/internal/cut"
+	"repro/internal/tt"
+)
+
+// UniformRandom returns count truth tables of n variables drawn uniformly.
+func UniformRandom(n, count int, seed int64) []*tt.TT {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tt.TT, count)
+	for i := range out {
+		out[i] = tt.Random(n, rng)
+	}
+	return out
+}
+
+// Consecutive returns count truth tables of n variables whose table values
+// are consecutive binary encodings starting from a random base — the Fig. 5
+// workload ("truth tables in consecutive binary encoding").
+func Consecutive(n, count int, seed int64) []*tt.TT {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tt.TT, count)
+	nw := 1
+	if n > 6 {
+		nw = 1 << (n - 6)
+	}
+	seq := make([]uint64, nw)
+	for i := range seq {
+		seq[i] = rng.Uint64()
+	}
+	for i := range out {
+		f := tt.New(n)
+		f.SetSeqValue(seq)
+		out[i] = f
+		// Increment the multi-word little-endian counter.
+		for w := 0; w < nw; w++ {
+			seq[w]++
+			if seq[w] != 0 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Dedup removes duplicate truth tables, preserving first-seen order — the
+// paper's "we deleted the Boolean functions of the same truth table".
+func Dedup(fs []*tt.TT) []*tt.TT {
+	seen := make(map[string]bool, len(fs))
+	out := fs[:0:0]
+	for _, f := range fs {
+		k := f.Hex()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// Suite returns the synthetic EPFL-like circuit suite used by the
+// experiments: arithmetic circuits plus random/control logic. seed varies
+// the random members.
+func Suite(seed int64) []*aig.AIG {
+	return []*aig.AIG{
+		RippleCarryAdder(8),
+		RippleCarryAdder(16),
+		CarryLookaheadAdder(12),
+		ArrayMultiplier(5),
+		ArrayMultiplier(6),
+		ArrayMultiplier(8),
+		BarrelShifter(16),
+		BarrelShifter(32),
+		Comparator(10),
+		MajorityTree(2),
+		Voter(3),
+		Voter(4),
+		ParityTree(12),
+		MuxTree(4),
+		Decoder(5),
+		PriorityEncoder(12),
+		ALUSlice(6),
+		ALUSlice(8),
+		RandomLogic(12, 400, seed),
+		RandomLogic(16, 900, seed+1),
+		RandomLogic(10, 250, seed+2),
+		RandomLogic(20, 2500, seed+3),
+		RandomLogic(14, 1200, seed+4),
+	}
+}
+
+// CircuitWorkload harvests deduplicated n-variable cut functions from the
+// synthetic suite. maxPerNode bounds the priority cuts kept per node
+// (0 = default). Cuts up to one leaf larger than n are enumerated so that
+// functions whose support collapses to n are captured too.
+func CircuitWorkload(n int, maxPerNode int, seed int64) []*tt.TT {
+	k := n + 1
+	if k > tt.MaxVars {
+		k = n
+	}
+	var all []*tt.TT
+	for _, g := range Suite(seed) {
+		all = append(all, cut.Harvest(g, n, cut.Options{K: k, MaxPerNode: maxPerNode, PreferLarge: true})...)
+	}
+	return Dedup(all)
+}

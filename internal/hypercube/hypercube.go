@@ -1,0 +1,116 @@
+// Package hypercube provides the hypercube-graph view of Boolean functions
+// used throughout the paper's exposition (Figs. 1–4): a function f is the
+// subgraph of the n-cube Q_n induced by its 1-minterms (the "onset graph").
+// NPN transformations act on Q_n as automorphisms composed with complement,
+// so induced subgraphs of NPN-equivalent functions are isomorphic — every
+// graph invariant of the onset graph is an NPN signature. The package ties
+// the graph picture to the paper's point characteristics: the degree of a
+// 1-minterm X in the onset graph is exactly n − sen(f, X).
+package hypercube
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/tt"
+)
+
+// OnsetDegrees returns, for each 1-minterm of f in increasing minterm order,
+// its degree in the induced subgraph (number of adjacent 1-minterms).
+func OnsetDegrees(f *tt.TT) []int {
+	n := f.NumVars()
+	var deg []int
+	for x := 0; x < f.NumBits(); x++ {
+		if !f.Get(x) {
+			continue
+		}
+		d := 0
+		for i := 0; i < n; i++ {
+			if f.Get(x ^ 1<<uint(i)) {
+				d++
+			}
+		}
+		deg = append(deg, d)
+	}
+	return deg
+}
+
+// DegreeSequence returns the sorted degree multiset of the onset graph — a
+// graph invariant and hence an NPN signature (for fixed output phase).
+func DegreeSequence(f *tt.TT) []int {
+	deg := OnsetDegrees(f)
+	sort.Ints(deg)
+	return deg
+}
+
+// EdgeCount returns the number of edges of the onset graph. Each edge joins
+// two adjacent 1-minterms; the count equals (Σ_i (|f| - inf'(f,i)))/... —
+// directly: half the sum of onset degrees.
+func EdgeCount(f *tt.TT) int {
+	total := 0
+	for _, d := range OnsetDegrees(f) {
+		total += d
+	}
+	return total / 2
+}
+
+// Components returns the sizes of the connected components of the onset
+// graph, sorted ascending — another invariant usable as a signature.
+func Components(f *tt.TT) []int {
+	n := f.NumVars()
+	size := f.NumBits()
+	visited := make([]bool, size)
+	var sizes []int
+	stack := make([]int, 0, 64)
+	for s := 0; s < size; s++ {
+		if !f.Get(s) || visited[s] {
+			continue
+		}
+		count := 0
+		stack = append(stack[:0], s)
+		visited[s] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			count++
+			for i := 0; i < n; i++ {
+				y := x ^ 1<<uint(i)
+				if f.Get(y) && !visited[y] {
+					visited[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+		sizes = append(sizes, count)
+	}
+	sort.Ints(sizes)
+	return sizes
+}
+
+// IsConnected reports whether the onset graph is connected (constant-0 is
+// vacuously connected).
+func IsConnected(f *tt.TT) bool {
+	return len(Components(f)) <= 1
+}
+
+// DistanceDistribution returns, for the onset vertices, the number of
+// unordered pairs at each Hamming distance j = 1..n (index j-1). This is
+// the same quantity the OSDV uses per sensitivity class, here over the whole
+// onset.
+func DistanceDistribution(f *tt.TT) []int {
+	n := f.NumVars()
+	var points []int
+	for x := 0; x < f.NumBits(); x++ {
+		if f.Get(x) {
+			points = append(points, x)
+		}
+	}
+	out := make([]int, n)
+	for a := 0; a < len(points); a++ {
+		for b := a + 1; b < len(points); b++ {
+			j := bits.OnesCount(uint(points[a] ^ points[b]))
+			out[j-1]++
+		}
+	}
+	return out
+}

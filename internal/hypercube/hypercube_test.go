@@ -1,0 +1,130 @@
+package hypercube
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/sig"
+	"repro/internal/tt"
+)
+
+func TestDegreeVsSensitivity(t *testing.T) {
+	// For every 1-minterm X: onset degree = n - sen(f, X). This is the
+	// paper's bridge between the graph view and the point characteristic.
+	rng := rand.New(rand.NewSource(120))
+	for n := 1; n <= 8; n++ {
+		for rep := 0; rep < 5; rep++ {
+			f := tt.Random(n, rng)
+			degIdx := 0
+			for x := 0; x < f.NumBits(); x++ {
+				if !f.Get(x) {
+					continue
+				}
+				deg := OnsetDegrees(f)[degIdx]
+				degIdx++
+				if deg != n-sig.LocalSensitivity(f, x) {
+					t.Fatalf("degree %d != n - sen = %d at x=%d (n=%d)", deg, n-sig.LocalSensitivity(f, x), x, n)
+				}
+			}
+		}
+	}
+}
+
+func TestMajorityOnsetGraph(t *testing.T) {
+	maj := tt.MustFromHex(3, "e8")
+	// Onset = {011,101,110,111}: 111 adjacent to the other three; they are
+	// pairwise non-adjacent. Degrees sorted: 1,1,1,3. Edges: 3. Connected.
+	if got := DegreeSequence(maj); !reflect.DeepEqual(got, []int{1, 1, 1, 3}) {
+		t.Errorf("majority degree sequence = %v", got)
+	}
+	if EdgeCount(maj) != 3 {
+		t.Errorf("majority edges = %d", EdgeCount(maj))
+	}
+	if !IsConnected(maj) {
+		t.Error("majority onset must be connected")
+	}
+	if got := Components(maj); !reflect.DeepEqual(got, []int{4}) {
+		t.Errorf("majority components = %v", got)
+	}
+}
+
+func TestParityOnsetIsIsolatedVertices(t *testing.T) {
+	// Parity's 1-minterms are pairwise at distance ≥ 2: the onset graph has
+	// no edges and 2^(n-1) singleton components.
+	for n := 2; n <= 6; n++ {
+		p := tt.FromFunc(n, func(x int) bool {
+			v := 0
+			for b := 0; b < n; b++ {
+				v ^= x >> b & 1
+			}
+			return v == 1
+		})
+		if EdgeCount(p) != 0 {
+			t.Errorf("parity onset has edges at n=%d", n)
+		}
+		comp := Components(p)
+		if len(comp) != 1<<(n-1) {
+			t.Errorf("parity components = %d, want %d", len(comp), 1<<(n-1))
+		}
+	}
+}
+
+func TestInvariantsUnderNPTransforms(t *testing.T) {
+	// Degree sequence, component sizes and distance distribution must be
+	// invariant under input negation/permutation (output fixed).
+	rng := rand.New(rand.NewSource(121))
+	for rep := 0; rep < 30; rep++ {
+		n := 2 + rng.Intn(5)
+		f := tt.Random(n, rng)
+		tr := npn.RandomTransform(n, rng)
+		tr.OutNeg = false
+		g := tr.Apply(f)
+		if !reflect.DeepEqual(DegreeSequence(f), DegreeSequence(g)) {
+			t.Fatal("degree sequence not NP-invariant")
+		}
+		if !reflect.DeepEqual(Components(f), Components(g)) {
+			t.Fatal("component sizes not NP-invariant")
+		}
+		if !reflect.DeepEqual(DistanceDistribution(f), DistanceDistribution(g)) {
+			t.Fatal("distance distribution not NP-invariant")
+		}
+	}
+}
+
+func TestEdgeCountMatchesInfluenceIdentity(t *testing.T) {
+	// Σ_i |{X : f sensitive at i}| counts the boundary edges between onset
+	// and offset. Total cube edges incident to onset = Σ degrees(onset) +
+	// boundary = n·|f| ... verify: onset-internal edges = (n·|f| − 2·Σ_i inf(f,i))/2.
+	rng := rand.New(rand.NewSource(122))
+	for n := 1; n <= 8; n++ {
+		f := tt.Random(n, rng)
+		e := sig.NewEngine(n)
+		boundary := 0
+		for i := 0; i < n; i++ {
+			boundary += 2 * e.Influence(f, i) // sensitive words, both sides
+		}
+		// Each boundary adjacency involves one onset endpoint.
+		onsetBoundary := boundary / 2
+		internal := (n*f.CountOnes() - onsetBoundary) / 2
+		if got := EdgeCount(f); got != internal {
+			t.Fatalf("edge count %d != influence identity %d (n=%d)", got, internal, n)
+		}
+	}
+}
+
+func TestDistanceDistributionEmptyAndFull(t *testing.T) {
+	zero := tt.New(3)
+	if got := DistanceDistribution(zero); !reflect.DeepEqual(got, []int{0, 0, 0}) {
+		t.Errorf("const0 distance distribution = %v", got)
+	}
+	one := tt.Const(3, true)
+	// All 28 pairs of Q3: 12 at distance 1, 12 at 2, 4 at 3.
+	if got := DistanceDistribution(one); !reflect.DeepEqual(got, []int{12, 12, 4}) {
+		t.Errorf("const1 distance distribution = %v", got)
+	}
+	if !IsConnected(zero) {
+		t.Error("const0 vacuously connected")
+	}
+}

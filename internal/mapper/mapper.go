@@ -1,0 +1,239 @@
+// Package mapper implements cut-based k-LUT technology mapping over AIGs —
+// the paper's headline application: a mapper enumerates cuts, and NPN
+// classification of each cut function is what makes cell-library lookup
+// feasible (one pre-characterized implementation per class instead of per
+// function). The mapper here is the standard two-pass algorithm: a forward
+// pass chooses each node's best cut by arrival time (depth mode) or
+// area-flow (area mode); a backward pass covers the network from the
+// primary outputs. The result carries every chosen LUT's local function and
+// the NPN class census of the mapping.
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/aig"
+	"repro/internal/core"
+	"repro/internal/cut"
+	"repro/internal/tt"
+)
+
+// Mode selects the optimization objective.
+type Mode int
+
+const (
+	// Depth minimizes the LUT-level depth of the mapping.
+	Depth Mode = iota
+	// Area greedily minimizes area flow (a proxy for LUT count).
+	Area
+)
+
+// Options configures the mapper.
+type Options struct {
+	K           int // LUT size (cut width), 2..8 typical
+	CutsPerNode int // priority cuts kept per node (0 = 8)
+	Mode        Mode
+}
+
+// LUT is one lookup table of the mapping.
+type LUT struct {
+	Root     uint32   // AIG node implemented by this LUT
+	Leaves   []uint32 // AIG nodes feeding the LUT, in function variable order
+	Function *tt.TT   // local function of Root over Leaves
+	ClassKey uint64   // NPN class of the function (MSV hash)
+}
+
+// Result is a complete LUT mapping.
+type Result struct {
+	LUTs  []LUT
+	Depth int // LUT levels on the longest PO path
+	// Classes counts mapped LUT functions per NPN class key: the size of a
+	// cell library needed to implement the mapping.
+	Classes map[uint64]int
+	// Funcs counts distinct local functions before classification.
+	Funcs int
+}
+
+// Area returns the number of LUTs.
+func (r *Result) Area() int { return len(r.LUTs) }
+
+// NumClasses returns the NPN class census size.
+func (r *Result) NumClasses() int { return len(r.Classes) }
+
+// Map computes a k-LUT mapping of every primary output cone of g.
+func Map(g *aig.AIG, opt Options) (*Result, error) {
+	if opt.K < 2 || opt.K > tt.MaxVars {
+		return nil, fmt.Errorf("mapper: K=%d out of range", opt.K)
+	}
+	if opt.CutsPerNode <= 0 {
+		opt.CutsPerNode = 8
+	}
+	cuts := cut.Enumerate(g, cut.Options{K: opt.K, MaxPerNode: opt.CutsPerNode})
+
+	// Forward pass: best cut and label per node.
+	numNodes := g.NumNodes()
+	arrival := make([]int, numNodes)
+	flow := make([]float64, numNodes)
+	bestCut := make([]int, numNodes) // index into cuts[n]
+	for n := uint32(1 + g.NumPIs()); int(n) < numNodes; n++ {
+		bestArr, bestFlow, bestIdx := int(^uint(0)>>1), 0.0, -1
+		for ci, c := range cuts[n] {
+			if c.Size() == 1 && c.Leaves[0] == n {
+				continue // trivial self-cut cannot implement the node
+			}
+			arr := 0
+			fl := 1.0
+			for _, l := range c.Leaves {
+				if arrival[l] > arr {
+					arr = arrival[l]
+				}
+				fl += flow[l]
+			}
+			arr++
+			better := false
+			switch opt.Mode {
+			case Depth:
+				better = arr < bestArr || (arr == bestArr && fl < bestFlow)
+			case Area:
+				better = bestIdx == -1 || fl < bestFlow || (fl == bestFlow && arr < bestArr)
+			}
+			if bestIdx == -1 || better {
+				bestArr, bestFlow, bestIdx = arr, fl, ci
+			}
+		}
+		if bestIdx == -1 {
+			return nil, fmt.Errorf("mapper: node %d has no implementable cut", n)
+		}
+		arrival[n] = bestArr
+		flow[n] = bestFlow
+		bestCut[n] = bestIdx
+	}
+
+	// Backward pass: cover from the POs.
+	needed := make([]bool, numNodes)
+	var order []uint32
+	var visit func(n uint32)
+	visit = func(n uint32) {
+		if needed[n] || !g.IsAnd(n) {
+			return
+		}
+		needed[n] = true
+		order = append(order, n)
+		for _, l := range cuts[n][bestCut[n]].Leaves {
+			visit(l)
+		}
+	}
+	for _, po := range g.POs() {
+		visit(po.Node())
+	}
+
+	cls := core.New(opt.K, coreConfig())
+	res := &Result{Classes: make(map[uint64]int)}
+	funcs := make(map[string]bool)
+	for _, n := range order {
+		c := cuts[n][bestCut[n]]
+		f := cut.Function(g, n, c.Leaves)
+		// Pad to K variables so one classifier serves all LUTs.
+		fk := f
+		if f.NumVars() < opt.K {
+			fk = f.Extend(opt.K)
+		}
+		key := cls.Hash(fk)
+		res.LUTs = append(res.LUTs, LUT{Root: n, Leaves: c.Leaves, Function: f, ClassKey: key})
+		res.Classes[key]++
+		funcs[fk.Hex()] = true
+	}
+	res.Funcs = len(funcs)
+	for _, po := range g.POs() {
+		if n := po.Node(); g.IsAnd(n) && arrival[n] > res.Depth {
+			res.Depth = arrival[n]
+		}
+	}
+	return res, nil
+}
+
+func coreConfig() core.Config {
+	cfg := core.ConfigAll()
+	cfg.FastOSDV = true
+	return cfg
+}
+
+// Verify checks the mapping functionally and exhaustively: the global
+// function of every primary output of the LUT network must equal the
+// original AIG's. It requires the PI count to fit in a truth table
+// (≤ tt.MaxVars); use VerifySampled beyond that.
+func Verify(g *aig.AIG, r *Result) error {
+	if g.NumPIs() > tt.MaxVars {
+		return fmt.Errorf("mapper: %d PIs exceed exhaustive verification limit %d; use VerifySampled", g.NumPIs(), tt.MaxVars)
+	}
+	// Global function of every mapped root via its LUT structure.
+	val := make(map[uint32]*tt.TT)
+	nPI := g.NumPIs()
+	for i := 0; i < nPI; i++ {
+		val[g.PI(i).Node()] = tt.Projection(nPI, i)
+	}
+	val[0] = tt.New(nPI)
+
+	var eval func(n uint32) (*tt.TT, error)
+	lutOf := make(map[uint32]*LUT)
+	for i := range r.LUTs {
+		lutOf[r.LUTs[i].Root] = &r.LUTs[i]
+	}
+	eval = func(n uint32) (*tt.TT, error) {
+		if v, ok := val[n]; ok {
+			return v, nil
+		}
+		l, ok := lutOf[n]
+		if !ok {
+			return nil, fmt.Errorf("mapper: node %d not covered by any LUT", n)
+		}
+		// Compose: substitute each leaf's global function into the LUT's
+		// local function by Shannon-style evaluation over minterms.
+		leafFns := make([]*tt.TT, len(l.Leaves))
+		for i, leaf := range l.Leaves {
+			lf, err := eval(leaf)
+			if err != nil {
+				return nil, err
+			}
+			leafFns[i] = lf
+		}
+		out := tt.New(nPI)
+		for x := 0; x < out.NumBits(); x++ {
+			idx := 0
+			for i, lf := range leafFns {
+				if lf.Get(x) {
+					idx |= 1 << uint(i)
+				}
+			}
+			if l.Function.Get(idx) {
+				out.Set(x, true)
+			}
+		}
+		val[n] = out
+		return out, nil
+	}
+
+	for i, po := range g.POs() {
+		want := g.GlobalFunc(po)
+		n := po.Node()
+		var got *tt.TT
+		if g.IsAnd(n) {
+			v, err := eval(n)
+			if err != nil {
+				return err
+			}
+			got = v
+		} else if g.IsPI(n) {
+			got = tt.Projection(nPI, int(n-1))
+		} else {
+			got = tt.New(nPI) // constant node
+		}
+		if po.Compl() {
+			got = got.Not()
+		}
+		if !got.Equal(want) {
+			return fmt.Errorf("mapper: PO %d function mismatch after mapping", i)
+		}
+	}
+	return nil
+}

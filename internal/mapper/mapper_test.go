@@ -1,0 +1,149 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/gen"
+)
+
+func TestMapAndVerifyArithmetic(t *testing.T) {
+	circuits := map[string]func() *aig.AIG{
+		"adder8":  func() *aig.AIG { return gen.RippleCarryAdder(8) },
+		"mult4":   func() *aig.AIG { return gen.ArrayMultiplier(4) },
+		"cmp6":    func() *aig.AIG { return gen.Comparator(6) },
+		"alu4":    func() *aig.AIG { return gen.ALUSlice(4) },
+		"shift8":  func() *aig.AIG { return gen.BarrelShifter(8) },
+		"parity9": func() *aig.AIG { return gen.ParityTree(9) },
+	}
+	for name, mk := range circuits {
+		for _, k := range []int{4, 6} {
+			g := mk()
+			r, err := Map(g, Options{K: k, Mode: Depth})
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if r.Area() == 0 {
+				t.Fatalf("%s k=%d: empty mapping", name, k)
+			}
+			if err := Verify(g, r); err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			// Classification must compress the library: classes ≤ functions.
+			if r.NumClasses() > r.Funcs {
+				t.Fatalf("%s k=%d: %d classes > %d functions", name, k, r.NumClasses(), r.Funcs)
+			}
+		}
+	}
+}
+
+func TestDepthVsAreaMode(t *testing.T) {
+	g := gen.ArrayMultiplier(5)
+	depth, err := Map(g, Options{K: 5, Mode: Depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	area, err := Map(g, Options{K: 5, Mode: Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, depth); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, area); err != nil {
+		t.Fatal(err)
+	}
+	// Depth mode must not be deeper than area mode.
+	if depth.Depth > area.Depth {
+		t.Errorf("depth mode deeper (%d) than area mode (%d)", depth.Depth, area.Depth)
+	}
+	// Area mode should not use more LUTs than depth mode (usually fewer).
+	if area.Area() > depth.Area()*2 {
+		t.Errorf("area mode used %d LUTs vs depth mode %d", area.Area(), depth.Area())
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	// A parity tree of 16 inputs maps into 6-LUTs with depth 2
+	// (16 = 6·... first level covers ≤6 inputs: depth ≥ 2; mapper must hit 2).
+	g := gen.ParityTree(16)
+	r, err := Map(g, Options{K: 6, Mode: Depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Depth > 3 {
+		t.Errorf("parity16 mapped to depth %d, expected ≤ 3", r.Depth)
+	}
+	if err := Verify(g, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassCensusCompression(t *testing.T) {
+	// A multiplier's mapping should reuse classes heavily: the census must
+	// be far smaller than the LUT count.
+	g := gen.ArrayMultiplier(6)
+	r, err := Map(g, Options{K: 4, Mode: Area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumClasses()*2 > r.Area() {
+		t.Errorf("little class reuse: %d classes for %d LUTs", r.NumClasses(), r.Area())
+	}
+}
+
+func TestVerifySampledLargeCircuit(t *testing.T) {
+	g := gen.RippleCarryAdder(16) // 32 PIs: beyond exhaustive verification
+	r, err := Map(g, Options{K: 6, Mode: Depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, r); err == nil {
+		t.Error("exhaustive verify must refuse 32 PIs")
+	}
+	if err := VerifySampled(g, r, 32, 7); err != nil {
+		t.Fatalf("sampled verification failed: %v", err)
+	}
+}
+
+func TestVerifySampledDetectsCorruption(t *testing.T) {
+	g := gen.ArrayMultiplier(5)
+	r, err := Map(g, Options{K: 5, Mode: Depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one LUT's function: verification must notice.
+	victim := &r.LUTs[len(r.LUTs)/2]
+	victim.Function = victim.Function.Not()
+	if err := VerifySampled(g, r, 8, 3); err == nil {
+		t.Error("sampled verification missed a corrupted LUT")
+	}
+	if err := Verify(g, r); err == nil {
+		t.Error("exhaustive verification missed a corrupted LUT")
+	}
+}
+
+func TestVerifyDetectsMissingLUT(t *testing.T) {
+	g := gen.Comparator(4)
+	r, err := Map(g, Options{K: 4, Mode: Depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a LUT whose root is a PO cone member: coverage hole.
+	r.LUTs = r.LUTs[:len(r.LUTs)-1]
+	errV := Verify(g, r)
+	errS := VerifySampled(g, r, 4, 4)
+	if errV == nil && errS == nil {
+		t.Error("verification missed a coverage hole")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	g := gen.RippleCarryAdder(2)
+	if _, err := Map(g, Options{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := Map(g, Options{K: 99}); err == nil {
+		t.Error("K=99 accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package match
+
+import (
+	"repro/internal/core"
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+// ExactResult describes an exact NPN classification.
+type ExactResult struct {
+	// ClassOf[i] is the exact class id of input i (dense from 0).
+	ClassOf []int
+	// NumClasses is the number of exact NPN classes.
+	NumClasses int
+	// Comparisons counts pairwise matcher invocations, a measure of how much
+	// residual work the signature bucketing left.
+	Comparisons int
+}
+
+// ExactClassify computes the exact NPN classification of a list of
+// n-variable functions. For n ≤ npn.MaxExactVars it uses exhaustive
+// canonicalization directly. For larger n it first buckets by the strict
+// all-signature MSV (a coarsening that never splits true classes) and then
+// refines each bucket with the pairwise matcher, comparing each function
+// against one representative per discovered class.
+func ExactClassify(fs []*tt.TT) *ExactResult {
+	r := &ExactResult{ClassOf: make([]int, len(fs))}
+	if len(fs) == 0 {
+		return r
+	}
+	n := fs[0].NumVars()
+	for _, f := range fs {
+		if f.NumVars() != n {
+			panic("match: ExactClassify requires uniform arity")
+		}
+	}
+
+	if n <= npn.MaxExactVars {
+		ids := make(map[uint64]int)
+		for i, f := range fs {
+			canon := npn.CanonWord(f.Word(), n)
+			id, ok := ids[canon]
+			if !ok {
+				id = len(ids)
+				ids[canon] = id
+			}
+			r.ClassOf[i] = id
+		}
+		r.NumClasses = len(ids)
+		return r
+	}
+
+	// Bucket by the strict MSV: functions in different buckets are provably
+	// inequivalent, so the matcher only runs within buckets.
+	cfg := core.ConfigAll()
+	cfg.OSDVCombined = true
+	cfg.StrictKeys = true
+	cfg.FastOSDV = true
+	cls := core.New(n, cfg)
+	buckets := make(map[string][]int)
+	for i, f := range fs {
+		k := string(cls.KeyBytes(f))
+		buckets[k] = append(buckets[k], i)
+	}
+
+	m := NewMatcher(n)
+	next := 0
+	for _, idx := range buckets {
+		// Representatives of the classes discovered inside this bucket.
+		var reps []int
+		for _, i := range idx {
+			assigned := false
+			for _, rep := range reps {
+				r.Comparisons++
+				if _, ok := m.Equivalent(fs[rep], fs[i]); ok {
+					r.ClassOf[i] = r.ClassOf[rep]
+					assigned = true
+					break
+				}
+			}
+			if !assigned {
+				r.ClassOf[i] = next
+				next++
+				reps = append(reps, i)
+			}
+		}
+	}
+	r.NumClasses = next
+	return r
+}
+
+// ExactClassCount returns only the number of exact NPN classes.
+func ExactClassCount(fs []*tt.TT) int { return ExactClassify(fs).NumClasses }

@@ -1,0 +1,190 @@
+// Package match decides exact NPN equivalence of truth tables by signature-
+// pruned backtracking, and builds exact NPN classifications of function
+// populations at arities where exhaustive canonicalization (internal/npn) is
+// no longer practical. It plays the role of ABC's exact classification
+// ("the exact version in [19]") that the paper uses as ground truth for
+// n > 6.
+//
+// The matcher searches for a transform τ with τ(f) = g. Output phase is
+// fixed first via satisfy counts (both phases are tried for balanced
+// functions); the variable mapping is then found by backtracking over
+// (variable, phase) assignments, pruned by 1-ary cofactor counts, influence
+// equality, and pairwise 2-ary cofactor counts against already-assigned
+// variables — all necessary conditions of PN equivalence, so pruning never
+// loses a witness. A full truth-table comparison confirms every complete
+// assignment, so the procedure is exact.
+package match
+
+import (
+	"repro/internal/npn"
+	"repro/internal/sig"
+	"repro/internal/tt"
+)
+
+// profile caches the per-function data the matcher prunes with.
+type profile struct {
+	f     *tt.TT
+	inf   []int           // influence per variable
+	cof1  [][2]int        // 1-ary cofactor counts per variable and value
+	cof2  [][][4]int      // 2-ary counts: cof2[i][j][vi|vj<<1], i < j
+	unate []sig.Unateness // per-variable unateness
+	n     int
+}
+
+func newProfile(f *tt.TT, eng *sig.Engine) *profile {
+	n := f.NumVars()
+	p := &profile{f: f, n: n}
+	p.inf = make([]int, n)
+	p.cof1 = make([][2]int, n)
+	p.unate = make([]sig.Unateness, n)
+	total := f.CountOnes()
+	for i := 0; i < n; i++ {
+		p.inf[i] = eng.Influence(f, i)
+		c1 := f.CofactorCount(i, true)
+		p.cof1[i] = [2]int{total - c1, c1}
+		p.unate[i] = sig.VarUnateness(f, i)
+	}
+	p.cof2 = make([][][4]int, n)
+	for i := 0; i < n; i++ {
+		p.cof2[i] = make([][4]int, n)
+		for j := i + 1; j < n; j++ {
+			c11 := f.CofactorCount2(i, true, j, true)
+			c10 := f.CofactorCount2(i, true, j, false)
+			c01 := f.CofactorCount2(i, false, j, true)
+			c00 := total - c11 - c10 - c01
+			p.cof2[i][j] = [4]int{c00, c10, c01, c11} // index vi | vj<<1
+		}
+	}
+	return p
+}
+
+// cof2At returns the 2-ary count for (var i = vi, var j = vj), any order.
+func (p *profile) cof2At(i, vi, j, vj int) int {
+	if i > j {
+		i, j, vi, vj = j, i, vj, vi
+	}
+	return p.cof2[i][j][vi|vj<<1]
+}
+
+// Matcher decides NPN equivalence for functions of a fixed arity, reusing
+// signature scratch across calls. Not safe for concurrent use.
+type Matcher struct {
+	n   int
+	eng *sig.Engine
+}
+
+// NewMatcher returns a matcher for n-variable functions.
+func NewMatcher(n int) *Matcher {
+	return &Matcher{n: n, eng: sig.NewEngine(n)}
+}
+
+// Equivalent reports whether f and g are NPN equivalent and, if so, returns
+// a witness transform τ with τ(f) = g.
+func (m *Matcher) Equivalent(f, g *tt.TT) (npn.Transform, bool) {
+	if f.NumVars() != m.n || g.NumVars() != m.n {
+		panic("match: arity mismatch")
+	}
+	onesF, onesG := f.CountOnes(), g.CountOnes()
+	size := f.NumBits()
+	// Candidate output phases: τ may complement the output, so |f| must
+	// equal |g| (no output negation) or 2^n - |g| (output negation).
+	if onesF != onesG && size-onesF != onesG {
+		return npn.Transform{}, false
+	}
+	if onesF == onesG {
+		if tr, ok := m.matchPN(f, g, false); ok {
+			return tr, true
+		}
+	}
+	if size-onesF == onesG {
+		if tr, ok := m.matchPN(f.Not(), g, true); ok {
+			return tr, true
+		}
+	}
+	return npn.Transform{}, false
+}
+
+// matchPN searches for a PN transform carrying fc into g; outNeg records
+// whether fc is the complemented phase of the original f, so the witness
+// reported upward already contains the output negation.
+func (m *Matcher) matchPN(fc, g *tt.TT, outNeg bool) (npn.Transform, bool) {
+	pf := newProfile(fc, m.eng)
+	pg := newProfile(g, m.eng)
+
+	n := m.n
+	assignVar := make([]int, n) // g-var i -> f-var
+	assignNeg := make([]int, n) // g-var i -> phase bit
+	used := 0
+
+	var search func(i int) bool
+	search = func(i int) bool {
+		if i == n {
+			// Final exact verification keeps the matcher sound even if a
+			// pruning rule were too weak. fc already carries the candidate
+			// output phase, so the check is a pure PN application.
+			inner := npn.Identity(n)
+			for k := 0; k < n; k++ {
+				inner.Perm[k] = uint8(assignVar[k])
+				inner.NegMask |= uint32(assignNeg[k]) << uint(k)
+			}
+			return inner.Apply(fc).Equal(g)
+		}
+		for j := 0; j < n; j++ {
+			if used>>uint(j)&1 == 1 {
+				continue
+			}
+			if pf.inf[j] != pg.inf[i] {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				// 1-ary: |g|x_i=v| must equal |fc|x_j=v⊕b|.
+				if pg.cof1[i][0] != pf.cof1[j][b] || pg.cof1[i][1] != pf.cof1[j][1^b] {
+					continue
+				}
+				// Unateness: g's variable i behaves like fc's variable j
+				// with the candidate phase applied.
+				want := pf.unate[j]
+				if b == 1 {
+					want = want.Negate()
+				}
+				if pg.unate[i] != want {
+					continue
+				}
+				// 2-ary against every already-assigned variable.
+				ok := true
+				for prev := 0; prev < i && ok; prev++ {
+					jp, bp := assignVar[prev], assignNeg[prev]
+					for vi := 0; vi < 2 && ok; vi++ {
+						for vp := 0; vp < 2; vp++ {
+							if pg.cof2At(i, vi, prev, vp) != pf.cof2At(j, vi^b, jp, vp^bp) {
+								ok = false
+								break
+							}
+						}
+					}
+				}
+				if !ok {
+					continue
+				}
+				assignVar[i], assignNeg[i] = j, b
+				used |= 1 << uint(j)
+				if search(i + 1) {
+					return true
+				}
+				used &^= 1 << uint(j)
+			}
+		}
+		return false
+	}
+
+	if search(0) {
+		tr := npn.Identity(n)
+		tr.OutNeg = outNeg
+		for k := 0; k < n; k++ {
+			tr.Perm[k] = uint8(assignVar[k])
+			tr.NegMask |= uint32(assignNeg[k]) << uint(k)
+		}
+		return tr, true
+	}
+	return npn.Transform{}, false
+}

@@ -1,0 +1,157 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+func TestEquivalentFindsWitness(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(80))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := NewMatcher(n)
+		f := tt.Random(n, rng)
+		g := npn.RandomTransform(n, rng).Apply(f)
+		tr, ok := m.Equivalent(f, g)
+		if !ok {
+			return false
+		}
+		// The witness must actually carry f into g.
+		return tr.Apply(f).Equal(g)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquivalentAgreesWithExactCanon(t *testing.T) {
+	// On random pairs (mostly inequivalent), matcher and exhaustive
+	// canonicalization must return the same verdict.
+	rng := rand.New(rand.NewSource(81))
+	for n := 2; n <= 5; n++ {
+		m := NewMatcher(n)
+		for rep := 0; rep < 200; rep++ {
+			f := tt.Random(n, rng)
+			g := tt.Random(n, rng)
+			want := npn.ExactCanon(f).Equal(npn.ExactCanon(g))
+			_, got := m.Equivalent(f, g)
+			if got != want {
+				t.Fatalf("matcher verdict %v, canon verdict %v (n=%d, f=%s, g=%s)",
+					got, want, n, f.Hex(), g.Hex())
+			}
+		}
+	}
+}
+
+func TestEquivalentSatisfyCountFastReject(t *testing.T) {
+	m := NewMatcher(4)
+	f := tt.FromFunc(4, func(x int) bool { return x == 0 })                     // |f|=1
+	g := tt.FromFunc(4, func(x int) bool { return x == 0 || x == 1 || x == 2 }) // |g|=3
+	if _, ok := m.Equivalent(f, g); ok {
+		t.Error("functions with incompatible satisfy counts matched")
+	}
+}
+
+func TestEquivalentBalancedOutputNegation(t *testing.T) {
+	// Balanced functions require trying both output phases.
+	rng := rand.New(rand.NewSource(82))
+	n := 4
+	m := NewMatcher(n)
+	found := 0
+	for found < 20 {
+		f := tt.Random(n, rng)
+		if !f.IsBalanced() {
+			continue
+		}
+		found++
+		tr := npn.RandomTransform(n, rng)
+		tr.OutNeg = true
+		g := tr.Apply(f)
+		w, ok := m.Equivalent(f, g)
+		if !ok {
+			t.Fatalf("balanced output-negated pair not matched (f=%s)", f.Hex())
+		}
+		if !w.Apply(f).Equal(g) {
+			t.Fatalf("witness does not verify (f=%s)", f.Hex())
+		}
+	}
+}
+
+func TestExactClassifySmallMatchesCanon(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	var fs []*tt.TT
+	for i := 0; i < 500; i++ {
+		fs = append(fs, tt.Random(4, rng))
+	}
+	r := ExactClassify(fs)
+	if r.NumClasses != npn.ClassCount(fs) {
+		t.Errorf("ExactClassify count %d != canon count %d", r.NumClasses, npn.ClassCount(fs))
+	}
+	// Partition must agree with canonical forms pairwise on a sample.
+	for rep := 0; rep < 300; rep++ {
+		i, j := rng.Intn(len(fs)), rng.Intn(len(fs))
+		same := r.ClassOf[i] == r.ClassOf[j]
+		want := npn.ExactCanon(fs[i]).Equal(npn.ExactCanon(fs[j]))
+		if same != want {
+			t.Fatalf("partition disagrees with canon on pair (%d,%d)", i, j)
+		}
+	}
+}
+
+func TestExactClassifyLargeArity(t *testing.T) {
+	// For n=7 (beyond exhaustive canonicalization) generate class structure
+	// we control: a few seed functions plus random transforms of them.
+	rng := rand.New(rand.NewSource(84))
+	n := 7
+	var fs []*tt.TT
+	seeds := 12
+	for s := 0; s < seeds; s++ {
+		f := tt.Random(n, rng)
+		fs = append(fs, f)
+		for k := 0; k < 6; k++ {
+			fs = append(fs, npn.RandomTransform(n, rng).Apply(f))
+		}
+	}
+	r := ExactClassify(fs)
+	if r.NumClasses > seeds {
+		t.Errorf("found %d classes, expected at most %d (transforms of %d seeds)", r.NumClasses, seeds, seeds)
+	}
+	// Every transform of a seed must share the seed's class.
+	per := len(fs) / seeds
+	for s := 0; s < seeds; s++ {
+		base := r.ClassOf[s*per]
+		for k := 1; k < per; k++ {
+			if r.ClassOf[s*per+k] != base {
+				t.Fatalf("transform image of seed %d separated from its seed", s)
+			}
+		}
+	}
+}
+
+func TestExactClassifyEmptyAndUniform(t *testing.T) {
+	r := ExactClassify(nil)
+	if r.NumClasses != 0 || len(r.ClassOf) != 0 {
+		t.Error("empty classify wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed arity accepted")
+		}
+	}()
+	ExactClassify([]*tt.TT{tt.New(3), tt.New(4)})
+}
+
+func TestMatcherArityCheck(t *testing.T) {
+	m := NewMatcher(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch not detected")
+		}
+	}()
+	m.Equivalent(tt.New(4), tt.New(5))
+}

@@ -1,0 +1,131 @@
+package npn
+
+import "repro/internal/tt"
+
+// MaxExactVars is the largest arity ExactCanon handles by full enumeration.
+// 6 variables means 2·2^6·6! = 92160 transforms per function, which matches
+// the kitty exact canonization the paper benchmarks against; beyond that the
+// paper itself switches to ABC's exact algorithm (our internal/match).
+const MaxExactVars = 6
+
+// ExactCanon returns the canonical representative of f's NPN class: the
+// lexicographically smallest truth table reachable by any NPN transform.
+// It panics if f has more than MaxExactVars variables.
+func ExactCanon(f *tt.TT) *tt.TT {
+	n := f.NumVars()
+	if n > MaxExactVars {
+		panic("npn: ExactCanon supports at most 6 variables; use match.ExactClassify for larger functions")
+	}
+	return tt.FromWord(n, CanonWord(f.Word(), n))
+}
+
+// CanonWord computes the canonical truth-table word for an n ≤ 6 variable
+// function. The transform group is walked with O(1) word updates: Heap's
+// algorithm turns permutation enumeration into a chain of single variable
+// swaps, and inside every permutation the 2^n input-phase combinations are
+// visited by a flip-undo recursion; output negation is folded into each
+// candidate check.
+func CanonWord(w uint64, n int) uint64 {
+	mask := tt.WordMask(n)
+	w &= mask
+	best := w
+	consider := func(v uint64) {
+		if v < best {
+			best = v
+		}
+		if c := ^v & mask; c < best {
+			best = c
+		}
+	}
+
+	var phases func(v uint64, k int)
+	phases = func(v uint64, k int) {
+		if k == n {
+			consider(v)
+			return
+		}
+		phases(v, k+1)
+		phases(tt.FlipVarWord(v, k), k+1)
+	}
+
+	// Heap's algorithm mutates a persistent state: inner recursions leave
+	// their swaps in place, which is exactly what makes every permutation
+	// reachable with a single swap per step.
+	cur := w
+	var heap func(k int)
+	heap = func(k int) {
+		if k <= 1 {
+			phases(cur, 0)
+			return
+		}
+		for i := 0; i < k-1; i++ {
+			heap(k - 1)
+			if k%2 == 0 {
+				cur = tt.SwapVarsWord(cur, i, k-1)
+			} else {
+				cur = tt.SwapVarsWord(cur, 0, k-1)
+			}
+		}
+		heap(k - 1)
+	}
+
+	heap(n)
+	return best
+}
+
+// ExactCanonSlow computes the same canonical form by materializing every
+// transform with Apply. It is the independent oracle the fast enumeration is
+// property-tested against; use it only on small arities.
+func ExactCanonSlow(f *tt.TT) *tt.TT {
+	n := f.NumVars()
+	best := f.Clone()
+	tr := Identity(n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			for i, p := range perm {
+				tr.Perm[i] = uint8(p)
+			}
+			for m := 0; m < 1<<n; m++ {
+				tr.NegMask = uint32(m)
+				for _, o := range []bool{false, true} {
+					tr.OutNeg = o
+					if g := tr.Apply(f); g.Less(best) {
+						best = g
+					}
+				}
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			permute(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	permute(0)
+	return best
+}
+
+// Equivalent reports whether f and g are NPN equivalent, decided by exact
+// canonical forms. Both must have the same arity, at most MaxExactVars.
+func Equivalent(f, g *tt.TT) bool {
+	if f.NumVars() != g.NumVars() {
+		return false
+	}
+	return ExactCanon(f).Equal(ExactCanon(g))
+}
+
+// ClassCount returns the number of distinct NPN classes in the list, using
+// exact canonical forms (n ≤ MaxExactVars).
+func ClassCount(fs []*tt.TT) int {
+	seen := make(map[uint64]struct{})
+	for _, f := range fs {
+		seen[CanonWord(f.Word(), f.NumVars())] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,110 @@
+package npn
+
+import "repro/internal/tt"
+
+// Group selects which transformations define equivalence. NPN is the
+// paper's setting; the coarser groups are standard in Boolean matching
+// (ABC exposes P- and NPN-classification side by side).
+type Group int
+
+const (
+	// GroupP: input permutations only.
+	GroupP Group = iota
+	// GroupN: input negations only.
+	GroupN
+	// GroupNP: input negations and permutations.
+	GroupNP
+	// GroupNPN: input negations, permutations, and output negation.
+	GroupNPN
+)
+
+// String names the group.
+func (g Group) String() string {
+	switch g {
+	case GroupP:
+		return "P"
+	case GroupN:
+		return "N"
+	case GroupNP:
+		return "NP"
+	default:
+		return "NPN"
+	}
+}
+
+func (g Group) permutes() bool { return g == GroupP || g == GroupNP || g == GroupNPN }
+func (g Group) negatesIn() bool {
+	return g == GroupN || g == GroupNP || g == GroupNPN
+}
+func (g Group) negatesOut() bool { return g == GroupNPN }
+
+// CanonWordGroup computes the canonical (lexicographically smallest) truth
+// table of an n ≤ 6 variable function under the chosen equivalence group,
+// by exhaustive enumeration with O(1) word steps (see CanonWord).
+func CanonWordGroup(w uint64, n int, g Group) uint64 {
+	mask := tt.WordMask(n)
+	w &= mask
+	best := w
+	consider := func(v uint64) {
+		if v < best {
+			best = v
+		}
+		if g.negatesOut() {
+			if c := ^v & mask; c < best {
+				best = c
+			}
+		}
+	}
+
+	var phases func(v uint64, k int)
+	phases = func(v uint64, k int) {
+		if !g.negatesIn() || k == n {
+			consider(v)
+			return
+		}
+		phases(v, k+1)
+		phases(tt.FlipVarWord(v, k), k+1)
+	}
+
+	if !g.permutes() {
+		phases(w, 0)
+		return best
+	}
+	cur := w
+	var heap func(k int)
+	heap = func(k int) {
+		if k <= 1 {
+			phases(cur, 0)
+			return
+		}
+		for i := 0; i < k-1; i++ {
+			heap(k - 1)
+			if k%2 == 0 {
+				cur = tt.SwapVarsWord(cur, i, k-1)
+			} else {
+				cur = tt.SwapVarsWord(cur, 0, k-1)
+			}
+		}
+		heap(k - 1)
+	}
+	heap(n)
+	return best
+}
+
+// CanonGroup is CanonWordGroup on truth tables.
+func CanonGroup(f *tt.TT, g Group) *tt.TT {
+	n := f.NumVars()
+	if n > MaxExactVars {
+		panic("npn: CanonGroup supports at most 6 variables")
+	}
+	return tt.FromWord(n, CanonWordGroup(f.Word(), n, g))
+}
+
+// ClassCountGroup counts distinct classes of the list under the group.
+func ClassCountGroup(fs []*tt.TT, g Group) int {
+	seen := make(map[uint64]struct{})
+	for _, f := range fs {
+		seen[CanonWordGroup(f.Word(), f.NumVars(), g)] = struct{}{}
+	}
+	return len(seen)
+}

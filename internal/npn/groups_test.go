@@ -1,0 +1,139 @@
+package npn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+// slowCanonGroup enumerates the group explicitly through Transform.Apply.
+func slowCanonGroup(f *tt.TT, g Group) *tt.TT {
+	n := f.NumVars()
+	best := f.Clone()
+	tr := Identity(n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	consider := func() {
+		for i, p := range perm {
+			tr.Perm[i] = uint8(p)
+		}
+		maxMask := 1
+		if g.negatesIn() {
+			maxMask = 1 << n
+		}
+		for m := 0; m < maxMask; m++ {
+			tr.NegMask = uint32(m)
+			outs := []bool{false}
+			if g.negatesOut() {
+				outs = []bool{false, true}
+			}
+			for _, o := range outs {
+				tr.OutNeg = o
+				if img := tr.Apply(f); img.Less(best) {
+					best = img
+				}
+			}
+		}
+	}
+	if !g.permutes() {
+		consider()
+		return best
+	}
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			consider()
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			permute(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	permute(0)
+	return best
+}
+
+func TestCanonGroupAgainstSlowOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(200))
+	groups := []Group{GroupP, GroupN, GroupNP, GroupNPN}
+	for n := 1; n <= 4; n++ {
+		for rep := 0; rep < 15; rep++ {
+			f := tt.Random(n, rng)
+			for _, g := range groups {
+				fast := CanonGroup(f, g)
+				slow := slowCanonGroup(f, g)
+				if !fast.Equal(slow) {
+					t.Fatalf("group %v: fast %s != slow %s (n=%d, f=%s)",
+						g, fast.Hex(), slow.Hex(), n, f.Hex())
+				}
+			}
+		}
+	}
+}
+
+func TestGroupHierarchy(t *testing.T) {
+	// Finer groups produce at least as many classes: NPN ≤ NP ≤ P and
+	// NP ≤ N over any population.
+	rng := rand.New(rand.NewSource(201))
+	var fs []*tt.TT
+	for i := 0; i < 3000; i++ {
+		fs = append(fs, tt.Random(4, rng))
+	}
+	p := ClassCountGroup(fs, GroupP)
+	nn := ClassCountGroup(fs, GroupN)
+	np := ClassCountGroup(fs, GroupNP)
+	npn := ClassCountGroup(fs, GroupNPN)
+	if !(npn <= np && np <= p && np <= nn) {
+		t.Errorf("hierarchy violated: P=%d N=%d NP=%d NPN=%d", p, nn, np, npn)
+	}
+	if npn != ClassCount(fs) {
+		t.Errorf("GroupNPN (%d) disagrees with ClassCount (%d)", npn, ClassCount(fs))
+	}
+}
+
+func TestGroupClassCountsFullUniverse(t *testing.T) {
+	// Exact class counts of all 16 two-variable functions, checkable by
+	// Burnside's lemma: P (group S2): (16+8)/2 = 12; N (group Z2²):
+	// (16+4+4+4)/4 = 7; NP: (16+4+4+4+8+4+4+8)/8 = 6; NPN = 4.
+	var fs []*tt.TT
+	for w := uint64(0); w < 16; w++ {
+		fs = append(fs, tt.FromWord(2, w))
+	}
+	want := map[Group]int{GroupP: 12, GroupN: 7, GroupNP: 6, GroupNPN: 4}
+	for g, expected := range want {
+		if got := ClassCountGroup(fs, g); got != expected {
+			t.Errorf("group %v classes = %d, want %d", g, got, expected)
+		}
+	}
+}
+
+func TestCanonGroupInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for rep := 0; rep < 40; rep++ {
+		n := 1 + rng.Intn(5)
+		f := tt.Random(n, rng)
+		// A pure permutation preserves the P-canonical form.
+		perm := rng.Perm(n)
+		g := f.Permute(perm)
+		if !CanonGroup(f, GroupP).Equal(CanonGroup(g, GroupP)) {
+			t.Fatal("P-canonical form not permutation invariant")
+		}
+		// A pure input negation preserves the N-canonical form.
+		h := f.FlipVar(rng.Intn(n))
+		if !CanonGroup(f, GroupN).Equal(CanonGroup(h, GroupN)) {
+			t.Fatal("N-canonical form not negation invariant")
+		}
+	}
+}
+
+func TestGroupStrings(t *testing.T) {
+	if GroupP.String() != "P" || GroupN.String() != "N" ||
+		GroupNP.String() != "NP" || GroupNPN.String() != "NPN" {
+		t.Error("group names wrong")
+	}
+}

@@ -1,0 +1,195 @@
+package npn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tt"
+)
+
+func TestIdentityApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for n := 1; n <= 8; n++ {
+		f := tt.Random(n, rng)
+		if !Identity(n).Apply(f).Equal(f) {
+			t.Errorf("identity transform changed table at n=%d", n)
+		}
+	}
+}
+
+func TestTransformValidate(t *testing.T) {
+	tr := Identity(3)
+	if err := tr.Validate(); err != nil {
+		t.Errorf("identity invalid: %v", err)
+	}
+	bad := tr
+	bad.Perm[1] = 0 // duplicate
+	if bad.Validate() == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	bad = tr
+	bad.Perm[2] = 7
+	if bad.Validate() == nil {
+		t.Error("out-of-range permutation accepted")
+	}
+	bad = tr
+	bad.NegMask = 1 << 3
+	if bad.Validate() == nil {
+		t.Error("out-of-range neg mask accepted")
+	}
+}
+
+func TestApplyAgainstPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for n := 2; n <= 7; n++ {
+		f := tt.Random(n, rng)
+		// Pure input negation of var i == FlipVar.
+		for i := 0; i < n; i++ {
+			tr := Identity(n)
+			tr.NegMask = 1 << uint(i)
+			if !tr.Apply(f).Equal(f.FlipVar(i)) {
+				t.Fatalf("neg transform != FlipVar at n=%d i=%d", n, i)
+			}
+		}
+		// Pure output negation == Not.
+		tr := Identity(n)
+		tr.OutNeg = true
+		if !tr.Apply(f).Equal(f.Not()) {
+			t.Fatalf("output negation != Not at n=%d", n)
+		}
+		// A transposition == SwapVars.
+		tr = Identity(n)
+		tr.Perm[0], tr.Perm[n-1] = uint8(n-1), 0
+		if !tr.Apply(f).Equal(f.SwapVars(0, n-1)) {
+			t.Fatalf("transposition != SwapVars at n=%d", n)
+		}
+	}
+}
+
+func TestComposeMatchesSequentialApply(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(62))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		f := tt.Random(n, rng)
+		t1 := RandomTransform(n, rng)
+		t2 := RandomTransform(n, rng)
+		composed := t1.Compose(t2)
+		if composed.Validate() != nil {
+			return false
+		}
+		return composed.Apply(f).Equal(t2.Apply(t1.Apply(f)))
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(63))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		f := tt.Random(n, rng)
+		tr := RandomTransform(n, rng)
+		inv := tr.Invert()
+		if inv.Validate() != nil {
+			return false
+		}
+		return inv.Apply(tr.Apply(f)).Equal(f) && tr.Apply(inv.Apply(f)).Equal(f)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactCanonFixedPoints(t *testing.T) {
+	// Constants and single variables are canonical class representatives.
+	zero := tt.New(3)
+	if !ExactCanon(zero).IsConst0() {
+		t.Error("canon of const0 not const0")
+	}
+	one := tt.Const(3, true)
+	if !ExactCanon(one).IsConst0() {
+		t.Error("canon of const1 must be const0 (output negation)")
+	}
+}
+
+func TestExactCanonInvariance(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(64))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		f := tt.Random(n, rng)
+		g := RandomTransform(n, rng).Apply(f)
+		cf, cg := ExactCanon(f), ExactCanon(g)
+		// Canonical forms of NPN-equivalent functions must coincide, and the
+		// canonical form is itself in the class (idempotence).
+		return cf.Equal(cg) && ExactCanon(cf).Equal(cf)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactCanonAgainstSlowOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for n := 0; n <= 4; n++ {
+		for rep := 0; rep < 25; rep++ {
+			f := tt.Random(n, rng)
+			if !ExactCanon(f).Equal(ExactCanonSlow(f)) {
+				t.Fatalf("fast canon %s != slow canon %s (n=%d, f=%s)",
+					ExactCanon(f).Hex(), ExactCanonSlow(f).Hex(), n, f.Hex())
+			}
+		}
+	}
+}
+
+func TestKnownClassCounts(t *testing.T) {
+	// The number of NPN classes of all n-variable functions is a classical
+	// sequence: 2 (n=1... counting over all 2^2 functions), 4 (n=2),
+	// 14 (n=3). Enumerate every function and count classes.
+	want := map[int]int{1: 2, 2: 4, 3: 14}
+	for n := 1; n <= 3; n++ {
+		seen := make(map[uint64]struct{})
+		for w := uint64(0); w < 1<<(1<<n); w++ {
+			seen[CanonWord(w, n)] = struct{}{}
+		}
+		if len(seen) != want[n] {
+			t.Errorf("NPN classes of all %d-var functions = %d, want %d", n, len(seen), want[n])
+		}
+	}
+}
+
+func TestEquivalentAndClassCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	f := tt.Random(4, rng)
+	g := RandomTransform(4, rng).Apply(f)
+	if !Equivalent(f, g) {
+		t.Error("transform image not equivalent to original")
+	}
+	// XOR and AND of 2 variables are not NPN equivalent.
+	xor2 := tt.MustFromHex(2, "6")
+	and2 := tt.MustFromHex(2, "8")
+	if Equivalent(xor2, and2) {
+		t.Error("xor2 equivalent to and2")
+	}
+	if Equivalent(xor2, tt.Random(3, rng)) {
+		t.Error("different arities must not be equivalent")
+	}
+	fs := []*tt.TT{xor2, and2, xor2.Not(), and2.FlipVar(0)}
+	if got := ClassCount(fs); got != 2 {
+		t.Errorf("ClassCount = %d, want 2", got)
+	}
+}
+
+func TestTransformString(t *testing.T) {
+	tr := Identity(3)
+	tr.OutNeg = true
+	tr.NegMask = 0b011
+	s := tr.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,71 @@
+package npn
+
+import "repro/internal/tt"
+
+// SiftCanon computes a semi-canonical form of f by greedy hill climbing
+// over single NPN moves: output negation, single input negations, and
+// adjacent transpositions, accepting any move that lexicographically lowers
+// the truth table, until a local minimum is reached. This is the
+// kitty-style "sifting" canonization [Soeken et al., SAT'16]: it works for
+// any arity (unlike exhaustive canonicalization), is orders of magnitude
+// cheaper, stays inside the NPN class, but different class members may
+// settle in different local minima — so bucketing by it over-splits, like
+// the other heuristic canonical forms.
+func SiftCanon(f *tt.TT) *tt.TT {
+	best := siftPhase(f)
+	// Alternate output phases until neither descends further; the table
+	// strictly decreases on every accepted round, so this terminates, and
+	// the result is a fixpoint of the whole procedure (idempotent).
+	for {
+		c := siftPhase(best.Not())
+		if !c.Less(best) {
+			return best
+		}
+		best = c
+	}
+}
+
+// siftPhase hill-climbs one output phase to a local minimum. The move set
+// follows kitty's sifting: per adjacent variable pair, all combinations of
+// transposition and the two input negations; plus single input negations.
+func siftPhase(f *tt.TT) *tt.TT {
+	best := f.Clone()
+	n := f.NumVars()
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < n; i++ {
+			if c := best.FlipVar(i); c.Less(best) {
+				best = c
+				improved = true
+			}
+		}
+		for i := 0; i+1 < n; i++ {
+			for move := 1; move < 8; move++ {
+				c := best.Clone()
+				if move&1 != 0 {
+					c.SwapVarsInPlace(i, i+1)
+				}
+				if move&2 != 0 {
+					c.FlipVarInPlace(i)
+				}
+				if move&4 != 0 {
+					c.FlipVarInPlace(i + 1)
+				}
+				if c.Less(best) {
+					best = c
+					improved = true
+				}
+			}
+		}
+	}
+	return best
+}
+
+// SiftClassCount buckets functions by their sifting semi-canonical form.
+func SiftClassCount(fs []*tt.TT) int {
+	seen := make(map[string]struct{})
+	for _, f := range fs {
+		seen[SiftCanon(f).Hex()] = struct{}{}
+	}
+	return len(seen)
+}

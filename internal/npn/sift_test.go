@@ -1,0 +1,65 @@
+package npn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestSiftCanonStaysInClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	for n := 1; n <= 6; n++ {
+		for rep := 0; rep < 20; rep++ {
+			f := tt.Random(n, rng)
+			s := SiftCanon(f)
+			if !Equivalent(f, s) {
+				t.Fatalf("sifting left the NPN class (n=%d, f=%s -> %s)", n, f.Hex(), s.Hex())
+			}
+			// Local minimum: no single move improves further (idempotence).
+			if !SiftCanon(s).Equal(s) {
+				t.Fatalf("sifting not idempotent (n=%d)", n)
+			}
+			// Never above the exact canonical form, never above the input.
+			if s.Compare(f) > 0 {
+				t.Fatalf("sifting increased the table (n=%d)", n)
+			}
+			if s.Less(ExactCanon(f)) {
+				t.Fatalf("sifting went below the class minimum (n=%d)", n)
+			}
+		}
+	}
+}
+
+func TestSiftCanonWorksBeyondSixVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for _, n := range []int{7, 9} {
+		f := tt.Random(n, rng)
+		s := SiftCanon(f)
+		if s.Compare(f) > 0 {
+			t.Fatalf("sifting increased the table at n=%d", n)
+		}
+		if s.NumVars() != n {
+			t.Fatal("arity changed")
+		}
+	}
+}
+
+func TestSiftClassCountBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	n := 4
+	var fs []*tt.TT
+	for i := 0; i < 800; i++ {
+		f := tt.Random(n, rng)
+		fs = append(fs, f, RandomTransform(n, rng).Apply(f))
+	}
+	exact := ClassCount(fs)
+	sift := SiftClassCount(fs)
+	if sift < exact {
+		t.Fatalf("sifting merged inequivalent functions: %d < exact %d", sift, exact)
+	}
+	// It should still identify the vast majority of transform pairs.
+	if sift > exact*2 {
+		t.Errorf("sifting too inaccurate: %d vs exact %d", sift, exact)
+	}
+}

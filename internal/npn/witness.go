@@ -1,0 +1,47 @@
+package npn
+
+import "repro/internal/tt"
+
+// CanonWithWitness returns the exact canonical form of f together with a
+// transform τ such that τ(f) equals the canonical form. It enumerates the
+// transform group explicitly (n ≤ MaxExactVars); use ExactCanon when only
+// the form is needed — it is substantially faster.
+func CanonWithWitness(f *tt.TT) (*tt.TT, Transform) {
+	n := f.NumVars()
+	if n > MaxExactVars {
+		panic("npn: CanonWithWitness supports at most 6 variables")
+	}
+	best := f.Clone()
+	bestTr := Identity(n)
+	tr := Identity(n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var permute func(k int)
+	permute = func(k int) {
+		if k == n {
+			for i, p := range perm {
+				tr.Perm[i] = uint8(p)
+			}
+			for m := 0; m < 1<<n; m++ {
+				tr.NegMask = uint32(m)
+				for _, o := range []bool{false, true} {
+					tr.OutNeg = o
+					if g := tr.Apply(f); g.Less(best) {
+						best = g
+						bestTr = tr
+					}
+				}
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			permute(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	permute(0)
+	return best, bestTr
+}

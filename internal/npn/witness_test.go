@@ -1,0 +1,36 @@
+package npn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestCanonWithWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	for n := 1; n <= 4; n++ {
+		for rep := 0; rep < 20; rep++ {
+			f := tt.Random(n, rng)
+			canon, w := CanonWithWitness(f)
+			if !canon.Equal(ExactCanon(f)) {
+				t.Fatalf("witness canon disagrees with fast canon (n=%d)", n)
+			}
+			if !w.Apply(f).Equal(canon) {
+				t.Fatalf("witness does not produce the canonical form (n=%d)", n)
+			}
+			if err := w.Validate(); err != nil {
+				t.Fatalf("witness invalid: %v", err)
+			}
+		}
+	}
+}
+
+func TestCanonWithWitnessRejectsLargeArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("n=7 accepted")
+		}
+	}()
+	CanonWithWitness(tt.New(7))
+}

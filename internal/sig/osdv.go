@@ -1,0 +1,108 @@
+package sig
+
+import (
+	"math/bits"
+
+	"repro/internal/tt"
+)
+
+// SDV is a sensitivity distance vector (Definition 10): SDV[i][j-1] = δij is
+// the number of unordered minterm pairs (X, Y), X < Y, with equal local
+// sensitivity sen(f,X) = sen(f,Y) = i and Hamming distance h(X, Y) = j.
+// Rows run over sensitivity values 0..n, columns over distances 1..n.
+type SDV [][]int
+
+func newSDV(n int) SDV {
+	s := make(SDV, n+1)
+	for i := range s {
+		s[i] = make([]int, n)
+	}
+	return s
+}
+
+// Flatten returns the row-major flattening (σ0, σ1, ..., σn) the paper
+// prints in Table I.
+func (s SDV) Flatten() []int {
+	var v []int
+	for _, row := range s {
+		v = append(v, row...)
+	}
+	return v
+}
+
+// Equal reports elementwise equality.
+func (s SDV) Equal(o SDV) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if len(s[i]) != len(o[i]) {
+			return false
+		}
+		for j := range s[i] {
+			if s[i][j] != o[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Less orders SDVs lexicographically in row-major order; used to place the
+// smaller of (OSDV0, OSDV1) first for balanced functions (Theorem 4).
+func (s SDV) Less(o SDV) bool {
+	for i := range s {
+		for j := range s[i] {
+			if s[i][j] != o[i][j] {
+				return s[i][j] < o[i][j]
+			}
+		}
+	}
+	return false
+}
+
+// OSDV returns the ordered sensitivity distance vector over all minterms.
+func (e *Engine) OSDV(f *tt.TT) SDV {
+	sen := e.SenProfile(f)
+	return pairDistances(e.n, classLists(e.n, sen, nil, false))
+}
+
+// OSDV01 returns the ordered 0-sensitivity and 1-sensitivity distance
+// vectors (pairs restricted to 0-minterms and to 1-minterms respectively).
+func (e *Engine) OSDV01(f *tt.TT) (d0, d1 SDV) {
+	sen := e.SenProfile(f)
+	d0 = pairDistances(e.n, classLists(e.n, sen, f, false))
+	d1 = pairDistances(e.n, classLists(e.n, sen, f, true))
+	return d0, d1
+}
+
+// classLists buckets minterm indices by local sensitivity. If f is non-nil,
+// only minterms with f(x) == val are included.
+func classLists(n int, sen []uint8, f *tt.TT, val bool) [][]int32 {
+	classes := make([][]int32, n+1)
+	for x := 0; x < 1<<n; x++ {
+		if f != nil && f.Get(x) != val {
+			continue
+		}
+		s := sen[x]
+		classes[s] = append(classes[s], int32(x))
+	}
+	return classes
+}
+
+// pairDistances counts, for each sensitivity class, the unordered pairs at
+// each Hamming distance by direct enumeration.
+func pairDistances(n int, classes [][]int32) SDV {
+	d := newSDV(n)
+	for s, members := range classes {
+		row := d[s]
+		for a := 0; a < len(members); a++ {
+			xa := members[a]
+			for b := a + 1; b < len(members); b++ {
+				j := bits.OnesCount32(uint32(xa ^ members[b]))
+				row[j-1]++
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,109 @@
+package sig
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+// refOSDV computes an SDV by brute-force pair enumeration over a filter.
+func refOSDV(f *tt.TT, filter func(x int) bool) SDV {
+	n := f.NumVars()
+	d := newSDV(n)
+	for x := 0; x < f.NumBits(); x++ {
+		if !filter(x) {
+			continue
+		}
+		sx := LocalSensitivity(f, x)
+		for y := x + 1; y < f.NumBits(); y++ {
+			if !filter(y) {
+				continue
+			}
+			if LocalSensitivity(f, y) != sx {
+				continue
+			}
+			j := bits.OnesCount(uint(x ^ y))
+			d[sx][j-1]++
+		}
+	}
+	return d
+}
+
+func TestOSDVAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for n := 1; n <= 6; n++ {
+		e := NewEngine(n)
+		for rep := 0; rep < 5; rep++ {
+			f := tt.Random(n, rng)
+			all := e.OSDV(f)
+			want := refOSDV(f, func(int) bool { return true })
+			if !all.Equal(want) {
+				t.Fatalf("OSDV mismatch n=%d:\n got %v\nwant %v", n, all, want)
+			}
+			d0, d1 := e.OSDV01(f)
+			w0 := refOSDV(f, func(x int) bool { return !f.Get(x) })
+			w1 := refOSDV(f, func(x int) bool { return f.Get(x) })
+			if !d0.Equal(w0) || !d1.Equal(w1) {
+				t.Fatalf("OSDV01 mismatch n=%d", n)
+			}
+		}
+	}
+}
+
+func TestOSDVFastAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for n := 1; n <= 9; n++ {
+		e := NewEngine(n)
+		for rep := 0; rep < 4; rep++ {
+			f := tt.Random(n, rng)
+			if !e.OSDVFast(f).Equal(e.OSDV(f)) {
+				t.Fatalf("OSDVFast != OSDV at n=%d (f=%s)", n, f.Hex())
+			}
+			f0, f1 := e.OSDV01Fast(f)
+			n0, n1 := e.OSDV01(f)
+			if !f0.Equal(n0) || !f1.Equal(n1) {
+				t.Fatalf("OSDV01Fast != OSDV01 at n=%d (f=%s)", n, f.Hex())
+			}
+		}
+	}
+}
+
+func TestSDVTotalPairs(t *testing.T) {
+	// Row sums of the combined OSDV must equal C(class size, 2) per class.
+	rng := rand.New(rand.NewSource(42))
+	for n := 2; n <= 8; n++ {
+		e := NewEngine(n)
+		f := tt.Random(n, rng)
+		h0, h1 := e.OSV01(f)
+		h := h0.Add(h1)
+		d := e.OSDV(f)
+		for s := 0; s <= n; s++ {
+			rowSum := 0
+			for _, c := range d[s] {
+				rowSum += c
+			}
+			want := h[s] * (h[s] - 1) / 2
+			if rowSum != want {
+				t.Fatalf("class %d row sum %d, want C(%d,2)=%d (n=%d)", s, rowSum, h[s], want, n)
+			}
+		}
+	}
+}
+
+func TestSDVFlattenAndLess(t *testing.T) {
+	a := newSDV(2)
+	b := newSDV(2)
+	a[1][0] = 1
+	b[1][0] = 2
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Error("SDV.Less ordering wrong")
+	}
+	if got := a.Flatten(); len(got) != 6 || got[2] != 1 {
+		t.Errorf("Flatten = %v", got)
+	}
+	if a.Equal(newSDV(3)) {
+		t.Error("Equal must compare shapes")
+	}
+}

@@ -1,0 +1,122 @@
+package sig
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+// Table I of the paper lists every signature vector for two 3-input
+// functions: f1, the 3-majority (truth table 0xE8, Fig. 1a), and f3 = x1
+// (truth table 0xF0 in our variable numbering x1 = variable 2... the paper's
+// f3 depends on a single variable; any single-variable function has the
+// listed signatures, we use f3(x) = x3, hex "f0"). These tests pin our
+// implementation to the paper's published numbers.
+
+func table1Engine() *Engine { return NewEngine(3) }
+
+func f1Maj() *tt.TT { return tt.MustFromHex(3, "e8") }
+func f3Var() *tt.TT { return tt.MustFromHex(3, "f0") } // f3 = x3 (variable index 2)
+
+func TestTable1OCV1(t *testing.T) {
+	e := table1Engine()
+	if got, want := e.OCV1(f1Maj()), []int{1, 1, 1, 3, 3, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OCV1(f1) = %v, want %v", got, want)
+	}
+	if got, want := e.OCV1(f3Var()), []int{0, 2, 2, 2, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OCV1(f3) = %v, want %v", got, want)
+	}
+}
+
+func TestTable1OCV2(t *testing.T) {
+	e := table1Engine()
+	if got, want := e.OCV2(f1Maj()), []int{0, 0, 0, 1, 1, 1, 1, 1, 1, 2, 2, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OCV2(f1) = %v, want %v", got, want)
+	}
+	if got, want := e.OCV2(f3Var()), []int{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OCV2(f3) = %v, want %v", got, want)
+	}
+}
+
+func TestTable1OIV(t *testing.T) {
+	e := table1Engine()
+	if got, want := e.OIV(f1Maj()), []int{2, 2, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OIV(f1) = %v, want %v", got, want)
+	}
+	if got, want := e.OIV(f3Var()), []int{0, 0, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OIV(f3) = %v, want %v", got, want)
+	}
+}
+
+func TestTable1OSV(t *testing.T) {
+	e := table1Engine()
+	h0, h1 := e.OSV01(f1Maj())
+	if got, want := h1.Expand(), []int{0, 2, 2, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSV1(f1) = %v, want %v", got, want)
+	}
+	if got, want := h0.Expand(), []int{0, 2, 2, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSV0(f1) = %v, want %v", got, want)
+	}
+	if got, want := h0.Add(h1).Expand(), []int{0, 0, 2, 2, 2, 2, 2, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSV(f1) = %v, want %v", got, want)
+	}
+
+	h0, h1 = e.OSV01(f3Var())
+	if got, want := h1.Expand(), []int{1, 1, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSV1(f3) = %v, want %v", got, want)
+	}
+	if got, want := h0.Expand(), []int{1, 1, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSV0(f3) = %v, want %v", got, want)
+	}
+	if got, want := h0.Add(h1).Expand(), []int{1, 1, 1, 1, 1, 1, 1, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSV(f3) = %v, want %v", got, want)
+	}
+}
+
+func TestTable1OSDV1(t *testing.T) {
+	e := table1Engine()
+	_, d1 := e.OSDV01(f1Maj())
+	if got, want := d1.Flatten(), []int{0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSDV1(f1) = %v, want %v", got, want)
+	}
+	_, d1 = e.OSDV01(f3Var())
+	if got, want := d1.Flatten(), []int{0, 0, 0, 4, 2, 0, 0, 0, 0, 0, 0, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSDV1(f3) = %v, want %v", got, want)
+	}
+}
+
+func TestTable1OSDV(t *testing.T) {
+	e := table1Engine()
+	if got, want := e.OSDV(f1Maj()).Flatten(), []int{0, 0, 1, 0, 0, 0, 6, 6, 3, 0, 0, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSDV(f1) = %v, want %v", got, want)
+	}
+	if got, want := e.OSDV(f3Var()).Flatten(), []int{0, 0, 0, 12, 12, 4, 0, 0, 0, 0, 0, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("OSDV(f3) = %v, want %v", got, want)
+	}
+}
+
+// Fig. 1 of the paper: f1 (majority) and f2 are NPN equivalent; f2 can be
+// obtained from f1 by an NP transformation, so all signature vectors agree.
+func TestFig1EquivalentPairSharesSignatures(t *testing.T) {
+	e := table1Engine()
+	f1 := f1Maj()
+	f2 := f1.FlipVar(0).SwapVars(1, 2) // an arbitrary NP transform of f1
+	if f2.Equal(f1) {
+		t.Fatal("transform did not change the table; test vacuous")
+	}
+	if !reflect.DeepEqual(e.OCV1(f1), e.OCV1(f2)) {
+		t.Error("OCV1 differs across NP transform")
+	}
+	if !reflect.DeepEqual(e.OIV(f1), e.OIV(f2)) {
+		t.Error("OIV differs across NP transform")
+	}
+	a0, a1 := e.OSV01(f1)
+	b0, b1 := e.OSV01(f2)
+	if !a0.Equal(b0) || !a1.Equal(b1) {
+		t.Error("OSV differs across NP transform")
+	}
+	if !e.OSDV(f1).Equal(e.OSDV(f2)) {
+		t.Error("OSDV differs across NP transform")
+	}
+}

@@ -1,0 +1,229 @@
+package sig
+
+import (
+	"math/bits"
+
+	"repro/internal/tt"
+)
+
+// SenHist is a sensitivity histogram: SenHist[s] is the number of minterms
+// with local sensitivity s. It is the compact form of an ordered sensitivity
+// vector — two histograms are equal exactly when the sorted multisets are.
+type SenHist []int
+
+// Expand returns the sorted multiset the paper prints (e.g. Table I), i.e.
+// each sensitivity value s repeated SenHist[s] times, non-decreasing.
+func (h SenHist) Expand() []int {
+	var v []int
+	for s, c := range h {
+		for k := 0; k < c; k++ {
+			v = append(v, s)
+		}
+	}
+	return v
+}
+
+// Total returns the number of minterms counted.
+func (h SenHist) Total() int {
+	t := 0
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// Equal reports elementwise equality.
+func (h SenHist) Equal(o SenHist) bool {
+	if len(h) != len(o) {
+		return false
+	}
+	for i := range h {
+		if h[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less orders histograms lexicographically; used to place the smaller of
+// (OSV0, OSV1) first for balanced functions (Theorem 3).
+func (h SenHist) Less(o SenHist) bool {
+	for i := range h {
+		if h[i] != o[i] {
+			return h[i] < o[i]
+		}
+	}
+	return false
+}
+
+// Add returns the elementwise sum (OSV = OSV0 + OSV1).
+func (h SenHist) Add(o SenHist) SenHist {
+	r := make(SenHist, len(h))
+	for i := range h {
+		r[i] = h[i] + o[i]
+	}
+	return r
+}
+
+// OSV01 returns the ordered 0-sensitivity and 1-sensitivity vectors of f as
+// histograms (h0[s] = #0-minterms with local sensitivity s, h1 likewise for
+// 1-minterms). This is the bit-sliced fast path: per-variable difference
+// tables are accumulated into vertical counters, and the histogram is read
+// off with masked popcounts instead of per-minterm extraction.
+func (e *Engine) OSV01(f *tt.TT) (h0, h1 SenHist) {
+	e.check(f)
+	e.accumulatePlanes(f)
+	h0 = make(SenHist, e.n+1)
+	h1 = make(SenHist, e.n+1)
+	words := f.Words()
+	planes := e.planesNeeded()
+	for s := 0; s <= e.n; s++ {
+		for wi := range words {
+			m := lastMask(e.n, wi, e.nw)
+			for k := 0; k < planes; k++ {
+				pw := e.plane[k][wi]
+				if s>>uint(k)&1 == 0 {
+					pw = ^pw
+				}
+				m &= pw
+			}
+			h1[s] += bits.OnesCount64(m & words[wi])
+			h0[s] += bits.OnesCount64(m &^ words[wi] & lastMask(e.n, wi, e.nw))
+		}
+	}
+	return h0, h1
+}
+
+// planesNeeded returns how many counter bit-planes can be non-zero for
+// sensitivities up to n.
+func (e *Engine) planesNeeded() int {
+	p := bits.Len(uint(e.n))
+	if p == 0 {
+		p = 1
+	}
+	return p
+}
+
+// accumulatePlanes computes, for every minterm position, the vertical binary
+// counter Σ_i D_i where D_i is the indicator that f is sensitive at variable
+// i. plane[k] holds bit k of the counter.
+func (e *Engine) accumulatePlanes(f *tt.TT) {
+	for k := range e.plane {
+		for wi := range e.plane[k] {
+			e.plane[k][wi] = 0
+		}
+	}
+	for i := 0; i < e.n; i++ {
+		e.fillDiff(f, i)
+		// Ripple-carry add of the 1-bit addend diff into the counter planes.
+		for wi := range e.diff {
+			e.carry[wi] = e.diff[wi]
+		}
+		for k := 0; k < len(e.plane); k++ {
+			done := true
+			for wi := range e.carry {
+				c := e.carry[wi]
+				if c == 0 {
+					continue
+				}
+				done = false
+				nc := e.plane[k][wi] & c
+				e.plane[k][wi] ^= c
+				e.carry[wi] = nc
+			}
+			if done {
+				break
+			}
+		}
+	}
+}
+
+// SenProfileScalar fills and returns the per-minterm local sensitivity array
+// sen[x] = sen(f, x) using the straightforward per-bit accumulation. The
+// returned slice aliases engine scratch; callers must copy it if they need it
+// past the next engine call.
+func (e *Engine) SenProfileScalar(f *tt.TT) []uint8 {
+	e.check(f)
+	for x := range e.sen {
+		e.sen[x] = 0
+	}
+	for i := 0; i < e.n; i++ {
+		e.fillDiff(f, i)
+		for wi, w := range e.diff {
+			base := wi << 6
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				e.sen[base+b]++
+				w &= w - 1
+			}
+		}
+	}
+	return e.sen
+}
+
+// SenProfile fills the per-minterm sensitivity array from the bit-sliced
+// counters (fast path) and returns it. Aliases engine scratch.
+func (e *Engine) SenProfile(f *tt.TT) []uint8 {
+	e.check(f)
+	e.accumulatePlanes(f)
+	planes := e.planesNeeded()
+	for x := range e.sen {
+		e.sen[x] = 0
+	}
+	for k := 0; k < planes; k++ {
+		pw := e.plane[k]
+		for wi, w := range pw {
+			base := wi << 6
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				e.sen[base+b] |= 1 << uint(k)
+				w &= w - 1
+			}
+		}
+	}
+	return e.sen[:1<<e.n]
+}
+
+// Sensitivity returns sen(f) = max over all minterms of the local
+// sensitivity (Definition 4).
+func (e *Engine) Sensitivity(f *tt.TT) int {
+	h0, h1 := e.OSV01(f)
+	h := h0.Add(h1)
+	for s := len(h) - 1; s >= 0; s-- {
+		if h[s] > 0 {
+			return s
+		}
+	}
+	return 0
+}
+
+// Sensitivity01 returns (sen0(f), sen1(f)): the maximum local sensitivity
+// over 0-minterms and over 1-minterms.
+func (e *Engine) Sensitivity01(f *tt.TT) (s0, s1 int) {
+	h0, h1 := e.OSV01(f)
+	for s := len(h0) - 1; s >= 0; s-- {
+		if h0[s] > 0 {
+			s0 = s
+			break
+		}
+	}
+	for s := len(h1) - 1; s >= 0; s-- {
+		if h1[s] > 0 {
+			s1 = s
+			break
+		}
+	}
+	return s0, s1
+}
+
+// LocalSensitivity returns sen(f, x) for a single minterm by direct probing.
+func LocalSensitivity(f *tt.TT, x int) int {
+	s := 0
+	v := f.Get(x)
+	for i := 0; i < f.NumVars(); i++ {
+		if f.Get(x^1<<uint(i)) != v {
+			s++
+		}
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+// Package sig computes the NPN-invariant signature vectors of the paper
+// "Rethinking NPN Classification from Face and Point Characteristics of
+// Boolean Functions" (DATE 2023):
+//
+//   - OCV1, OCV2, OCVL — ordered cofactor vectors (face characteristic,
+//     Definition 6): sorted multisets of cofactor satisfy counts.
+//   - OIV — ordered influence vector (point-face characteristic,
+//     Definition 7): sorted per-variable influences, using the paper's
+//     integer convention inf(f,i) = |{X : f(X) ≠ f(X^i)}| / 2.
+//   - OSV, OSV0, OSV1 — ordered sensitivity vectors (point characteristic,
+//     Definition 8): sorted multisets of local sensitivities over all
+//     minterms / 0-minterms / 1-minterms. Represented compactly as
+//     histograms indexed by sensitivity value; Expand produces the sorted
+//     multiset of the paper's tables.
+//   - OSDV, OSDV0, OSDV1 — ordered sensitivity distance vectors
+//     (Definitions 9–10): δ[i][j] counts unordered minterm pairs with equal
+//     local sensitivity i at Hamming distance j.
+//
+// Equality of each vector is a necessary condition for NPN equivalence
+// (Theorems 1–4), which is what makes them usable as classification keys.
+//
+// An Engine carries reusable scratch buffers so that classifying large
+// function populations does not allocate per function.
+package sig
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/tt"
+)
+
+// Engine computes signature vectors for functions of a fixed arity n,
+// reusing internal scratch space across calls. An Engine is not safe for
+// concurrent use; create one per goroutine.
+type Engine struct {
+	n       int
+	nw      int
+	diff    []uint64 // scratch: XOR difference table of one variable
+	flip    []uint64 // scratch: flipped copy
+	plane   [5][]uint64
+	carry   []uint64
+	sen     []uint8 // per-minterm local sensitivity, valid after senProfile
+	krawTab [][]int64
+}
+
+// NewEngine returns an Engine for n-variable functions.
+func NewEngine(n int) *Engine {
+	nw := 1
+	if n > 6 {
+		nw = 1 << (n - 6)
+	}
+	e := &Engine{n: n, nw: nw}
+	e.diff = make([]uint64, nw)
+	e.flip = make([]uint64, nw)
+	for k := range e.plane {
+		e.plane[k] = make([]uint64, nw)
+	}
+	e.carry = make([]uint64, nw)
+	e.sen = make([]uint8, 1<<n)
+	return e
+}
+
+// NumVars returns the arity this engine serves.
+func (e *Engine) NumVars() int { return e.n }
+
+func (e *Engine) check(f *tt.TT) {
+	if f.NumVars() != e.n {
+		panic("sig: function arity does not match engine")
+	}
+}
+
+// SatCount returns the 0-ary cofactor signature |f|.
+func SatCount(f *tt.TT) int { return f.CountOnes() }
+
+// OCV1 returns the 1-ary ordered cofactor vector: the 2n cofactor satisfy
+// counts |f|x_i=v| sorted in non-decreasing order.
+func (e *Engine) OCV1(f *tt.TT) []int {
+	e.check(f)
+	v := make([]int, 0, 2*e.n)
+	for i := 0; i < e.n; i++ {
+		c1 := f.CofactorCount(i, true)
+		v = append(v, f.CountOnes()-c1, c1)
+	}
+	sort.Ints(v)
+	return v
+}
+
+// OCV2 returns the 2-ary ordered cofactor vector: the C(n,2)·4 two-variable
+// cofactor satisfy counts sorted in non-decreasing order.
+func (e *Engine) OCV2(f *tt.TT) []int {
+	e.check(f)
+	v := make([]int, 0, e.n*(e.n-1)*2)
+	for i := 0; i < e.n; i++ {
+		for j := i + 1; j < e.n; j++ {
+			c11 := f.CofactorCount2(i, true, j, true)
+			c01 := f.CofactorCount2(i, false, j, true)
+			c10 := f.CofactorCount2(i, true, j, false)
+			c00 := f.CountOnes() - c11 - c01 - c10
+			v = append(v, c00, c01, c10, c11)
+		}
+	}
+	sort.Ints(v)
+	return v
+}
+
+// OCVL returns the ℓ-ary ordered cofactor vector: satisfy counts of all
+// C(n,ℓ)·2^ℓ cofactors with respect to ℓ-variable subsets, sorted.
+func (e *Engine) OCVL(f *tt.TT, l int) []int {
+	e.check(f)
+	if l < 0 || l > e.n {
+		panic("sig: OCVL order out of range")
+	}
+	if l == 0 {
+		return []int{f.CountOnes()}
+	}
+	vars := make([]int, l)
+	var v []int
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == l {
+			for vals := 0; vals < 1<<l; vals++ {
+				v = append(v, f.CofactorCountSet(vars, vals))
+			}
+			return
+		}
+		for i := start; i < e.n; i++ {
+			vars[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	sort.Ints(v)
+	return v
+}
+
+// Influence returns the paper's integer influence of variable i:
+// |{X : f(X) ≠ f(X^i)}| / 2 = 2^n · inf(f,i) / 2.
+func (e *Engine) Influence(f *tt.TT, i int) int {
+	e.check(f)
+	return e.diffCount(f, i) / 2
+}
+
+// diffCount returns |{X : f(X) ≠ f(X^i)}| (always even).
+func (e *Engine) diffCount(f *tt.TT, i int) int {
+	e.fillDiff(f, i)
+	c := 0
+	for _, w := range e.diff {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// fillDiff computes e.diff = T(f) ⊕ T(f with variable i flipped).
+func (e *Engine) fillDiff(f *tt.TT, i int) {
+	words := f.Words()
+	if i < 6 {
+		s := uint(1) << uint(i)
+		p := tt.VarMaskWord(i)
+		for wi, w := range words {
+			fl := (w&p)>>s | (w&^p)<<s
+			e.diff[wi] = (w ^ fl) & lastMask(e.n, wi, e.nw)
+		}
+		return
+	}
+	stride := 1 << (uint(i) - 6)
+	for wi, w := range words {
+		e.diff[wi] = w ^ words[wi^stride]
+	}
+}
+
+// lastMask masks unused high bits of the final word when n < 6.
+func lastMask(n, wi, nw int) uint64 {
+	if wi == nw-1 && n < 6 {
+		return tt.WordMask(n)
+	}
+	return ^uint64(0)
+}
+
+// OIV returns the ordered influence vector: the n integer influences sorted
+// in non-decreasing order.
+func (e *Engine) OIV(f *tt.TT) []int {
+	e.check(f)
+	v := make([]int, e.n)
+	for i := 0; i < e.n; i++ {
+		v[i] = e.Influence(f, i)
+	}
+	sort.Ints(v)
+	return v
+}
+
+// TotalInfluence returns Σ_i inf(f, i) under the integer convention.
+func (e *Engine) TotalInfluence(f *tt.TT) int {
+	s := 0
+	for i := 0; i < e.n; i++ {
+		s += e.Influence(f, i)
+	}
+	return s
+}

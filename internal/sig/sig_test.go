@@ -1,0 +1,233 @@
+package sig
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+// refOCV1 computes the 1-ary ordered cofactor vector by direct iteration.
+func refOCV1(f *tt.TT) []int {
+	n := f.NumVars()
+	var v []int
+	for i := 0; i < n; i++ {
+		for _, val := range []bool{false, true} {
+			c := 0
+			for x := 0; x < f.NumBits(); x++ {
+				if (x>>uint(i)&1 == 1) == val && f.Get(x) {
+					c++
+				}
+			}
+			v = append(v, c)
+		}
+	}
+	sort.Ints(v)
+	return v
+}
+
+// refInfluence computes |{X : f(X) ≠ f(X^i)}|/2 by direct iteration.
+func refInfluence(f *tt.TT, i int) int {
+	c := 0
+	for x := 0; x < f.NumBits(); x++ {
+		if f.Get(x) != f.Get(x^1<<uint(i)) {
+			c++
+		}
+	}
+	return c / 2
+}
+
+func TestOCV1AgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for n := 1; n <= 8; n++ {
+		e := NewEngine(n)
+		for rep := 0; rep < 10; rep++ {
+			f := tt.Random(n, rng)
+			if got, want := e.OCV1(f), refOCV1(f); !reflect.DeepEqual(got, want) {
+				t.Fatalf("OCV1 mismatch n=%d: %v vs %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestOCVLMatchesSpecialCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for n := 2; n <= 7; n++ {
+		e := NewEngine(n)
+		f := tt.Random(n, rng)
+		if got, want := e.OCVL(f, 1), e.OCV1(f); !reflect.DeepEqual(got, want) {
+			t.Fatalf("OCVL(1) != OCV1 at n=%d", n)
+		}
+		if got, want := e.OCVL(f, 2), e.OCV2(f); !reflect.DeepEqual(got, want) {
+			t.Fatalf("OCVL(2) != OCV2 at n=%d", n)
+		}
+		if got := e.OCVL(f, 0); len(got) != 1 || got[0] != f.CountOnes() {
+			t.Fatalf("OCVL(0) wrong at n=%d", n)
+		}
+		// ℓ = n: every cofactor fixes all variables, so counts are the
+		// function's bits themselves: 2^n values in {0,1}, |f| of them ones.
+		full := e.OCVL(f, n)
+		if len(full) != 1<<n {
+			t.Fatalf("OCVL(n) has %d entries", len(full))
+		}
+		ones := 0
+		for _, c := range full {
+			if c != 0 && c != 1 {
+				t.Fatalf("OCVL(n) entry %d not boolean", c)
+			}
+			ones += c
+		}
+		if ones != f.CountOnes() {
+			t.Fatalf("OCVL(n) ones mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestInfluenceAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for n := 1; n <= 8; n++ {
+		e := NewEngine(n)
+		for rep := 0; rep < 5; rep++ {
+			f := tt.Random(n, rng)
+			for i := 0; i < n; i++ {
+				if got, want := e.Influence(f, i), refInfluence(f, i); got != want {
+					t.Fatalf("Influence(%d) = %d, want %d (n=%d)", i, got, want, n)
+				}
+			}
+		}
+	}
+}
+
+func TestInfluenceOfNamedFunctions(t *testing.T) {
+	// Parity: every variable has full influence 2^n/2 (integer convention
+	// divides the 2^n sensitive words by 2).
+	for n := 2; n <= 6; n++ {
+		e := NewEngine(n)
+		parity := tt.FromFunc(n, func(x int) bool {
+			p := 0
+			for b := 0; b < n; b++ {
+				p ^= x >> b & 1
+			}
+			return p == 1
+		})
+		for i := 0; i < n; i++ {
+			if got := e.Influence(parity, i); got != 1<<(n-1) {
+				t.Errorf("parity influence var %d = %d, want %d (n=%d)", i, got, 1<<(n-1), n)
+			}
+		}
+		if e.TotalInfluence(parity) != n<<(n-1) {
+			t.Errorf("parity total influence wrong at n=%d", n)
+		}
+	}
+	// A vacuous variable has influence 0.
+	e := NewEngine(4)
+	f := tt.Projection(4, 1)
+	for i := 0; i < 4; i++ {
+		want := 0
+		if i == 1 {
+			want = 8
+		}
+		if got := e.Influence(f, i); got != want {
+			t.Errorf("projection influence var %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSenProfileScalarVsBitSliced(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for n := 1; n <= 9; n++ {
+		e := NewEngine(n)
+		for rep := 0; rep < 5; rep++ {
+			f := tt.Random(n, rng)
+			scalar := append([]uint8(nil), e.SenProfileScalar(f)...)
+			fast := e.SenProfile(f)
+			for x := 0; x < 1<<n; x++ {
+				if scalar[x] != fast[x] {
+					t.Fatalf("sen profile mismatch n=%d x=%d: %d vs %d", n, x, scalar[x], fast[x])
+				}
+				if int(fast[x]) != LocalSensitivity(f, x) {
+					t.Fatalf("sen profile vs LocalSensitivity n=%d x=%d", n, x)
+				}
+			}
+		}
+	}
+}
+
+func TestOSV01MatchesProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for n := 1; n <= 9; n++ {
+		e := NewEngine(n)
+		for rep := 0; rep < 5; rep++ {
+			f := tt.Random(n, rng)
+			h0, h1 := e.OSV01(f)
+			w0 := make(SenHist, n+1)
+			w1 := make(SenHist, n+1)
+			for x := 0; x < 1<<n; x++ {
+				s := LocalSensitivity(f, x)
+				if f.Get(x) {
+					w1[s]++
+				} else {
+					w0[s]++
+				}
+			}
+			if !h0.Equal(w0) || !h1.Equal(w1) {
+				t.Fatalf("OSV01 mismatch n=%d: got (%v,%v) want (%v,%v)", n, h0, h1, w0, w1)
+			}
+			if h0.Total()+h1.Total() != 1<<n {
+				t.Fatalf("OSV totals do not cover the cube at n=%d", n)
+			}
+		}
+	}
+}
+
+func TestSensitivityNamedFunctions(t *testing.T) {
+	// Parity has sensitivity n at every point; AND has sen 1-points n.
+	for n := 2; n <= 7; n++ {
+		e := NewEngine(n)
+		parity := tt.FromFunc(n, func(x int) bool {
+			p := 0
+			for b := 0; b < n; b++ {
+				p ^= x >> b & 1
+			}
+			return p == 1
+		})
+		if got := e.Sensitivity(parity); got != n {
+			t.Errorf("sen(parity) = %d, want %d", got, n)
+		}
+		and := tt.FromFunc(n, func(x int) bool { return x == 1<<n-1 })
+		s0, s1 := e.Sensitivity01(and)
+		if s1 != n {
+			t.Errorf("sen1(AND) = %d, want %d", s1, n)
+		}
+		if s0 != 1 {
+			t.Errorf("sen0(AND) = %d, want 1", s0)
+		}
+	}
+}
+
+func TestSenHistLessAndAdd(t *testing.T) {
+	a := SenHist{1, 2, 0}
+	b := SenHist{1, 3, 0}
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Error("SenHist.Less ordering wrong")
+	}
+	sum := a.Add(b)
+	if !sum.Equal(SenHist{2, 5, 0}) {
+		t.Error("SenHist.Add wrong")
+	}
+	if a.Equal(SenHist{1, 2}) {
+		t.Error("Equal must compare lengths")
+	}
+}
+
+func TestEngineArityCheck(t *testing.T) {
+	e := NewEngine(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("engine accepted wrong arity")
+		}
+	}()
+	e.OCV1(tt.New(5))
+}

@@ -1,0 +1,111 @@
+package sig
+
+import (
+	"repro/internal/tt"
+)
+
+// Unateness classifies how a function depends on one variable. It is a face
+// characteristic derivable from cofactors — f is positive unate in x_i when
+// f|x_i=0 ≤ f|x_i=1 pointwise — and a classical matching signature: an NP
+// transform maps positive-unate variables to positive-unate variables (or to
+// negative-unate ones when the input is negated), so the unateness profile
+// prunes variable correspondences.
+type Unateness uint8
+
+const (
+	// Binate: the variable appears in both polarities.
+	Binate Unateness = iota
+	// PosUnate: increasing the variable never turns the output off.
+	PosUnate
+	// NegUnate: increasing the variable never turns the output on.
+	NegUnate
+	// Vacuous: the function does not depend on the variable (both unate).
+	Vacuous
+)
+
+// String names the unateness class.
+func (u Unateness) String() string {
+	switch u {
+	case PosUnate:
+		return "pos-unate"
+	case NegUnate:
+		return "neg-unate"
+	case Vacuous:
+		return "vacuous"
+	default:
+		return "binate"
+	}
+}
+
+// Negate returns the unateness of the variable after input negation.
+func (u Unateness) Negate() Unateness {
+	switch u {
+	case PosUnate:
+		return NegUnate
+	case NegUnate:
+		return PosUnate
+	default:
+		return u
+	}
+}
+
+// VarUnateness returns the unateness of f in variable i.
+func VarUnateness(f *tt.TT, i int) Unateness {
+	neg := f.Cofactor(i, false)
+	pos := f.Cofactor(i, true)
+	le := implies(neg, pos) // neg ≤ pos
+	ge := implies(pos, neg)
+	switch {
+	case le && ge:
+		return Vacuous
+	case le:
+		return PosUnate
+	case ge:
+		return NegUnate
+	default:
+		return Binate
+	}
+}
+
+// implies reports a ≤ b pointwise (a → b is a tautology).
+func implies(a, b *tt.TT) bool {
+	aw, bw := a.Words(), b.Words()
+	for i := range aw {
+		if aw[i]&^bw[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnatenessProfile returns the per-variable unateness of f.
+func UnatenessProfile(f *tt.TT) []Unateness {
+	out := make([]Unateness, f.NumVars())
+	for i := range out {
+		out[i] = VarUnateness(f, i)
+	}
+	return out
+}
+
+// UnateCounts returns (#binate, #unate, #vacuous) where unate counts both
+// polarities together — the polarity-insensitive summary that is invariant
+// under full NPN transformation and can join an MSV.
+func UnateCounts(f *tt.TT) (binate, unate, vacuous int) {
+	for _, u := range UnatenessProfile(f) {
+		switch u {
+		case Binate:
+			binate++
+		case Vacuous:
+			vacuous++
+		default:
+			unate++
+		}
+	}
+	return binate, unate, vacuous
+}
+
+// IsUnate reports whether f is unate in every variable.
+func IsUnate(f *tt.TT) bool {
+	b, _, _ := UnateCounts(f)
+	return b == 0
+}

@@ -1,0 +1,101 @@
+package sig
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestUnatenessNamedFunctions(t *testing.T) {
+	// AND is positive unate in every variable.
+	and3 := tt.FromFunc(3, func(x int) bool { return x == 7 })
+	for i := 0; i < 3; i++ {
+		if got := VarUnateness(and3, i); got != PosUnate {
+			t.Errorf("AND var %d = %v, want pos-unate", i, got)
+		}
+	}
+	if !IsUnate(and3) {
+		t.Error("AND must be unate")
+	}
+	// x0 ∧ ¬x1 is negative unate in x1.
+	f := tt.FromFunc(2, func(x int) bool { return x&1 == 1 && x>>1&1 == 0 })
+	if VarUnateness(f, 0) != PosUnate || VarUnateness(f, 1) != NegUnate {
+		t.Error("x0∧¬x1 unateness wrong")
+	}
+	// XOR is binate everywhere.
+	xor2 := tt.MustFromHex(2, "6")
+	for i := 0; i < 2; i++ {
+		if VarUnateness(xor2, i) != Binate {
+			t.Errorf("XOR var %d not binate", i)
+		}
+	}
+	if IsUnate(xor2) {
+		t.Error("XOR must not be unate")
+	}
+	// Vacuous variable.
+	g := tt.Projection(3, 0)
+	if VarUnateness(g, 2) != Vacuous {
+		t.Error("vacuous variable not detected")
+	}
+	// Majority is positive unate in all variables.
+	if !IsUnate(tt.MustFromHex(3, "e8")) {
+		t.Error("majority must be unate")
+	}
+}
+
+func TestUnatenessFlipsUnderNegation(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	for rep := 0; rep < 40; rep++ {
+		n := 2 + rng.Intn(5)
+		f := tt.Random(n, rng)
+		i := rng.Intn(n)
+		u := VarUnateness(f, i)
+		uNeg := VarUnateness(f.FlipVar(i), i)
+		if uNeg != u.Negate() {
+			t.Fatalf("unateness after negation: %v -> %v, want %v", u, uNeg, u.Negate())
+		}
+	}
+}
+
+func TestUnateCountsNPNInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for rep := 0; rep < 40; rep++ {
+		n := 2 + rng.Intn(5)
+		f := tt.Random(n, rng)
+		g := f.FlipVar(rng.Intn(n)).SwapVars(rng.Intn(n), rng.Intn(n)).Not()
+		b1, u1, v1 := UnateCounts(f)
+		// Output negation swaps pos/neg unate but preserves the counts.
+		b2, u2, v2 := UnateCounts(g)
+		if b1 != b2 || u1 != u2 || v1 != v2 {
+			t.Fatalf("unate counts not NPN-invariant: (%d,%d,%d) vs (%d,%d,%d)", b1, u1, v1, b2, u2, v2)
+		}
+	}
+}
+
+func TestUnatenessStrings(t *testing.T) {
+	names := map[Unateness]string{
+		Binate: "binate", PosUnate: "pos-unate", NegUnate: "neg-unate", Vacuous: "vacuous",
+	}
+	for u, want := range names {
+		if u.String() != want {
+			t.Errorf("%d.String() = %q", u, u.String())
+		}
+	}
+	if Binate.Negate() != Binate || Vacuous.Negate() != Vacuous {
+		t.Error("Negate must fix binate/vacuous")
+	}
+}
+
+func TestUnatenessProfileLength(t *testing.T) {
+	f := tt.New(5)
+	p := UnatenessProfile(f)
+	if len(p) != 5 {
+		t.Fatal("profile length wrong")
+	}
+	for _, u := range p {
+		if u != Vacuous {
+			t.Error("const0 must be vacuous in every variable")
+		}
+	}
+}

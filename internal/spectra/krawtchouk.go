@@ -1,0 +1,74 @@
+package spectra
+
+import "math/bits"
+
+// Krawtchouk returns the table K[j][w] of binary Krawtchouk polynomial
+// values K_j(w; n) = Σ_t (-1)^t C(w,t) C(n-w, j-t) for 0 ≤ j, w ≤ n.
+// K_j(w; n) is the character sum Σ_{wt(d)=j} (-1)^{s·d} for any s of weight
+// w, which is what links spectra to distance distributions (MacWilliams).
+func Krawtchouk(n int) [][]int64 {
+	// Binomial table.
+	c := make([][]int64, n+1)
+	for i := range c {
+		c[i] = make([]int64, n+1)
+		c[i][0] = 1
+		for j := 1; j <= i; j++ {
+			c[i][j] = c[i-1][j-1]
+			if j <= i-1 {
+				c[i][j] += c[i-1][j]
+			}
+		}
+	}
+	k := make([][]int64, n+1)
+	for j := 0; j <= n; j++ {
+		k[j] = make([]int64, n+1)
+		for w := 0; w <= n; w++ {
+			var v int64
+			for t := 0; t <= j; t++ {
+				if t > w || j-t > n-w {
+					continue
+				}
+				term := c[w][t] * c[n-w][j-t]
+				if t&1 == 1 {
+					v -= term
+				} else {
+					v += term
+				}
+			}
+			k[j][w] = v
+		}
+	}
+	return k
+}
+
+// PairDistanceDistribution returns, for the minterm set given by the sorted
+// index list members over {0,1}^n, the number of unordered pairs at each
+// Hamming distance j = 1..n (result index j-1), computed spectrally in
+// O(n·2^n) time via the MacWilliams identity:
+//
+//	#ordered pairs at distance j = (1/2^n) Σ_w P_w · K_j(w)
+//
+// where P_w = Σ_{wt(s)=w} Ŝ(s)² and Ŝ is the Walsh transform of the set
+// indicator. kraw must be Krawtchouk(n).
+func PairDistanceDistribution(n int, members []int32, kraw [][]int64) []int {
+	size := 1 << uint(n)
+	a := make([]int64, size)
+	for _, x := range members {
+		a[x] = 1
+	}
+	WHT(a)
+	p := make([]int64, n+1)
+	for s, v := range a {
+		p[bits.OnesCount(uint(s))] += v * v
+	}
+	out := make([]int, n)
+	for j := 1; j <= n; j++ {
+		var sum int64
+		for w := 0; w <= n; w++ {
+			sum += p[w] * kraw[j][w]
+		}
+		ordered := sum >> uint(n) // divide by 2^n; always exact
+		out[j-1] = int(ordered / 2)
+	}
+	return out
+}

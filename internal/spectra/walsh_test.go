@@ -1,0 +1,168 @@
+package spectra
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tt"
+)
+
+func TestWHTInvolution(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(50))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := make([]int64, 1<<n)
+		orig := make([]int64, len(a))
+		for i := range a {
+			a[i] = int64(rng.Intn(21) - 10)
+			orig[i] = a[i]
+		}
+		WHT(a)
+		WHT(a)
+		// WHT∘WHT = 2^n · identity.
+		for i := range a {
+			if a[i] != orig[i]<<n {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWHTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("WHT accepted length 3")
+		}
+	}()
+	WHT(make([]int64, 3))
+}
+
+func TestSpectrumParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for n := 1; n <= 8; n++ {
+		f := tt.Random(n, rng)
+		s := Spectrum(f)
+		var sum int64
+		for _, c := range s {
+			sum += c * c
+		}
+		// Parseval: Σ S(s)² = 2^n · Σ (±1)² = 4^n.
+		if sum != int64(1)<<(2*n) {
+			t.Errorf("Parseval fails at n=%d: %d", n, sum)
+		}
+		// DC coefficient = 2^n - 2|f|.
+		if s[0] != int64(f.NumBits())-2*int64(f.CountOnes()) {
+			t.Errorf("DC coefficient wrong at n=%d", n)
+		}
+	}
+}
+
+func TestWeightMomentsInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for n := 2; n <= 8; n++ {
+		f := tt.Random(n, rng)
+		m := WeightMoments(n, Spectrum(f))
+		// Input negation, permutation, output negation preserve the moments.
+		g := f.FlipVar(rng.Intn(n)).SwapVars(rng.Intn(n), rng.Intn(n)).Not()
+		m2 := WeightMoments(n, Spectrum(g))
+		for w := range m {
+			if m[w] != m2[w] {
+				t.Fatalf("weight moments not NPN-invariant at n=%d w=%d", n, w)
+			}
+		}
+	}
+}
+
+func TestKrawtchoukBasics(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		k := Krawtchouk(n)
+		for w := 0; w <= n; w++ {
+			// K_0(w) = 1.
+			if k[0][w] != 1 {
+				t.Fatalf("K_0(%d;%d) = %d", w, n, k[0][w])
+			}
+			// K_1(w) = n - 2w.
+			if k[1][w] != int64(n-2*w) {
+				t.Fatalf("K_1(%d;%d) = %d", w, n, k[1][w])
+			}
+		}
+		// K_j(0) = C(n, j).
+		binom := int64(1)
+		for j := 0; j <= n; j++ {
+			if k[j][0] != binom {
+				t.Fatalf("K_%d(0;%d) = %d, want %d", j, n, k[j][0], binom)
+			}
+			binom = binom * int64(n-j) / int64(j+1)
+		}
+		// Orthogonality-ish sanity: Σ_j K_j(w) = Σ_{d} (-1)^{s·d} = 0 for w>0.
+		for w := 1; w <= n; w++ {
+			var sum int64
+			for j := 0; j <= n; j++ {
+				sum += k[j][w]
+			}
+			if sum != 0 {
+				t.Fatalf("Σ_j K_j(%d;%d) = %d, want 0", w, n, sum)
+			}
+		}
+	}
+}
+
+func TestPairDistanceDistributionAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for n := 1; n <= 8; n++ {
+		k := Krawtchouk(n)
+		for rep := 0; rep < 10; rep++ {
+			var members []int32
+			for x := 0; x < 1<<n; x++ {
+				if rng.Intn(3) == 0 {
+					members = append(members, int32(x))
+				}
+			}
+			got := PairDistanceDistribution(n, members, k)
+			want := make([]int, n)
+			for a := 0; a < len(members); a++ {
+				for b := a + 1; b < len(members); b++ {
+					j := bits.OnesCount32(uint32(members[a] ^ members[b]))
+					want[j-1]++
+				}
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("distance %d: got %d want %d (n=%d, |S|=%d)", j+1, got[j], want[j], n, len(members))
+				}
+			}
+		}
+	}
+}
+
+func TestAbsWeightDistributionSortedAndInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	f := tt.Random(6, rng)
+	d := AbsWeightDistribution(6, Spectrum(f))
+	for w, row := range d {
+		for i := 1; i < len(row); i++ {
+			if row[i-1] > row[i] {
+				t.Fatalf("weight %d row not sorted", w)
+			}
+		}
+	}
+	g := f.FlipVar(2).Not()
+	d2 := AbsWeightDistribution(6, Spectrum(g))
+	for w := range d {
+		if len(d[w]) != len(d2[w]) {
+			t.Fatalf("row length differs at weight %d", w)
+		}
+		for i := range d[w] {
+			if d[w][i] != d2[w][i] {
+				t.Fatalf("abs distribution not invariant under N transform at weight %d", w)
+			}
+		}
+	}
+}

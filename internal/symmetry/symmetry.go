@@ -1,0 +1,92 @@
+// Package symmetry detects variable symmetries of Boolean functions.
+// Symmetries are the structural property classical NPN canonical forms lean
+// on (Abdollahi'08, Zhou'20): symmetric variables are interchangeable, which
+// both shrinks the canonical-form search space and — in the paper's framing —
+// is itself a face characteristic derivable from cofactors.
+package symmetry
+
+import "repro/internal/tt"
+
+// Symmetric reports classical (non-equivalence) symmetry: f is invariant
+// under exchanging x_i and x_j, equivalently f|x_i=0,x_j=1 = f|x_i=1,x_j=0.
+func Symmetric(f *tt.TT, i, j int) bool {
+	if i == j {
+		return true
+	}
+	return f.SwapVars(i, j).Equal(f)
+}
+
+// SkewSymmetric reports equivalence (skew) symmetry: f is invariant under
+// exchanging x_i and x_j while negating both, equivalently
+// f|x_i=0,x_j=0 = f|x_i=1,x_j=1.
+func SkewSymmetric(f *tt.TT, i, j int) bool {
+	if i == j {
+		return false
+	}
+	g := f.SwapVars(i, j)
+	g.FlipVarInPlace(i)
+	g.FlipVarInPlace(j)
+	return g.Equal(f)
+}
+
+// SelfDual reports whether f(¬x) = ¬f(x) for all x.
+func SelfDual(f *tt.TT) bool {
+	g := f.Clone()
+	for i := 0; i < f.NumVars(); i++ {
+		g.FlipVarInPlace(i)
+	}
+	g.NotInPlace()
+	return g.Equal(f)
+}
+
+// TotallySymmetric reports whether every pair of variables is classically
+// symmetric (the function depends only on the input weight).
+func TotallySymmetric(f *tt.TT) bool {
+	// Pairwise symmetry with a fixed pivot suffices: adjacent transpositions
+	// generate the symmetric group.
+	for i := 1; i < f.NumVars(); i++ {
+		if !Symmetric(f, i-1, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Classes partitions the variables into classical symmetry classes: groups
+// of variables that are pairwise symmetric. Pairwise classical symmetry is
+// transitive, so the groups are well defined. Returned groups are sorted by
+// their smallest member; variables within a group are in increasing order.
+func Classes(f *tt.TT) [][]int {
+	n := f.NumVars()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if find(i) != find(j) && Symmetric(f, i, j) {
+				parent[find(j)] = find(i)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var out [][]int
+	for i := 0; i < n; i++ {
+		if g, ok := groups[i]; ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package symmetry
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestMajoritySymmetries(t *testing.T) {
+	maj := tt.MustFromHex(3, "e8")
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !Symmetric(maj, i, j) {
+				t.Errorf("majority not symmetric in (%d,%d)", i, j)
+			}
+		}
+	}
+	if !TotallySymmetric(maj) {
+		t.Error("majority must be totally symmetric")
+	}
+	if !SelfDual(maj) {
+		t.Error("3-majority is self-dual")
+	}
+	cls := Classes(maj)
+	if len(cls) != 1 || len(cls[0]) != 3 {
+		t.Errorf("majority symmetry classes = %v, want one class of 3", cls)
+	}
+}
+
+func TestAsymmetricFunction(t *testing.T) {
+	// f = x0 ∧ ¬x1: not symmetric classically, but skew-symmetric pairs may
+	// exist. Check the classical verdicts.
+	f := tt.FromFunc(2, func(x int) bool { return x&1 == 1 && x>>1&1 == 0 })
+	if Symmetric(f, 0, 1) {
+		t.Error("x0∧¬x1 reported symmetric")
+	}
+	if !SkewSymmetric(f, 0, 1) {
+		t.Error("x0∧¬x1 is skew-symmetric in (0,1): swapping and negating both is invariant")
+	}
+}
+
+func TestSkewSymmetricXor(t *testing.T) {
+	// XOR is both symmetric and skew-symmetric in every pair.
+	x := tt.MustFromHex(2, "6")
+	if !Symmetric(x, 0, 1) || !SkewSymmetric(x, 0, 1) {
+		t.Error("xor2 symmetry verdicts wrong")
+	}
+	if SkewSymmetric(x, 0, 0) {
+		t.Error("skew symmetry of a variable with itself must be false")
+	}
+	if !Symmetric(x, 1, 1) {
+		t.Error("classical symmetry with itself must be true")
+	}
+}
+
+func TestClassesPartition(t *testing.T) {
+	// f = maj(x0,x1,x2) over 5 vars with x3, x4 vacuous: {0,1,2} symmetric,
+	// {3,4} symmetric (both vacuous).
+	f := tt.FromFunc(5, func(x int) bool {
+		ones := x&1 + x>>1&1 + x>>2&1
+		return ones >= 2
+	})
+	cls := Classes(f)
+	if len(cls) != 2 {
+		t.Fatalf("classes = %v, want 2 groups", cls)
+	}
+	if len(cls[0]) != 3 || cls[0][0] != 0 || cls[0][2] != 2 {
+		t.Errorf("first class = %v, want [0 1 2]", cls[0])
+	}
+	if len(cls[1]) != 2 || cls[1][0] != 3 {
+		t.Errorf("second class = %v, want [3 4]", cls[1])
+	}
+}
+
+func TestClassesCoverAllVariables(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for n := 1; n <= 8; n++ {
+		f := tt.Random(n, rng)
+		cls := Classes(f)
+		seen := make(map[int]bool)
+		for _, g := range cls {
+			for _, v := range g {
+				if seen[v] {
+					t.Fatalf("variable %d in two classes (n=%d)", v, n)
+				}
+				seen[v] = true
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("classes cover %d of %d variables", len(seen), n)
+		}
+	}
+}
+
+func TestSymmetryInvariantUnderSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for rep := 0; rep < 20; rep++ {
+		f := tt.Random(5, rng)
+		for i := 0; i < 5; i++ {
+			for j := 0; j < 5; j++ {
+				if Symmetric(f, i, j) != Symmetric(f, j, i) {
+					t.Fatal("Symmetric not symmetric in its arguments")
+				}
+			}
+		}
+	}
+}
+
+func TestSelfDualParity(t *testing.T) {
+	// Odd-arity parity is self-dual; even-arity parity is not.
+	for n := 2; n <= 6; n++ {
+		p := tt.FromFunc(n, func(x int) bool {
+			v := 0
+			for b := 0; b < n; b++ {
+				v ^= x >> b & 1
+			}
+			return v == 1
+		})
+		if SelfDual(p) != (n%2 == 1) {
+			t.Errorf("parity self-duality wrong at n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package tt
+
+import "testing"
+
+// FuzzFromHex checks that arbitrary strings never crash the parser and that
+// every accepted string round-trips through Hex.
+func FuzzFromHex(f *testing.F) {
+	f.Add("e8", 3)
+	f.Add("0xcafe", 4)
+	f.Add("", 2)
+	f.Add("zz", 3)
+	f.Add("ffff_ffff", 5)
+	f.Fuzz(func(t *testing.T, s string, n int) {
+		if n < 0 || n > MaxVars {
+			return
+		}
+		tab, err := FromHex(n, s)
+		if err != nil {
+			return
+		}
+		back, err := FromHex(n, tab.Hex())
+		if err != nil || !back.Equal(tab) {
+			t.Fatalf("accepted %q but round trip failed", s)
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip checks Binary/FromBinary against arbitrary tables.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(uint64(0xE8), 3)
+	f.Add(uint64(0), 0)
+	f.Fuzz(func(t *testing.T, w uint64, n int) {
+		if n < 0 || n > 6 {
+			return
+		}
+		tab := FromWord(n, w)
+		back, err := FromBinary(n, tab.Binary())
+		if err != nil || !back.Equal(tab) {
+			t.Fatal("binary round trip failed")
+		}
+	})
+}

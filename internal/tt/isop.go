@@ -1,0 +1,137 @@
+package tt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cube is a product term over up to MaxVars variables: variable i appears
+// when bit i of Mask is set, with positive polarity when bit i of Lits is
+// set. The empty cube (Mask 0) is the constant-1 product.
+type Cube struct {
+	Mask uint32
+	Lits uint32
+}
+
+// Eval returns the cube's truth table on n variables.
+func (c Cube) Eval(n int) *TT {
+	t := Const(n, true)
+	for i := 0; i < n; i++ {
+		if c.Mask>>uint(i)&1 == 0 {
+			continue
+		}
+		p := CofactorMask(n, i, c.Lits>>uint(i)&1 == 1)
+		t = t.And(p)
+	}
+	return t
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int {
+	count := 0
+	for m := c.Mask; m != 0; m &= m - 1 {
+		count++
+	}
+	return count
+}
+
+// String renders the cube like "x0·¬x2" ("1" for the empty cube).
+func (c Cube) String() string {
+	if c.Mask == 0 {
+		return "1"
+	}
+	var parts []string
+	for i := 0; i < 32; i++ {
+		if c.Mask>>uint(i)&1 == 0 {
+			continue
+		}
+		if c.Lits>>uint(i)&1 == 1 {
+			parts = append(parts, fmt.Sprintf("x%d", i))
+		} else {
+			parts = append(parts, fmt.Sprintf("¬x%d", i))
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// ISOP computes an irredundant sum-of-products cover of f with the
+// Minato–Morreale interval algorithm (the same procedure kitty exposes as
+// isop): every cube is prime within the interval and no cube is redundant.
+func (f *TT) ISOP() []Cube {
+	cubes, _ := isop(f, f, f.NumVars()-1)
+	return cubes
+}
+
+// SOPString renders the ISOP like "x0·x1 + x0·¬x2" ("0" for const-0).
+func (f *TT) SOPString() string {
+	cubes := f.ISOP()
+	if len(cubes) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(cubes))
+	for i, c := range cubes {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// CubesCover evaluates a cube list back into a truth table (the union).
+func CubesCover(cubes []Cube, n int) *TT {
+	t := New(n)
+	for _, c := range cubes {
+		t = t.Or(c.Eval(n))
+	}
+	return t
+}
+
+// isop computes an ISOP of any function in the interval [lower, upper]
+// using variables 0..top. It returns the cubes and the exact cover they
+// realize (lower ⊆ cover ⊆ upper).
+func isop(lower, upper *TT, top int) ([]Cube, *TT) {
+	n := lower.NumVars()
+	if lower.IsConst0() {
+		return nil, New(n)
+	}
+	if upper.IsConst1() {
+		return []Cube{{}}, Const(n, true)
+	}
+	// Find the highest variable the interval actually depends on.
+	x := top
+	for x >= 0 && !lower.DependsOn(x) && !upper.DependsOn(x) {
+		x--
+	}
+	if x < 0 {
+		// No free variable left: lower ≤ upper with both constant on the
+		// remaining space — lower non-0 means upper is 1 here, handled
+		// above; reaching this point means the interval is inconsistent.
+		panic("tt: isop interval inconsistent")
+	}
+
+	l0, l1 := lower.Cofactor(x, false), lower.Cofactor(x, true)
+	u0, u1 := upper.Cofactor(x, false), upper.Cofactor(x, true)
+
+	// Cubes that must contain the literal ¬x / x.
+	c0, g0 := isop(l0.And(u1.Not()), u0, x-1)
+	c1, g1 := isop(l1.And(u0.Not()), u1, x-1)
+
+	// Remaining onset coverable without mentioning x.
+	lr := l0.And(g0.Not()).Or(l1.And(g1.Not()))
+	cr, gr := isop(lr, u0.And(u1), x-1)
+
+	cubes := make([]Cube, 0, len(c0)+len(c1)+len(cr))
+	for _, c := range c0 {
+		c.Mask |= 1 << uint(x)
+		cubes = append(cubes, c)
+	}
+	for _, c := range c1 {
+		c.Mask |= 1 << uint(x)
+		c.Lits |= 1 << uint(x)
+		cubes = append(cubes, c)
+	}
+	cubes = append(cubes, cr...)
+
+	nx := CofactorMask(n, x, false)
+	px := CofactorMask(n, x, true)
+	cover := nx.And(g0).Or(px.And(g1)).Or(gr)
+	return cubes, cover
+}

@@ -1,0 +1,112 @@
+package tt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestISOPExactCover(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(170))}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		f := Random(n, rng)
+		cubes := f.ISOP()
+		return CubesCover(cubes, n).Equal(f)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestISOPIrredundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for rep := 0; rep < 30; rep++ {
+		n := 2 + rng.Intn(5)
+		f := Random(n, rng)
+		cubes := f.ISOP()
+		for drop := range cubes {
+			reduced := make([]Cube, 0, len(cubes)-1)
+			reduced = append(reduced, cubes[:drop]...)
+			reduced = append(reduced, cubes[drop+1:]...)
+			if CubesCover(reduced, n).Equal(f) {
+				t.Fatalf("cube %v redundant in ISOP of %s", cubes[drop], f.Hex())
+			}
+		}
+	}
+}
+
+func TestISOPNamedFunctions(t *testing.T) {
+	// Majority has the 3-cube cover {x0x1, x0x2, x1x2}.
+	maj := MustFromHex(3, "e8")
+	if got := len(maj.ISOP()); got != 3 {
+		t.Errorf("majority ISOP has %d cubes, want 3", got)
+	}
+	// n-input XOR needs 2^(n-1) minterm cubes.
+	for n := 2; n <= 5; n++ {
+		xor := FromFunc(n, func(x int) bool {
+			v := 0
+			for b := 0; b < n; b++ {
+				v ^= x >> b & 1
+			}
+			return v == 1
+		})
+		if got := len(xor.ISOP()); got != 1<<(n-1) {
+			t.Errorf("xor%d ISOP has %d cubes, want %d", n, got, 1<<(n-1))
+		}
+	}
+	// Constants.
+	if len(New(3).ISOP()) != 0 {
+		t.Error("const0 ISOP not empty")
+	}
+	one := Const(3, true)
+	if c := one.ISOP(); len(c) != 1 || c[0].Mask != 0 {
+		t.Error("const1 ISOP not the unit cube")
+	}
+}
+
+func TestISOPAllSmallFunctions(t *testing.T) {
+	// Exhaustive over all 3-variable functions: cover must be exact.
+	for w := uint64(0); w < 256; w++ {
+		f := FromWord(3, w)
+		if !CubesCover(f.ISOP(), 3).Equal(f) {
+			t.Fatalf("ISOP wrong for %02x", w)
+		}
+	}
+}
+
+func TestCubeStringAndEval(t *testing.T) {
+	c := Cube{Mask: 0b101, Lits: 0b001}
+	s := c.String()
+	if !strings.Contains(s, "x0") || !strings.Contains(s, "¬x2") {
+		t.Errorf("cube string = %q", s)
+	}
+	if c.NumLits() != 2 {
+		t.Error("NumLits wrong")
+	}
+	ev := c.Eval(3)
+	for x := 0; x < 8; x++ {
+		want := x&1 == 1 && x>>2&1 == 0
+		if ev.Get(x) != want {
+			t.Fatalf("cube eval wrong at %d", x)
+		}
+	}
+	if (Cube{}).String() != "1" {
+		t.Error("empty cube string")
+	}
+}
+
+func TestSOPString(t *testing.T) {
+	if New(2).SOPString() != "0" {
+		t.Error("const0 SOP string")
+	}
+	and2 := MustFromHex(2, "8")
+	if got := and2.SOPString(); got != "x0·x1" {
+		t.Errorf("and2 SOP = %q", got)
+	}
+	if !strings.Contains(MustFromHex(2, "6").SOPString(), " + ") {
+		t.Error("xor2 SOP missing sum")
+	}
+}

@@ -1,0 +1,168 @@
+package tt
+
+// projections[i] has a 1 in every bit position whose minterm sets variable i,
+// for the six variables that live inside a single 64-bit word. For variables
+// i ≥ 6 the distinction is between whole words: word w belongs to the x_i = 1
+// half iff bit (i-6) of w is set.
+var projections = [6]uint64{
+	0xAAAAAAAAAAAAAAAA, // x0: ...10101010
+	0xCCCCCCCCCCCCCCCC, // x1: ...11001100
+	0xF0F0F0F0F0F0F0F0, // x2
+	0xFF00FF00FF00FF00, // x3
+	0xFFFF0000FFFF0000, // x4
+	0xFFFFFFFF00000000, // x5
+}
+
+// VarMaskWord returns the in-word projection mask of variable i < 6: the bits
+// of a word whose minterms have x_i = 1.
+func VarMaskWord(i int) uint64 { return projections[i] }
+
+// wordHasVar reports whether word index w lies in the x_i = 1 half for a
+// variable i ≥ 6.
+func wordHasVar(w, i int) bool { return w>>(uint(i)-6)&1 == 1 }
+
+// CofactorMask writes into dst the indicator of the face x_i = v: dst bit x
+// is 1 iff minterm x has variable i equal to v. dst must have the same arity
+// as the table the mask is intended for. It returns dst.
+func CofactorMask(n, i int, v bool) *TT {
+	m := New(n)
+	if i < 6 {
+		p := projections[i]
+		if !v {
+			p = ^p
+		}
+		for w := range m.words {
+			m.words[w] = p
+		}
+	} else {
+		for w := range m.words {
+			if wordHasVar(w, i) == v {
+				m.words[w] = ^uint64(0)
+			}
+		}
+	}
+	m.maskValid()
+	return m
+}
+
+// CofactorCount returns the satisfy count of the cofactor f|x_i=v, i.e. the
+// number of 1-minterms on the face x_i = v. This is the 1-ary cofactor
+// signature of the literal (Definition 2 of the paper).
+func (t *TT) CofactorCount(i int, v bool) int {
+	c := 0
+	if i < 6 {
+		p := projections[i]
+		if !v {
+			p = ^p
+		}
+		for _, w := range t.words {
+			c += onesCount(w & p)
+		}
+		return c
+	}
+	for wi, w := range t.words {
+		if wordHasVar(wi, i) == v {
+			c += onesCount(w)
+		}
+	}
+	return c
+}
+
+// CofactorCount2 returns the satisfy count of the 2-ary cofactor
+// f|x_i=vi, x_j=vj with i ≠ j.
+func (t *TT) CofactorCount2(i int, vi bool, j int, vj bool) int {
+	if i == j {
+		panic("tt: CofactorCount2 requires distinct variables")
+	}
+	c := 0
+	switch {
+	case i < 6 && j < 6:
+		p := projMask(i, vi) & projMask(j, vj)
+		for _, w := range t.words {
+			c += onesCount(w & p)
+		}
+	case i < 6: // j ≥ 6
+		p := projMask(i, vi)
+		for wi, w := range t.words {
+			if wordHasVar(wi, j) == vj {
+				c += onesCount(w & p)
+			}
+		}
+	case j < 6: // i ≥ 6
+		return t.CofactorCount2(j, vj, i, vi)
+	default:
+		for wi, w := range t.words {
+			if wordHasVar(wi, i) == vi && wordHasVar(wi, j) == vj {
+				c += onesCount(w)
+			}
+		}
+	}
+	return c
+}
+
+// projMask returns the in-word mask selecting x_i = v for i < 6.
+func projMask(i int, v bool) uint64 {
+	if v {
+		return projections[i]
+	}
+	return ^projections[i]
+}
+
+// CofactorCountSet returns the satisfy count of the ℓ-ary cofactor obtained
+// by fixing each variable vars[k] to value (vals>>k)&1. The variables must be
+// distinct. This generalizes CofactorCount to arbitrary arity and is the
+// basis of the OCVℓ signature.
+func (t *TT) CofactorCountSet(vars []int, vals int) int {
+	var inWord uint64 = ^uint64(0)
+	wordSel, wordVal := 0, 0
+	for k, v := range vars {
+		bit := vals >> uint(k) & 1
+		if v < 6 {
+			inWord &= projMask(v, bit == 1)
+		} else {
+			wordSel |= 1 << (uint(v) - 6)
+			if bit == 1 {
+				wordVal |= 1 << (uint(v) - 6)
+			}
+		}
+	}
+	c := 0
+	for wi, w := range t.words {
+		if wi&wordSel == wordVal {
+			c += onesCount(w & inWord)
+		}
+	}
+	return c
+}
+
+// Cofactor returns f|x_i=v as a function that still formally depends on n
+// variables (variable i becomes vacuous): every minterm takes the value its
+// projection onto the face x_i = v has.
+func (t *TT) Cofactor(i int, v bool) *TT {
+	r := t.Clone()
+	if i < 6 {
+		s := uint(1) << uint(i)
+		p := projections[i]
+		for wi, w := range r.words {
+			if v {
+				keep := w & p
+				r.words[wi] = keep | keep>>s
+			} else {
+				keep := w & ^p
+				r.words[wi] = keep | keep<<s
+			}
+		}
+		return r
+	}
+	stride := 1 << (uint(i) - 6)
+	for wi := range r.words {
+		if wordHasVar(wi, i) != v {
+			if v {
+				r.words[wi] = r.words[wi+stride]
+			} else {
+				r.words[wi] = r.words[wi-stride]
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,217 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCofCount counts 1-minterms on the face x_i = v by iteration.
+func refCofCount(f *TT, i int, v bool) int {
+	c := 0
+	for x := 0; x < f.NumBits(); x++ {
+		if (x>>uint(i)&1 == 1) == v && f.Get(x) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestCofactorCountAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for n := 1; n <= 9; n++ {
+		f := Random(n, rng)
+		for i := 0; i < n; i++ {
+			for _, v := range []bool{false, true} {
+				if got, want := f.CofactorCount(i, v), refCofCount(f, i, v); got != want {
+					t.Fatalf("CofactorCount(%d,%v) = %d, want %d (n=%d)", i, v, got, want, n)
+				}
+			}
+		}
+	}
+}
+
+func TestCofactorCountPairsSumToSatisfyCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 1; n <= 10; n++ {
+		f := Random(n, rng)
+		total := f.CountOnes()
+		for i := 0; i < n; i++ {
+			if f.CofactorCount(i, false)+f.CofactorCount(i, true) != total {
+				t.Fatalf("cofactor counts of var %d do not sum to |f| (n=%d)", i, n)
+			}
+		}
+	}
+}
+
+func TestCofactorCount2AgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for n := 2; n <= 9; n++ {
+		f := Random(n, rng)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				for vi := 0; vi < 2; vi++ {
+					for vj := 0; vj < 2; vj++ {
+						want := 0
+						for x := 0; x < f.NumBits(); x++ {
+							if x>>uint(i)&1 == vi && x>>uint(j)&1 == vj && f.Get(x) {
+								want++
+							}
+						}
+						got := f.CofactorCount2(i, vi == 1, j, vj == 1)
+						if got != want {
+							t.Fatalf("CofactorCount2(%d,%d,%d,%d) = %d, want %d (n=%d)", i, vi, j, vj, got, want, n)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCofactorCount2RejectsSameVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CofactorCount2 with i==j did not panic")
+		}
+	}()
+	New(3).CofactorCount2(1, true, 1, false)
+}
+
+func TestCofactorCountSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for n := 3; n <= 9; n += 3 {
+		f := Random(n, rng)
+		// ℓ=1 and ℓ=2 must agree with the dedicated routines.
+		for i := 0; i < n; i++ {
+			for v := 0; v < 2; v++ {
+				if f.CofactorCountSet([]int{i}, v) != f.CofactorCount(i, v == 1) {
+					t.Fatalf("CofactorCountSet ℓ=1 mismatch (n=%d, i=%d)", n, i)
+				}
+			}
+		}
+		for vals := 0; vals < 4; vals++ {
+			got := f.CofactorCountSet([]int{0, n - 1}, vals)
+			want := f.CofactorCount2(0, vals&1 == 1, n-1, vals>>1&1 == 1)
+			if got != want {
+				t.Fatalf("CofactorCountSet ℓ=2 mismatch (n=%d, vals=%d): %d vs %d", n, vals, got, want)
+			}
+		}
+		// ℓ=3 against direct iteration.
+		vars := []int{0, 1, n - 1}
+		for vals := 0; vals < 8; vals++ {
+			want := 0
+			for x := 0; x < f.NumBits(); x++ {
+				ok := true
+				for k, vi := range vars {
+					if x>>uint(vi)&1 != vals>>uint(k)&1 {
+						ok = false
+						break
+					}
+				}
+				if ok && f.Get(x) {
+					want++
+				}
+			}
+			if got := f.CofactorCountSet(vars, vals); got != want {
+				t.Fatalf("CofactorCountSet ℓ=3 mismatch (n=%d, vals=%d): %d vs %d", n, vals, got, want)
+			}
+		}
+	}
+}
+
+func TestCofactorTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for n := 1; n <= 9; n++ {
+		f := Random(n, rng)
+		for i := 0; i < n; i++ {
+			for _, v := range []bool{false, true} {
+				cf := f.Cofactor(i, v)
+				if cf.DependsOn(i) {
+					t.Fatalf("cofactor still depends on var %d (n=%d)", i, n)
+				}
+				for x := 0; x < f.NumBits(); x++ {
+					y := x &^ (1 << uint(i))
+					if v {
+						y |= 1 << uint(i)
+					}
+					if cf.Get(x) != f.Get(y) {
+						t.Fatalf("Cofactor(%d,%v) wrong at x=%d (n=%d)", i, v, x, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCofactorMask(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		for i := 0; i < n; i++ {
+			m := CofactorMask(n, i, true)
+			if m.CountOnes() != 1<<(n-1) {
+				t.Fatalf("mask has %d ones, want %d", m.CountOnes(), 1<<(n-1))
+			}
+			if !m.Equal(Projection(n, i)) {
+				t.Fatalf("CofactorMask(true) != Projection (n=%d i=%d)", n, i)
+			}
+			if !CofactorMask(n, i, false).Equal(m.Not()) {
+				t.Fatalf("CofactorMask(false) != ¬mask (n=%d i=%d)", n, i)
+			}
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	// f = x0 ⊕ x2 over 4 variables: depends on 0 and 2 only.
+	f := FromFunc(4, func(x int) bool { return (x&1)^(x>>2&1) == 1 })
+	sup := f.Support()
+	if len(sup) != 2 || sup[0] != 0 || sup[1] != 2 {
+		t.Fatalf("Support = %v, want [0 2]", sup)
+	}
+	if f.SupportSize() != 2 {
+		t.Fatal("SupportSize wrong")
+	}
+	s := f.ShrinkSupport()
+	if s.NumVars() != 2 || s.Hex() != "6" {
+		t.Fatalf("ShrinkSupport = %d vars %s, want 2 vars 6 (xor)", s.NumVars(), s.Hex())
+	}
+	// Extending back keeps the function (modulo vacuous vars).
+	e := s.Extend(4)
+	for x := 0; x < 16; x++ {
+		if e.Get(x) != ((x&1)^(x>>1&1) == 1) {
+			t.Fatalf("Extend wrong at %d", x)
+		}
+	}
+}
+
+func TestSupportFullAndEmpty(t *testing.T) {
+	f := maj3()
+	if got := f.SupportSize(); got != 3 {
+		t.Errorf("maj3 support = %d", got)
+	}
+	if s := f.ShrinkSupport(); !s.Equal(f) {
+		t.Error("ShrinkSupport of full-support function must be identity")
+	}
+	c := Const(5, true)
+	if c.SupportSize() != 0 {
+		t.Error("const has nonempty support")
+	}
+	if s := c.ShrinkSupport(); s.NumVars() != 0 || !s.IsConst1() {
+		t.Error("ShrinkSupport of const1 wrong")
+	}
+}
+
+func TestDependsOnLargeVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for n := 7; n <= 10; n++ {
+		f := Random(n, rng)
+		for i := 0; i < n; i++ {
+			want := !f.Cofactor(i, false).Equal(f.Cofactor(i, true))
+			if f.DependsOn(i) != want {
+				t.Fatalf("DependsOn(%d) wrong at n=%d", i, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package tt
+
+import "math/bits"
+
+func onesCount(w uint64) int { return bits.OnesCount64(w) }
+
+// Not returns the output-negated function ¬f.
+func (t *TT) Not() *TT {
+	r := t.Clone()
+	r.NotInPlace()
+	return r
+}
+
+// NotInPlace complements t.
+func (t *TT) NotInPlace() {
+	for i := range t.words {
+		t.words[i] = ^t.words[i]
+	}
+	t.maskValid()
+}
+
+// And returns f ∧ g.
+func (t *TT) And(o *TT) *TT {
+	t.mustSameSize(o)
+	r := t.Clone()
+	for i := range r.words {
+		r.words[i] &= o.words[i]
+	}
+	return r
+}
+
+// Or returns f ∨ g.
+func (t *TT) Or(o *TT) *TT {
+	t.mustSameSize(o)
+	r := t.Clone()
+	for i := range r.words {
+		r.words[i] |= o.words[i]
+	}
+	return r
+}
+
+// Xor returns f ⊕ g.
+func (t *TT) Xor(o *TT) *TT {
+	t.mustSameSize(o)
+	r := t.Clone()
+	for i := range r.words {
+		r.words[i] ^= o.words[i]
+	}
+	return r
+}
+
+// XorCount returns |f ⊕ g| without materializing the XOR table.
+func (t *TT) XorCount(o *TT) int {
+	t.mustSameSize(o)
+	c := 0
+	for i, w := range t.words {
+		c += onesCount(w ^ o.words[i])
+	}
+	return c
+}
+
+// Projection returns the truth table of the bare variable x_i on n variables.
+func Projection(n, i int) *TT {
+	if i < 0 || i >= n {
+		panic("tt: Projection variable out of range")
+	}
+	return CofactorMask(n, i, true)
+}
+
+// Const returns the constant function of n variables with the given value.
+func Const(n int, v bool) *TT {
+	t := New(n)
+	if v {
+		t.NotInPlace()
+	}
+	return t
+}

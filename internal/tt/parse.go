@@ -1,0 +1,119 @@
+package tt
+
+import (
+	"fmt"
+	"strings"
+)
+
+const hexDigits = "0123456789abcdef"
+
+// Hex renders the truth table as a hexadecimal string, most significant
+// nibble first (the conventional kitty/ABC format): an n-variable table uses
+// max(1, 2^n/4) digits.
+func (t *TT) Hex() string {
+	nibbles := t.NumBits() / 4
+	if nibbles == 0 {
+		nibbles = 1
+	}
+	var b strings.Builder
+	b.Grow(nibbles)
+	for i := nibbles - 1; i >= 0; i-- {
+		nib := t.words[i/16] >> (uint(i) % 16 * 4) & 0xF
+		b.WriteByte(hexDigits[nib])
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer as the hex rendering.
+func (t *TT) String() string { return t.Hex() }
+
+// Binary renders the table as a 2^n-character binary string, most significant
+// bit (minterm 2^n-1) first.
+func (t *TT) Binary() string {
+	var b strings.Builder
+	b.Grow(t.NumBits())
+	for i := t.NumBits() - 1; i >= 0; i-- {
+		if t.Get(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// FromHex parses a hexadecimal truth table of n variables. The string may be
+// shorter than 2^n/4 digits, in which case it is zero-extended at the most
+// significant end; it must not be longer. An optional "0x" prefix and
+// embedded underscores are accepted.
+func FromHex(n int, s string) (*TT, error) {
+	s = strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	s = strings.ReplaceAll(s, "_", "")
+	if s == "" {
+		return nil, fmt.Errorf("tt: empty hex truth table")
+	}
+	t := New(n)
+	maxNibbles := t.NumBits() / 4
+	if maxNibbles == 0 {
+		maxNibbles = 1
+	}
+	if len(s) > maxNibbles {
+		return nil, fmt.Errorf("tt: hex table %q has %d digits, max %d for %d variables", s, len(s), maxNibbles, n)
+	}
+	for pos, i := 0, len(s)-1; i >= 0; i, pos = i-1, pos+1 {
+		v := hexVal(s[i])
+		if v < 0 {
+			return nil, fmt.Errorf("tt: invalid hex digit %q", s[i])
+		}
+		t.words[pos/16] |= uint64(v) << (uint(pos) % 16 * 4)
+	}
+	if n < 2 {
+		// 1 hex digit holds up to 4 bits; reject bits beyond 2^n for tiny n.
+		if t.words[0] != t.words[0]&t.lastWordMask() {
+			return nil, fmt.Errorf("tt: hex table %q overflows %d-variable table", s, n)
+		}
+	}
+	t.maskValid()
+	return t, nil
+}
+
+// MustFromHex is FromHex that panics on error; intended for constants in
+// tests and examples.
+func MustFromHex(n int, s string) *TT {
+	t, err := FromHex(n, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromBinary parses a binary string of exactly 2^n characters, most
+// significant minterm first (the reverse of minterm order).
+func FromBinary(n int, s string) (*TT, error) {
+	t := New(n)
+	if len(s) != t.NumBits() {
+		return nil, fmt.Errorf("tt: binary table needs %d bits, got %d", t.NumBits(), len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			t.Set(len(s)-1-i, true)
+		default:
+			return nil, fmt.Errorf("tt: invalid binary digit %q", s[i])
+		}
+	}
+	return t, nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

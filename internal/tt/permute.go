@@ -1,0 +1,126 @@
+package tt
+
+// FlipVar returns the function with variable i negated: g(x) = f(x^i), where
+// x^i is x with bit i complemented. This is the input-negation primitive of
+// NP transformations.
+func (t *TT) FlipVar(i int) *TT {
+	r := t.Clone()
+	r.FlipVarInPlace(i)
+	return r
+}
+
+// FlipVarInPlace negates variable i of t.
+func (t *TT) FlipVarInPlace(i int) {
+	if i < 0 || i >= t.n {
+		panic("tt: FlipVar variable out of range")
+	}
+	if i < 6 {
+		s := uint(1) << uint(i)
+		p := projections[i]
+		for wi, w := range t.words {
+			t.words[wi] = (w&p)>>s | (w&^p)<<s
+		}
+		t.maskValid()
+		return
+	}
+	stride := 1 << (uint(i) - 6)
+	for base := 0; base < len(t.words); base += 2 * stride {
+		for k := 0; k < stride; k++ {
+			a, b := base+k, base+k+stride
+			t.words[a], t.words[b] = t.words[b], t.words[a]
+		}
+	}
+}
+
+// SwapVars returns the function with variables i and j exchanged.
+func (t *TT) SwapVars(i, j int) *TT {
+	r := t.Clone()
+	r.SwapVarsInPlace(i, j)
+	return r
+}
+
+// SwapVarsInPlace exchanges variables i and j of t.
+func (t *TT) SwapVarsInPlace(i, j int) {
+	if i == j {
+		return
+	}
+	if i > j {
+		i, j = j, i
+	}
+	if j >= t.n {
+		panic("tt: SwapVars variable out of range")
+	}
+	switch {
+	case j < 6:
+		// Delta-swap inside each word: positions with x_i=1, x_j=0 trade
+		// places with the position d higher that has x_i=0, x_j=1.
+		d := uint(1)<<uint(j) - uint(1)<<uint(i)
+		m := projections[i] &^ projections[j]
+		for wi, w := range t.words {
+			x := (w ^ w>>d) & m
+			t.words[wi] = w ^ x ^ x<<d
+		}
+	case i >= 6:
+		// Both variables select whole words; swap word pairs.
+		si := 1 << (uint(i) - 6)
+		sj := 1 << (uint(j) - 6)
+		for wi := range t.words {
+			if wi&si != 0 && wi&sj == 0 {
+				other := wi - si + sj
+				t.words[wi], t.words[other] = t.words[other], t.words[wi]
+			}
+		}
+	default:
+		// i < 6 ≤ j: in-word bits with x_i=1 of an x_j=0 word trade with the
+		// x_i=0 bits of its x_j=1 partner word.
+		s := uint(1) << uint(i)
+		p := projections[i]
+		stride := 1 << (uint(j) - 6)
+		for wi := range t.words {
+			if wi&stride != 0 {
+				continue
+			}
+			lo, hi := t.words[wi], t.words[wi+stride]
+			t.words[wi] = lo&^p | (hi&^p)<<s
+			t.words[wi+stride] = hi&p | (lo&p)>>s
+		}
+	}
+}
+
+// Permute returns g with g(x) = f(y) where bit perm[k] of y equals bit k of
+// x: variable k of the argument is routed to position perm[k] of f. perm must
+// be a permutation of 0..n-1.
+func (t *TT) Permute(perm []int) *TT {
+	if len(perm) != t.n {
+		panic("tt: Permute length mismatch")
+	}
+	seen := 0
+	for _, p := range perm {
+		if p < 0 || p >= t.n || seen>>uint(p)&1 == 1 {
+			panic("tt: Permute argument is not a permutation")
+		}
+		seen |= 1 << uint(p)
+	}
+	r := New(t.n)
+	for x := 0; x < t.NumBits(); x++ {
+		y := 0
+		for k := 0; k < t.n; k++ {
+			y |= x >> uint(k) & 1 << uint(perm[k])
+		}
+		if t.Get(y) {
+			r.Set(x, true)
+		}
+	}
+	return r
+}
+
+// FlipMask negates every variable whose bit is set in mask: g(x) = f(x ⊕ mask).
+func (t *TT) FlipMask(mask int) *TT {
+	r := t.Clone()
+	for i := 0; i < t.n; i++ {
+		if mask>>uint(i)&1 == 1 {
+			r.FlipVarInPlace(i)
+		}
+	}
+	return r
+}

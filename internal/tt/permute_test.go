@@ -1,0 +1,171 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refFlip negates variable i by explicit minterm remapping.
+func refFlip(f *TT, i int) *TT {
+	r := New(f.NumVars())
+	for x := 0; x < f.NumBits(); x++ {
+		if f.Get(x ^ 1<<uint(i)) {
+			r.Set(x, true)
+		}
+	}
+	return r
+}
+
+// refSwap exchanges variables i and j by explicit minterm remapping.
+func refSwap(f *TT, i, j int) *TT {
+	r := New(f.NumVars())
+	for x := 0; x < f.NumBits(); x++ {
+		bi, bj := x>>uint(i)&1, x>>uint(j)&1
+		y := x&^(1<<uint(i)|1<<uint(j)) | bi<<uint(j) | bj<<uint(i)
+		if f.Get(y) {
+			r.Set(x, true)
+		}
+	}
+	return r
+}
+
+func TestFlipVarAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for n := 1; n <= 9; n++ {
+		for rep := 0; rep < 5; rep++ {
+			f := Random(n, rng)
+			for i := 0; i < n; i++ {
+				got := f.FlipVar(i)
+				want := refFlip(f, i)
+				if !got.Equal(want) {
+					t.Fatalf("FlipVar(%d) wrong for n=%d", i, n)
+				}
+				if !got.FlipVar(i).Equal(f) {
+					t.Fatalf("FlipVar(%d) not involutive for n=%d", i, n)
+				}
+			}
+		}
+	}
+}
+
+func TestSwapVarsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 2; n <= 9; n++ {
+		for rep := 0; rep < 3; rep++ {
+			f := Random(n, rng)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					got := f.SwapVars(i, j)
+					want := refSwap(f, i, j)
+					if !got.Equal(want) {
+						t.Fatalf("SwapVars(%d,%d) wrong for n=%d", i, j, n)
+					}
+					if !got.SwapVars(i, j).Equal(f) {
+						t.Fatalf("SwapVars(%d,%d) not involutive for n=%d", i, j, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPermuteIdentityAndComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for n := 1; n <= 8; n++ {
+		f := Random(n, rng)
+		id := make([]int, n)
+		for i := range id {
+			id[i] = i
+		}
+		if !f.Permute(id).Equal(f) {
+			t.Fatalf("identity permutation changed table at n=%d", n)
+		}
+		perm := rng.Perm(n)
+		g := f.Permute(perm)
+		// Permuting by the inverse must restore f.
+		inv := make([]int, n)
+		for k, p := range perm {
+			inv[p] = k
+		}
+		if !g.Permute(inv).Equal(f) {
+			t.Fatalf("inverse permutation does not restore at n=%d", n)
+		}
+	}
+}
+
+func TestPermuteMatchesSwapChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := Random(7, rng)
+	// A transposition as a permutation must equal SwapVars.
+	perm := []int{0, 1, 2, 3, 4, 5, 6}
+	perm[2], perm[6] = 6, 2
+	if !f.Permute(perm).Equal(f.SwapVars(2, 6)) {
+		t.Error("Permute transposition disagrees with SwapVars")
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	f := New(3)
+	for _, perm := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Permute(%v) did not panic", perm)
+				}
+			}()
+			f.Permute(perm)
+		}()
+	}
+}
+
+func TestFlipMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for n := 1; n <= 8; n++ {
+		f := Random(n, rng)
+		mask := rng.Intn(1 << n)
+		got := f.FlipMask(mask)
+		for x := 0; x < f.NumBits(); x++ {
+			if got.Get(x) != f.Get(x^mask) {
+				t.Fatalf("FlipMask(%b) wrong at n=%d x=%d", mask, n, x)
+			}
+		}
+	}
+}
+
+func TestWordOpsAgreeWithTableOps(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(15))}
+	err := quick.Check(func(w uint64, iRaw, jRaw uint8) bool {
+		n := 6
+		i, j := int(iRaw)%n, int(jRaw)%n
+		f := FromWord(n, w)
+		if FlipVarWord(f.Word(), i) != f.FlipVar(i).Word() {
+			return false
+		}
+		if SwapVarsWord(f.Word(), i, j) != f.SwapVars(i, j).Word() {
+			return false
+		}
+		return CofactorCountWord(f.Word(), n, i, true) == f.CofactorCount(i, true)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapAdjacentWord(t *testing.T) {
+	w := uint64(0xE8) // maj3
+	for i := 0; i < 5; i++ {
+		if SwapAdjacentWord(w, i) != SwapVarsWord(w, i, i+1) {
+			t.Errorf("SwapAdjacentWord(%d) mismatch", i)
+		}
+	}
+	// Majority is totally symmetric: any swap preserves it (within 3 vars).
+	f := maj3()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !f.SwapVars(i, j).Equal(f) {
+				t.Errorf("majority not symmetric under swap(%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package tt
+
+import "math/rand"
+
+// Random returns a uniformly random n-variable truth table drawn from rng.
+func Random(n int, rng *rand.Rand) *TT {
+	t := New(n)
+	for i := range t.words {
+		t.words[i] = rng.Uint64()
+	}
+	t.maskValid()
+	return t
+}
+
+// FromUint64Seq fills an n ≤ 6 variable table from the low bits of v; used by
+// the consecutive-encoding workload generator (Fig 5 of the paper, where
+// truth tables are consecutive binary encodings of integers).
+func FromUint64Seq(n int, v uint64) *TT {
+	t := New(n)
+	t.words[0] = v
+	t.maskValid()
+	return t
+}
+
+// SetSeqValue writes the 2^n-bit little-endian integer value encoded by words
+// seq into t; seq supplies as many words as the table has. This extends the
+// consecutive encoding beyond 6 variables.
+func (t *TT) SetSeqValue(seq []uint64) {
+	for i := range t.words {
+		if i < len(seq) {
+			t.words[i] = seq[i]
+		} else {
+			t.words[i] = 0
+		}
+	}
+	t.maskValid()
+}

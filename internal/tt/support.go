@@ -1,0 +1,89 @@
+package tt
+
+// DependsOn reports whether the function actually depends on variable i,
+// i.e. whether f|x_i=0 differs from f|x_i=1 anywhere.
+func (t *TT) DependsOn(i int) bool {
+	if i < 6 {
+		s := uint(1) << uint(i)
+		p := projections[i]
+		for _, w := range t.words {
+			if (w&p)>>s != w&^p {
+				return true
+			}
+		}
+		return false
+	}
+	stride := 1 << (uint(i) - 6)
+	for base := 0; base < len(t.words); base += 2 * stride {
+		for k := 0; k < stride; k++ {
+			if t.words[base+k] != t.words[base+k+stride] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Support returns the indices of the variables the function depends on, in
+// increasing order.
+func (t *TT) Support() []int {
+	var s []int
+	for i := 0; i < t.n; i++ {
+		if t.DependsOn(i) {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// SupportSize returns the number of variables the function depends on.
+func (t *TT) SupportSize() int {
+	c := 0
+	for i := 0; i < t.n; i++ {
+		if t.DependsOn(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// ShrinkSupport returns an equivalent function over exactly its support
+// variables: vacuous variables are projected away and the remaining variables
+// are renumbered 0..k-1 preserving order. If the function already depends on
+// all its variables, a clone is returned.
+func (t *TT) ShrinkSupport() *TT {
+	sup := t.Support()
+	if len(sup) == t.n {
+		return t.Clone()
+	}
+	r := New(len(sup))
+	for x := 0; x < r.NumBits(); x++ {
+		y := 0
+		for k, v := range sup {
+			y |= x >> uint(k) & 1 << uint(v)
+		}
+		if t.Get(y) {
+			r.Set(x, true)
+		}
+	}
+	return r
+}
+
+// Extend returns the same function formally defined over m ≥ n variables;
+// the added variables are vacuous.
+func (t *TT) Extend(m int) *TT {
+	if m < t.n {
+		panic("tt: Extend target smaller than current arity")
+	}
+	if m == t.n {
+		return t.Clone()
+	}
+	r := New(m)
+	period := t.NumBits()
+	for x := 0; x < r.NumBits(); x++ {
+		if t.Get(x & (period - 1)) {
+			r.Set(x, true)
+		}
+	}
+	return r
+}

@@ -1,0 +1,233 @@
+// Package tt implements bit-parallel truth tables for Boolean functions of up
+// to MaxVars variables.
+//
+// A truth table stores the 2^n output bits of an n-variable Boolean function
+// f(x1, ..., xn) packed into 64-bit words, little-endian: bit i of the table
+// is f((i)₂) where (i)₂ is the little-endian binary encoding of i, i.e. bit j
+// of i is the value of variable x_{j+1}. Variables are indexed 0-based in the
+// API (variable 0 is the paper's x1).
+//
+// The package provides the bitwise primitives the NPN classifier is built on:
+// satisfy counts, cofactor masks, input negation (FlipVar), variable
+// permutation (SwapVars, Permute), output negation (Not), and support
+// minimization. All operations keep the invariant that bits above position
+// 2^n-1 are zero, so whole-word comparisons and popcounts are exact.
+package tt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxVars is the largest supported number of variables. 16 variables means a
+// 65536-bit truth table (1024 words), which covers every experiment in the
+// paper (n ≤ 10) with headroom.
+const MaxVars = 16
+
+// TT is the truth table of an n-variable Boolean function.
+//
+// The zero value is not usable; construct values with New, FromHex, FromBits,
+// FromFunc or Random.
+type TT struct {
+	n     int
+	words []uint64
+}
+
+// New returns the constant-0 function of n variables.
+func New(n int) *TT {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("tt: number of variables %d out of range [0,%d]", n, MaxVars))
+	}
+	return &TT{n: n, words: make([]uint64, wordCount(n))}
+}
+
+// wordCount returns the number of 64-bit words backing an n-variable table.
+func wordCount(n int) int {
+	if n <= 6 {
+		return 1
+	}
+	return 1 << (n - 6)
+}
+
+// NumVars returns the number of variables n.
+func (t *TT) NumVars() int { return t.n }
+
+// NumBits returns the table length 2^n.
+func (t *TT) NumBits() int { return 1 << t.n }
+
+// Words returns the backing word slice. The slice is shared, not copied;
+// callers must not modify it unless they own the table.
+func (t *TT) Words() []uint64 { return t.words }
+
+// Clone returns an independent copy of t.
+func (t *TT) Clone() *TT {
+	w := make([]uint64, len(t.words))
+	copy(w, t.words)
+	return &TT{n: t.n, words: w}
+}
+
+// CopyFrom overwrites t with the contents of src. The tables must have the
+// same number of variables.
+func (t *TT) CopyFrom(src *TT) {
+	t.mustSameSize(src)
+	copy(t.words, src.words)
+}
+
+// Get reports the function value at minterm x (0 ≤ x < 2^n).
+func (t *TT) Get(x int) bool {
+	return t.words[x>>6]>>(uint(x)&63)&1 == 1
+}
+
+// Set assigns the function value at minterm x.
+func (t *TT) Set(x int, v bool) {
+	if v {
+		t.words[x>>6] |= 1 << (uint(x) & 63)
+	} else {
+		t.words[x>>6] &^= 1 << (uint(x) & 63)
+	}
+}
+
+// Equal reports whether t and o denote the same function on the same number
+// of variables.
+func (t *TT) Equal(o *TT) bool {
+	if t.n != o.n {
+		return false
+	}
+	for i, w := range t.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders truth tables of equal arity lexicographically by their
+// big-endian word sequence (most significant word first), which matches the
+// usual "smallest truth table" canonical-form convention. It returns -1, 0,
+// or +1.
+func (t *TT) Compare(o *TT) int {
+	t.mustSameSize(o)
+	for i := len(t.words) - 1; i >= 0; i-- {
+		switch {
+		case t.words[i] < o.words[i]:
+			return -1
+		case t.words[i] > o.words[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether t orders before o under Compare.
+func (t *TT) Less(o *TT) bool { return t.Compare(o) < 0 }
+
+// IsConst0 reports whether t is the constant-0 function.
+func (t *TT) IsConst0() bool {
+	for _, w := range t.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConst1 reports whether t is the constant-1 function.
+func (t *TT) IsConst1() bool {
+	m := t.lastWordMask()
+	for i, w := range t.words {
+		want := ^uint64(0)
+		if i == len(t.words)-1 {
+			want = m
+		}
+		if w != want {
+			return false
+		}
+	}
+	return true
+}
+
+// CountOnes returns the satisfy count |f|, the number of 1-minterms.
+func (t *TT) CountOnes() int {
+	c := 0
+	for _, w := range t.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsBalanced reports whether |f| = 2^(n-1).
+func (t *TT) IsBalanced() bool { return t.CountOnes()*2 == t.NumBits() }
+
+// lastWordMask returns the mask of valid bits in the last word: all bits for
+// n ≥ 6, the low 2^n bits for smaller n.
+func (t *TT) lastWordMask() uint64 {
+	if t.n >= 6 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (1 << t.n)) - 1
+}
+
+// maskValid clears the unused high bits (only meaningful for n < 6).
+func (t *TT) maskValid() {
+	t.words[len(t.words)-1] &= t.lastWordMask()
+}
+
+// Normalize clears padding bits above position 2^n-1. Call it after writing
+// the backing Words slice directly (e.g. from a simulator).
+func (t *TT) Normalize() { t.maskValid() }
+
+func (t *TT) mustSameSize(o *TT) {
+	if t.n != o.n {
+		panic(fmt.Sprintf("tt: arity mismatch %d vs %d", t.n, o.n))
+	}
+}
+
+// FromFunc builds the truth table of n variables from an evaluator. Bit j of
+// the minterm index is the value of variable j.
+func FromFunc(n int, f func(x int) bool) *TT {
+	t := New(n)
+	for x := 0; x < t.NumBits(); x++ {
+		if f(x) {
+			t.Set(x, true)
+		}
+	}
+	return t
+}
+
+// FromBits builds an n-variable table from an explicit bit slice of length
+// 2^n (bits[i] ∈ {0,1}).
+func FromBits(n int, bitsIn []int) (*TT, error) {
+	t := New(n)
+	if len(bitsIn) != t.NumBits() {
+		return nil, fmt.Errorf("tt: FromBits needs %d bits, got %d", t.NumBits(), len(bitsIn))
+	}
+	for i, b := range bitsIn {
+		switch b {
+		case 0:
+		case 1:
+			t.Set(i, true)
+		default:
+			return nil, fmt.Errorf("tt: FromBits bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	return t, nil
+}
+
+// FromWord builds a table of n ≤ 6 variables from the low 2^n bits of w.
+func FromWord(n int, w uint64) *TT {
+	if n > 6 {
+		panic("tt: FromWord supports at most 6 variables")
+	}
+	t := New(n)
+	t.words[0] = w
+	t.maskValid()
+	return t
+}
+
+// Word returns the single backing word of a table with n ≤ 6 variables.
+func (t *TT) Word() uint64 {
+	if t.n > 6 {
+		panic("tt: Word requires at most 6 variables")
+	}
+	return t.words[0]
+}

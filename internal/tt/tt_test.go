@@ -1,0 +1,239 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// maj3 is the 3-input majority function (f1 in Fig. 1a of the paper).
+func maj3() *TT { return MustFromHex(3, "e8") }
+
+func TestNewIsConst0(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		f := New(n)
+		if !f.IsConst0() {
+			t.Errorf("New(%d) not const 0", n)
+		}
+		if f.NumBits() != 1<<n {
+			t.Errorf("NumBits(%d) = %d", n, f.NumBits())
+		}
+		if f.CountOnes() != 0 {
+			t.Errorf("CountOnes on const0 = %d", f.CountOnes())
+		}
+	}
+}
+
+func TestNewOutOfRangePanics(t *testing.T) {
+	for _, n := range []int{-1, MaxVars + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+func TestGetSet(t *testing.T) {
+	f := New(8)
+	idx := []int{0, 1, 63, 64, 127, 255}
+	for _, i := range idx {
+		f.Set(i, true)
+	}
+	for _, i := range idx {
+		if !f.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if f.CountOnes() != len(idx) {
+		t.Errorf("CountOnes = %d, want %d", f.CountOnes(), len(idx))
+	}
+	f.Set(63, false)
+	if f.Get(63) {
+		t.Error("bit 63 still set after clear")
+	}
+}
+
+func TestMajorityBasics(t *testing.T) {
+	f := maj3()
+	if got := f.CountOnes(); got != 4 {
+		t.Errorf("|maj3| = %d, want 4", got)
+	}
+	if !f.IsBalanced() {
+		t.Error("maj3 should be balanced")
+	}
+	// Majority is 1 exactly on minterms with ≥ 2 ones.
+	for x := 0; x < 8; x++ {
+		ones := 0
+		for b := 0; b < 3; b++ {
+			ones += x >> b & 1
+		}
+		if f.Get(x) != (ones >= 2) {
+			t.Errorf("maj3(%03b) = %v", x, f.Get(x))
+		}
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 2; n <= 9; n++ {
+		for k := 0; k < 20; k++ {
+			f := Random(n, rng)
+			g, err := FromHex(n, f.Hex())
+			if err != nil {
+				t.Fatalf("FromHex(%q): %v", f.Hex(), err)
+			}
+			if !f.Equal(g) {
+				t.Fatalf("hex round trip failed for n=%d: %s", n, f.Hex())
+			}
+		}
+	}
+}
+
+func TestFromHexErrors(t *testing.T) {
+	if _, err := FromHex(3, ""); err == nil {
+		t.Error("empty hex accepted")
+	}
+	if _, err := FromHex(3, "xyz"); err == nil {
+		t.Error("invalid digit accepted")
+	}
+	if _, err := FromHex(3, "fff"); err == nil {
+		t.Error("overlong hex accepted")
+	}
+	if _, err := FromHex(1, "5"); err == nil {
+		t.Error("hex overflowing 1-var table accepted")
+	}
+	if f, err := FromHex(4, "1"); err != nil || f.CountOnes() != 1 || !f.Get(0) {
+		t.Error("short hex not zero-extended correctly")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := maj3()
+	if got := f.Binary(); got != "11101000" {
+		t.Errorf("Binary() = %q, want 11101000", got)
+	}
+	g, err := FromBinary(3, "11101000")
+	if err != nil || !g.Equal(f) {
+		t.Errorf("FromBinary round trip failed: %v", err)
+	}
+	if _, err := FromBinary(3, "110"); err == nil {
+		t.Error("short binary accepted")
+	}
+	if _, err := FromBinary(3, "1110100x"); err == nil {
+		t.Error("invalid binary digit accepted")
+	}
+}
+
+func TestNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 8; n++ {
+		f := Random(n, rng)
+		g := f.Not()
+		if f.CountOnes()+g.CountOnes() != f.NumBits() {
+			t.Errorf("n=%d: |f| + |¬f| != 2^n", n)
+		}
+		if !g.Not().Equal(f) {
+			t.Errorf("n=%d: double negation not identity", n)
+		}
+		for x := 0; x < f.NumBits(); x++ {
+			if f.Get(x) == g.Get(x) {
+				t.Fatalf("n=%d: ¬f agrees with f at %d", n, x)
+			}
+		}
+	}
+}
+
+func TestConstAndProjection(t *testing.T) {
+	one := Const(4, true)
+	if !one.IsConst1() || one.CountOnes() != 16 {
+		t.Error("Const(4, true) wrong")
+	}
+	for i := 0; i < 8; i++ {
+		p := Projection(8, i)
+		if p.CountOnes() != 128 {
+			t.Errorf("projection %d has %d ones", i, p.CountOnes())
+		}
+		for x := 0; x < 256; x++ {
+			if p.Get(x) != (x>>i&1 == 1) {
+				t.Fatalf("projection %d wrong at %d", i, x)
+			}
+		}
+	}
+}
+
+func TestBoolOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 8; n++ {
+		f, g := Random(n, rng), Random(n, rng)
+		and, or, xor := f.And(g), f.Or(g), f.Xor(g)
+		for x := 0; x < f.NumBits(); x++ {
+			if and.Get(x) != (f.Get(x) && g.Get(x)) {
+				t.Fatalf("And wrong at n=%d x=%d", n, x)
+			}
+			if or.Get(x) != (f.Get(x) || g.Get(x)) {
+				t.Fatalf("Or wrong at n=%d x=%d", n, x)
+			}
+			if xor.Get(x) != (f.Get(x) != g.Get(x)) {
+				t.Fatalf("Xor wrong at n=%d x=%d", n, x)
+			}
+		}
+		if xor.CountOnes() != f.XorCount(g) {
+			t.Fatalf("XorCount mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := MustFromHex(3, "01")
+	b := MustFromHex(3, "02")
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("Compare basic ordering wrong")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Less wrong")
+	}
+	// High words dominate.
+	c, d := New(8), New(8)
+	c.Set(255, true) // highest word
+	d.Set(0, true)
+	if !d.Less(c) {
+		t.Error("Compare must order by most significant word first")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := maj3()
+	g := f.Clone()
+	g.Set(0, true)
+	if f.Get(0) {
+		t.Error("Clone shares storage")
+	}
+	h := New(3)
+	h.CopyFrom(f)
+	if !h.Equal(f) {
+		t.Error("CopyFrom failed")
+	}
+}
+
+func TestFromBitsAndFunc(t *testing.T) {
+	f, err := FromBits(2, []int{0, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Hex() != "6" {
+		t.Errorf("xor2 = %s, want 6", f.Hex())
+	}
+	if _, err := FromBits(2, []int{0, 1}); err == nil {
+		t.Error("short FromBits accepted")
+	}
+	if _, err := FromBits(2, []int{0, 1, 2, 0}); err == nil {
+		t.Error("non-binary FromBits accepted")
+	}
+	g := FromFunc(2, func(x int) bool { return x == 1 || x == 2 })
+	if !g.Equal(f) {
+		t.Error("FromFunc xor2 mismatch")
+	}
+}

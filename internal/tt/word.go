@@ -1,0 +1,49 @@
+package tt
+
+// Single-word fast paths for functions of at most 6 variables. The exhaustive
+// NPN canonicalizer enumerates tens of thousands of flip/swap steps per
+// function, so these operate directly on uint64 values with no allocation.
+
+// WordMask returns the mask of the low 2^n bits for n ≤ 6.
+func WordMask(n int) uint64 {
+	if n >= 6 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<(1<<uint(n)) - 1
+}
+
+// FlipVarWord negates variable i (< 6) in the single-word table w.
+func FlipVarWord(w uint64, i int) uint64 {
+	s := uint(1) << uint(i)
+	p := projections[i]
+	return (w&p)>>s | (w&^p)<<s
+}
+
+// SwapAdjacentWord exchanges variables i and i+1 (i+1 < 6) in w.
+func SwapAdjacentWord(w uint64, i int) uint64 {
+	return SwapVarsWord(w, i, i+1)
+}
+
+// SwapVarsWord exchanges variables i and j (both < 6) in w.
+func SwapVarsWord(w uint64, i, j int) uint64 {
+	if i == j {
+		return w
+	}
+	if i > j {
+		i, j = j, i
+	}
+	d := uint(1)<<uint(j) - uint(1)<<uint(i)
+	m := projections[i] &^ projections[j]
+	x := (w ^ w>>d) & m
+	return w ^ x ^ x<<d
+}
+
+// CofactorCountWord returns |f|x_i=v| for a single-word table of n ≤ 6
+// variables.
+func CofactorCountWord(w uint64, n, i int, v bool) int {
+	p := projections[i]
+	if !v {
+		p = ^p
+	}
+	return onesCount(w & p & WordMask(n))
+}
