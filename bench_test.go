@@ -23,7 +23,9 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/match"
 	"repro/internal/npn"
+	"repro/internal/service"
 	"repro/internal/sig"
+	"repro/internal/store"
 	"repro/internal/tt"
 )
 
@@ -357,3 +359,48 @@ func BenchmarkCutEnumeration(b *testing.B) {
 }
 
 var cutEnumSink int
+
+// BenchmarkStoreThroughput compares the online class store against the
+// offline core.ClassifyParallel on the 6-variable circuit workload. The
+// batch pipeline reuses ClassifyParallel's chunking, so the comparison
+// isolates the serving overheads: engine pooling, shard locking and (in
+// the insert/classify cases) matcher certification of every hit;
+// "service-cached" is the steady-state serving mode where repeated
+// functions are answered from the LRU.
+func BenchmarkStoreThroughput(b *testing.B) {
+	fs := circuitWorkload(6)
+	cfg := core.ConfigAll()
+	cfg.FastOSDV = true
+
+	b.Run("classify-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ClassifyParallel(6, cfg, fs, 0)
+		}
+	})
+	b.Run("store-insert", func(b *testing.B) {
+		// Cold build: the whole class store constructed from the batch.
+		for i := 0; i < b.N; i++ {
+			svc := service.New(store.New(6, store.Options{}), service.Options{CacheSize: -1})
+			svc.Insert(fs)
+		}
+	})
+	b.Run("service-classify", func(b *testing.B) {
+		// Warm store, no cache: every answer re-certified by the matcher.
+		svc := service.New(store.New(6, store.Options{}), service.Options{CacheSize: -1})
+		svc.Insert(fs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.Classify(fs)
+		}
+	})
+	b.Run("service-cached", func(b *testing.B) {
+		// Steady state: warm store and warm LRU.
+		svc := service.New(store.New(6, store.Options{}), service.Options{CacheSize: len(fs) * 2})
+		svc.Insert(fs)
+		svc.Classify(fs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			svc.Classify(fs)
+		}
+	})
+}

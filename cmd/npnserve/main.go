@@ -1,0 +1,140 @@
+// Command npnserve runs the NPN classification service: a sharded,
+// concurrency-safe class store (internal/store) behind the batch HTTP/JSON
+// API of internal/service.
+//
+// Usage:
+//
+//	npnserve -n 6 [-addr :8080] [-shards 16] [-workers 0] [-cache 4096]
+//	         [-load file] [-save file]
+//
+// Endpoints:
+//
+//	POST /v1/classify  {"functions":["<hex tt>", ...]} -> class keys, reps,
+//	                   matcher-certified witnesses (read-only)
+//	POST /v1/insert    same body; absent classes are created
+//	GET  /v1/stats     counters and store shape
+//	GET  /healthz      liveness
+//
+// With -load, the store is preseeded from a ttio snapshot (one hex table
+// per line, e.g. a classdb/store Save file). With -save, a snapshot is
+// written on graceful shutdown (SIGINT/SIGTERM).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/tt"
+)
+
+// config collects the flag-configurable server parameters.
+type config struct {
+	n        int
+	addr     string
+	shards   int
+	workers  int
+	cache    int
+	loadPath string
+	savePath string
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.n, "n", 0, "number of variables (required)")
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.shards, "shards", store.DefaultShards, "store lock shards (rounded up to a power of two)")
+	flag.IntVar(&cfg.workers, "workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.cache, "cache", service.DefaultCacheSize, "LRU result cache capacity (negative disables)")
+	flag.StringVar(&cfg.loadPath, "load", "", "preseed the store from a ttio snapshot file")
+	flag.StringVar(&cfg.savePath, "save", "", "write a store snapshot to this file on shutdown")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "npnserve: ", log.LstdFlags)
+	svc, err := buildService(cfg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving n=%d on %s (shards=%d workers=%d cache=%d, %d classes preloaded)",
+			cfg.n, cfg.addr, svc.Store().NumShards(), svc.Stats().Workers, cfg.cache, svc.Store().Size())
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests.
+	logger.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("shutdown: %v", err)
+	}
+
+	if cfg.savePath != "" {
+		if err := saveSnapshot(svc, cfg.savePath); err != nil {
+			logger.Fatalf("save: %v", err)
+		}
+		logger.Printf("saved %d classes to %s", svc.Store().Size(), cfg.savePath)
+	}
+}
+
+// buildService wires a store and service from the flag configuration. It
+// is the unit the end-to-end tests exercise against httptest.
+func buildService(cfg config) (*service.Service, error) {
+	if cfg.n <= 0 || cfg.n > tt.MaxVars {
+		return nil, fmt.Errorf("-n must be in 1..%d", tt.MaxVars)
+	}
+	var st *store.Store
+	if cfg.loadPath != "" {
+		f, err := os.Open(cfg.loadPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		st, err = store.Load(f, cfg.n, store.Options{Shards: cfg.shards})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		st = store.New(cfg.n, store.Options{Shards: cfg.shards})
+	}
+	return service.New(st, service.Options{Workers: cfg.workers, CacheSize: cfg.cache}), nil
+}
+
+// saveSnapshot writes the store's classes as a ttio workload file.
+func saveSnapshot(svc *service.Service, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := svc.Store().Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/service"
+	"repro/internal/tt"
+)
+
+// startServer builds the flag-configured service and serves it over a
+// real TCP listener via httptest — the full stack a client sees.
+func startServer(t *testing.T, cfg config) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc, err := buildService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(srv.Close)
+	return srv, svc
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestEndToEnd drives the acceptance scenario: a batch of 6-variable
+// truth tables is inserted, then a batch of NPN variants is classified;
+// every answer must carry the right class key and a witness the matcher
+// semantics certify (replayed locally against the returned rep).
+func TestEndToEnd(t *testing.T) {
+	n := 6
+	srv, _ := startServer(t, config{n: n, shards: 8, workers: 2, cache: 128})
+
+	rng := rand.New(rand.NewSource(700))
+	base := make([]*tt.TT, 20)
+	hexes := make([]string, len(base))
+	for i := range base {
+		base[i] = tt.Random(n, rng)
+		hexes[i] = base[i].Hex()
+	}
+
+	resp, body := post(t, srv.URL+"/v1/insert", service.ClassifyRequest{Functions: hexes})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+	var ins service.InsertResponse
+	if err := json.Unmarshal(body, &ins); err != nil {
+		t.Fatal(err)
+	}
+	classOf := make(map[int]string)
+	for i, r := range ins.Results {
+		classOf[i] = fmt.Sprintf("%s:%d", r.Class, r.Index)
+	}
+
+	variants := make([]string, len(base))
+	varTT := make([]*tt.TT, len(base))
+	for i, f := range base {
+		varTT[i] = npn.RandomTransform(n, rng).Apply(f)
+		variants[i] = varTT[i].Hex()
+	}
+	resp, body = post(t, srv.URL+"/v1/classify", service.ClassifyRequest{Functions: variants})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d: %s", resp.StatusCode, body)
+	}
+	var cls service.ClassifyResponse
+	if err := json.Unmarshal(body, &cls); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		if !r.Hit {
+			t.Fatalf("variant %d missed its class", i)
+		}
+		if got := fmt.Sprintf("%s:%d", r.Class, *r.Index); got != classOf[i] {
+			t.Fatalf("variant %d classified as %s, inserted as %s", i, got, classOf[i])
+		}
+		tr, err := r.Witness.Transform()
+		if err != nil {
+			t.Fatalf("variant %d witness: %v", i, err)
+		}
+		if !tr.Apply(tt.MustFromHex(n, r.Rep)).Equal(varTT[i]) {
+			t.Fatalf("variant %d: wire witness does not verify", i)
+		}
+	}
+
+	// Stats must reflect the traffic.
+	statsResp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st service.Stats
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Arity != n || st.Inserts != int64(len(base)) || st.Hits != int64(len(base)) {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Liveness.
+	hResp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hResp.Body.Close()
+	if hResp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hResp.StatusCode)
+	}
+}
+
+// TestBuildServiceValidation rejects a missing or out-of-range arity.
+func TestBuildServiceValidation(t *testing.T) {
+	if _, err := buildService(config{n: 0}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := buildService(config{n: tt.MaxVars + 1}); err == nil {
+		t.Fatal("oversized arity accepted")
+	}
+}
+
+// TestLoadSaveRoundTrip preseeds a server from a snapshot written by a
+// previous instance — the persistence path of the -load/-save flags.
+func TestLoadSaveRoundTrip(t *testing.T) {
+	n := 5
+	dir := t.TempDir()
+	path := filepath.Join(dir, "classes.tt")
+
+	svc, err := buildService(config{n: n, shards: 4, cache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(701))
+	fs := make([]*tt.TT, 15)
+	for i := range fs {
+		fs[i] = tt.Random(n, rng)
+	}
+	svc.Insert(fs)
+	if err := saveSnapshot(svc, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, svc2 := startServer(t, config{n: n, shards: 4, cache: 16, loadPath: path})
+	if svc2.Store().Size() != svc.Store().Size() {
+		t.Fatalf("preloaded %d classes, want %d", svc2.Store().Size(), svc.Store().Size())
+	}
+	resp, body := post(t, srv.URL+"/v1/classify", service.ClassifyRequest{Functions: []string{fs[0].Hex()}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d", resp.StatusCode)
+	}
+	var cls service.ClassifyResponse
+	if err := json.Unmarshal(body, &cls); err != nil {
+		t.Fatal(err)
+	}
+	if !cls.Results[0].Hit {
+		t.Fatal("preloaded class missed after snapshot round trip")
+	}
+}

@@ -1,0 +1,164 @@
+// Serve: the NPN classification service as a client sees it. The example
+// starts an npnserve-style server in-process on a loopback port, then
+// drives it over real HTTP: it inserts a batch of 6-variable cut
+// functions, classifies a batch of NPN disguises of the same cells, and
+// replays every returned witness locally to certify the answers. This is
+// the Boolean-matching loop of examples/dedup turned into a service
+// round trip.
+//
+// Run with: go run ./examples/serve
+// To drive an already-running server instead: go run ./examples/serve -addr http://host:port
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/npn"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/tt"
+)
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running npnserve (empty = start one in-process)")
+	flag.Parse()
+	const n = 6
+
+	baseURL := *addr
+	if baseURL == "" {
+		url, shutdown, err := startInProcess(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		baseURL = url
+		fmt.Printf("started in-process npnserve at %s (n=%d)\n\n", baseURL, n)
+	}
+
+	rng := rand.New(rand.NewSource(2023))
+
+	// A "cell library" of 12 base cells...
+	cells := make([]*tt.TT, 12)
+	hexes := make([]string, len(cells))
+	for i := range cells {
+		cells[i] = tt.Random(n, rng)
+		hexes[i] = cells[i].Hex()
+	}
+	var ins service.InsertResponse
+	if err := call(baseURL+"/v1/insert", service.ClassifyRequest{Functions: hexes}, &ins); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	created := 0
+	for _, r := range ins.Results {
+		if r.New {
+			created++
+		}
+	}
+	fmt.Printf("inserted %d cells -> %d classes created\n", len(cells), created)
+
+	// ...queried with NPN disguises: permuted/negated pin assignments.
+	disguises := make([]*tt.TT, 3*len(cells))
+	query := make([]string, len(disguises))
+	for i := range disguises {
+		disguises[i] = npn.RandomTransform(n, rng).Apply(cells[i%len(cells)])
+		query[i] = disguises[i].Hex()
+	}
+	var cls service.ClassifyResponse
+	if err := call(baseURL+"/v1/classify", service.ClassifyRequest{Functions: query}, &cls); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+
+	certified := 0
+	for i, r := range cls.Results {
+		if !r.Hit {
+			fmt.Printf("query %s: MISS\n", r.Function)
+			continue
+		}
+		tr, err := r.Witness.Transform()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve: bad witness:", err)
+			os.Exit(1)
+		}
+		if !tr.Apply(tt.MustFromHex(n, r.Rep)).Equal(disguises[i]) {
+			fmt.Fprintf(os.Stderr, "serve: witness for %s does not verify\n", r.Function)
+			os.Exit(1)
+		}
+		certified++
+		if i < 3 {
+			fmt.Printf("query %s -> class %s rep %s with τ: %v\n", r.Function, r.Class, r.Rep, tr)
+		}
+	}
+	fmt.Printf("...\nclassified %d disguises: %d hits, every witness replayed and certified locally\n\n",
+		len(disguises), certified)
+
+	var st service.Stats
+	if err := get(baseURL+"/v1/stats", &st); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("server stats: %d classes in %d shards, %d lookups (%d hits, %d cache), %.1fµs/batch\n",
+		st.Classes, st.Shards, st.Lookups, st.Hits, st.CacheHits, st.AvgBatchMicros)
+}
+
+// startInProcess runs the service on a loopback listener and returns its
+// base URL and a graceful-shutdown function.
+func startInProcess(n int) (string, func(), error) {
+	st := store.New(n, store.Options{Shards: 8})
+	svc := service.New(st, service.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	go srv.Serve(ln)
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// call POSTs a JSON body and decodes the JSON response into out.
+func call(url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, buf.String())
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// get GETs a URL and decodes the JSON response into out.
+func get(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -3,13 +3,21 @@
 // the object a technology-mapping flow keeps between runs — cells are
 // characterized once per class, and Lookup rewires any later function onto
 // its class representative with an explicit transform witness.
+//
+// Signatures are a necessary condition for NPN equivalence only, so two
+// inequivalent functions may share an MSV key. The library resolves such
+// collisions with a chain of representatives per key: Add verifies
+// membership against every chained representative with the exact matcher
+// before deciding a function founds a new class, and Lookup returns the
+// chain member the matcher certifies. No class is ever silently merged.
+// (internal/store is the concurrency-safe sharded variant of the same
+// semantics; this package stays single-threaded and minimal.)
 package classdb
 
 import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/match"
@@ -23,60 +31,87 @@ type Library struct {
 	n    int
 	cls  *core.Classifier
 	m    *match.Matcher
-	reps map[uint64]*tt.TT
+	reps map[uint64][]*tt.TT // collision chain: inequivalent reps per key
 }
 
-// New returns an empty library for n-variable functions.
+// New returns an empty library for n-variable functions using the paper's
+// full signature configuration.
 func New(n int) *Library {
 	cfg := core.ConfigAll()
 	cfg.FastOSDV = true
+	return NewWithConfig(n, cfg)
+}
+
+// NewWithConfig returns an empty library keyed by the given signature
+// selection. Weaker configurations collide more often and therefore grow
+// longer chains; correctness is unaffected because membership is always
+// certified by the exact matcher.
+func NewWithConfig(n int, cfg core.Config) *Library {
 	return &Library{
 		n:    n,
 		cls:  core.New(n, cfg),
 		m:    match.NewMatcher(n),
-		reps: make(map[uint64]*tt.TT),
+		reps: make(map[uint64][]*tt.TT),
 	}
 }
 
 // NumVars returns the arity.
 func (l *Library) NumVars() int { return l.n }
 
-// Size returns the number of classes stored.
-func (l *Library) Size() int { return len(l.reps) }
+// Size returns the number of classes stored (chained collision
+// representatives count individually).
+func (l *Library) Size() int {
+	total := 0
+	for _, chain := range l.reps {
+		total += len(chain)
+	}
+	return total
+}
+
+// Collisions returns the number of representatives beyond the first of
+// their key — the classes that would have been silently lost by a
+// key-only store.
+func (l *Library) Collisions() int {
+	extra := 0
+	for _, chain := range l.reps {
+		extra += len(chain) - 1
+	}
+	return extra
+}
 
 // Add inserts f's class if absent, returning the class key and whether a
-// new class was created (f becomes the representative).
+// new class was created (f becomes a representative). When the key is
+// already present, f is checked against every chained representative with
+// the exact matcher: an equivalent member means f's class is stored
+// already; otherwise f is an MSV collision and is appended to the chain
+// as a new class.
 func (l *Library) Add(f *tt.TT) (key uint64, isNew bool) {
 	key = l.cls.Hash(f)
-	if _, ok := l.reps[key]; ok {
-		return key, false
+	for _, rep := range l.reps[key] {
+		if _, eq := l.m.Equivalent(rep, f); eq {
+			return key, false
+		}
 	}
-	l.reps[key] = f.Clone()
+	l.reps[key] = append(l.reps[key], f.Clone())
 	return key, true
 }
 
-// Lookup finds f's class. On a hit it returns the representative and a
-// witness transform τ with τ(rep) = f, certified by the exact matcher.
-// If the signature matches but exact matching fails — an MSV collision
-// between inequivalent functions — Lookup returns a non-nil error so the
-// caller can fall back to exact handling for that function; signatures are
-// necessary conditions only, and the error is the honest signal.
-func (l *Library) Lookup(f *tt.TT) (rep *tt.TT, witness npn.Transform, ok bool, err error) {
+// Lookup finds f's class. On a hit it returns the chain representative
+// certified by the exact matcher and a witness transform τ with
+// τ(rep) = f. A key hit whose chain holds no equivalent representative is
+// a miss — f's class is simply not stored yet.
+func (l *Library) Lookup(f *tt.TT) (rep *tt.TT, witness npn.Transform, ok bool) {
 	key := l.cls.Hash(f)
-	rep, hit := l.reps[key]
-	if !hit {
-		return nil, npn.Transform{}, false, nil
+	for _, r := range l.reps[key] {
+		if tr, eq := l.m.Equivalent(r, f); eq {
+			return r, tr, true
+		}
 	}
-	tr, eq := l.m.Equivalent(rep, f)
-	if !eq {
-		return nil, npn.Transform{}, false,
-			fmt.Errorf("classdb: MSV collision: %s and %s share key %016x but are not NPN equivalent",
-				rep.Hex(), f.Hex(), key)
-	}
-	return rep, tr, true, nil
+	return nil, npn.Transform{}, false
 }
 
-// Keys returns the stored class keys in ascending order.
+// Keys returns the stored class keys in ascending order. Keys with
+// collision chains appear once.
 func (l *Library) Keys() []uint64 {
 	out := make([]uint64, 0, len(l.reps))
 	for k := range l.reps {
@@ -87,11 +122,11 @@ func (l *Library) Keys() []uint64 {
 }
 
 // Save writes the library as a ttio workload file (one representative per
-// line) with an arity header comment.
+// line, chain members consecutively) with an arity header comment.
 func (l *Library) Save(w io.Writer) error {
-	fs := make([]*tt.TT, 0, len(l.reps))
+	fs := make([]*tt.TT, 0, l.Size())
 	for _, k := range l.Keys() {
-		fs = append(fs, l.reps[k])
+		fs = append(fs, l.reps[k]...)
 	}
 	return ttio.Write(w, fs, fmt.Sprintf("classdb n=%d classes=%d", l.n, len(fs)))
 }
@@ -99,11 +134,7 @@ func (l *Library) Save(w io.Writer) error {
 // Load reads a library saved by Save (or any ttio workload of the right
 // arity) and inserts every function as a class representative.
 func Load(r io.Reader, n int) (*Library, error) {
-	var sb strings.Builder
-	if _, err := io.Copy(&sb, r); err != nil {
-		return nil, fmt.Errorf("classdb: %w", err)
-	}
-	fs, err := ttio.Read(strings.NewReader(sb.String()), n)
+	fs, err := ttio.Read(r, n)
 	if err != nil {
 		return nil, fmt.Errorf("classdb: %w", err)
 	}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/match"
 	"repro/internal/npn"
 	"repro/internal/tt"
 )
@@ -27,10 +29,7 @@ func TestAddAndLookupWithWitness(t *testing.T) {
 	// Every NPN variant must hit its class with a verifying witness.
 	for _, f := range base {
 		variant := npn.RandomTransform(n, rng).Apply(f)
-		rep, w, ok, err := l.Lookup(variant)
-		if err != nil {
-			t.Fatalf("lookup error: %v", err)
-		}
+		rep, w, ok := l.Lookup(variant)
 		if !ok {
 			t.Fatalf("variant of stored class missed")
 		}
@@ -43,9 +42,87 @@ func TestAddAndLookupWithWitness(t *testing.T) {
 func TestLookupMiss(t *testing.T) {
 	l := New(3)
 	l.Add(tt.MustFromHex(3, "e8"))
-	_, _, ok, err := l.Lookup(tt.MustFromHex(3, "96")) // parity: different class
-	if err != nil || ok {
+	_, _, ok := l.Lookup(tt.MustFromHex(3, "96")) // parity: different class
+	if ok {
 		t.Fatal("parity must miss a majority-only library")
+	}
+}
+
+// TestCollisionChain is the regression test for the silent class-merge bug:
+// Add used to drop any function whose MSV key was already present, even
+// when the function was not NPN-equivalent to the stored representative.
+// The functions 0118 and 0182 share their full MSV under the OCV1+OIV
+// configuration but are not NPN-equivalent, so both must be stored, as
+// separate classes chained under one key.
+func TestCollisionChain(t *testing.T) {
+	n := 4
+	a := tt.MustFromHex(n, "0118")
+	b := tt.MustFromHex(n, "0182")
+	cfg := core.Config{OCV1: true, OIV: true}
+
+	// Self-check the pair so the test fails loudly if signatures change.
+	cls := core.New(n, cfg)
+	if string(cls.KeyBytes(a)) != string(cls.KeyBytes(b)) {
+		t.Fatal("test pair no longer collides under OCV1+OIV")
+	}
+	if _, eq := match.NewMatcher(n).Equivalent(a, b); eq {
+		t.Fatal("test pair is NPN equivalent; want inequivalent")
+	}
+
+	l := NewWithConfig(n, cfg)
+	ka, newA := l.Add(a)
+	kb, newB := l.Add(b)
+	if !newA || !newB {
+		t.Fatalf("both colliding functions must found classes: newA=%v newB=%v", newA, newB)
+	}
+	if ka != kb {
+		t.Fatalf("pair must share a key: %016x vs %016x", ka, kb)
+	}
+	if l.Size() != 2 {
+		t.Fatalf("library size %d, want 2 chained classes", l.Size())
+	}
+	if l.Collisions() != 1 {
+		t.Fatalf("collisions %d, want 1", l.Collisions())
+	}
+
+	// Both classes must be retrievable, each with its own certified witness.
+	for _, f := range []*tt.TT{a, b} {
+		rep, w, ok := l.Lookup(f)
+		if !ok {
+			t.Fatalf("chained class %s missed", f.Hex())
+		}
+		if !w.Apply(rep).Equal(f) {
+			t.Fatalf("witness for %s does not verify", f.Hex())
+		}
+	}
+
+	// Re-adding either is idempotent.
+	if _, isNew := l.Add(a.Clone()); isNew {
+		t.Fatal("re-add of chained representative created a class")
+	}
+	if l.Size() != 2 {
+		t.Fatalf("size changed on re-add: %d", l.Size())
+	}
+}
+
+func TestCollisionChainSaveLoadRoundTrip(t *testing.T) {
+	n := 4
+	cfg := core.Config{OCV1: true, OIV: true}
+	l := NewWithConfig(n, cfg)
+	l.Add(tt.MustFromHex(n, "0118"))
+	l.Add(tt.MustFromHex(n, "0182"))
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Load uses the full-signature config, which separates the pair into
+	// distinct keys — but both classes must survive the round trip.
+	l2, err := Load(&buf, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Size() != 2 {
+		t.Fatalf("collision chain lost in round trip: size %d", l2.Size())
 	}
 }
 

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+// MaxBatch bounds the number of functions accepted in one request.
+const MaxBatch = 1 << 16
+
+// ClassifyRequest is the body of POST /v1/classify and POST /v1/insert:
+// a batch of hexadecimal truth tables of the server's arity.
+type ClassifyRequest struct {
+	Functions []string `json:"functions"`
+}
+
+// WitnessJSON is the wire form of an npn.Transform witness.
+type WitnessJSON struct {
+	// Perm maps result input i to representative input Perm[i].
+	Perm []int `json:"perm"`
+	// NegMask bit i complements input i.
+	NegMask uint32 `json:"neg_mask"`
+	// OutNeg complements the output.
+	OutNeg bool `json:"out_neg"`
+}
+
+func witnessJSON(w npn.Transform) *WitnessJSON {
+	perm := make([]int, w.N)
+	for i := range perm {
+		perm[i] = int(w.Perm[i])
+	}
+	return &WitnessJSON{Perm: perm, NegMask: w.NegMask, OutNeg: w.OutNeg}
+}
+
+// Transform decodes the wire witness back into an npn.Transform, so a
+// client can replay τ(rep) = f locally.
+func (w *WitnessJSON) Transform() (npn.Transform, error) {
+	n := len(w.Perm)
+	if n > tt.MaxVars {
+		return npn.Transform{}, fmt.Errorf("witness arity %d out of range", n)
+	}
+	tr := npn.Identity(n)
+	for i, p := range w.Perm {
+		if p < 0 || p >= n {
+			return npn.Transform{}, fmt.Errorf("witness perm[%d] = %d out of range", i, p)
+		}
+		tr.Perm[i] = uint8(p)
+	}
+	tr.NegMask = w.NegMask
+	tr.OutNeg = w.OutNeg
+	if err := tr.Validate(); err != nil {
+		return npn.Transform{}, err
+	}
+	return tr, nil
+}
+
+// ClassifyResultJSON is one function's classification outcome. Class is
+// the 16-hex-digit MSV key, valid even on a miss; Index, Rep and Witness
+// are present only on a hit. Witness satisfies witness(rep) = function.
+type ClassifyResultJSON struct {
+	Function string       `json:"function"`
+	Hit      bool         `json:"hit"`
+	Class    string       `json:"class"`
+	Index    *int         `json:"index,omitempty"`
+	Rep      string       `json:"rep,omitempty"`
+	Witness  *WitnessJSON `json:"witness,omitempty"`
+}
+
+// ClassifyResponse is the body returned by POST /v1/classify.
+type ClassifyResponse struct {
+	Results []ClassifyResultJSON `json:"results"`
+}
+
+// InsertResultJSON is one function's insertion outcome.
+type InsertResultJSON struct {
+	Function string `json:"function"`
+	Class    string `json:"class"`
+	Index    int    `json:"index"`
+	New      bool   `json:"new"`
+}
+
+// InsertResponse is the body returned by POST /v1/insert.
+type InsertResponse struct {
+	Results []InsertResultJSON `json:"results"`
+}
+
+// errorJSON is the body of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the HTTP/JSON API over svc:
+//
+//	POST /v1/classify  batch lookup (read-only)
+//	POST /v1/insert    batch insert
+//	GET  /v1/stats     counters + store shape
+//	GET  /healthz      liveness
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		fs, raw, ok := decodeBatch(w, r, svc.NumVars())
+		if !ok {
+			return
+		}
+		results := svc.Classify(fs)
+		resp := ClassifyResponse{Results: make([]ClassifyResultJSON, len(results))}
+		for i, res := range results {
+			out := ClassifyResultJSON{
+				Function: raw[i],
+				Hit:      res.Hit,
+				Class:    fmt.Sprintf("%016x", res.Key),
+			}
+			if res.Hit {
+				idx := res.Index
+				out.Index = &idx
+				out.Rep = res.Rep.Hex()
+				out.Witness = witnessJSON(res.Witness)
+			}
+			resp.Results[i] = out
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+		fs, raw, ok := decodeBatch(w, r, svc.NumVars())
+		if !ok {
+			return
+		}
+		results := svc.Insert(fs)
+		resp := InsertResponse{Results: make([]InsertResultJSON, len(results))}
+		for i, res := range results {
+			resp.Results[i] = InsertResultJSON{
+				Function: raw[i],
+				Class:    fmt.Sprintf("%016x", res.Key),
+				Index:    res.Index,
+				New:      res.New,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"arity":  svc.NumVars(),
+		})
+	})
+	return mux
+}
+
+// maxBodyBytes bounds the request body for arity n: a full MaxBatch of
+// tables with hex digits, JSON quoting and separators, plus envelope
+// slack. Anything larger cannot be a valid request.
+func maxBodyBytes(n int) int64 {
+	hexDigits := (1 << n) / 4
+	if hexDigits == 0 {
+		hexDigits = 1
+	}
+	return int64(MaxBatch)*int64(hexDigits+20) + (1 << 16)
+}
+
+// decodeBatch parses and validates a ClassifyRequest body. On failure it
+// writes the error response and returns ok=false.
+func decodeBatch(w http.ResponseWriter, r *http.Request, n int) (fs []*tt.TT, raw []string, ok bool) {
+	var req ClassifyRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes(n))
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorJSON{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return nil, nil, false
+		}
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad request body: %v", err)})
+		return nil, nil, false
+	}
+	if len(req.Functions) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "functions must be a non-empty array of hex truth tables"})
+		return nil, nil, false
+	}
+	if len(req.Functions) > MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Functions), MaxBatch)})
+		return nil, nil, false
+	}
+	fs = make([]*tt.TT, len(req.Functions))
+	for i, s := range req.Functions {
+		f, err := tt.FromHex(n, s)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("functions[%d]: %v", i, err)})
+			return nil, nil, false
+		}
+		fs[i] = f
+	}
+	return fs, req.Functions, true
+}
+
+// writeJSON emits a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are sent; nothing recoverable remains.
+		return
+	}
+}

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/tt"
+)
+
+func newTestHandler(n int) (*Service, http.Handler) {
+	svc := New(store.New(n, store.Options{Shards: 4}), Options{Workers: 2})
+	return svc, NewHandler(svc)
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(b))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHandlerInsertThenClassify(t *testing.T) {
+	n := 4
+	_, h := newTestHandler(n)
+
+	ins := postJSON(t, h, "/v1/insert", ClassifyRequest{Functions: []string{"e8e8", "0110"}})
+	if ins.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", ins.Code, ins.Body)
+	}
+	var insResp InsertResponse
+	if err := json.Unmarshal(ins.Body.Bytes(), &insResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(insResp.Results) != 2 || !insResp.Results[0].New || !insResp.Results[1].New {
+		t.Fatalf("insert response %+v", insResp)
+	}
+
+	// Classify an NPN variant of the first insert: swap of inputs 0,1 of
+	// e8e8 is itself (symmetric), so use an output-negated variant instead.
+	variant := tt.MustFromHex(n, "e8e8").Not()
+	cls := postJSON(t, h, "/v1/classify", ClassifyRequest{Functions: []string{variant.Hex()}})
+	if cls.Code != http.StatusOK {
+		t.Fatalf("classify status %d: %s", cls.Code, cls.Body)
+	}
+	var clsResp ClassifyResponse
+	if err := json.Unmarshal(cls.Body.Bytes(), &clsResp); err != nil {
+		t.Fatal(err)
+	}
+	r := clsResp.Results[0]
+	if !r.Hit || r.Class != insResp.Results[0].Class {
+		t.Fatalf("classify response %+v, want hit on class %s", r, insResp.Results[0].Class)
+	}
+	if r.Witness == nil || len(r.Witness.Perm) != n {
+		t.Fatalf("witness missing or malformed: %+v", r.Witness)
+	}
+	// Replay the wire witness locally: witness(rep) must equal the query.
+	rep := tt.MustFromHex(n, r.Rep)
+	tr, err := r.Witness.Transform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Apply(rep).Equal(variant) {
+		t.Fatal("wire witness does not verify")
+	}
+}
+
+func TestHandlerClassifyMiss(t *testing.T) {
+	_, h := newTestHandler(3)
+	rec := postJSON(t, h, "/v1/classify", ClassifyRequest{Functions: []string{"96"}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp ClassifyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	r := resp.Results[0]
+	if r.Hit || r.Index != nil || r.Rep != "" || r.Witness != nil {
+		t.Fatalf("miss response carries hit fields: %+v", r)
+	}
+	if len(r.Class) != 16 {
+		t.Fatalf("miss must still carry the 16-hex class key, got %q", r.Class)
+	}
+}
+
+func TestHandlerRejectsBadInput(t *testing.T) {
+	_, h := newTestHandler(4)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty batch", `{"functions":[]}`},
+		{"bad hex", `{"functions":["zz"]}`},
+		{"table too long", `{"functions":["e8e8e8"]}`},
+		{"not json", `not json`},
+		{"unknown field", `{"funcs":["e8e8"]}`},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(http.MethodPost, "/v1/classify", strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, rec.Code)
+		}
+		var e errorJSON
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q", tc.name, rec.Body)
+		}
+	}
+}
+
+// TestHandlerRejectsOversizedBody asserts the body cap kicks in before
+// the decoder buffers an arbitrarily large request.
+func TestHandlerRejectsOversizedBody(t *testing.T) {
+	_, h := newTestHandler(4)
+	body := `{"functions":["` + strings.Repeat("0", int(maxBodyBytes(4))) + `"]}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/classify", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", rec.Code)
+	}
+}
+
+func TestHandlerMethods(t *testing.T) {
+	_, h := newTestHandler(3)
+	req := httptest.NewRequest(http.MethodGet, "/v1/classify", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/classify status %d, want 405", rec.Code)
+	}
+}
+
+func TestHandlerStatsAndHealth(t *testing.T) {
+	svc, h := newTestHandler(3)
+	svc.Insert([]*tt.TT{tt.MustFromHex(3, "e8")})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Arity != 3 || st.Classes != 1 || st.Inserts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("healthz %d %s", rec.Code, rec.Body)
+	}
+}

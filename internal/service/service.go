@@ -1,0 +1,265 @@
+// Package service is the online classification pipeline on top of
+// internal/store: batch classify/insert requests fanned across a worker
+// pool, a bounded LRU cache of recent function → (class, witness) results,
+// and atomic counters (hits, misses, collisions, latency) exposed as a
+// stats snapshot. The HTTP/JSON surface in http.go is what cmd/npnserve
+// serves; the pipeline itself is transport-agnostic and usable in-process.
+//
+// Batches are split into contiguous chunks, one per worker, mirroring
+// core.ClassifyParallel: signature hashing dominates and is embarrassingly
+// parallel because every store operation borrows a private engine pair.
+// Results keep the input order.
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/npn"
+	"repro/internal/store"
+	"repro/internal/tt"
+)
+
+// DefaultCacheSize is the LRU capacity used when Options.CacheSize is 0.
+const DefaultCacheSize = 4096
+
+// Options configures a Service.
+type Options struct {
+	// Workers is the worker-pool width for batch operations. Zero means
+	// GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the function→result LRU cache. Zero means
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+}
+
+// Service is a concurrency-safe batch classification pipeline.
+type Service struct {
+	st      *store.Store
+	workers int
+	cache   *lruCache // nil when disabled
+
+	started time.Time
+
+	// Atomic counters. Latency is accumulated per batch in nanoseconds.
+	lookups    atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	cacheHits  atomic.Int64
+	inserts    atomic.Int64
+	created    atomic.Int64
+	collisions atomic.Int64
+	batches    atomic.Int64
+	latencyNS  atomic.Int64
+}
+
+// New returns a service over st.
+func New(st *store.Store, o Options) *Service {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var cache *lruCache
+	switch {
+	case o.CacheSize == 0:
+		cache = newLRUCache(DefaultCacheSize)
+	case o.CacheSize > 0:
+		cache = newLRUCache(o.CacheSize)
+	}
+	return &Service{st: st, workers: workers, cache: cache, started: time.Now()}
+}
+
+// Store returns the backing class store.
+func (s *Service) Store() *store.Store { return s.st }
+
+// NumVars returns the arity the service serves.
+func (s *Service) NumVars() int { return s.st.NumVars() }
+
+// Result is the outcome of classifying one function.
+type Result struct {
+	// Key is the MSV class key (valid even on a miss).
+	Key uint64
+	// Index is the representative's position in the key's collision chain;
+	// -1 on a miss.
+	Index int
+	// Hit reports whether the function's class is stored.
+	Hit bool
+	// Rep is the certified class representative (nil on a miss).
+	Rep *tt.TT
+	// Witness is a transform τ with τ(Rep) = f (valid only on a hit).
+	Witness npn.Transform
+}
+
+// InsertResult is the outcome of inserting one function.
+type InsertResult struct {
+	Key   uint64
+	Index int
+	// New reports whether the function founded a new class.
+	New bool
+}
+
+// Classify looks up every function's class, fanning the batch across the
+// worker pool. Results keep input order. Misses are reported per function
+// (Hit=false); they do not modify the store.
+func (s *Service) Classify(fs []*tt.TT) []Result {
+	start := time.Now()
+	out := make([]Result, len(fs))
+	s.fanOut(len(fs), func(i int) {
+		out[i] = s.classifyOne(fs[i])
+	})
+	s.lookups.Add(int64(len(fs)))
+	s.batches.Add(1)
+	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	return out
+}
+
+// Insert adds every function's class if absent, fanning the batch across
+// the worker pool. Results keep input order.
+func (s *Service) Insert(fs []*tt.TT) []InsertResult {
+	start := time.Now()
+	out := make([]InsertResult, len(fs))
+	s.fanOut(len(fs), func(i int) {
+		key, index, isNew := s.st.Add(fs[i])
+		out[i] = InsertResult{Key: key, Index: index, New: isNew}
+		if isNew {
+			s.created.Add(1)
+			if index > 0 {
+				s.collisions.Add(1)
+			}
+		}
+	})
+	s.inserts.Add(int64(len(fs)))
+	s.batches.Add(1)
+	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	return out
+}
+
+// classifyOne serves one lookup through the cache.
+func (s *Service) classifyOne(f *tt.TT) Result {
+	var ck string
+	if s.cache != nil {
+		ck = cacheKey(f)
+		if r, ok := s.cache.get(ck); ok {
+			s.cacheHits.Add(1)
+			s.hits.Add(1)
+			return r
+		}
+	}
+	rep, key, index, w, ok := s.st.Lookup(f)
+	r := Result{Key: key, Index: index, Hit: ok, Rep: rep, Witness: w}
+	if ok {
+		s.hits.Add(1)
+		// Representatives are never removed, so a cached hit stays valid
+		// forever; misses are not cached because a later insert would
+		// invalidate them.
+		if s.cache != nil {
+			s.cache.put(ck, r)
+		}
+	} else {
+		s.misses.Add(1)
+	}
+	return r
+}
+
+// fanOut runs fn(i) for i in [0,count) over contiguous chunks, one
+// goroutine per worker — the chunking strategy of core.ClassifyParallel.
+func (s *Service) fanOut(count int, fn func(i int)) {
+	workers := s.workers
+	if workers > count {
+		workers = count
+	}
+	if workers <= 1 {
+		for i := 0; i < count; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (count + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > count {
+			hi = count
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// cacheKey packs the function's truth-table words into a string key. The
+// arity is fixed per service, so the bits identify the function.
+func cacheKey(f *tt.TT) string {
+	words := f.Words()
+	b := make([]byte, 0, 8*len(words))
+	for _, w := range words {
+		b = append(b,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return string(b)
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Arity   int `json:"arity"`
+	Workers int `json:"workers"`
+	Shards  int `json:"shards"`
+
+	Classes         int `json:"classes"`
+	StoreCollisions int `json:"store_collisions"`
+
+	Lookups    int64 `json:"lookups"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	CacheHits  int64 `json:"cache_hits"`
+	Inserts    int64 `json:"inserts"`
+	Created    int64 `json:"created"`
+	Collisions int64 `json:"insert_collisions"`
+
+	Batches        int64   `json:"batches"`
+	AvgBatchMicros float64 `json:"avg_batch_micros"`
+
+	CacheEntries  int     `json:"cache_entries"`
+	CacheCapacity int     `json:"cache_capacity"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// Stats returns a snapshot of the counters and store shape.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Arity:           s.st.NumVars(),
+		Workers:         s.workers,
+		Shards:          s.st.NumShards(),
+		Classes:         s.st.Size(),
+		StoreCollisions: s.st.Collisions(),
+		Lookups:         s.lookups.Load(),
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		Inserts:         s.inserts.Load(),
+		Created:         s.created.Load(),
+		Collisions:      s.collisions.Load(),
+		Batches:         s.batches.Load(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+	}
+	if st.Batches > 0 {
+		st.AvgBatchMicros = float64(s.latencyNS.Load()) / float64(st.Batches) / 1e3
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+		st.CacheCapacity = s.cache.cap
+	}
+	return st
+}

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/npn"
+	"repro/internal/store"
+	"repro/internal/tt"
+)
+
+func newTestService(n int, o Options) *Service {
+	return New(store.New(n, store.Options{Shards: 4}), o)
+}
+
+// TestInsertMatchesClassifyParallel builds the class store from a
+// 6-variable circuit workload through the batch pipeline and asserts the
+// induced partition is identical to core.ClassifyParallel's.
+func TestInsertMatchesClassifyParallel(t *testing.T) {
+	n := 6
+	fs := gen.CircuitWorkload(n, 8, 1)
+	if len(fs) > 2000 {
+		fs = fs[:2000]
+	}
+	cfg := core.ConfigAll()
+	cfg.FastOSDV = true
+
+	want := core.ClassifyParallel(n, cfg, fs, 0)
+
+	svc := newTestService(n, Options{})
+	results := svc.Insert(fs)
+	if len(results) != len(fs) {
+		t.Fatalf("got %d results for %d functions", len(results), len(fs))
+	}
+
+	// The pipeline's class identity is (key, chain index); the partition it
+	// induces must equal ClassifyParallel's (bijective label mapping).
+	toPipeline := make(map[int]string)
+	toParallel := make(map[string]int)
+	for i := range fs {
+		pl := fmt.Sprintf("%016x:%d", results[i].Key, results[i].Index)
+		id := want.ClassOf[i]
+		if prev, ok := toPipeline[id]; ok && prev != pl {
+			t.Fatalf("function %d: ClassifyParallel class %d maps to pipeline classes %s and %s", i, id, prev, pl)
+		}
+		if prev, ok := toParallel[pl]; ok && prev != id {
+			t.Fatalf("function %d: pipeline class %s maps to ClassifyParallel classes %d and %d", i, pl, prev, id)
+		}
+		toPipeline[id] = pl
+		toParallel[pl] = id
+	}
+	if svc.Store().Size() != want.NumClasses {
+		t.Fatalf("store holds %d classes, ClassifyParallel found %d", svc.Store().Size(), want.NumClasses)
+	}
+}
+
+// TestClassifyHitsWithWitness preloads a store and classifies NPN
+// variants through the batch path: every result must be a certified hit.
+func TestClassifyHitsWithWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(500))
+	n := 5
+	svc := newTestService(n, Options{})
+	base := make([]*tt.TT, 16)
+	for i := range base {
+		base[i] = tt.Random(n, rng)
+	}
+	svc.Insert(base)
+
+	variants := make([]*tt.TT, 64)
+	for i := range variants {
+		variants[i] = npn.RandomTransform(n, rng).Apply(base[i%len(base)])
+	}
+	results := svc.Classify(variants)
+	for i, r := range results {
+		if !r.Hit {
+			t.Fatalf("variant %d missed its stored class", i)
+		}
+		if !r.Witness.Apply(r.Rep).Equal(variants[i]) {
+			t.Fatalf("variant %d: witness does not verify", i)
+		}
+	}
+	st := svc.Stats()
+	if st.Hits != int64(len(variants)) || st.Misses != 0 {
+		t.Fatalf("stats hits=%d misses=%d, want %d and 0", st.Hits, st.Misses, len(variants))
+	}
+}
+
+// TestClassifyMissDoesNotInsert asserts the read path never grows the
+// store and reports the would-be class key.
+func TestClassifyMissDoesNotInsert(t *testing.T) {
+	svc := newTestService(3, Options{})
+	f := tt.MustFromHex(3, "96")
+	r := svc.Classify([]*tt.TT{f})[0]
+	if r.Hit || r.Index != -1 || r.Rep != nil {
+		t.Fatal("miss must report Hit=false with no representative")
+	}
+	if r.Key == 0 {
+		t.Fatal("miss must still report the class key")
+	}
+	if svc.Store().Size() != 0 {
+		t.Fatal("Classify grew the store")
+	}
+	if st := svc.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats hits=%d misses=%d, want 0 and 1", st.Hits, st.Misses)
+	}
+}
+
+// TestCache asserts repeated classifications are served from the LRU and
+// stay identical to the uncached result.
+func TestCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	n := 4
+	svc := newTestService(n, Options{Workers: 1, CacheSize: 8})
+	base := tt.Random(n, rng)
+	svc.Insert([]*tt.TT{base})
+
+	first := svc.Classify([]*tt.TT{base})[0]
+	second := svc.Classify([]*tt.TT{base})[0]
+	if !second.Hit || second.Key != first.Key || second.Index != first.Index {
+		t.Fatal("cached result differs from uncached")
+	}
+	if !second.Witness.Apply(second.Rep).Equal(base) {
+		t.Fatal("cached witness does not verify")
+	}
+	st := svc.Stats()
+	if st.CacheHits != 1 {
+		t.Fatalf("cache hits %d, want 1", st.CacheHits)
+	}
+	if st.CacheEntries != 1 || st.CacheCapacity != 8 {
+		t.Fatalf("cache entries=%d cap=%d, want 1 and 8", st.CacheEntries, st.CacheCapacity)
+	}
+}
+
+// TestCacheBounded floods the cache past capacity and asserts eviction.
+func TestCacheBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	n := 6
+	svc := newTestService(n, Options{CacheSize: 4})
+	fs := gen.UniformRandom(n, 64, 503)
+	svc.Insert(fs)
+	for _, f := range fs {
+		svc.Classify([]*tt.TT{f})
+	}
+	if got := svc.Stats().CacheEntries; got > 4 {
+		t.Fatalf("cache grew to %d entries past capacity 4", got)
+	}
+	_ = rng
+}
+
+// TestCacheDisabled asserts CacheSize < 0 turns the cache off.
+func TestCacheDisabled(t *testing.T) {
+	svc := newTestService(3, Options{CacheSize: -1})
+	f := tt.MustFromHex(3, "e8")
+	svc.Insert([]*tt.TT{f})
+	svc.Classify([]*tt.TT{f})
+	svc.Classify([]*tt.TT{f})
+	if st := svc.Stats(); st.CacheHits != 0 || st.CacheEntries != 0 || st.CacheCapacity != 0 {
+		t.Fatalf("disabled cache recorded activity: %+v", st)
+	}
+}
+
+// TestConcurrentBatches hammers the pipeline from several goroutines (run
+// under -race): mixed inserts and classifications of NPN variants.
+func TestConcurrentBatches(t *testing.T) {
+	n := 5
+	seedRng := rand.New(rand.NewSource(504))
+	base := make([]*tt.TT, 20)
+	for i := range base {
+		base[i] = tt.Random(n, seedRng)
+	}
+	svc := newTestService(n, Options{Workers: 4, CacheSize: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(600 + g)))
+			for round := 0; round < 8; round++ {
+				batch := make([]*tt.TT, 16)
+				for i := range batch {
+					batch[i] = npn.RandomTransform(n, rng).Apply(base[rng.Intn(len(base))])
+				}
+				if g%2 == 0 {
+					svc.Insert(batch)
+				} else {
+					for i, r := range svc.Classify(batch) {
+						if r.Hit && !r.Witness.Apply(r.Rep).Equal(batch[i]) {
+							t.Error("concurrent witness does not verify")
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if svc.Store().Size() > len(base) {
+		t.Fatalf("store holds %d classes for %d base functions", svc.Store().Size(), len(base))
+	}
+}
+
+// TestStatsCounters checks the insert-side counters, including chained
+// collisions under a weak signature config.
+func TestStatsCounters(t *testing.T) {
+	n := 4
+	cfg := core.Config{OCV1: true, OIV: true}
+	svc := New(store.New(n, store.Options{Shards: 2, Config: cfg}), Options{Workers: 1})
+	a := tt.MustFromHex(n, "0118")
+	b := tt.MustFromHex(n, "0182") // MSV collision with a, inequivalent
+	results := svc.Insert([]*tt.TT{a, b, a})
+	if !results[0].New || !results[1].New || results[2].New {
+		t.Fatalf("insert outcomes %+v", results)
+	}
+	st := svc.Stats()
+	if st.Inserts != 3 || st.Created != 2 || st.Collisions != 1 {
+		t.Fatalf("inserts=%d created=%d collisions=%d, want 3, 2, 1", st.Inserts, st.Created, st.Collisions)
+	}
+	if st.StoreCollisions != 1 || st.Classes != 2 {
+		t.Fatalf("store collisions=%d classes=%d, want 1 and 2", st.StoreCollisions, st.Classes)
+	}
+	if st.Batches != 1 {
+		t.Fatalf("batches=%d, want 1", st.Batches)
+	}
+}

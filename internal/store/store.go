@@ -1,0 +1,249 @@
+// Package store implements a sharded, concurrency-safe NPN class store —
+// the online counterpart of internal/classdb. Functions are keyed by the
+// 64-bit hash of their canonical MSV (internal/core); the key selects one
+// of N shards, each guarded by its own RWMutex, so lookups and inserts of
+// unrelated classes never contend.
+//
+// Signatures are a necessary condition for NPN equivalence only, so two
+// inequivalent functions may share a key. Every key therefore holds a
+// collision chain of representatives: Add certifies f against each chain
+// member with the exact matcher before founding a new class, and Lookup
+// returns the member the matcher certifies together with a witness
+// transform. No class is ever silently merged and no false equivalence is
+// ever reported — the matcher has the last word on every hit.
+//
+// The signature engines (core.Classifier, match.Matcher) reuse scratch
+// buffers and must not be shared between goroutines; the store keeps a
+// sync.Pool of engine pairs so concurrent callers each borrow a private
+// pair for the duration of one operation. All heavy work — MSV hashing and
+// exact matching — runs outside the shard locks: locks are held only to
+// read or append a chain slice. Representatives are cloned on insert and
+// never mutated, so a chain header copied under RLock stays valid after
+// the lock is released.
+package store
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/npn"
+	"repro/internal/tt"
+	"repro/internal/ttio"
+)
+
+// DefaultShards is the shard count used when Options.Shards is zero.
+const DefaultShards = 16
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the number of lock shards, rounded up to a power of two.
+	// Zero means DefaultShards.
+	Shards int
+	// Config selects the signature vectors of the MSV key. The zero value
+	// means the paper's full configuration (ConfigAll + FastOSDV). Weaker
+	// configurations collide more often and grow longer chains; correctness
+	// is unaffected because membership is always matcher-certified.
+	Config core.Config
+}
+
+// engines is one borrowed pair of stateful signature engines.
+type engines struct {
+	cls *core.Classifier
+	m   *match.Matcher
+}
+
+// shard is one lock domain: a chain map for the keys that hash into it.
+type shard struct {
+	mu     sync.RWMutex
+	chains map[uint64][]*tt.TT
+}
+
+// Store is a sharded NPN class store for functions of a fixed arity. All
+// methods are safe for concurrent use.
+type Store struct {
+	n      int
+	cfg    core.Config
+	mask   uint64
+	shards []shard
+	pool   sync.Pool
+}
+
+// New returns an empty store for n-variable functions.
+func New(n int, o Options) *Store {
+	cfg := o.Config
+	if cfg == (core.Config{}) {
+		cfg = core.ConfigAll()
+		cfg.FastOSDV = true
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	size := 1
+	for size < shards {
+		size <<= 1
+	}
+	s := &Store{n: n, cfg: cfg, mask: uint64(size - 1), shards: make([]shard, size)}
+	for i := range s.shards {
+		s.shards[i].chains = make(map[uint64][]*tt.TT)
+	}
+	s.pool.New = func() any {
+		return &engines{cls: core.New(n, cfg), m: match.NewMatcher(n)}
+	}
+	return s
+}
+
+// NumVars returns the arity the store serves.
+func (s *Store) NumVars() int { return s.n }
+
+// NumShards returns the number of lock shards.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Config returns the signature selection of the MSV key.
+func (s *Store) Config() core.Config { return s.cfg }
+
+// borrow gets a private engine pair; release returns it to the pool.
+func (s *Store) borrow() *engines   { return s.pool.Get().(*engines) }
+func (s *Store) release(e *engines) { s.pool.Put(e) }
+
+// shardFor maps a class key to its shard.
+func (s *Store) shardFor(key uint64) *shard { return &s.shards[key&s.mask] }
+
+// Add inserts f's class if absent, returning the class key, the position
+// of its representative in the key's collision chain, and whether a new
+// class was created (f becomes a representative). f is certified against
+// every chain member with the exact matcher, so an MSV collision founds a
+// new chained class rather than silently merging.
+func (s *Store) Add(f *tt.TT) (key uint64, index int, isNew bool) {
+	if f.NumVars() != s.n {
+		panic("store: function arity does not match store")
+	}
+	e := s.borrow()
+	defer s.release(e)
+
+	key = e.cls.Hash(f)
+	sh := s.shardFor(key)
+
+	// Fast path: scan the chain as published so far without holding any
+	// lock during the (expensive) exact matching.
+	sh.mu.RLock()
+	chain := sh.chains[key]
+	sh.mu.RUnlock()
+	for i, rep := range chain {
+		if _, eq := e.m.Equivalent(rep, f); eq {
+			return key, i, false
+		}
+	}
+
+	// Slow path: take the write lock, certify only against members that
+	// raced in since the snapshot, then append. Chain elements are
+	// immutable, so the earlier scan stays valid.
+	sh.mu.Lock()
+	cur := sh.chains[key]
+	for i := len(chain); i < len(cur); i++ {
+		if _, eq := e.m.Equivalent(cur[i], f); eq {
+			sh.mu.Unlock()
+			return key, i, false
+		}
+	}
+	sh.chains[key] = append(cur, f.Clone())
+	sh.mu.Unlock()
+	return key, len(cur), true
+}
+
+// Lookup finds f's class. On a hit it returns the chain representative
+// certified by the exact matcher, the class identity (key, chain index),
+// and a witness transform τ with τ(rep) = f. A key hit whose chain holds
+// no equivalent representative is a miss: f's class is not stored. The
+// returned key is valid even on a miss (it identifies where f's class
+// would live).
+func (s *Store) Lookup(f *tt.TT) (rep *tt.TT, key uint64, index int, witness npn.Transform, ok bool) {
+	if f.NumVars() != s.n {
+		panic("store: function arity does not match store")
+	}
+	e := s.borrow()
+	defer s.release(e)
+
+	key = e.cls.Hash(f)
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	chain := sh.chains[key]
+	sh.mu.RUnlock()
+	for i, r := range chain {
+		if tr, eq := e.m.Equivalent(r, f); eq {
+			return r, key, i, tr, true
+		}
+	}
+	return nil, key, -1, npn.Transform{}, false
+}
+
+// forEachChain visits every collision chain, holding one shard's read
+// lock at a time.
+func (s *Store) forEachChain(fn func(shardIdx int, chain []*tt.TT)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, chain := range sh.chains {
+			fn(i, chain)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Size returns the number of classes stored (chained collision
+// representatives count individually).
+func (s *Store) Size() int {
+	total := 0
+	s.forEachChain(func(_ int, chain []*tt.TT) { total += len(chain) })
+	return total
+}
+
+// Collisions returns the number of representatives beyond the first of
+// their key — classes a key-only store would have silently merged.
+func (s *Store) Collisions() int {
+	extra := 0
+	s.forEachChain(func(_ int, chain []*tt.TT) { extra += len(chain) - 1 })
+	return extra
+}
+
+// ShardSizes returns the per-shard class counts, for load-balance
+// introspection.
+func (s *Store) ShardSizes() []int {
+	out := make([]int, len(s.shards))
+	s.forEachChain(func(i int, chain []*tt.TT) { out[i] += len(chain) })
+	return out
+}
+
+// Snapshot returns a point-in-time copy of every representative. The
+// returned tables are the store's own (immutable) clones; callers must
+// not modify them.
+func (s *Store) Snapshot() []*tt.TT {
+	var fs []*tt.TT
+	s.forEachChain(func(_ int, chain []*tt.TT) { fs = append(fs, chain...) })
+	return fs
+}
+
+// Save writes a point-in-time snapshot as a ttio workload file (one
+// representative per line) with an arity header comment. Concurrent
+// inserts during Save land in or after the snapshot, never corrupt it.
+func (s *Store) Save(w io.Writer) error {
+	fs := s.Snapshot()
+	return ttio.Write(w, fs, fmt.Sprintf("store n=%d shards=%d classes=%d", s.n, len(s.shards), len(fs)))
+}
+
+// Load reads a snapshot written by Save (or any ttio workload of the
+// right arity) into a fresh store with the given options.
+func Load(r io.Reader, n int, o Options) (*Store, error) {
+	fs, err := ttio.Read(r, n)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := New(n, o)
+	for _, f := range fs {
+		s.Add(f)
+	}
+	return s, nil
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+func TestAddLookupWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	n := 5
+	s := New(n, Options{Shards: 4})
+	base := make([]*tt.TT, 12)
+	for i := range base {
+		base[i] = tt.Random(n, rng)
+		s.Add(base[i])
+	}
+	if s.Size() > len(base) {
+		t.Fatalf("size %d > %d inserted", s.Size(), len(base))
+	}
+	for _, f := range base {
+		variant := npn.RandomTransform(n, rng).Apply(f)
+		rep, _, _, w, ok := s.Lookup(variant)
+		if !ok {
+			t.Fatalf("variant of stored class missed")
+		}
+		if !w.Apply(rep).Equal(variant) {
+			t.Fatal("witness does not verify")
+		}
+	}
+}
+
+func TestLookupMissReturnsKey(t *testing.T) {
+	s := New(3, Options{})
+	s.Add(tt.MustFromHex(3, "e8"))
+	f := tt.MustFromHex(3, "96") // parity: different class
+	rep, key, index, _, ok := s.Lookup(f)
+	if ok || rep != nil || index != -1 {
+		t.Fatal("parity must miss a majority-only store")
+	}
+	if wantKey, _, _ := s.keyOf(f), 0, 0; key != wantKey {
+		t.Fatalf("miss key %016x, want %016x", key, wantKey)
+	}
+}
+
+// keyOf is a test helper computing the class key the way the store does.
+func (s *Store) keyOf(f *tt.TT) uint64 {
+	e := s.borrow()
+	defer s.release(e)
+	return e.cls.Hash(f)
+}
+
+// TestCollisionChain verifies the chained-representative semantics with a
+// known MSV collision: 0118 and 0182 share their full MSV under OCV1+OIV
+// but are not NPN-equivalent, so both must be stored as separate classes
+// under one key.
+func TestCollisionChain(t *testing.T) {
+	n := 4
+	a := tt.MustFromHex(n, "0118")
+	b := tt.MustFromHex(n, "0182")
+	cfg := core.Config{OCV1: true, OIV: true}
+
+	cls := core.New(n, cfg)
+	if string(cls.KeyBytes(a)) != string(cls.KeyBytes(b)) {
+		t.Fatal("test pair no longer collides under OCV1+OIV")
+	}
+	if _, eq := match.NewMatcher(n).Equivalent(a, b); eq {
+		t.Fatal("test pair is NPN equivalent; want inequivalent")
+	}
+
+	s := New(n, Options{Shards: 2, Config: cfg})
+	ka, ia, newA := s.Add(a)
+	kb, ib, newB := s.Add(b)
+	if !newA || !newB {
+		t.Fatalf("both colliding functions must found classes: newA=%v newB=%v", newA, newB)
+	}
+	if ka != kb {
+		t.Fatalf("pair must share a key: %016x vs %016x", ka, kb)
+	}
+	if ia != 0 || ib != 1 {
+		t.Fatalf("chain indices (%d,%d), want (0,1)", ia, ib)
+	}
+	if s.Size() != 2 || s.Collisions() != 1 {
+		t.Fatalf("size=%d collisions=%d, want 2 and 1", s.Size(), s.Collisions())
+	}
+	for want, f := range []*tt.TT{a, b} {
+		rep, _, idx, w, ok := s.Lookup(f)
+		if !ok || idx != want {
+			t.Fatalf("chained class %s: ok=%v idx=%d, want hit at %d", f.Hex(), ok, idx, want)
+		}
+		if !w.Apply(rep).Equal(f) {
+			t.Fatalf("witness for %s does not verify", f.Hex())
+		}
+	}
+	// Idempotence across the chain.
+	if _, _, isNew := s.Add(a.Clone()); isNew {
+		t.Fatal("re-add of chained representative created a class")
+	}
+}
+
+// TestConcurrentAddLookup hammers the store from many goroutines (run
+// under -race). Writers insert NPN variants of a shared set of base
+// functions; readers look up other variants. At the end every base class
+// must be present exactly once.
+func TestConcurrentAddLookup(t *testing.T) {
+	n := 5
+	const (
+		numBase    = 24
+		goroutines = 8
+		opsPerG    = 60
+	)
+	seedRng := rand.New(rand.NewSource(301))
+	base := make([]*tt.TT, numBase)
+	for i := range base {
+		base[i] = tt.Random(n, seedRng)
+	}
+
+	s := New(n, Options{Shards: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(400 + g)))
+			for op := 0; op < opsPerG; op++ {
+				f := npn.RandomTransform(n, rng).Apply(base[rng.Intn(numBase)])
+				if op%2 == 0 {
+					s.Add(f)
+				} else {
+					if rep, _, _, w, ok := s.Lookup(f); ok && !w.Apply(rep).Equal(f) {
+						t.Error("concurrent witness does not verify")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Every class inserted at most once: the store must not exceed the
+	// number of distinct base classes (variants of one base are one class).
+	ref := New(n, Options{})
+	distinct := 0
+	for _, f := range base {
+		if _, _, isNew := ref.Add(f); isNew {
+			distinct++
+		}
+	}
+	if s.Size() > distinct {
+		t.Fatalf("store size %d exceeds %d distinct classes: duplicate class created under concurrency", s.Size(), distinct)
+	}
+	// And every base class must now be found.
+	for _, f := range base {
+		if _, _, _, _, ok := s.Lookup(f); !ok {
+			// A base function is only guaranteed present if some goroutine
+			// added one of its variants; with 480 adds over 24 classes this
+			// is morally certain, so treat a miss as a real failure.
+			t.Fatalf("base class %s missing after concurrent inserts", f.Hex())
+		}
+	}
+}
+
+// TestConcurrentCollisionChain races many writers on a single colliding
+// key (run under -race): the chain must end up with exactly the two
+// inequivalent classes no matter the interleaving.
+func TestConcurrentCollisionChain(t *testing.T) {
+	n := 4
+	cfg := core.Config{OCV1: true, OIV: true}
+	a := tt.MustFromHex(n, "0118")
+	b := tt.MustFromHex(n, "0182")
+
+	for trial := 0; trial < 10; trial++ {
+		s := New(n, Options{Shards: 1, Config: cfg})
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				f := a
+				if g%2 == 1 {
+					f = b
+				}
+				for i := 0; i < 20; i++ {
+					s.Add(f.Clone())
+				}
+			}(g)
+		}
+		wg.Wait()
+		if s.Size() != 2 || s.Collisions() != 1 {
+			t.Fatalf("trial %d: size=%d collisions=%d, want exactly the 2 chained classes",
+				trial, s.Size(), s.Collisions())
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	n := 4
+	s := New(n, Options{Shards: 4})
+	for i := 0; i < 40; i++ {
+		s.Add(tt.Random(n, rng))
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(&buf, n, Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Size() != s.Size() {
+		t.Fatalf("size changed in round trip: %d -> %d", s.Size(), s2.Size())
+	}
+}
+
+func TestShardSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	n := 5
+	s := New(n, Options{Shards: 4})
+	for i := 0; i < 50; i++ {
+		s.Add(tt.Random(n, rng))
+	}
+	total := 0
+	for _, c := range s.ShardSizes() {
+		total += c
+	}
+	if total != s.Size() {
+		t.Fatalf("shard sizes sum %d != size %d", total, s.Size())
+	}
+	if got := s.NumShards(); got != 4 {
+		t.Fatalf("NumShards %d, want 4", got)
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	if got := New(3, Options{Shards: 5}).NumShards(); got != 8 {
+		t.Fatalf("shards rounded to %d, want 8", got)
+	}
+	if got := New(3, Options{}).NumShards(); got != DefaultShards {
+		t.Fatalf("default shards %d, want %d", got, DefaultShards)
+	}
+}
+
+func TestArityMismatchPanics(t *testing.T) {
+	s := New(4, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch must panic")
+		}
+	}()
+	s.Add(tt.MustFromHex(3, "e8"))
+}
