@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -161,7 +162,8 @@ func BenchmarkAblationSensitivity(b *testing.B) {
 }
 
 // BenchmarkAblationOSDV compares the quadratic pair enumeration and the
-// spectral (Krawtchouk) computation of OSDV (DESIGN.md ablation 2).
+// fast computation of OSDV (DESIGN.md ablation 2) — spectral (Krawtchouk)
+// for large sensitivity classes, direct enumeration below the crossover.
 func BenchmarkAblationOSDV(b *testing.B) {
 	for _, n := range []int{6, 8, 10} {
 		n := n
@@ -359,6 +361,71 @@ func BenchmarkCutEnumeration(b *testing.B) {
 }
 
 var cutEnumSink int
+
+// BenchmarkLookupCachedVsUncached isolates the representative-profile
+// cache on the hot serve path: single-function Store.Lookup hits against a
+// warm store, with the per-shard profile memo enabled (the default) versus
+// disabled (the rebuild-per-query certification strategy the store served
+// with before caching). Queries are NPN disguises of stored classes, so
+// every lookup pays MSV hashing plus matcher certification; the cached
+// mode builds each rep's profile once and the query's profile once per
+// lookup, the uncached mode rebuilds the rep side per chain member and
+// per output phase.
+//
+// Two key configurations are measured: "full" is the paper's complete MSV
+// (hash-dominated, so the cache shows up as a moderate win), and
+// "serving" is store.ServingConfig (the cheap OCV1+OIV key whose longer
+// chains the profile cache is designed to make affordable — the cache is
+// the difference between that config being a win or a loss). Results are
+// recorded in BENCH_lookup.json.
+func BenchmarkLookupCachedVsUncached(b *testing.B) {
+	for _, n := range []int{6, 8} {
+		fs := circuitWorkload(n)
+		if len(fs) > 512 {
+			fs = fs[:512]
+		}
+		// Disguised queries force real witness searches, not Equal fast paths.
+		queries := make([]*tt.TT, len(fs))
+		for i, f := range fs {
+			tr := npn.Identity(n)
+			tr.Perm[0], tr.Perm[n-1] = uint8(n-1), 0
+			tr.NegMask = 0b0110
+			tr.OutNeg = i%2 == 1
+			queries[i] = tr.Apply(f)
+		}
+		for _, cfg := range []struct {
+			name string
+			c    core.Config
+		}{
+			{"full", core.Config{}},
+			{"serving", store.ServingConfig()},
+		} {
+			for _, disabled := range []bool{true, false} {
+				mode := map[bool]string{true: "uncached", false: "cached"}[disabled]
+				b.Run(fmt.Sprintf("%s-%s-n%d", cfg.name, mode, n), func(b *testing.B) {
+					st := store.New(n, store.Options{Config: cfg.c, DisableProfileCache: disabled})
+					for _, f := range fs {
+						st.Add(f)
+					}
+					// Warm pass so the cached mode measures steady-state hits,
+					// not first-touch profile builds.
+					for _, q := range queries {
+						if _, _, _, _, ok := st.Lookup(q); !ok {
+							b.Fatal("warm lookup missed")
+						}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, _, _, _, ok := st.Lookup(queries[i%len(queries)]); !ok {
+							b.Fatal("lookup missed")
+						}
+					}
+				})
+			}
+		}
+	}
+}
 
 // BenchmarkStoreThroughput compares the online class store against the
 // offline core.ClassifyParallel on the 6-variable circuit workload. The

@@ -1,23 +1,29 @@
-// Command npnserve runs the NPN classification service: a sharded,
-// concurrency-safe class store (internal/store) behind the batch HTTP/JSON
-// API of internal/service.
+// Command npnserve runs the federated NPN classification service: one
+// sharded, concurrency-safe class store (internal/store) per arity in a
+// configurable range, behind the mixed-arity batch HTTP/JSON API of
+// internal/federation.
 //
 // Usage:
 //
-//	npnserve -n 6 [-addr :8080] [-shards 16] [-workers 0] [-cache 4096]
-//	         [-load file] [-save file]
+//	npnserve [-arities 4-10] [-addr :8080] [-shards 16] [-workers 0]
+//	         [-cache 4096] [-load dir] [-save dir]
 //
 // Endpoints:
 //
 //	POST /v1/classify  {"functions":["<hex tt>", ...]} -> class keys, reps,
-//	                   matcher-certified witnesses (read-only)
+//	                   matcher-certified witnesses (read-only). Batches may
+//	                   mix arities: each function's arity is inferred from
+//	                   its hex length and routed to that arity's store.
 //	POST /v1/insert    same body; absent classes are created
-//	GET  /v1/stats     counters and store shape
-//	GET  /healthz      liveness
+//	GET  /v1/stats     aggregate totals and a per-arity breakdown
+//	GET  /healthz      liveness + federated range
 //
-// With -load, the store is preseeded from a ttio snapshot (one hex table
-// per line, e.g. a classdb/store Save file). With -save, a snapshot is
-// written on graceful shutdown (SIGINT/SIGTERM).
+// -arities accepts a single arity ("6") or an inclusive range ("4-10");
+// per-arity stores are constructed lazily on first use. With -load, every
+// per-arity snapshot file n<arity>.tt found in the directory (as written
+// by -save) preseeds its arity's store. With -save, one snapshot per
+// active arity is written to the directory on graceful shutdown
+// (SIGINT/SIGTERM).
 package main
 
 import (
@@ -29,17 +35,23 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/federation"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/tt"
+	"repro/internal/ttio"
 )
 
 // config collects the flag-configurable server parameters.
 type config struct {
-	n        int
+	arities  string
 	addr     string
 	shards   int
 	workers  int
@@ -50,24 +62,31 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.IntVar(&cfg.n, "n", 0, "number of variables (required)")
+	flag.StringVar(&cfg.arities, "arities", "4-10", "federated arity range, \"N\" or \"LO-HI\" inclusive")
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
-	flag.IntVar(&cfg.shards, "shards", store.DefaultShards, "store lock shards (rounded up to a power of two)")
-	flag.IntVar(&cfg.workers, "workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
-	flag.IntVar(&cfg.cache, "cache", service.DefaultCacheSize, "LRU result cache capacity (negative disables)")
-	flag.StringVar(&cfg.loadPath, "load", "", "preseed the store from a ttio snapshot file")
-	flag.StringVar(&cfg.savePath, "save", "", "write a store snapshot to this file on shutdown")
+	flag.IntVar(&cfg.shards, "shards", store.DefaultShards, "per-arity store lock shards (rounded up to a power of two)")
+	flag.IntVar(&cfg.workers, "workers", 0, "per-arity batch worker pool width (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.cache, "cache", service.DefaultCacheSize, "per-arity LRU result cache capacity (negative disables)")
+	flag.StringVar(&cfg.loadPath, "load", "", "preseed stores from per-arity snapshot files n<arity>.tt in this directory")
+	flag.StringVar(&cfg.savePath, "save", "", "write per-arity store snapshots to this directory on shutdown")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "npnserve: ", log.LstdFlags)
-	svc, err := buildService(cfg)
+	reg, err := buildRegistry(cfg)
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if cfg.loadPath != "" {
+		loaded, err := loadSnapshots(reg, cfg.loadPath)
+		if err != nil {
+			logger.Fatalf("load: %v", err)
+		}
+		logger.Printf("preseeded %d classes from %s (arities %v)", loaded, cfg.loadPath, reg.Active())
 	}
 
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           federation.NewHandler(reg),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -76,8 +95,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("serving n=%d on %s (shards=%d workers=%d cache=%d, %d classes preloaded)",
-			cfg.n, cfg.addr, svc.Store().NumShards(), svc.Stats().Workers, cfg.cache, svc.Store().Size())
+		logger.Printf("serving arities %d..%d on %s (shards=%d workers=%d cache=%d per arity)",
+			reg.MinVars(), reg.MaxVars(), cfg.addr, cfg.shards, cfg.workers, cfg.cache)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -96,45 +115,141 @@ func main() {
 	}
 
 	if cfg.savePath != "" {
-		if err := saveSnapshot(svc, cfg.savePath); err != nil {
+		saved, err := saveSnapshots(reg, cfg.savePath)
+		if err != nil {
 			logger.Fatalf("save: %v", err)
 		}
-		logger.Printf("saved %d classes to %s", svc.Store().Size(), cfg.savePath)
+		logger.Printf("saved %d classes to %s (arities %v)", saved, cfg.savePath, reg.Active())
 	}
 }
 
-// buildService wires a store and service from the flag configuration. It
-// is the unit the end-to-end tests exercise against httptest.
-func buildService(cfg config) (*service.Service, error) {
-	if cfg.n <= 0 || cfg.n > tt.MaxVars {
-		return nil, fmt.Errorf("-n must be in 1..%d", tt.MaxVars)
-	}
-	var st *store.Store
-	if cfg.loadPath != "" {
-		f, err := os.Open(cfg.loadPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		st, err = store.Load(f, cfg.n, store.Options{Shards: cfg.shards})
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		st = store.New(cfg.n, store.Options{Shards: cfg.shards})
-	}
-	return service.New(st, service.Options{Workers: cfg.workers, CacheSize: cfg.cache}), nil
-}
-
-// saveSnapshot writes the store's classes as a ttio workload file.
-func saveSnapshot(svc *service.Service, path string) error {
-	f, err := os.Create(path)
+// parseArities parses the -arities value: "6" or "4-10", both inclusive.
+func parseArities(s string) (lo, hi int, err error) {
+	part := strings.SplitN(s, "-", 2)
+	lo, err = strconv.Atoi(strings.TrimSpace(part[0]))
 	if err != nil {
-		return err
+		return 0, 0, fmt.Errorf("-arities %q: %w", s, err)
 	}
-	if err := svc.Store().Save(f); err != nil {
-		f.Close()
-		return err
+	hi = lo
+	if len(part) == 2 {
+		hi, err = strconv.Atoi(strings.TrimSpace(part[1]))
+		if err != nil {
+			return 0, 0, fmt.Errorf("-arities %q: %w", s, err)
+		}
 	}
-	return f.Close()
+	if lo < federation.MinFederatedArity || hi > tt.MaxVars || lo > hi {
+		return 0, 0, fmt.Errorf("-arities %q: range must satisfy %d <= lo <= hi <= %d",
+			s, federation.MinFederatedArity, tt.MaxVars)
+	}
+	return lo, hi, nil
 }
+
+// buildRegistry wires the federated registry from the flag configuration.
+// It is the unit the end-to-end tests exercise against httptest.
+func buildRegistry(cfg config) (*federation.Registry, error) {
+	lo, hi, err := parseArities(cfg.arities)
+	if err != nil {
+		return nil, err
+	}
+	return federation.New(lo, hi, federation.Options{
+		Store:   store.Options{Shards: cfg.shards},
+		Service: service.Options{Workers: cfg.workers, CacheSize: cfg.cache},
+	})
+}
+
+// snapshotFile names arity n's snapshot within a -load/-save directory.
+func snapshotFile(dir string, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("n%d.tt", n))
+}
+
+// loadSnapshots preseeds every arity whose snapshot file exists in dir,
+// returning the number of classes created. The directory itself must
+// exist — a mistyped -load path fails the start instead of silently
+// serving an empty store. Functions are added straight to each arity's
+// store, not through the service pipeline, so the serving counters still
+// read zero after a restart.
+func loadSnapshots(reg *federation.Registry, dir string) (int, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return 0, err
+	}
+	total := 0
+	for n := reg.MinVars(); n <= reg.MaxVars(); n++ {
+		path := snapshotFile(dir, n)
+		f, err := os.Open(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return total, err
+		}
+		fs, err := ttio.Read(f, n)
+		f.Close()
+		if err != nil {
+			return total, fmt.Errorf("%s: %w", path, err)
+		}
+		svc, err := reg.Service(n)
+		if err != nil {
+			return total, err
+		}
+		for _, fn := range fs {
+			if _, _, isNew := svc.Store().Add(fn); isNew {
+				total++
+			}
+		}
+	}
+	return total, nil
+}
+
+// saveSnapshots writes one snapshot per non-empty arity into dir (created
+// if missing), returning the number of classes saved. Every other
+// n<arity>.tt file in the directory — empty arities of this run, and
+// arities left over from a run with a different -arities range — is
+// removed, so reusing a directory across runs cannot resurrect a previous
+// run's classes on the next -load.
+func saveSnapshots(reg *federation.Registry, dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	saved := make(map[string]bool)
+	total := 0
+	for _, n := range reg.Active() {
+		svc, err := reg.Service(n)
+		if err != nil {
+			return total, err
+		}
+		if svc.Store().Size() == 0 {
+			continue
+		}
+		path := snapshotFile(dir, n)
+		f, err := os.Create(path)
+		if err != nil {
+			return total, err
+		}
+		if err := svc.Store().Save(f); err != nil {
+			f.Close()
+			return total, err
+		}
+		if err := f.Close(); err != nil {
+			return total, err
+		}
+		saved[filepath.Base(path)] = true
+		total += svc.Store().Size()
+	}
+	stale, err := filepath.Glob(filepath.Join(dir, "n*.tt"))
+	if err != nil {
+		return total, err
+	}
+	for _, path := range stale {
+		base := filepath.Base(path)
+		if saved[base] || !snapshotName.MatchString(base) {
+			continue
+		}
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// snapshotName matches the per-arity snapshot files saveSnapshots owns.
+var snapshotName = regexp.MustCompile(`^n[0-9]+\.tt$`)

@@ -11,22 +11,28 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/federation"
 	"repro/internal/npn"
 	"repro/internal/service"
 	"repro/internal/tt"
 )
 
-// startServer builds the flag-configured service and serves it over a
+// startServer builds the flag-configured registry and serves it over a
 // real TCP listener via httptest — the full stack a client sees.
-func startServer(t *testing.T, cfg config) (*httptest.Server, *service.Service) {
+func startServer(t *testing.T, cfg config) (*httptest.Server, *federation.Registry) {
 	t.Helper()
-	svc, err := buildService(cfg)
+	reg, err := buildRegistry(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(service.NewHandler(svc))
+	if cfg.loadPath != "" {
+		if _, err := loadSnapshots(reg, cfg.loadPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(federation.NewHandler(reg))
 	t.Cleanup(srv.Close)
-	return srv, svc
+	return srv, reg
 }
 
 func post(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -47,21 +53,30 @@ func post(t *testing.T, url string, body any) (*http.Response, []byte) {
 	return resp, out.Bytes()
 }
 
-// TestEndToEnd drives the acceptance scenario: a batch of 6-variable
-// truth tables is inserted, then a batch of NPN variants is classified;
-// every answer must carry the right class key and a witness the matcher
-// semantics certify (replayed locally against the returned rep).
-func TestEndToEnd(t *testing.T) {
-	n := 6
-	srv, _ := startServer(t, config{n: n, shards: 8, workers: 2, cache: 128})
+// TestEndToEndMixedArity drives the acceptance scenario: a single batch of
+// truth tables spanning every arity n = 4..10 is inserted into one server,
+// then a single mixed-arity batch of NPN variants is classified; every
+// answer must carry the right class key and a witness the matcher
+// semantics certify (replayed locally against the returned rep), and the
+// per-arity stats breakdown must account for exactly the routed traffic.
+func TestEndToEndMixedArity(t *testing.T) {
+	srv, _ := startServer(t, config{arities: "4-10", shards: 8, workers: 2, cache: 128})
 
 	rng := rand.New(rand.NewSource(700))
-	base := make([]*tt.TT, 20)
-	hexes := make([]string, len(base))
-	for i := range base {
-		base[i] = tt.Random(n, rng)
-		hexes[i] = base[i].Hex()
+	var base []*tt.TT
+	var hexes []string
+	for n := 4; n <= 10; n++ {
+		for k := 0; k < 2; k++ {
+			f := tt.Random(n, rng)
+			base = append(base, f)
+			hexes = append(hexes, f.Hex())
+		}
 	}
+	// Interleave arities so routing has to scatter-gather, not just split.
+	rng.Shuffle(len(base), func(i, j int) {
+		base[i], base[j] = base[j], base[i]
+		hexes[i], hexes[j] = hexes[j], hexes[i]
+	})
 
 	resp, body := post(t, srv.URL+"/v1/insert", service.ClassifyRequest{Functions: hexes})
 	if resp.StatusCode != http.StatusOK {
@@ -73,13 +88,16 @@ func TestEndToEnd(t *testing.T) {
 	}
 	classOf := make(map[int]string)
 	for i, r := range ins.Results {
+		if r.Function != hexes[i] {
+			t.Fatalf("insert result %d echoes %q, want %q", i, r.Function, hexes[i])
+		}
 		classOf[i] = fmt.Sprintf("%s:%d", r.Class, r.Index)
 	}
 
 	variants := make([]string, len(base))
 	varTT := make([]*tt.TT, len(base))
 	for i, f := range base {
-		varTT[i] = npn.RandomTransform(n, rng).Apply(f)
+		varTT[i] = npn.RandomTransform(f.NumVars(), rng).Apply(f)
 		variants[i] = varTT[i].Hex()
 	}
 	resp, body = post(t, srv.URL+"/v1/classify", service.ClassifyRequest{Functions: variants})
@@ -91,8 +109,9 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, r := range cls.Results {
+		n := base[i].NumVars()
 		if !r.Hit {
-			t.Fatalf("variant %d missed its class", i)
+			t.Fatalf("variant %d (n=%d) missed its class", i, n)
 		}
 		if got := fmt.Sprintf("%s:%d", r.Class, *r.Index); got != classOf[i] {
 			t.Fatalf("variant %d classified as %s, inserted as %s", i, got, classOf[i])
@@ -102,22 +121,30 @@ func TestEndToEnd(t *testing.T) {
 			t.Fatalf("variant %d witness: %v", i, err)
 		}
 		if !tr.Apply(tt.MustFromHex(n, r.Rep)).Equal(varTT[i]) {
-			t.Fatalf("variant %d: wire witness does not verify", i)
+			t.Fatalf("variant %d (n=%d): wire witness does not verify", i, n)
 		}
 	}
 
-	// Stats must reflect the traffic.
+	// Stats must reflect the routed traffic, per arity and in total.
 	statsResp, err := http.Get(srv.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer statsResp.Body.Close()
-	var st service.Stats
+	var st federation.Stats
 	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Arity != n || st.Inserts != int64(len(base)) || st.Hits != int64(len(base)) {
-		t.Fatalf("stats %+v", st)
+	if st.MinVars != 4 || st.MaxVars != 10 || len(st.PerArity) != 7 {
+		t.Fatalf("stats shape %+v", st)
+	}
+	if st.Totals.Inserts != int64(len(base)) || st.Totals.Hits != int64(len(base)) {
+		t.Fatalf("totals %+v", st.Totals)
+	}
+	for _, s := range st.PerArity {
+		if s.Inserts != 2 || s.Lookups != 2 {
+			t.Fatalf("arity %d saw %d inserts and %d lookups, want 2 and 2", s.Arity, s.Inserts, s.Lookups)
+		}
 	}
 
 	// Liveness.
@@ -131,45 +158,126 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
-// TestBuildServiceValidation rejects a missing or out-of-range arity.
-func TestBuildServiceValidation(t *testing.T) {
-	if _, err := buildService(config{n: 0}); err == nil {
-		t.Fatal("n=0 accepted")
+// TestParseArities covers the -arities forms and rejections.
+func TestParseArities(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		lo, hi int
+	}{
+		{"6", 6, 6},
+		{"4-10", 4, 10},
+		{" 2 - 16 ", 2, 16},
+	} {
+		lo, hi, err := parseArities(tc.in)
+		if err != nil || lo != tc.lo || hi != tc.hi {
+			t.Fatalf("parseArities(%q) = (%d,%d,%v), want (%d,%d)", tc.in, lo, hi, err, tc.lo, tc.hi)
+		}
 	}
-	if _, err := buildService(config{n: tt.MaxVars + 1}); err == nil {
+	for _, bad := range []string{"", "x", "1-6", "4-17", "10-4", "4-10-12"} {
+		if _, _, err := parseArities(bad); err == nil {
+			t.Fatalf("parseArities(%q) accepted", bad)
+		}
+	}
+}
+
+// TestBuildRegistryValidation rejects a malformed arity range.
+func TestBuildRegistryValidation(t *testing.T) {
+	if _, err := buildRegistry(config{arities: ""}); err == nil {
+		t.Fatal("empty -arities accepted")
+	}
+	if _, err := buildRegistry(config{arities: fmt.Sprintf("4-%d", tt.MaxVars+1)}); err == nil {
 		t.Fatal("oversized arity accepted")
 	}
 }
 
-// TestLoadSaveRoundTrip preseeds a server from a snapshot written by a
-// previous instance — the persistence path of the -load/-save flags.
-func TestLoadSaveRoundTrip(t *testing.T) {
-	n := 5
-	dir := t.TempDir()
-	path := filepath.Join(dir, "classes.tt")
+// TestLoadMissingDirFails rejects a mistyped -load directory instead of
+// silently serving an empty store.
+func TestLoadMissingDirFails(t *testing.T) {
+	reg, err := buildRegistry(config{arities: "4-6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshots(reg, "/does/not/exist"); err == nil {
+		t.Fatal("nonexistent -load directory accepted")
+	}
+}
 
-	svc, err := buildService(config{n: n, shards: 4, cache: 16})
+// TestSavePurgesStaleSnapshots checks that saveSnapshots removes
+// n<arity>.tt files it did not write this run — both empty arities of
+// the current range and leftovers of a wider previous range — so a
+// reused directory cannot resurrect old classes, while foreign files
+// are left alone.
+func TestSavePurgesStaleSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"n5.tt", "n9.tt", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("# stale\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, err := buildRegistry(config{arities: "4-6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Insert([]*tt.TT{tt.MustFromHex(4, "1ee1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := saveSnapshots(reg, dir); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]bool{"n4.tt": true, "n5.tt": false, "n9.tt": false, "notes.txt": true} {
+		_, err := os.Stat(filepath.Join(dir, name))
+		if got := err == nil; got != want {
+			t.Errorf("%s exists=%v after save, want %v", name, got, want)
+		}
+	}
+}
+
+// TestLoadSaveRoundTrip preseeds a federated server from the per-arity
+// snapshot directory written by a previous instance — the persistence
+// path of the -load/-save flags.
+func TestLoadSaveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := buildRegistry(config{arities: "4-6", shards: 4, cache: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(701))
-	fs := make([]*tt.TT, 15)
-	for i := range fs {
-		fs[i] = tt.Random(n, rng)
+	var fs []*tt.TT
+	for n := 4; n <= 6; n++ {
+		for k := 0; k < 5; k++ {
+			fs = append(fs, tt.Random(n, rng))
+		}
 	}
-	svc.Insert(fs)
-	if err := saveSnapshot(svc, path); err != nil {
+	if _, err := reg.Insert(fs); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(path); err != nil {
+	saved, err := saveSnapshots(reg, dir)
+	if err != nil {
 		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range reg.Active() {
+		svc, _ := reg.Service(n)
+		total += svc.Store().Size()
+		if _, err := os.Stat(snapshotFile(dir, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if saved != total {
+		t.Fatalf("saved %d classes, stores hold %d", saved, total)
 	}
 
-	srv, svc2 := startServer(t, config{n: n, shards: 4, cache: 16, loadPath: path})
-	if svc2.Store().Size() != svc.Store().Size() {
-		t.Fatalf("preloaded %d classes, want %d", svc2.Store().Size(), svc.Store().Size())
+	srv, reg2 := startServer(t, config{arities: "4-6", shards: 4, cache: 16, loadPath: dir})
+	total2 := 0
+	for _, n := range reg2.Active() {
+		svc, _ := reg2.Service(n)
+		total2 += svc.Store().Size()
 	}
-	resp, body := post(t, srv.URL+"/v1/classify", service.ClassifyRequest{Functions: []string{fs[0].Hex()}})
+	if total2 != total {
+		t.Fatalf("preloaded %d classes, want %d", total2, total)
+	}
+	resp, body := post(t, srv.URL+"/v1/classify",
+		service.ClassifyRequest{Functions: []string{fs[0].Hex(), fs[len(fs)-1].Hex()}})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("classify status %d", resp.StatusCode)
 	}
@@ -177,7 +285,9 @@ func TestLoadSaveRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(body, &cls); err != nil {
 		t.Fatal(err)
 	}
-	if !cls.Results[0].Hit {
-		t.Fatal("preloaded class missed after snapshot round trip")
+	for i, r := range cls.Results {
+		if !r.Hit {
+			t.Fatalf("preloaded class %d missed after snapshot round trip", i)
+		}
 	}
 }

@@ -1,10 +1,11 @@
-// Serve: the NPN classification service as a client sees it. The example
-// starts an npnserve-style server in-process on a loopback port, then
-// drives it over real HTTP: it inserts a batch of 6-variable cut
-// functions, classifies a batch of NPN disguises of the same cells, and
-// replays every returned witness locally to certify the answers. This is
-// the Boolean-matching loop of examples/dedup turned into a service
-// round trip.
+// Serve: the federated NPN classification service as a client sees it.
+// The example starts an npnserve-style server in-process on a loopback
+// port, then drives it over real HTTP with mixed-arity batches: it
+// inserts a "cell library" spanning n = 4..7 in one request, classifies
+// one batch of NPN disguises of all those cells — each function routed to
+// its arity's store by the server — and replays every returned witness
+// locally to certify the answers. This is the Boolean-matching loop of
+// examples/dedup turned into a multi-arity service round trip.
 //
 // Run with: go run ./examples/serve
 // To drive an already-running server instead: go run ./examples/serve -addr http://host:port
@@ -22,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/federation"
 	"repro/internal/npn"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -31,28 +33,33 @@ import (
 func main() {
 	addr := flag.String("addr", "", "base URL of a running npnserve (empty = start one in-process)")
 	flag.Parse()
-	const n = 6
+	const lo, hi = 4, 10
 
 	baseURL := *addr
 	if baseURL == "" {
-		url, shutdown, err := startInProcess(n)
+		url, shutdown, err := startInProcess(lo, hi)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "serve:", err)
 			os.Exit(1)
 		}
 		defer shutdown()
 		baseURL = url
-		fmt.Printf("started in-process npnserve at %s (n=%d)\n\n", baseURL, n)
+		fmt.Printf("started in-process npnserve at %s (arities %d..%d)\n\n", baseURL, lo, hi)
 	}
 
 	rng := rand.New(rand.NewSource(2023))
 
-	// A "cell library" of 12 base cells...
-	cells := make([]*tt.TT, 12)
-	hexes := make([]string, len(cells))
-	for i := range cells {
-		cells[i] = tt.Random(n, rng)
-		hexes[i] = cells[i].Hex()
+	// A "cell library" of cells at several arities, inserted in ONE batch:
+	// the server infers each cell's arity from its hex length and routes
+	// it to that arity's store.
+	var cells []*tt.TT
+	var hexes []string
+	for n := 4; n <= 7; n++ {
+		for k := 0; k < 3; k++ {
+			f := tt.Random(n, rng)
+			cells = append(cells, f)
+			hexes = append(hexes, f.Hex())
+		}
 	}
 	var ins service.InsertResponse
 	if err := call(baseURL+"/v1/insert", service.ClassifyRequest{Functions: hexes}, &ins); err != nil {
@@ -65,13 +72,15 @@ func main() {
 			created++
 		}
 	}
-	fmt.Printf("inserted %d cells -> %d classes created\n", len(cells), created)
+	fmt.Printf("inserted %d cells (n=4..7, one mixed batch) -> %d classes created\n", len(cells), created)
 
-	// ...queried with NPN disguises: permuted/negated pin assignments.
+	// ...queried with NPN disguises: permuted/negated pin assignments,
+	// again all arities in one batch.
 	disguises := make([]*tt.TT, 3*len(cells))
 	query := make([]string, len(disguises))
 	for i := range disguises {
-		disguises[i] = npn.RandomTransform(n, rng).Apply(cells[i%len(cells)])
+		cell := cells[i%len(cells)]
+		disguises[i] = npn.RandomTransform(cell.NumVars(), rng).Apply(cell)
 		query[i] = disguises[i].Hex()
 	}
 	var cls service.ClassifyResponse
@@ -91,37 +100,47 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: bad witness:", err)
 			os.Exit(1)
 		}
+		n := disguises[i].NumVars()
 		if !tr.Apply(tt.MustFromHex(n, r.Rep)).Equal(disguises[i]) {
 			fmt.Fprintf(os.Stderr, "serve: witness for %s does not verify\n", r.Function)
 			os.Exit(1)
 		}
 		certified++
 		if i < 3 {
-			fmt.Printf("query %s -> class %s rep %s with τ: %v\n", r.Function, r.Class, r.Rep, tr)
+			fmt.Printf("query n=%d %s -> class %s rep %s with τ: %v\n", n, r.Function, r.Class, r.Rep, tr)
 		}
 	}
 	fmt.Printf("...\nclassified %d disguises: %d hits, every witness replayed and certified locally\n\n",
 		len(disguises), certified)
 
-	var st service.Stats
+	var st federation.Stats
 	if err := get(baseURL+"/v1/stats", &st); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("server stats: %d classes in %d shards, %d lookups (%d hits, %d cache), %.1fµs/batch\n",
-		st.Classes, st.Shards, st.Lookups, st.Hits, st.CacheHits, st.AvgBatchMicros)
+	fmt.Printf("federation stats: arities %d..%d, %d classes total, %d lookups (%d hits, %d LRU), profile cache %d hits / %d misses\n",
+		st.MinVars, st.MaxVars, st.Totals.Classes, st.Totals.Lookups, st.Totals.Hits,
+		st.Totals.CacheHits, st.Totals.ProfileHits, st.Totals.ProfileMisses)
+	for _, s := range st.PerArity {
+		fmt.Printf("  n=%d: %d classes in %d shards, %d lookups, %.1fµs/batch\n",
+			s.Arity, s.Classes, s.Shards, s.Lookups, s.AvgBatchMicros)
+	}
 }
 
-// startInProcess runs the service on a loopback listener and returns its
-// base URL and a graceful-shutdown function.
-func startInProcess(n int) (string, func(), error) {
-	st := store.New(n, store.Options{Shards: 8})
-	svc := service.New(st, service.Options{})
+// startInProcess runs the federated service on a loopback listener and
+// returns its base URL and a graceful-shutdown function.
+func startInProcess(lo, hi int) (string, func(), error) {
+	reg, err := federation.New(lo, hi, federation.Options{
+		Store: store.Options{Shards: 8},
+	})
+	if err != nil {
+		return "", nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: service.NewHandler(svc)}
+	srv := &http.Server{Handler: federation.NewHandler(reg)}
 	go srv.Serve(ln)
 	shutdown := func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

@@ -1,0 +1,247 @@
+// Package federation fronts one classification service per arity: a
+// registry of service.Service instances for n = MinVars..MaxVars, each
+// backed by its own sharded store and constructed lazily on the first
+// function of that arity. A mixed-arity batch is routed per function to
+// the right arity's worker pool — arity groups run concurrently, each
+// group fanned out by its own service — and results are scattered back
+// into input order, so one server handles every federated arity behind a
+// single API.
+//
+// The federated HTTP surface in http.go infers each function's arity from
+// its hex truth-table length, which is why MinVars must be at least 2:
+// below that, distinct arities share the one-digit encoding and the wire
+// form would be ambiguous.
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/tt"
+)
+
+// MinFederatedArity is the smallest MinVars New accepts; hex truth-table
+// lengths are unique per arity only from 2 variables up.
+const MinFederatedArity = 2
+
+// Options configures every per-arity service in a Registry.
+type Options struct {
+	// Store configures each arity's backing store (shards, MSV config,
+	// profile cache).
+	Store store.Options
+	// Service configures each arity's pipeline (workers, LRU capacity).
+	Service service.Options
+}
+
+// Registry is a federated classification front: one lazily-constructed
+// service per arity in [MinVars, MaxVars]. All methods are safe for
+// concurrent use.
+type Registry struct {
+	lo, hi int
+	opts   Options
+
+	mu   sync.RWMutex
+	svcs []*service.Service // index n-lo; nil until first use
+}
+
+// New returns a registry federating arities lo..hi inclusive.
+func New(lo, hi int, o Options) (*Registry, error) {
+	if lo < MinFederatedArity || hi > tt.MaxVars || lo > hi {
+		return nil, fmt.Errorf("federation: arity range %d..%d outside %d..%d",
+			lo, hi, MinFederatedArity, tt.MaxVars)
+	}
+	return &Registry{lo: lo, hi: hi, opts: o, svcs: make([]*service.Service, hi-lo+1)}, nil
+}
+
+// MinVars returns the smallest federated arity.
+func (r *Registry) MinVars() int { return r.lo }
+
+// MaxVars returns the largest federated arity.
+func (r *Registry) MaxVars() int { return r.hi }
+
+// Service returns arity n's service, constructing its store on first use.
+func (r *Registry) Service(n int) (*service.Service, error) {
+	if n < r.lo || n > r.hi {
+		return nil, fmt.Errorf("federation: arity %d outside federated range %d..%d", n, r.lo, r.hi)
+	}
+	r.mu.RLock()
+	svc := r.svcs[n-r.lo]
+	r.mu.RUnlock()
+	if svc != nil {
+		return svc, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.svcs[n-r.lo] == nil {
+		r.svcs[n-r.lo] = service.New(store.New(n, r.opts.Store), r.opts.Service)
+	}
+	return r.svcs[n-r.lo], nil
+}
+
+// Active returns the arities whose services have been constructed, in
+// increasing order. The slice is always non-nil so it encodes as a JSON
+// array even when empty.
+func (r *Registry) Active() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, 0, len(r.svcs))
+	for i, svc := range r.svcs {
+		if svc != nil {
+			out = append(out, r.lo+i)
+		}
+	}
+	return out
+}
+
+// group is one arity's slice of a mixed batch: the functions and their
+// positions in the input.
+type group struct {
+	svc *service.Service
+	fs  []*tt.TT
+	idx []int
+}
+
+// route partitions a mixed-arity batch by arity, constructing each needed
+// service, and returns the groups in increasing arity order.
+func (r *Registry) route(fs []*tt.TT) ([]group, error) {
+	byArity := make(map[int]*group)
+	for i, f := range fs {
+		n := f.NumVars()
+		g, ok := byArity[n]
+		if !ok {
+			svc, err := r.Service(n)
+			if err != nil {
+				return nil, fmt.Errorf("functions[%d]: %w", i, err)
+			}
+			g = &group{svc: svc}
+			byArity[n] = g
+		}
+		g.fs = append(g.fs, f)
+		g.idx = append(g.idx, i)
+	}
+	arities := make([]int, 0, len(byArity))
+	for n := range byArity {
+		arities = append(arities, n)
+	}
+	sort.Ints(arities)
+	out := make([]group, 0, len(arities))
+	for _, n := range arities {
+		out = append(out, *byArity[n])
+	}
+	return out, nil
+}
+
+// Classify looks up every function's class in its arity's service. The
+// batch may mix arities freely; results keep input order. It fails as a
+// whole if any function's arity is outside the federated range.
+func (r *Registry) Classify(fs []*tt.TT) ([]service.Result, error) {
+	out := make([]service.Result, len(fs))
+	err := r.fanOut(fs, func(g group) {
+		for j, res := range g.svc.Classify(g.fs) {
+			out[g.idx[j]] = res
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Insert adds every function's class if absent, routed by arity. Results
+// keep input order.
+func (r *Registry) Insert(fs []*tt.TT) ([]service.InsertResult, error) {
+	out := make([]service.InsertResult, len(fs))
+	err := r.fanOut(fs, func(g group) {
+		for j, res := range g.svc.Insert(g.fs) {
+			out[g.idx[j]] = res
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fanOut routes the batch and runs fn once per arity group, groups in
+// parallel (each group's service fans its sub-batch across its own worker
+// pool).
+func (r *Registry) fanOut(fs []*tt.TT, fn func(group)) error {
+	groups, err := r.route(fs)
+	if err != nil {
+		return err
+	}
+	if len(groups) == 1 {
+		fn(groups[0])
+		return nil
+	}
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g group) {
+			defer wg.Done()
+			fn(g)
+		}(g)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Totals aggregates counters across every active arity.
+type Totals struct {
+	Classes         int   `json:"classes"`
+	StoreCollisions int   `json:"store_collisions"`
+	Lookups         int64 `json:"lookups"`
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	CacheHits       int64 `json:"cache_hits"`
+	Inserts         int64 `json:"inserts"`
+	Created         int64 `json:"created"`
+	Collisions      int64 `json:"insert_collisions"`
+	ProfileHits     int64 `json:"profile_hits"`
+	ProfileMisses   int64 `json:"profile_misses"`
+	ProfileEntries  int64 `json:"profile_entries"`
+}
+
+// Stats is a point-in-time snapshot of the whole federation: the arity
+// range, aggregate totals and the per-arity breakdown for every arity
+// whose service has been constructed.
+type Stats struct {
+	MinVars       int             `json:"min_vars"`
+	MaxVars       int             `json:"max_vars"`
+	ActiveArities []int           `json:"active_arities"`
+	Totals        Totals          `json:"totals"`
+	PerArity      []service.Stats `json:"per_arity"`
+}
+
+// Stats returns the aggregate and per-arity counters. The slice fields
+// are always non-nil so they encode as JSON arrays even when empty.
+func (r *Registry) Stats() Stats {
+	st := Stats{
+		MinVars:       r.lo,
+		MaxVars:       r.hi,
+		ActiveArities: []int{},
+		PerArity:      []service.Stats{},
+	}
+	for _, n := range r.Active() {
+		svc, _ := r.Service(n)
+		s := svc.Stats()
+		st.ActiveArities = append(st.ActiveArities, n)
+		st.PerArity = append(st.PerArity, s)
+		st.Totals.Classes += s.Classes
+		st.Totals.StoreCollisions += s.StoreCollisions
+		st.Totals.Lookups += s.Lookups
+		st.Totals.Hits += s.Hits
+		st.Totals.Misses += s.Misses
+		st.Totals.CacheHits += s.CacheHits
+		st.Totals.Inserts += s.Inserts
+		st.Totals.Created += s.Created
+		st.Totals.Collisions += s.Collisions
+		st.Totals.ProfileHits += s.ProfileHits
+		st.Totals.ProfileMisses += s.ProfileMisses
+		st.Totals.ProfileEntries += s.ProfileEntries
+	}
+	return st
+}

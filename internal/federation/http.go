@@ -1,0 +1,98 @@
+package federation
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/service"
+	"repro/internal/tt"
+)
+
+// NewHandler returns the federated HTTP/JSON API over reg. The wire
+// format is the single-arity service API with one relaxation: a batch may
+// mix arities, and each function's arity is inferred from its hex length
+// (2^n/4 digits, unique per arity for n ≥ 2).
+//
+//	POST /v1/classify  mixed-arity batch lookup (read-only)
+//	POST /v1/insert    mixed-arity batch insert
+//	GET  /v1/stats     aggregate totals + per-arity breakdown
+//	GET  /healthz      liveness + federated range
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		fs, raw, ok := decodeMixedBatch(w, r, reg)
+		if !ok {
+			return
+		}
+		results, err := reg.Classify(fs)
+		if err != nil {
+			service.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, service.EncodeClassifyResults(raw, results))
+	})
+	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+		fs, raw, ok := decodeMixedBatch(w, r, reg)
+		if !ok {
+			return
+		}
+		results, err := reg.Insert(fs)
+		if err != nil {
+			service.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, service.EncodeInsertResults(raw, results))
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, reg.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"min_vars": reg.MinVars(),
+			"max_vars": reg.MaxVars(),
+			"active":   reg.Active(),
+		})
+	})
+	return mux
+}
+
+// ArityOfHex maps a hex truth table to the unique federated arity whose
+// encoding has its length (service.HexDigits, unique per arity for
+// n ≥ 2).
+func (r *Registry) ArityOfHex(s string) (int, error) {
+	for n := r.lo; n <= r.hi; n++ {
+		if service.HexDigits(n) == len(s) {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("hex truth table of %d digits matches no federated arity %d..%d (want one of %s)",
+		len(s), r.lo, r.hi, r.arityLengths())
+}
+
+// arityLengths renders the accepted hex lengths, for error messages.
+func (r *Registry) arityLengths() string {
+	out := ""
+	for n := r.lo; n <= r.hi; n++ {
+		if n > r.lo {
+			out += ","
+		}
+		out += fmt.Sprint(service.HexDigits(n))
+	}
+	return out
+}
+
+// decodeMixedBatch parses and validates a mixed-arity ClassifyRequest
+// body: the shared service envelope rules, with each function's arity
+// resolved from its hex length. On failure it writes the error response
+// and returns ok=false.
+func decodeMixedBatch(w http.ResponseWriter, r *http.Request, reg *Registry) (fs []*tt.TT, raw []string, ok bool) {
+	return service.DecodeBatchWith(w, r, service.MaxBodyBytes(reg.MaxVars()),
+		func(_ int, s string) (*tt.TT, error) {
+			n, err := reg.ArityOfHex(s)
+			if err != nil {
+				return nil, err
+			}
+			return tt.FromHex(n, s)
+		})
+}

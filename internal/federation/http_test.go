@@ -1,0 +1,233 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/service"
+	"repro/internal/tt"
+)
+
+func newTestServer(t *testing.T, lo, hi int) *httptest.Server {
+	t.Helper()
+	reg, err := New(lo, hi, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(reg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestHandlerMixedArityRoundTrip drives the federated handler end to end
+// over HTTP: a mixed insert, a mixed classify of disguises with witness
+// replay, and a per-arity stats read.
+func TestHandlerMixedArityRoundTrip(t *testing.T) {
+	srv := newTestServer(t, 4, 8)
+	rng := rand.New(rand.NewSource(510))
+
+	var base []*tt.TT
+	var hexes []string
+	for n := 4; n <= 8; n++ {
+		f := tt.Random(n, rng)
+		base = append(base, f)
+		hexes = append(hexes, f.Hex())
+	}
+	body, _ := json.Marshal(service.ClassifyRequest{Functions: hexes})
+	resp, raw := postJSON(t, srv.URL+"/v1/insert", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, raw)
+	}
+
+	queries := make([]string, len(base))
+	queryTT := make([]*tt.TT, len(base))
+	for i, f := range base {
+		queryTT[i] = npn.RandomTransform(f.NumVars(), rng).Apply(f)
+		queries[i] = queryTT[i].Hex()
+	}
+	body, _ = json.Marshal(service.ClassifyRequest{Functions: queries})
+	resp, raw = postJSON(t, srv.URL+"/v1/classify", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d: %s", resp.StatusCode, raw)
+	}
+	var cls service.ClassifyResponse
+	if err := json.Unmarshal(raw, &cls); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		n := base[i].NumVars()
+		if !r.Hit {
+			t.Fatalf("query %d (n=%d) missed", i, n)
+		}
+		tr, err := r.Witness.Transform()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Apply(tt.MustFromHex(n, r.Rep)).Equal(queryTT[i]) {
+			t.Fatalf("query %d (n=%d): wire witness does not verify", i, n)
+		}
+	}
+
+	stResp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stResp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.ActiveArities) != 5 || st.Totals.Hits != int64(len(base)) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestHandlerErrorPaths is the table of malformed requests the HTTP layer
+// must reject: each case asserts the status code and that the body is the
+// standard {"error": "..."} shape with a non-empty message.
+func TestHandlerErrorPaths(t *testing.T) {
+	srv := newTestServer(t, 4, 6)
+
+	hugeBody := func() []byte {
+		// One batch entry far past the body byte bound for MaxVars=6.
+		return []byte(`{"functions":["` + strings.Repeat("f", int(service.MaxBodyBytes(6))+1024) + `"]}`)
+	}
+
+	cases := []struct {
+		name       string
+		path       string
+		body       []byte
+		wantStatus int
+		wantSubstr string
+	}{
+		{
+			name:       "oversized body",
+			path:       "/v1/classify",
+			body:       hugeBody(),
+			wantStatus: http.StatusRequestEntityTooLarge,
+			wantSubstr: "exceeds",
+		},
+		{
+			name:       "malformed JSON",
+			path:       "/v1/classify",
+			body:       []byte(`{"functions": [`),
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "bad request body",
+		},
+		{
+			name:       "unknown field",
+			path:       "/v1/classify",
+			body:       []byte(`{"funcs":["cafef00dcafef00d"]}`),
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "bad request body",
+		},
+		{
+			name:       "empty batch",
+			path:       "/v1/classify",
+			body:       []byte(`{"functions":[]}`),
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "non-empty",
+		},
+		{
+			name:       "empty batch on insert",
+			path:       "/v1/insert",
+			body:       []byte(`{"functions":[]}`),
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "non-empty",
+		},
+		{
+			name:       "malformed witness hex",
+			path:       "/v1/classify",
+			body:       []byte(`{"functions":["zzzzzzzzzzzzzzzz"]}`),
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "functions[0]",
+		},
+		{
+			name:       "arity below federated range",
+			path:       "/v1/classify",
+			body:       []byte(`{"functions":["e8"]}`), // 2 digits = n=3 < 4
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "no federated arity",
+		},
+		{
+			name:       "arity above federated range",
+			path:       "/v1/insert",
+			body:       []byte(`{"functions":["` + strings.Repeat("a", 32) + `"]}`), // n=7 > 6
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "no federated arity",
+		},
+		{
+			name:       "second function bad in mixed batch",
+			path:       "/v1/classify",
+			body:       []byte(`{"functions":["cafef00dcafef00d","123"]}`),
+			wantStatus: http.StatusBadRequest,
+			wantSubstr: "functions[1]",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, srv.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+			var e service.ErrorJSON
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body is not the standard shape: %v (%s)", err, body)
+			}
+			if e.Error == "" {
+				t.Fatal("error message empty")
+			}
+			if !strings.Contains(e.Error, tc.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+// TestHandlerHealthz reports the federated range and the lazily active set.
+func TestHandlerHealthz(t *testing.T) {
+	srv := newTestServer(t, 4, 10)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status  string `json:"status"`
+		MinVars int    `json:"min_vars"`
+		MaxVars int    `json:"max_vars"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.MinVars != 4 || h.MaxVars != 10 {
+		t.Fatalf("healthz %+v", h)
+	}
+}

@@ -78,6 +78,77 @@ func NewMatcher(n int) *Matcher {
 	return &Matcher{n: n, eng: sig.NewEngine(n)}
 }
 
+// Profile is an immutable precomputation of the signatures the matcher
+// prunes with for one function in one output phase. Building it costs the
+// per-function signature pass; once built it may be shared freely across
+// goroutines and reused for any number of MatchProfiled calls.
+type Profile struct {
+	p    *profile
+	ones int
+}
+
+// Fn returns the profiled function (the matcher's own view; callers must
+// not modify it).
+func (p *Profile) Fn() *tt.TT { return p.p.f }
+
+// Profile computes the query-side matcher profile of g.
+func (m *Matcher) Profile(g *tt.TT) *Profile {
+	if g.NumVars() != m.n {
+		panic("match: arity mismatch")
+	}
+	return &Profile{p: newProfile(g, m.eng), ones: g.CountOnes()}
+}
+
+// RepProfile is an immutable precomputation of both output phases of a
+// class representative: everything the matcher needs on the f-side of
+// Equivalent(f, g) for any query g. Build once per stored representative
+// (Matcher.RepProfile) and share across queries and goroutines — this is
+// what a serving store memoizes so certification of a hit stops rebuilding
+// the representative's signature profile per query.
+type RepProfile struct {
+	pos, neg *profile
+	ones     int
+	size     int
+}
+
+// RepProfile computes both phase profiles of f.
+func (m *Matcher) RepProfile(f *tt.TT) *RepProfile {
+	if f.NumVars() != m.n {
+		panic("match: arity mismatch")
+	}
+	fc := f.Clone()
+	return &RepProfile{
+		pos:  newProfile(fc, m.eng),
+		neg:  newProfile(fc.Not(), m.eng),
+		ones: fc.CountOnes(),
+		size: fc.NumBits(),
+	}
+}
+
+// Fn returns the profiled representative (positive phase).
+func (rp *RepProfile) Fn() *tt.TT { return rp.pos.f }
+
+// MatchProfiled is Equivalent(rep, g) with all profile construction hoisted
+// out: rp is the (typically memoized) representative profile and q the
+// query profile, built once per query and reused across a collision chain.
+// It returns a witness τ with τ(rep) = g on success.
+func (m *Matcher) MatchProfiled(rp *RepProfile, q *Profile) (npn.Transform, bool) {
+	if rp.pos.n != m.n || q.p.n != m.n {
+		panic("match: arity mismatch")
+	}
+	if rp.ones == q.ones {
+		if tr, ok := m.matchProfiles(rp.pos, q.p, false); ok {
+			return tr, true
+		}
+	}
+	if rp.size-rp.ones == q.ones {
+		if tr, ok := m.matchProfiles(rp.neg, q.p, true); ok {
+			return tr, true
+		}
+	}
+	return npn.Transform{}, false
+}
+
 // Equivalent reports whether f and g are NPN equivalent and, if so, returns
 // a witness transform τ with τ(f) = g.
 func (m *Matcher) Equivalent(f, g *tt.TT) (npn.Transform, bool) {
@@ -91,26 +162,29 @@ func (m *Matcher) Equivalent(f, g *tt.TT) (npn.Transform, bool) {
 	if onesF != onesG && size-onesF != onesG {
 		return npn.Transform{}, false
 	}
+	var pg *profile // g's profile serves both phases; built at most once
 	if onesF == onesG {
-		if tr, ok := m.matchPN(f, g, false); ok {
+		pg = newProfile(g, m.eng)
+		if tr, ok := m.matchProfiles(newProfile(f, m.eng), pg, false); ok {
 			return tr, true
 		}
 	}
 	if size-onesF == onesG {
-		if tr, ok := m.matchPN(f.Not(), g, true); ok {
+		if pg == nil {
+			pg = newProfile(g, m.eng)
+		}
+		if tr, ok := m.matchProfiles(newProfile(f.Not(), m.eng), pg, true); ok {
 			return tr, true
 		}
 	}
 	return npn.Transform{}, false
 }
 
-// matchPN searches for a PN transform carrying fc into g; outNeg records
-// whether fc is the complemented phase of the original f, so the witness
-// reported upward already contains the output negation.
-func (m *Matcher) matchPN(fc, g *tt.TT, outNeg bool) (npn.Transform, bool) {
-	pf := newProfile(fc, m.eng)
-	pg := newProfile(g, m.eng)
-
+// matchProfiles searches for a PN transform carrying pf.f into pg.f; outNeg
+// records whether pf profiles the complemented phase of the original f, so
+// the witness reported upward already contains the output negation.
+func (m *Matcher) matchProfiles(pf, pg *profile, outNeg bool) (npn.Transform, bool) {
+	fc, g := pf.f, pg.f
 	n := m.n
 	assignVar := make([]int, n) // g-var i -> f-var
 	assignNeg := make([]int, n) // g-var i -> phase bit

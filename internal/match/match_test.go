@@ -146,6 +146,61 @@ func TestExactClassifyEmptyAndUniform(t *testing.T) {
 	ExactClassify([]*tt.TT{tt.New(3), tt.New(4)})
 }
 
+// TestMatchProfiledAgreesWithEquivalent checks that the profiled path —
+// representative profile built once, query profile built once — returns
+// exactly the verdicts and valid witnesses of the one-shot Equivalent, on
+// equivalent pairs, inequivalent pairs and output-negated pairs alike.
+func TestMatchProfiledAgreesWithEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for n := 2; n <= 8; n++ {
+		m := NewMatcher(n)
+		for rep := 0; rep < 60; rep++ {
+			f := tt.Random(n, rng)
+			var g *tt.TT
+			switch rep % 3 {
+			case 0:
+				g = npn.RandomTransform(n, rng).Apply(f)
+			case 1:
+				tr := npn.RandomTransform(n, rng)
+				tr.OutNeg = true
+				g = tr.Apply(f)
+			default:
+				g = tt.Random(n, rng)
+			}
+			_, want := m.Equivalent(f, g)
+			w, got := m.MatchProfiled(m.RepProfile(f), m.Profile(g))
+			if got != want {
+				t.Fatalf("n=%d f=%s g=%s: profiled verdict %v, Equivalent verdict %v",
+					n, f.Hex(), g.Hex(), got, want)
+			}
+			if got && !w.Apply(f).Equal(g) {
+				t.Fatalf("n=%d f=%s g=%s: profiled witness does not verify", n, f.Hex(), g.Hex())
+			}
+		}
+	}
+}
+
+// TestRepProfileSharedAcrossMatchers checks that one memoized RepProfile is
+// usable from a different Matcher instance (the store shares profiles
+// across pooled engines) and across many queries.
+func TestRepProfileSharedAcrossMatchers(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	n := 6
+	f := tt.Random(n, rng)
+	rp := NewMatcher(n).RepProfile(f)
+	if !rp.Fn().Equal(f) {
+		t.Fatal("RepProfile.Fn does not round-trip the representative")
+	}
+	other := NewMatcher(n)
+	for i := 0; i < 30; i++ {
+		g := npn.RandomTransform(n, rng).Apply(f)
+		w, ok := other.MatchProfiled(rp, other.Profile(g))
+		if !ok || !w.Apply(f).Equal(g) {
+			t.Fatalf("query %d: shared profile failed (ok=%v)", i, ok)
+		}
+	}
+}
+
 func TestMatcherArityCheck(t *testing.T) {
 	m := NewMatcher(4)
 	defer func() {

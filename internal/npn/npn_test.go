@@ -67,6 +67,24 @@ func TestApplyAgainstPrimitives(t *testing.T) {
 	}
 }
 
+// TestApplyMatchesSlowReference checks the word-level Apply against the
+// definitional per-minterm application on random transforms at every
+// arity, including the multi-word tables where the delta-swap paths
+// differ most.
+func TestApplyMatchesSlowReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for n := 1; n <= 9; n++ {
+		for rep := 0; rep < 50; rep++ {
+			f := tt.Random(n, rng)
+			tr := RandomTransform(n, rng)
+			fast, slow := tr.Apply(f), tr.applySlow(f)
+			if !fast.Equal(slow) {
+				t.Fatalf("n=%d τ=%v f=%s: fast %s != slow %s", n, tr, f.Hex(), fast.Hex(), slow.Hex())
+			}
+		}
+	}
+}
+
 func TestComposeMatchesSequentialApply(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(62))}
 	err := quick.Check(func(seed int64) bool {

@@ -75,11 +75,49 @@ func (t Transform) Validate() error {
 	return nil
 }
 
-// Apply returns τ(f).
+// Apply returns τ(f). The transform is applied with word-level truth-table
+// operations — the permutation as a sequence of variable transpositions
+// (delta-swaps), the negations as masked shifts — so one application costs
+// O(n·2^n/64) word steps rather than a per-minterm loop.
 func (t Transform) Apply(f *tt.TT) *tt.TT {
 	if f.NumVars() != t.N {
 		panic("npn: transform arity mismatch")
 	}
+	n := t.N
+	r := f.Clone()
+	// g(x) = f(y) with y_{π(k)} = x_k: variable π(k) of f must end up at
+	// position k. Walk the positions, bringing each wanted variable in by
+	// one transposition; cur/at track which original variable currently
+	// occupies each position.
+	var cur, at [tt.MaxVars]uint8
+	for i := 0; i < n; i++ {
+		cur[i], at[i] = uint8(i), uint8(i)
+	}
+	for k := 0; k < n; k++ {
+		want := t.Perm[k]
+		j := at[want]
+		if int(j) != k {
+			r.SwapVarsInPlace(k, int(j))
+			other := cur[k]
+			cur[k], cur[j] = want, other
+			at[want], at[other] = uint8(k), j
+		}
+	}
+	// Then x_k ⊕ m_k: negate each masked input of the permuted table.
+	for i := 0; i < n; i++ {
+		if t.NegMask>>uint(i)&1 == 1 {
+			r.FlipVarInPlace(i)
+		}
+	}
+	if t.OutNeg {
+		r.NotInPlace()
+	}
+	return r
+}
+
+// applySlow is the definitional per-minterm application, kept as the
+// reference the fast Apply is tested against.
+func (t Transform) applySlow(f *tt.TT) *tt.TT {
 	n := t.N
 	r := tt.New(n)
 	for x := 0; x < f.NumBits(); x++ {

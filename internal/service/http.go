@@ -29,7 +29,8 @@ type WitnessJSON struct {
 	OutNeg bool `json:"out_neg"`
 }
 
-func witnessJSON(w npn.Transform) *WitnessJSON {
+// NewWitnessJSON encodes a witness transform into its wire form.
+func NewWitnessJSON(w npn.Transform) *WitnessJSON {
 	perm := make([]int, w.N)
 	for i := range perm {
 		perm[i] = int(w.Perm[i])
@@ -89,17 +90,67 @@ type InsertResponse struct {
 	Results []InsertResultJSON `json:"results"`
 }
 
-// errorJSON is the body of every non-2xx response.
-type errorJSON struct {
+// ErrorJSON is the body of every non-2xx response, shared by the
+// single-arity handler here and the federated handler.
+type ErrorJSON struct {
 	Error string `json:"error"`
 }
 
-// NewHandler returns the HTTP/JSON API over svc:
+// WriteError emits the standard JSON error body with the given status.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// WriteJSON emits a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// EncodeClassifyResults builds the wire response for a classify batch:
+// raw[i] is the request's hex form of the function results[i] answers.
+// Both the single-arity handler here and the federated handler encode
+// through this, so the wire format cannot diverge between them.
+func EncodeClassifyResults(raw []string, results []Result) ClassifyResponse {
+	resp := ClassifyResponse{Results: make([]ClassifyResultJSON, len(results))}
+	for i, res := range results {
+		out := ClassifyResultJSON{
+			Function: raw[i],
+			Hit:      res.Hit,
+			Class:    fmt.Sprintf("%016x", res.Key),
+		}
+		if res.Hit {
+			idx := res.Index
+			out.Index = &idx
+			out.Rep = res.Rep.Hex()
+			out.Witness = NewWitnessJSON(res.Witness)
+		}
+		resp.Results[i] = out
+	}
+	return resp
+}
+
+// EncodeInsertResults builds the wire response for an insert batch.
+func EncodeInsertResults(raw []string, results []InsertResult) InsertResponse {
+	resp := InsertResponse{Results: make([]InsertResultJSON, len(results))}
+	for i, res := range results {
+		resp.Results[i] = InsertResultJSON{
+			Function: raw[i],
+			Class:    fmt.Sprintf("%016x", res.Key),
+			Index:    res.Index,
+			New:      res.New,
+		}
+	}
+	return resp
+}
+
+// NewHandler returns the HTTP/JSON API over a single-arity svc:
 //
 //	POST /v1/classify  batch lookup (read-only)
 //	POST /v1/insert    batch insert
 //	GET  /v1/stats     counters + store shape
 //	GET  /healthz      liveness
+//
+// cmd/npnserve serves the federated handler (internal/federation), which
+// speaks the same wire format over many arities; this one remains the
+// transport for embedding a single service in-process.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
@@ -107,40 +158,14 @@ func NewHandler(svc *Service) http.Handler {
 		if !ok {
 			return
 		}
-		results := svc.Classify(fs)
-		resp := ClassifyResponse{Results: make([]ClassifyResultJSON, len(results))}
-		for i, res := range results {
-			out := ClassifyResultJSON{
-				Function: raw[i],
-				Hit:      res.Hit,
-				Class:    fmt.Sprintf("%016x", res.Key),
-			}
-			if res.Hit {
-				idx := res.Index
-				out.Index = &idx
-				out.Rep = res.Rep.Hex()
-				out.Witness = witnessJSON(res.Witness)
-			}
-			resp.Results[i] = out
-		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, EncodeClassifyResults(raw, svc.Classify(fs)))
 	})
 	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
 		fs, raw, ok := decodeBatch(w, r, svc.NumVars())
 		if !ok {
 			return
 		}
-		results := svc.Insert(fs)
-		resp := InsertResponse{Results: make([]InsertResultJSON, len(results))}
-		for i, res := range results {
-			resp.Results[i] = InsertResultJSON{
-				Function: raw[i],
-				Class:    fmt.Sprintf("%016x", res.Key),
-				Index:    res.Index,
-				New:      res.New,
-			}
-		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSON(w, http.StatusOK, EncodeInsertResults(raw, svc.Insert(fs)))
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())
@@ -154,47 +179,66 @@ func NewHandler(svc *Service) http.Handler {
 	return mux
 }
 
-// maxBodyBytes bounds the request body for arity n: a full MaxBatch of
-// tables with hex digits, JSON quoting and separators, plus envelope
-// slack. Anything larger cannot be a valid request.
-func maxBodyBytes(n int) int64 {
-	hexDigits := (1 << n) / 4
-	if hexDigits == 0 {
-		hexDigits = 1
+// HexDigits returns the wire length of an n-variable hex truth table:
+// 2^n/4 digits, floored at one. This is the rule the federated handler
+// inverts to infer a function's arity from its length.
+func HexDigits(n int) int {
+	d := (1 << n) / 4
+	if d == 0 {
+		d = 1
 	}
-	return int64(MaxBatch)*int64(hexDigits+20) + (1 << 16)
+	return d
 }
 
-// decodeBatch parses and validates a ClassifyRequest body. On failure it
-// writes the error response and returns ok=false.
+// MaxBodyBytes bounds the request body for a handler whose largest
+// accepted arity is n: a full MaxBatch of that arity's tables with JSON
+// quoting and separators, plus envelope slack. Anything larger cannot be
+// a valid request.
+func MaxBodyBytes(n int) int64 {
+	return int64(MaxBatch)*int64(HexDigits(n)+20) + (1 << 16)
+}
+
+// decodeBatch parses and validates a single-arity ClassifyRequest body.
+// On failure it writes the error response and returns ok=false.
 func decodeBatch(w http.ResponseWriter, r *http.Request, n int) (fs []*tt.TT, raw []string, ok bool) {
+	return DecodeBatchWith(w, r, MaxBodyBytes(n), func(_ int, s string) (*tt.TT, error) {
+		return tt.FromHex(n, s)
+	})
+}
+
+// DecodeBatchWith parses a ClassifyRequest body, enforcing the shared
+// envelope rules — body byte bound, unknown-field rejection, non-empty
+// batch, MaxBatch limit — and resolves each hex function through resolve
+// (which owns arity selection, so the single-arity and federated handlers
+// validate identically). On failure it writes the standard JSON error
+// with the appropriate status and returns ok=false.
+func DecodeBatchWith(w http.ResponseWriter, r *http.Request, maxBody int64, resolve func(i int, hex string) (*tt.TT, error)) (fs []*tt.TT, raw []string, ok bool) {
 	var req ClassifyRequest
-	body := http.MaxBytesReader(w, r.Body, maxBodyBytes(n))
+	body := http.MaxBytesReader(w, r.Body, maxBody)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorJSON{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			WriteError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
 			return nil, nil, false
 		}
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("bad request body: %v", err)})
+		WriteError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return nil, nil, false
 	}
 	if len(req.Functions) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "functions must be a non-empty array of hex truth tables"})
+		WriteError(w, http.StatusBadRequest, "functions must be a non-empty array of hex truth tables")
 		return nil, nil, false
 	}
 	if len(req.Functions) > MaxBatch {
-		writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Functions), MaxBatch)})
+		WriteError(w, http.StatusBadRequest, "batch of %d exceeds limit %d", len(req.Functions), MaxBatch)
 		return nil, nil, false
 	}
 	fs = make([]*tt.TT, len(req.Functions))
 	for i, s := range req.Functions {
-		f, err := tt.FromHex(n, s)
+		f, err := resolve(i, s)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorJSON{Error: fmt.Sprintf("functions[%d]: %v", i, err)})
+			WriteError(w, http.StatusBadRequest, "functions[%d]: %v", i, err)
 			return nil, nil, false
 		}
 		fs[i] = f

@@ -113,7 +113,7 @@ func TestHandlerRejectsBadInput(t *testing.T) {
 		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", tc.name, rec.Code)
 		}
-		var e errorJSON
+		var e ErrorJSON
 		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
 			t.Errorf("%s: error body %q", tc.name, rec.Body)
 		}
@@ -124,7 +124,7 @@ func TestHandlerRejectsBadInput(t *testing.T) {
 // the decoder buffers an arbitrarily large request.
 func TestHandlerRejectsOversizedBody(t *testing.T) {
 	_, h := newTestHandler(4)
-	body := `{"functions":["` + strings.Repeat("0", int(maxBodyBytes(4))) + `"]}`
+	body := `{"functions":["` + strings.Repeat("0", int(MaxBodyBytes(4))) + `"]}`
 	req := httptest.NewRequest(http.MethodPost, "/v1/classify", strings.NewReader(body))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)

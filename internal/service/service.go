@@ -228,6 +228,13 @@ type Stats struct {
 	Created    int64 `json:"created"`
 	Collisions int64 `json:"insert_collisions"`
 
+	// Representative-profile cache counters from the store: hits reuse a
+	// memoized matcher profile, misses build one, entries count memoized
+	// profiles. All zero when the store's profile cache is disabled.
+	ProfileHits    int64 `json:"profile_hits"`
+	ProfileMisses  int64 `json:"profile_misses"`
+	ProfileEntries int64 `json:"profile_entries"`
+
 	Batches        int64   `json:"batches"`
 	AvgBatchMicros float64 `json:"avg_batch_micros"`
 
@@ -254,6 +261,7 @@ func (s *Service) Stats() Stats {
 		Batches:         s.batches.Load(),
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 	}
+	st.ProfileHits, st.ProfileMisses, st.ProfileEntries = s.st.ProfileCacheStats()
 	if st.Batches > 0 {
 		st.AvgBatchMicros = float64(s.latencyNS.Load()) / float64(st.Batches) / 1e3
 	}

@@ -1,42 +1,105 @@
 package sig
 
 import (
+	"math/bits"
+
 	"repro/internal/spectra"
 	"repro/internal/tt"
 )
 
-// kraw lazily builds and caches the Krawtchouk table for the engine arity.
-func (e *Engine) kraw() [][]int64 {
-	if e.krawTab == nil {
-		e.krawTab = spectra.Krawtchouk(e.n)
+// calc lazily builds the engine's reusable pair-distance calculator (its
+// Krawtchouk table, WHT scratch and hybrid small-class dispatch).
+func (e *Engine) calc() *spectra.PairDistCalc {
+	if e.pairCalc == nil {
+		e.pairCalc = spectra.NewPairDistCalc(e.n)
 	}
-	return e.krawTab
+	return e.pairCalc
 }
 
 // OSDVFast computes OSDV via the spectral (MacWilliams) pair-distance path:
-// O(n·2^n) per sensitivity class instead of quadratic pair enumeration.
+// O(n·2^n) per large sensitivity class instead of quadratic pair
+// enumeration, direct enumeration for classes below the crossover.
 // Results are identical to OSDV; the benchmark ablation compares the two.
 func (e *Engine) OSDVFast(f *tt.TT) SDV {
 	sen := e.SenProfile(f)
-	return e.fastFromClasses(classLists(e.n, sen, nil, false))
+	return e.fastFromClasses(e.classListsScratch(sen, nil, false))
 }
 
 // OSDV01Fast is the spectral counterpart of OSDV01.
 func (e *Engine) OSDV01Fast(f *tt.TT) (d0, d1 SDV) {
 	sen := e.SenProfile(f)
-	d0 = e.fastFromClasses(classLists(e.n, sen, f, false))
-	d1 = e.fastFromClasses(classLists(e.n, sen, f, true))
+	d0 = e.fastFromClasses(e.classListsScratch(sen, f, false))
+	d1 = e.fastFromClasses(e.classListsScratch(sen, f, true))
 	return d0, d1
 }
 
 func (e *Engine) fastFromClasses(classes [][]int32) SDV {
 	d := newSDV(e.n)
-	k := e.kraw()
+	c := e.calc()
 	for s, members := range classes {
 		if len(members) < 2 {
 			continue
 		}
-		copy(d[s], spectra.PairDistanceDistribution(e.n, members, k))
+		c.Distribution(members, d[s])
 	}
 	return d
+}
+
+// classListsScratch is classLists on the engine's reusable buffers: a
+// counting pass sizes the buckets, a fill pass places every minterm, and
+// no per-call allocation happens. The f-restricted passes iterate the
+// function's words bit-parallel (TrailingZeros over the selected phase)
+// instead of calling Get per minterm. The returned slices alias engine
+// scratch and are valid until the next classListsScratch call.
+func (e *Engine) classListsScratch(sen []uint8, f *tt.TT, val bool) [][]int32 {
+	n := e.n
+	size := 1 << uint(n)
+	cnt := e.classCnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	if f == nil {
+		for x := 0; x < size; x++ {
+			cnt[sen[x]]++
+		}
+	} else {
+		e.forEachMinterm(f, val, func(x int32) { cnt[sen[x]]++ })
+	}
+	off := 0
+	for s := 0; s <= n; s++ {
+		e.classes[s] = e.classBuf[off:off : off+int(cnt[s])]
+		off += int(cnt[s])
+	}
+	if f == nil {
+		for x := 0; x < size; x++ {
+			s := sen[x]
+			e.classes[s] = append(e.classes[s], int32(x))
+		}
+	} else {
+		e.forEachMinterm(f, val, func(x int32) {
+			s := sen[x]
+			e.classes[s] = append(e.classes[s], int32(x))
+		})
+	}
+	return e.classes
+}
+
+// forEachMinterm calls fn for every minterm x with f(x) == val, in
+// increasing order, by scanning the truth-table words and peeling set
+// bits with TrailingZeros.
+func (e *Engine) forEachMinterm(f *tt.TT, val bool, fn func(x int32)) {
+	size := 1 << uint(e.n)
+	for wi, w := range f.Words() {
+		if !val {
+			w = ^w
+		}
+		if size < 64 {
+			w &= (uint64(1) << uint(size)) - 1
+		}
+		base := int32(wi << 6)
+		for w != 0 {
+			fn(base + int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
 }

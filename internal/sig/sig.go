@@ -27,6 +27,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"repro/internal/spectra"
 	"repro/internal/tt"
 )
 
@@ -40,8 +41,17 @@ type Engine struct {
 	flip    []uint64 // scratch: flipped copy
 	plane   [5][]uint64
 	carry   []uint64
-	sen     []uint8 // per-minterm local sensitivity, valid after senProfile
-	krawTab [][]int64
+	sen []uint8 // per-minterm local sensitivity, valid after senProfile
+
+	// OSDV fast-path scratch: pair-distance calculator (lazy) and the
+	// counting-sort buffers behind classListsScratch.
+	pairCalc *spectra.PairDistCalc
+	classBuf []int32
+	classCnt []int32
+	classes  [][]int32
+
+	// sortBuf is the lazily-grown bucket array behind sortCounts.
+	sortBuf []int32
 }
 
 // NewEngine returns an Engine for n-variable functions.
@@ -58,11 +68,63 @@ func NewEngine(n int) *Engine {
 	}
 	e.carry = make([]uint64, nw)
 	e.sen = make([]uint8, 1<<n)
+	e.classBuf = make([]int32, 1<<n)
+	e.classCnt = make([]int32, n+1)
+	e.classes = make([][]int32, n+1)
 	return e
 }
 
 // NumVars returns the arity this engine serves.
 func (e *Engine) NumVars() int { return e.n }
+
+// sortCounts sorts a vector of satisfy counts (non-negative, at most
+// 2^n) in non-decreasing order: insertion sort for the short vectors
+// (OIV, OCV1), counting sort over a bucket array bounded by the actual
+// maximum for the longer ones (OCV2, OCVL) — both beat comparison
+// sorting on these small-valued inputs, which the profiler shows on the
+// MSV hot path. When the value range dwarfs the vector (large n, short
+// vector) the bucket sweep would lose, so it falls back to sort.Ints.
+func (e *Engine) sortCounts(v []int) {
+	if len(v) <= 32 {
+		for i := 1; i < len(v); i++ {
+			x := v[i]
+			j := i - 1
+			for j >= 0 && v[j] > x {
+				v[j+1] = v[j]
+				j--
+			}
+			v[j+1] = x
+		}
+		return
+	}
+	max := 0
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	if max+1 > 32*len(v) {
+		sort.Ints(v)
+		return
+	}
+	if max+1 > len(e.sortBuf) {
+		e.sortBuf = make([]int32, max+1)
+	}
+	buckets := e.sortBuf[:max+1]
+	for i := range buckets {
+		buckets[i] = 0
+	}
+	for _, x := range v {
+		buckets[x]++
+	}
+	k := 0
+	for val, c := range buckets {
+		for ; c > 0; c-- {
+			v[k] = val
+			k++
+		}
+	}
+}
 
 func (e *Engine) check(f *tt.TT) {
 	if f.NumVars() != e.n {
@@ -82,7 +144,7 @@ func (e *Engine) OCV1(f *tt.TT) []int {
 		c1 := f.CofactorCount(i, true)
 		v = append(v, f.CountOnes()-c1, c1)
 	}
-	sort.Ints(v)
+	e.sortCounts(v)
 	return v
 }
 
@@ -100,7 +162,7 @@ func (e *Engine) OCV2(f *tt.TT) []int {
 			v = append(v, c00, c01, c10, c11)
 		}
 	}
-	sort.Ints(v)
+	e.sortCounts(v)
 	return v
 }
 
@@ -130,7 +192,7 @@ func (e *Engine) OCVL(f *tt.TT, l int) []int {
 		}
 	}
 	rec(0, 0)
-	sort.Ints(v)
+	e.sortCounts(v)
 	return v
 }
 
@@ -185,7 +247,7 @@ func (e *Engine) OIV(f *tt.TT) []int {
 	for i := 0; i < e.n; i++ {
 		v[i] = e.Influence(f, i)
 	}
-	sort.Ints(v)
+	e.sortCounts(v)
 	return v
 }
 

@@ -62,6 +62,14 @@ func PairDistanceDistribution(n int, members []int32, kraw [][]int64) []int {
 		p[bits.OnesCount(uint(s))] += v * v
 	}
 	out := make([]int, n)
+	krawCombine(n, p, kraw, out)
+	return out
+}
+
+// krawCombine folds the weight moments p through the Krawtchouk table
+// into unordered pair counts per distance (MacWilliams), shared by the
+// one-shot spectral path and the scratch-reusing calculator.
+func krawCombine(n int, p []int64, kraw [][]int64, out []int) {
 	for j := 1; j <= n; j++ {
 		var sum int64
 		for w := 0; w <= n; w++ {
@@ -70,5 +78,75 @@ func PairDistanceDistribution(n int, members []int32, kraw [][]int64) []int {
 		ordered := sum >> uint(n) // divide by 2^n; always exact
 		out[j-1] = int(ordered / 2)
 	}
-	return out
+}
+
+// PairDistCalc computes pair-distance distributions with reusable scratch
+// buffers and per-class algorithm dispatch: small minterm sets are
+// enumerated directly (m(m-1)/2 popcounts), large ones go through the
+// spectral MacWilliams path (one O(n·2^n) WHT). The crossover is where
+// the pair count overtakes the WHT work, so the calculator is never
+// asymptotically worse than either pure strategy. Not safe for concurrent
+// use; results are identical to PairDistanceDistribution.
+type PairDistCalc struct {
+	n      int
+	cutoff int
+	kraw   [][]int64
+	a      []int64 // 2^n WHT scratch
+	p      []int64 // weight moments by Hamming weight
+}
+
+// NewPairDistCalc returns a calculator for n-bit minterm spaces.
+func NewPairDistCalc(n int) *PairDistCalc {
+	size := 1 << uint(n)
+	// Direct enumeration costs ~m²/2 popcount-XORs, the spectral path
+	// ~n·2^n WHT butterflies plus a 2^n squaring pass; equating the two
+	// puts the crossover near m = sqrt((n+2)·2^n). One popcount-XOR pair
+	// op and one butterfly cost about the same, so no further constant is
+	// applied.
+	cutoff := 1
+	for cutoff*cutoff < (n+2)*size {
+		cutoff++
+	}
+	return &PairDistCalc{
+		n:      n,
+		cutoff: cutoff,
+		kraw:   Krawtchouk(n),
+		a:      make([]int64, size),
+		p:      make([]int64, n+1),
+	}
+}
+
+// Distribution writes the unordered pair counts per Hamming distance
+// j = 1..n of the minterm set members into out[0..n-1].
+func (c *PairDistCalc) Distribution(members []int32, out []int) {
+	for j := range out[:c.n] {
+		out[j] = 0
+	}
+	if len(members) < 2 {
+		return
+	}
+	if len(members) <= c.cutoff {
+		for i, xa := range members {
+			for _, xb := range members[i+1:] {
+				out[bits.OnesCount32(uint32(xa^xb))-1]++
+			}
+		}
+		return
+	}
+	a := c.a
+	for i := range a {
+		a[i] = 0
+	}
+	for _, x := range members {
+		a[x] = 1
+	}
+	WHT(a)
+	p := c.p
+	for w := range p {
+		p[w] = 0
+	}
+	for s, v := range a {
+		p[bits.OnesCount(uint(s))] += v * v
+	}
+	krawCombine(c.n, p, c.kraw, out)
 }

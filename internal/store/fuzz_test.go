@@ -1,0 +1,67 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+// FuzzStoreLookupWitness fuzzes the store's certification invariant: for
+// random truth tables and random NPN disguises of them, every Lookup hit
+// must return a witness τ that actually transforms the returned
+// representative into the query (replayed with npn.Transform.Apply and
+// compared bit-for-bit), and a disguise of an inserted function must never
+// miss. The fuzz inputs drive the arity, the table bits and the transform
+// stream, so the corpus explores collision chains, balanced functions
+// (both output phases) and degenerate (constant) tables alike.
+func FuzzStoreLookupWitness(f *testing.F) {
+	f.Add(uint8(4), uint64(0xcafef00dcafef00d), uint64(0x0118), int64(1))
+	f.Add(uint8(6), uint64(0), uint64(^uint64(0)), int64(2))
+	f.Add(uint8(3), uint64(0x96), uint64(0xe8), int64(3))
+	f.Add(uint8(5), uint64(0x123456789abcdef0), uint64(0xaaaaaaaaaaaaaaaa), int64(4))
+
+	f.Fuzz(func(t *testing.T, nRaw uint8, bitsA, bitsB uint64, seed int64) {
+		n := 3 + int(nRaw%4) // arity 3..6: one-word tables, chains still reachable
+		a := tt.FromUint64Seq(n, bitsA)
+		b := tt.FromUint64Seq(n, bitsB)
+		rng := rand.New(rand.NewSource(seed))
+
+		s := New(n, Options{Shards: 2})
+		s.Add(a)
+		s.Add(b)
+
+		for i := 0; i < 4; i++ {
+			base := a
+			if i%2 == 1 {
+				base = b
+			}
+			query := npn.RandomTransform(n, rng).Apply(base)
+			rep, _, index, w, ok := s.Lookup(query)
+			if !ok {
+				t.Fatalf("n=%d disguise %s of inserted %s missed", n, query.Hex(), base.Hex())
+			}
+			if index < 0 || rep == nil {
+				t.Fatalf("n=%d hit with index=%d rep=%v", n, index, rep)
+			}
+			if got := w.Apply(rep); !got.Equal(query) {
+				t.Fatalf("n=%d witness does not verify: τ(%s) = %s, want %s",
+					n, rep.Hex(), got.Hex(), query.Hex())
+			}
+		}
+
+		// A function NPN-inequivalent to both must miss; certify via the
+		// cached and uncached paths agreeing.
+		probe := tt.FromUint64Seq(n, bitsA^(bitsB<<1|1))
+		u := New(n, Options{Shards: 2, DisableProfileCache: true})
+		u.Add(a)
+		u.Add(b)
+		_, keyC, idxC, _, okC := s.Lookup(probe)
+		_, keyU, idxU, _, okU := u.Lookup(probe)
+		if okC != okU || keyC != keyU || idxC != idxU {
+			t.Fatalf("n=%d probe %s: cached (%v,%016x,%d) != uncached (%v,%016x,%d)",
+				n, probe.Hex(), okC, keyC, idxC, okU, keyU, idxU)
+		}
+	})
+}

@@ -20,12 +20,25 @@
 // read or append a chain slice. Representatives are cloned on insert and
 // never mutated, so a chain header copied under RLock stays valid after
 // the lock is released.
+//
+// Certification is profile-cached: each shard keeps a map of memoized
+// match.RepProfile values parallel to its chains, guarded by the same
+// RWMutex. The first query against a representative builds its profile
+// (a miss); every later query reuses it (a hit), so the hot serve path
+// stops rebuilding the representative's signature profile per query and
+// builds only the query's own profile — once per Lookup, shared across
+// the whole collision chain and both output phases. Profiles are keyed by
+// (class key, chain index) and representatives are immutable and never
+// removed, so a memoized profile can never go stale; chain growth only
+// appends fresh slots. Options.DisableProfileCache restores the original
+// rebuild-per-query path for comparison.
 package store
 
 import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/match"
@@ -37,6 +50,17 @@ import (
 // DefaultShards is the shard count used when Options.Shards is zero.
 const DefaultShards = 16
 
+// ServingConfig returns the MSV selection tuned for the online serve
+// path: only the cheap vectors (OCV1 + OIV), so the per-query key costs a
+// fraction of the paper's full configuration. The weaker key collides
+// more often and grows longer chains, but chain certification is exactly
+// what the representative-profile cache makes cheap — the trade the cache
+// exists to enable. Correctness is unaffected: membership is always
+// matcher-certified.
+func ServingConfig() core.Config {
+	return core.Config{OCV1: true, OIV: true}
+}
+
 // Options configures a Store.
 type Options struct {
 	// Shards is the number of lock shards, rounded up to a power of two.
@@ -47,6 +71,11 @@ type Options struct {
 	// configurations collide more often and grow longer chains; correctness
 	// is unaffected because membership is always matcher-certified.
 	Config core.Config
+	// DisableProfileCache turns off the per-shard memo of representative
+	// profiles: every Lookup/Add rebuilds both sides' signature profiles
+	// per chain member, as the store did before caching. Useful for
+	// benchmarking the cache and for memory-constrained deployments.
+	DisableProfileCache bool
 }
 
 // engines is one borrowed pair of stateful signature engines.
@@ -55,20 +84,38 @@ type engines struct {
 	m   *match.Matcher
 }
 
-// shard is one lock domain: a chain map for the keys that hash into it.
+// chain is one key's collision chain: the certified representatives and
+// their memoized matcher profiles, index-parallel. The profiles slice may
+// lag reps (new representatives start unprofiled) and holds nil in
+// not-yet-built slots; both slices are read and grown only under the
+// owning shard's mutex, and their elements are immutable once published.
+type chain struct {
+	reps  []*tt.TT
+	profs []*match.RepProfile
+}
+
+// shard is one lock domain: the chain-and-profile map for the keys that
+// hash into it, guarded by one RWMutex.
 type shard struct {
 	mu     sync.RWMutex
-	chains map[uint64][]*tt.TT
+	chains map[uint64]*chain
 }
 
 // Store is a sharded NPN class store for functions of a fixed arity. All
 // methods are safe for concurrent use.
 type Store struct {
-	n      int
-	cfg    core.Config
-	mask   uint64
-	shards []shard
-	pool   sync.Pool
+	n         int
+	cfg       core.Config
+	mask      uint64
+	shards    []shard
+	pool      sync.Pool
+	noProfile bool
+
+	// Profile-cache counters: a hit reuses a memoized representative
+	// profile, a miss builds one, entries counts memoized profiles.
+	profHits    atomic.Int64
+	profMisses  atomic.Int64
+	profEntries atomic.Int64
 }
 
 // New returns an empty store for n-variable functions.
@@ -86,9 +133,9 @@ func New(n int, o Options) *Store {
 	for size < shards {
 		size <<= 1
 	}
-	s := &Store{n: n, cfg: cfg, mask: uint64(size - 1), shards: make([]shard, size)}
+	s := &Store{n: n, cfg: cfg, mask: uint64(size - 1), shards: make([]shard, size), noProfile: o.DisableProfileCache}
 	for i := range s.shards {
-		s.shards[i].chains = make(map[uint64][]*tt.TT)
+		s.shards[i].chains = make(map[uint64]*chain)
 	}
 	s.pool.New = func() any {
 		return &engines{cls: core.New(n, cfg), m: match.NewMatcher(n)}
@@ -112,6 +159,96 @@ func (s *Store) release(e *engines) { s.pool.Put(e) }
 // shardFor maps a class key to its shard.
 func (s *Store) shardFor(key uint64) *shard { return &s.shards[key&s.mask] }
 
+// ProfileCacheStats returns the representative-profile cache counters:
+// hits (queries served from a memoized profile), misses (profiles built on
+// demand) and entries (profiles currently memoized). All zero when the
+// cache is disabled.
+func (s *Store) ProfileCacheStats() (hits, misses, entries int64) {
+	return s.profHits.Load(), s.profMisses.Load(), s.profEntries.Load()
+}
+
+// snapshot copies the chain header for key under one read lock. The
+// returned slices are immutable views: appends under the write lock go
+// through growth copies, so published elements never move or change.
+func (sh *shard) snapshot(key uint64) (reps []*tt.TT, profs []*match.RepProfile) {
+	sh.mu.RLock()
+	if c := sh.chains[key]; c != nil {
+		reps, profs = c.reps, c.profs
+	}
+	sh.mu.RUnlock()
+	return reps, profs
+}
+
+// publishProfile memoizes the profile of chain member i under key, built
+// by the caller outside the lock. The profiles slice is replaced
+// copy-on-write so headers handed out by snapshot stay immutable after
+// the read lock is dropped; slots are nil-padded so indices always stay
+// aligned with the chain even when it grew since the caller's snapshot.
+// If two goroutines race on the same unbuilt slot, the first publication
+// wins and the duplicate build is dropped.
+func (s *Store) publishProfile(sh *shard, key uint64, i int, rp *match.RepProfile) *match.RepProfile {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.chains[key]
+	if i < len(c.profs) && c.profs[i] != nil {
+		return c.profs[i]
+	}
+	size := len(c.profs)
+	if i+1 > size {
+		size = i + 1
+	}
+	ps := make([]*match.RepProfile, size)
+	copy(ps, c.profs)
+	ps[i] = rp
+	c.profs = ps
+	s.profEntries.Add(1)
+	return rp
+}
+
+// certifyChain scans the snapshotted chain for a member NPN-equivalent to
+// f, returning its index and a witness τ with τ(reps[i]) = f. It is the
+// shared certification core of Add and Lookup: with the profile cache
+// enabled it builds f's query profile once and matches it against each
+// member's memoized profile (building and publishing missing ones);
+// disabled, it falls back to the rebuild-per-query Equivalent path.
+func (s *Store) certifyChain(sh *shard, key uint64, reps []*tt.TT, profs []*match.RepProfile, f *tt.TT, e *engines) (int, npn.Transform, bool) {
+	if s.noProfile {
+		for i, rep := range reps {
+			if tr, eq := e.m.Equivalent(rep, f); eq {
+				return i, tr, true
+			}
+		}
+		return -1, npn.Transform{}, false
+	}
+	// Satisfy-count gate first, so a count-incompatible miss never pays
+	// for a profile; the query profile is built on the first candidate
+	// that survives and then reused for the rest of the chain.
+	ones, size := f.CountOnes(), f.NumBits()
+	var q *match.Profile
+	for i, rep := range reps {
+		if ro := rep.CountOnes(); ro != ones && size-ro != ones {
+			continue
+		}
+		if q == nil {
+			q = e.m.Profile(f)
+		}
+		var rp *match.RepProfile
+		if i < len(profs) {
+			rp = profs[i]
+		}
+		if rp != nil {
+			s.profHits.Add(1)
+		} else {
+			s.profMisses.Add(1)
+			rp = s.publishProfile(sh, key, i, e.m.RepProfile(rep))
+		}
+		if tr, eq := e.m.MatchProfiled(rp, q); eq {
+			return i, tr, true
+		}
+	}
+	return -1, npn.Transform{}, false
+}
+
 // Add inserts f's class if absent, returning the class key, the position
 // of its representative in the key's collision chain, and whether a new
 // class was created (f becomes a representative). f is certified against
@@ -129,29 +266,30 @@ func (s *Store) Add(f *tt.TT) (key uint64, index int, isNew bool) {
 
 	// Fast path: scan the chain as published so far without holding any
 	// lock during the (expensive) exact matching.
-	sh.mu.RLock()
-	chain := sh.chains[key]
-	sh.mu.RUnlock()
-	for i, rep := range chain {
-		if _, eq := e.m.Equivalent(rep, f); eq {
-			return key, i, false
-		}
+	reps, profs := sh.snapshot(key)
+	if i, _, eq := s.certifyChain(sh, key, reps, profs, f, e); eq {
+		return key, i, false
 	}
 
 	// Slow path: take the write lock, certify only against members that
 	// raced in since the snapshot, then append. Chain elements are
 	// immutable, so the earlier scan stays valid.
 	sh.mu.Lock()
-	cur := sh.chains[key]
-	for i := len(chain); i < len(cur); i++ {
-		if _, eq := e.m.Equivalent(cur[i], f); eq {
+	c := sh.chains[key]
+	if c == nil {
+		c = &chain{}
+		sh.chains[key] = c
+	}
+	for i := len(reps); i < len(c.reps); i++ {
+		if _, eq := e.m.Equivalent(c.reps[i], f); eq {
 			sh.mu.Unlock()
 			return key, i, false
 		}
 	}
-	sh.chains[key] = append(cur, f.Clone())
+	c.reps = append(c.reps, f.Clone())
+	index = len(c.reps) - 1
 	sh.mu.Unlock()
-	return key, len(cur), true
+	return key, index, true
 }
 
 // Lookup finds f's class. On a hit it returns the chain representative
@@ -169,25 +307,21 @@ func (s *Store) Lookup(f *tt.TT) (rep *tt.TT, key uint64, index int, witness npn
 
 	key = e.cls.Hash(f)
 	sh := s.shardFor(key)
-	sh.mu.RLock()
-	chain := sh.chains[key]
-	sh.mu.RUnlock()
-	for i, r := range chain {
-		if tr, eq := e.m.Equivalent(r, f); eq {
-			return r, key, i, tr, true
-		}
+	reps, profs := sh.snapshot(key)
+	if i, tr, eq := s.certifyChain(sh, key, reps, profs, f, e); eq {
+		return reps[i], key, i, tr, true
 	}
 	return nil, key, -1, npn.Transform{}, false
 }
 
 // forEachChain visits every collision chain, holding one shard's read
 // lock at a time.
-func (s *Store) forEachChain(fn func(shardIdx int, chain []*tt.TT)) {
+func (s *Store) forEachChain(fn func(shardIdx int, reps []*tt.TT)) {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for _, chain := range sh.chains {
-			fn(i, chain)
+		for _, c := range sh.chains {
+			fn(i, c.reps)
 		}
 		sh.mu.RUnlock()
 	}

@@ -199,6 +199,53 @@ func TestConcurrentCollisionChain(t *testing.T) {
 	}
 }
 
+// TestProfileCacheCounters checks the memoization contract: the first
+// certification against a representative builds its profile (miss), later
+// ones reuse it (hit), entries never exceed the class count, and verdicts
+// are bit-identical to the uncached store.
+func TestProfileCacheCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(310))
+	n := 6
+	cached := New(n, Options{Shards: 4})
+	uncached := New(n, Options{Shards: 4, DisableProfileCache: true})
+	base := make([]*tt.TT, 10)
+	for i := range base {
+		base[i] = tt.Random(n, rng)
+		cached.Add(base[i])
+		uncached.Add(base[i])
+	}
+	for round := 0; round < 3; round++ {
+		for _, f := range base {
+			v := npn.RandomTransform(n, rng).Apply(f)
+			repC, keyC, idxC, wC, okC := cached.Lookup(v)
+			repU, keyU, idxU, _, okU := uncached.Lookup(v)
+			if okC != okU || keyC != keyU || idxC != idxU {
+				t.Fatalf("cached and uncached stores disagree: (%v,%016x,%d) vs (%v,%016x,%d)",
+					okC, keyC, idxC, okU, keyU, idxU)
+			}
+			if !okC {
+				t.Fatal("variant of stored class missed")
+			}
+			if !repC.Equal(repU) || !wC.Apply(repC).Equal(v) {
+				t.Fatal("cached witness or representative does not verify")
+			}
+		}
+	}
+	hits, misses, entries := cached.ProfileCacheStats()
+	if misses != entries {
+		t.Fatalf("misses %d != entries %d (each miss must memoize exactly one profile)", misses, entries)
+	}
+	if entries > int64(cached.Size()) {
+		t.Fatalf("entries %d exceed class count %d", entries, cached.Size())
+	}
+	if hits == 0 {
+		t.Fatal("repeated lookups produced no profile-cache hits")
+	}
+	if h, m, e := uncached.ProfileCacheStats(); h != 0 || m != 0 || e != 0 {
+		t.Fatalf("disabled cache reported activity: hits=%d misses=%d entries=%d", h, m, e)
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(302))
 	n := 4
