@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bdd"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/sig"
 	"repro/internal/store"
 	"repro/internal/tt"
+	"repro/internal/wal"
 )
 
 var (
@@ -425,6 +427,57 @@ func BenchmarkLookupCachedVsUncached(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkWALReplay measures warm-restart cost: rebuilding a 10k-class
+// store by replaying its write-ahead log (store.Recover) versus
+// re-classifying the same 10k functions from scratch through the
+// certified Add path. Log records carry the class key each insert was
+// certified under, so replay of a same-configuration log skips signature
+// hashing and matcher certification entirely — it is pure chain
+// publication — which is why recovery is expected to run at least 5x
+// faster than re-classification (in practice closer to two orders of
+// magnitude at n=7).
+func BenchmarkWALReplay(b *testing.B) {
+	n := 7
+	fs := gen.UniformRandom(n, 10000, 77)
+
+	dir := b.TempDir()
+	st, w, err := store.Recover(dir, n, store.Options{}, wal.Options{FsyncEvery: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range fs {
+		st.Add(f)
+	}
+	classes := st.Size()
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, w, err := store.Recover(dir, n, store.Options{}, wal.Options{FsyncEvery: time.Second})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Size() != classes {
+				b.Fatalf("recovered %d classes, want %d", r.Size(), classes)
+			}
+			w.Close()
+		}
+	})
+	b.Run("reclassify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fresh := store.New(n, store.Options{})
+			for _, f := range fs {
+				fresh.Add(f)
+			}
+			if fresh.Size() != classes {
+				b.Fatalf("classified %d classes, want %d", fresh.Size(), classes)
+			}
+		}
+	})
 }
 
 // BenchmarkStoreThroughput compares the online class store against the

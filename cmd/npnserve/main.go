@@ -6,7 +6,8 @@
 // Usage:
 //
 //	npnserve [-arities 4-10] [-addr :8080] [-shards 16] [-workers 0]
-//	         [-cache 4096] [-load dir] [-save dir]
+//	         [-cache 4096] [-config full|serving] [-data dir]
+//	         [-fsync-interval 100ms] [-segment-bytes N] [-compact-every 0]
 //
 // Endpoints:
 //
@@ -15,15 +16,27 @@
 //	                   mix arities: each function's arity is inferred from
 //	                   its hex length and routed to that arity's store.
 //	POST /v1/insert    same body; absent classes are created
+//	POST /v1/compact   admin: fold sealed WAL segments into snapshots
 //	GET  /v1/stats     aggregate totals and a per-arity breakdown
 //	GET  /healthz      liveness + federated range
 //
 // -arities accepts a single arity ("6") or an inclusive range ("4-10");
-// per-arity stores are constructed lazily on first use. With -load, every
-// per-arity snapshot file n<arity>.tt found in the directory (as written
-// by -save) preseeds its arity's store. With -save, one snapshot per
-// active arity is written to the directory on graceful shutdown
-// (SIGINT/SIGTERM).
+// per-arity stores are constructed lazily on first use. -config selects
+// the MSV key: "full" (the paper's complete vector set) or "serving"
+// (cheap OCV1+OIV keys for the profile-cached serve path).
+//
+// With -data the server is durable: each arity keeps a write-ahead log
+// plus snapshot under <data>/n<arity>/ (internal/wal), every certified
+// new-class insert is logged before it is served, and a restart — clean
+// or kill -9 — recovers every fsynced class. -fsync-interval bounds the
+// crash-loss window (0 fsyncs every append), -segment-bytes sets the log
+// rotation threshold, and -compact-every runs background compaction
+// (0 leaves compaction to POST /v1/compact).
+//
+// The pre-durability flags remain as deprecated aliases: -load preseeds
+// stores from per-arity n<arity>.tt snapshot files, -save writes them on
+// graceful shutdown. Prefer -data, which subsumes both and survives
+// crashes.
 package main
 
 import (
@@ -42,22 +55,29 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/tt"
 	"repro/internal/ttio"
+	"repro/internal/wal"
 )
 
 // config collects the flag-configurable server parameters.
 type config struct {
-	arities  string
-	addr     string
-	shards   int
-	workers  int
-	cache    int
-	loadPath string
-	savePath string
+	arities       string
+	addr          string
+	shards        int
+	workers       int
+	cache         int
+	keyConfig     string
+	dataDir       string
+	fsyncInterval time.Duration
+	segmentBytes  int64
+	compactEvery  time.Duration
+	loadPath      string
+	savePath      string
 }
 
 func main() {
@@ -67,11 +87,22 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", store.DefaultShards, "per-arity store lock shards (rounded up to a power of two)")
 	flag.IntVar(&cfg.workers, "workers", 0, "per-arity batch worker pool width (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.cache, "cache", service.DefaultCacheSize, "per-arity LRU result cache capacity (negative disables)")
-	flag.StringVar(&cfg.loadPath, "load", "", "preseed stores from per-arity snapshot files n<arity>.tt in this directory")
-	flag.StringVar(&cfg.savePath, "save", "", "write per-arity store snapshots to this directory on shutdown")
+	flag.StringVar(&cfg.keyConfig, "config", "full", "MSV key configuration: \"full\" or \"serving\" (cheap OCV1+OIV keys)")
+	flag.StringVar(&cfg.dataDir, "data", "", "durable data directory: per-arity WAL + snapshot under n<arity>/ (empty = memory only)")
+	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", 100*time.Millisecond, "WAL group-fsync interval; 0 fsyncs every append (with -data)")
+	flag.Int64Var(&cfg.segmentBytes, "segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold in bytes (with -data)")
+	flag.DurationVar(&cfg.compactEvery, "compact-every", 0, "background WAL compaction period; 0 disables (with -data)")
+	flag.StringVar(&cfg.loadPath, "load", "", "deprecated (use -data): preseed stores from per-arity n<arity>.tt snapshots in this directory")
+	flag.StringVar(&cfg.savePath, "save", "", "deprecated (use -data): write per-arity snapshots to this directory on graceful shutdown")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "npnserve: ", log.LstdFlags)
+	if cfg.loadPath != "" {
+		logger.Print("-load is deprecated: prefer -data, which also survives crashes")
+	}
+	if cfg.savePath != "" {
+		logger.Print("-save is deprecated: prefer -data, which also survives crashes")
+	}
 	reg, err := buildRegistry(cfg)
 	if err != nil {
 		logger.Fatal(err)
@@ -93,10 +124,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	stopCompact := func() {}
+	if reg.Durable() && cfg.compactEvery > 0 {
+		stopCompact = reg.StartAutoCompact(cfg.compactEvery, func(err error) {
+			logger.Printf("compact: %v", err)
+		})
+		logger.Printf("background compaction every %s", cfg.compactEvery)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("serving arities %d..%d on %s (shards=%d workers=%d cache=%d per arity)",
-			reg.MinVars(), reg.MaxVars(), cfg.addr, cfg.shards, cfg.workers, cfg.cache)
+		mode := "memory-only"
+		if reg.Durable() {
+			mode = fmt.Sprintf("durable data=%s fsync=%s segment=%dB", cfg.dataDir, cfg.fsyncInterval, cfg.segmentBytes)
+		}
+		logger.Printf("serving arities %d..%d on %s (shards=%d workers=%d cache=%d config=%s per arity; %s)",
+			reg.MinVars(), reg.MaxVars(), cfg.addr, cfg.shards, cfg.workers, cfg.cache, cfg.keyConfig, mode)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -112,6 +155,16 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("shutdown: %v", err)
+	}
+
+	// Stop the compaction ticker before closing the writers it seals.
+	stopCompact()
+	if reg.Durable() {
+		if err := reg.Close(); err != nil {
+			logger.Printf("wal close: %v", err)
+		} else {
+			logger.Print("wal flushed and closed")
+		}
 	}
 
 	if cfg.savePath != "" {
@@ -144,6 +197,18 @@ func parseArities(s string) (lo, hi int, err error) {
 	return lo, hi, nil
 }
 
+// parseKeyConfig maps the -config value to an MSV configuration: the
+// zero core.Config means the store's default full vector set.
+func parseKeyConfig(s string) (core.Config, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "full":
+		return core.Config{}, nil
+	case "serving":
+		return store.ServingConfig(), nil
+	}
+	return core.Config{}, fmt.Errorf("-config %q: want \"full\" or \"serving\"", s)
+}
+
 // buildRegistry wires the federated registry from the flag configuration.
 // It is the unit the end-to-end tests exercise against httptest.
 func buildRegistry(cfg config) (*federation.Registry, error) {
@@ -151,9 +216,15 @@ func buildRegistry(cfg config) (*federation.Registry, error) {
 	if err != nil {
 		return nil, err
 	}
+	keyCfg, err := parseKeyConfig(cfg.keyConfig)
+	if err != nil {
+		return nil, err
+	}
 	return federation.New(lo, hi, federation.Options{
-		Store:   store.Options{Shards: cfg.shards},
+		Store:   store.Options{Shards: cfg.shards, Config: keyCfg},
 		Service: service.Options{Workers: cfg.workers, CacheSize: cfg.cache},
+		Data:    cfg.dataDir,
+		WAL:     wal.Options{SegmentBytes: cfg.segmentBytes, FsyncEvery: cfg.fsyncInterval},
 	})
 }
 

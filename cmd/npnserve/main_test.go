@@ -11,9 +11,11 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/npn"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/tt"
 )
 
@@ -288,6 +290,117 @@ func TestLoadSaveRoundTrip(t *testing.T) {
 	for i, r := range cls.Results {
 		if !r.Hit {
 			t.Fatalf("preloaded class %d missed after snapshot round trip", i)
+		}
+	}
+}
+
+// TestParseKeyConfig covers the -config values and rejection.
+func TestParseKeyConfig(t *testing.T) {
+	if c, err := parseKeyConfig("full"); err != nil || c != (core.Config{}) {
+		t.Fatalf("full -> %+v, %v", c, err)
+	}
+	if c, err := parseKeyConfig(" Serving "); err != nil || c != store.ServingConfig() {
+		t.Fatalf("serving -> %+v, %v", c, err)
+	}
+	if _, err := parseKeyConfig("fast"); err == nil {
+		t.Fatal("bogus -config accepted")
+	}
+}
+
+// TestServingConfigFlag boots the flag-configured stack with -config
+// serving and verifies the weaker key still serves certified answers.
+func TestServingConfigFlag(t *testing.T) {
+	srv, reg := startServer(t, config{arities: "4-6", shards: 4, cache: 16, keyConfig: "serving"})
+	rng := rand.New(rand.NewSource(702))
+	f := tt.Random(5, rng)
+	resp, body := post(t, srv.URL+"/v1/insert", service.ClassifyRequest{Functions: []string{f.Hex()}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+	variant := npn.RandomTransform(5, rng).Apply(f)
+	resp, body = post(t, srv.URL+"/v1/classify", service.ClassifyRequest{Functions: []string{variant.Hex()}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d: %s", resp.StatusCode, body)
+	}
+	var cls service.ClassifyResponse
+	if err := json.Unmarshal(body, &cls); err != nil {
+		t.Fatal(err)
+	}
+	if !cls.Results[0].Hit {
+		t.Fatal("serving-config store missed an NPN variant")
+	}
+	svc, err := reg.Service(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Store().Config() != store.ServingConfig() {
+		t.Fatalf("store config %+v, want ServingConfig", svc.Store().Config())
+	}
+}
+
+// TestDurableServerRestart is the -data lifecycle across a simulated
+// kill: insert over HTTP into a durable flag-configured server, abandon
+// the registry without closing (per-append fsync makes every
+// acknowledged insert durable), rebuild the stack on the same data
+// directory and require every class back with its identity.
+func TestDurableServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	// fsyncInterval 0 = fsync every append, the kill-safe mode.
+	cfg := config{arities: "4-6", shards: 4, cache: 16, keyConfig: "full",
+		dataDir: dir, segmentBytes: 1 << 12}
+	srv, _ := startServer(t, cfg)
+
+	rng := rand.New(rand.NewSource(703))
+	var hexes []string
+	for n := 4; n <= 6; n++ {
+		for k := 0; k < 4; k++ {
+			hexes = append(hexes, tt.Random(n, rng).Hex())
+		}
+	}
+	resp, body := post(t, srv.URL+"/v1/insert", service.ClassifyRequest{Functions: hexes})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+	var ins service.InsertResponse
+	if err := json.Unmarshal(body, &ins); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL: the first server's registry is simply abandoned.
+
+	srv2, _ := startServer(t, cfg)
+	resp, body = post(t, srv2.URL+"/v1/classify", service.ClassifyRequest{Functions: hexes})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify status %d: %s", resp.StatusCode, body)
+	}
+	var cls service.ClassifyResponse
+	if err := json.Unmarshal(body, &cls); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		if !r.Hit {
+			t.Fatalf("class %d lost across restart", i)
+		}
+		if r.Class != ins.Results[i].Class || *r.Index != ins.Results[i].Index {
+			t.Fatalf("class %d identity changed across restart", i)
+		}
+	}
+
+	// Admin compaction over HTTP, then a third restart from the snapshot.
+	resp, body = post(t, srv2.URL+"/v1/compact", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status %d: %s", resp.StatusCode, body)
+	}
+	srv3, _ := startServer(t, cfg)
+	resp, body = post(t, srv3.URL+"/v1/classify", service.ClassifyRequest{Functions: hexes[:3]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-compaction classify status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &cls); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		if !r.Hit {
+			t.Fatalf("class %d lost after compaction restart", i)
 		}
 	}
 }

@@ -11,16 +11,29 @@
 // its hex truth-table length, which is why MinVars must be at least 2:
 // below that, distinct arities share the one-digit encoding and the wire
 // form would be ambiguous.
+//
+// With Options.Data set the federation is durable: each arity keeps a WAL
+// directory (snapshot + log segments, internal/wal) under
+// <Data>/n<arity>/, its store is rebuilt from that directory on first use
+// (store.Recover) and journals every certified new-class insert from then
+// on. CompactAll folds every arity's sealed segments into its snapshot —
+// on demand (the POST /v1/compact admin endpoint) or periodically
+// (StartAutoCompact) — and the per-arity stats gain the log's shape:
+// segments, bytes, fsync lag.
 package federation
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/tt"
+	"repro/internal/wal"
 )
 
 // MinFederatedArity is the smallest MinVars New accepts; hex truth-table
@@ -34,7 +47,19 @@ type Options struct {
 	Store store.Options
 	// Service configures each arity's pipeline (workers, LRU capacity).
 	Service service.Options
+	// Data, when non-empty, makes the federation durable: each arity's
+	// store recovers from and journals to the WAL directory
+	// <Data>/n<arity>/. Empty keeps stores memory-only.
+	Data string
+	// WAL configures each arity's log writer — segment rotation threshold
+	// and group-fsync interval. Meta is overwritten per store with its MSV
+	// configuration fingerprint. Ignored when Data is empty.
+	WAL wal.Options
 }
+
+// ErrNotDurable is returned by durability operations on a registry built
+// without a data directory.
+var ErrNotDurable = errors.New("federation: durability disabled (no data directory)")
 
 // Registry is a federated classification front: one lazily-constructed
 // service per arity in [MinVars, MaxVars]. All methods are safe for
@@ -43,8 +68,11 @@ type Registry struct {
 	lo, hi int
 	opts   Options
 
-	mu   sync.RWMutex
-	svcs []*service.Service // index n-lo; nil until first use
+	mu      sync.RWMutex
+	svcs    []*service.Service // index n-lo; nil until first use
+	writers []*wal.Writer      // index n-lo; non-nil iff durable and constructed
+
+	compactMu sync.Mutex // serializes CompactAll passes
 }
 
 // New returns a registry federating arities lo..hi inclusive.
@@ -53,7 +81,20 @@ func New(lo, hi int, o Options) (*Registry, error) {
 		return nil, fmt.Errorf("federation: arity range %d..%d outside %d..%d",
 			lo, hi, MinFederatedArity, tt.MaxVars)
 	}
-	return &Registry{lo: lo, hi: hi, opts: o, svcs: make([]*service.Service, hi-lo+1)}, nil
+	return &Registry{
+		lo: lo, hi: hi, opts: o,
+		svcs:    make([]*service.Service, hi-lo+1),
+		writers: make([]*wal.Writer, hi-lo+1),
+	}, nil
+}
+
+// Durable reports whether the registry persists classes to WAL
+// directories.
+func (r *Registry) Durable() bool { return r.opts.Data != "" }
+
+// ArityDir returns arity n's WAL directory under the data directory.
+func (r *Registry) ArityDir(n int) string {
+	return filepath.Join(r.opts.Data, fmt.Sprintf("n%d", n))
 }
 
 // MinVars returns the smallest federated arity.
@@ -76,9 +117,111 @@ func (r *Registry) Service(n int) (*service.Service, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.svcs[n-r.lo] == nil {
-		r.svcs[n-r.lo] = service.New(store.New(n, r.opts.Store), r.opts.Service)
+		var st *store.Store
+		if r.Durable() {
+			recovered, w, err := store.Recover(r.ArityDir(n), n, r.opts.Store, r.opts.WAL)
+			if err != nil {
+				return nil, fmt.Errorf("federation: recover arity %d: %w", n, err)
+			}
+			st = recovered
+			r.writers[n-r.lo] = w
+		} else {
+			st = store.New(n, r.opts.Store)
+		}
+		r.svcs[n-r.lo] = service.New(st, r.opts.Service)
 	}
 	return r.svcs[n-r.lo], nil
+}
+
+// writer returns arity n's log writer, nil when not durable or not yet
+// constructed.
+func (r *Registry) writer(n int) *wal.Writer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if n < r.lo || n > r.hi {
+		return nil
+	}
+	return r.writers[n-r.lo]
+}
+
+// Close flushes and closes every constructed arity's log writer. A
+// durable registry must not serve inserts after Close; Close on a
+// memory-only registry is a no-op. The first error is returned, but every
+// writer is closed regardless.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, w := range r.writers {
+		if w == nil {
+			continue
+		}
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CompactResult is one arity's compaction outcome.
+type CompactResult struct {
+	Arity int `json:"arity"`
+	wal.CompactStats
+}
+
+// CompactAll folds every active arity's sealed log segments (plus its
+// previous snapshot) into a fresh snapshot and deletes the folded
+// segments — the federation-wide persistence compaction. Passes are
+// serialized; concurrent inserts proceed against the active segments. The
+// slice holds one entry per arity compacted before any error.
+func (r *Registry) CompactAll() ([]CompactResult, error) {
+	if !r.Durable() {
+		return nil, ErrNotDurable
+	}
+	r.compactMu.Lock()
+	defer r.compactMu.Unlock()
+	out := []CompactResult{}
+	for _, n := range r.Active() {
+		w := r.writer(n)
+		if w == nil {
+			continue
+		}
+		c := &wal.Compactor{Dir: r.ArityDir(n), N: n, W: w}
+		st, err := c.Compact()
+		if err != nil {
+			return out, fmt.Errorf("federation: compact arity %d: %w", n, err)
+		}
+		out = append(out, CompactResult{Arity: n, CompactStats: st})
+	}
+	return out, nil
+}
+
+// StartAutoCompact runs CompactAll every interval on a background
+// goroutine until the returned stop function is called (the goroutine's
+// only exit). Pass errors are delivered to onErr (may be nil) and do not
+// stop the loop.
+func (r *Registry) StartAutoCompact(every time.Duration, onErr func(error)) (stop func()) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				if _, err := r.CompactAll(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
 }
 
 // Active returns the arities whose services have been constructed, in
@@ -203,17 +346,31 @@ type Totals struct {
 	ProfileHits     int64 `json:"profile_hits"`
 	ProfileMisses   int64 `json:"profile_misses"`
 	ProfileEntries  int64 `json:"profile_entries"`
+	Deduped         int64 `json:"deduped_keys"`
+	JournalErrors   int64 `json:"journal_errors"`
+	WALSegments     int   `json:"wal_segments"`
+	WALBytes        int64 `json:"wal_bytes"`
+}
+
+// ArityStats is one arity's stats row: the service counters plus, on a
+// durable registry, the arity's WAL shape.
+type ArityStats struct {
+	service.Stats
+	// WAL is the arity's log shape (segments, bytes, fsync lag); nil on a
+	// memory-only registry.
+	WAL *wal.Stats `json:"wal,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of the whole federation: the arity
 // range, aggregate totals and the per-arity breakdown for every arity
 // whose service has been constructed.
 type Stats struct {
-	MinVars       int             `json:"min_vars"`
-	MaxVars       int             `json:"max_vars"`
-	ActiveArities []int           `json:"active_arities"`
-	Totals        Totals          `json:"totals"`
-	PerArity      []service.Stats `json:"per_arity"`
+	MinVars       int          `json:"min_vars"`
+	MaxVars       int          `json:"max_vars"`
+	Durable       bool         `json:"durable"`
+	ActiveArities []int        `json:"active_arities"`
+	Totals        Totals       `json:"totals"`
+	PerArity      []ArityStats `json:"per_arity"`
 }
 
 // Stats returns the aggregate and per-arity counters. The slice fields
@@ -222,14 +379,22 @@ func (r *Registry) Stats() Stats {
 	st := Stats{
 		MinVars:       r.lo,
 		MaxVars:       r.hi,
+		Durable:       r.Durable(),
 		ActiveArities: []int{},
-		PerArity:      []service.Stats{},
+		PerArity:      []ArityStats{},
 	}
 	for _, n := range r.Active() {
 		svc, _ := r.Service(n)
 		s := svc.Stats()
+		row := ArityStats{Stats: s}
+		if w := r.writer(n); w != nil {
+			ws := w.Stats()
+			row.WAL = &ws
+			st.Totals.WALSegments += ws.Segments
+			st.Totals.WALBytes += ws.Bytes
+		}
 		st.ActiveArities = append(st.ActiveArities, n)
-		st.PerArity = append(st.PerArity, s)
+		st.PerArity = append(st.PerArity, row)
 		st.Totals.Classes += s.Classes
 		st.Totals.StoreCollisions += s.StoreCollisions
 		st.Totals.Lookups += s.Lookups
@@ -242,6 +407,8 @@ func (r *Registry) Stats() Stats {
 		st.Totals.ProfileHits += s.ProfileHits
 		st.Totals.ProfileMisses += s.ProfileMisses
 		st.Totals.ProfileEntries += s.ProfileEntries
+		st.Totals.Deduped += s.Deduped
+		st.Totals.JournalErrors += s.JournalErrors
 	}
 	return st
 }

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -15,6 +16,8 @@ import (
 //
 //	POST /v1/classify  mixed-arity batch lookup (read-only)
 //	POST /v1/insert    mixed-arity batch insert
+//	POST /v1/compact   admin: fold every arity's sealed WAL segments into
+//	                   its snapshot (409 on a non-durable registry)
 //	GET  /v1/stats     aggregate totals + per-arity breakdown
 //	GET  /healthz      liveness + federated range
 func NewHandler(reg *Registry) http.Handler {
@@ -41,7 +44,24 @@ func NewHandler(reg *Registry) http.Handler {
 			service.WriteError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		if refused := service.CountRefusedInserts(results); refused > 0 {
+			service.WriteError(w, http.StatusInternalServerError,
+				"%d of %d inserts refused: journal failure, classes not durable", refused, len(results))
+			return
+		}
 		service.WriteJSON(w, http.StatusOK, service.EncodeInsertResults(raw, results))
+	})
+	mux.HandleFunc("POST /v1/compact", func(w http.ResponseWriter, r *http.Request) {
+		results, err := reg.CompactAll()
+		if errors.Is(err, ErrNotDurable) {
+			service.WriteError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		if err != nil {
+			service.WriteError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, map[string]any{"arities": results})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, reg.Stats())

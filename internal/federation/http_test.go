@@ -231,3 +231,59 @@ func TestHandlerHealthz(t *testing.T) {
 		t.Fatalf("healthz %+v", h)
 	}
 }
+
+// TestHandlerCompact drives the admin compaction endpoint: 409 on a
+// memory-only registry, and a folded-segment report on a durable one.
+func TestHandlerCompact(t *testing.T) {
+	srv := newTestServer(t, 4, 6)
+	resp, raw := postJSON(t, srv.URL+"/v1/compact", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("compact on memory-only registry: status %d (%s)", resp.StatusCode, raw)
+	}
+	var e service.ErrorJSON
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Fatalf("compact error body %s", raw)
+	}
+
+	reg := durableRegistry(t, t.TempDir(), 4, 6)
+	t.Cleanup(func() { reg.Close() })
+	dsrv := httptest.NewServer(NewHandler(reg))
+	t.Cleanup(dsrv.Close)
+
+	rng := rand.New(rand.NewSource(62))
+	var hexes []string
+	for i := 0; i < 4; i++ {
+		hexes = append(hexes, tt.Random(5, rng).Hex())
+	}
+	body, _ := json.Marshal(service.ClassifyRequest{Functions: hexes})
+	if resp, raw := postJSON(t, dsrv.URL+"/v1/insert", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, raw)
+	}
+	resp, raw = postJSON(t, dsrv.URL+"/v1/compact", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact status %d: %s", resp.StatusCode, raw)
+	}
+	var report struct {
+		Arities []CompactResult `json:"arities"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Arities) != 1 || report.Arities[0].Arity != 5 || report.Arities[0].RecordsFolded != 4 {
+		t.Fatalf("compact report %s", raw)
+	}
+
+	// The durable stats now show the log's shape.
+	stResp, err := http.Get(dsrv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stResp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Durable || len(st.PerArity) != 1 || st.PerArity[0].WAL == nil {
+		t.Fatalf("durable stats %+v", st)
+	}
+}

@@ -127,6 +127,20 @@ func EncodeClassifyResults(raw []string, results []Result) ClassifyResponse {
 	return resp
 }
 
+// CountRefusedInserts returns how many results in an insert batch the
+// store refused (journal failure: Index < 0, not stored durably). Both
+// insert handlers fail the request when any insert was refused, so a
+// client never reads a 200 for a class that will not survive a restart.
+func CountRefusedInserts(results []InsertResult) int {
+	refused := 0
+	for _, r := range results {
+		if r.Index < 0 {
+			refused++
+		}
+	}
+	return refused
+}
+
 // EncodeInsertResults builds the wire response for an insert batch.
 func EncodeInsertResults(raw []string, results []InsertResult) InsertResponse {
 	resp := InsertResponse{Results: make([]InsertResultJSON, len(results))}
@@ -165,7 +179,13 @@ func NewHandler(svc *Service) http.Handler {
 		if !ok {
 			return
 		}
-		writeJSON(w, http.StatusOK, EncodeInsertResults(raw, svc.Insert(fs)))
+		results := svc.Insert(fs)
+		if refused := CountRefusedInserts(results); refused > 0 {
+			WriteError(w, http.StatusInternalServerError,
+				"%d of %d inserts refused: journal failure, classes not durable", refused, len(results))
+			return
+		}
+		writeJSON(w, http.StatusOK, EncodeInsertResults(raw, results))
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, svc.Stats())

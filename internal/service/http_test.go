@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -164,5 +165,34 @@ func TestHandlerStatsAndHealth(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
 		t.Fatalf("healthz %d %s", rec.Code, rec.Body)
+	}
+}
+
+// brokenJournal refuses every log append, simulating a full disk.
+type brokenJournal struct{}
+
+func (brokenJournal) LogInsert(uint64, *tt.TT) error { return errInsertRefused }
+func (brokenJournal) Commit() error                  { return nil }
+
+var errInsertRefused = errors.New("disk full")
+
+// TestInsertRefusedReturns500: a journal failure must never be
+// acknowledged as a 200 — the client is told its classes are not durable.
+func TestInsertRefusedReturns500(t *testing.T) {
+	st := store.New(4, store.Options{Shards: 2})
+	st.SetJournal(brokenJournal{})
+	svc := New(st, Options{Workers: 1, CacheSize: -1})
+	h := NewHandler(svc)
+
+	rec := postJSON(t, h, "/v1/insert", ClassifyRequest{Functions: []string{"1ee1", "8bb8"}})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("refused insert returned %d, want 500 (body %s)", rec.Code, rec.Body)
+	}
+	var e ErrorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "refused") {
+		t.Fatalf("error body %s", rec.Body)
+	}
+	if svc.Stats().JournalErrors != 2 {
+		t.Fatalf("journal_errors %d, want 2", svc.Stats().JournalErrors)
 	}
 }

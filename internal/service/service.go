@@ -9,6 +9,13 @@
 // core.ClassifyParallel: signature hashing dominates and is embarrassingly
 // parallel because every store operation borrows a private engine pair.
 // Results keep the input order.
+//
+// Duplicate keys within one batch are grouped before the store is
+// touched: N copies of the same function cost one lookup or insert, and
+// the remaining copies are answered by scattering the first copy's
+// result. Real cut workloads are dominated by a few very frequent
+// functions, so the dedup often removes most of a batch's work; the
+// deduped count is reported in Stats.
 package service
 
 import (
@@ -51,6 +58,7 @@ type Service struct {
 	inserts    atomic.Int64
 	created    atomic.Int64
 	collisions atomic.Int64
+	deduped    atomic.Int64
 	batches    atomic.Int64
 	latencyNS  atomic.Int64
 }
@@ -106,9 +114,25 @@ type InsertResult struct {
 func (s *Service) Classify(fs []*tt.TT) []Result {
 	start := time.Now()
 	out := make([]Result, len(fs))
-	s.fanOut(len(fs), func(i int) {
-		out[i] = s.classifyOne(fs[i])
+	uniq, firstOf := dedupBatch(fs)
+	s.fanOut(len(uniq), func(i int) {
+		j := uniq[i]
+		out[j] = s.classifyOne(fs[j])
 	})
+	if firstOf != nil {
+		for i, j := range firstOf {
+			if j == i {
+				continue
+			}
+			out[i] = out[j]
+			if out[i].Hit {
+				s.hits.Add(1)
+			} else {
+				s.misses.Add(1)
+			}
+		}
+		s.deduped.Add(int64(len(fs) - len(uniq)))
+	}
 	s.lookups.Add(int64(len(fs)))
 	s.batches.Add(1)
 	s.latencyNS.Add(time.Since(start).Nanoseconds())
@@ -120,9 +144,11 @@ func (s *Service) Classify(fs []*tt.TT) []Result {
 func (s *Service) Insert(fs []*tt.TT) []InsertResult {
 	start := time.Now()
 	out := make([]InsertResult, len(fs))
-	s.fanOut(len(fs), func(i int) {
-		key, index, isNew := s.st.Add(fs[i])
-		out[i] = InsertResult{Key: key, Index: index, New: isNew}
+	uniq, firstOf := dedupBatch(fs)
+	s.fanOut(len(uniq), func(i int) {
+		j := uniq[i]
+		key, index, isNew := s.st.Add(fs[j])
+		out[j] = InsertResult{Key: key, Index: index, New: isNew}
 		if isNew {
 			s.created.Add(1)
 			if index > 0 {
@@ -130,10 +156,54 @@ func (s *Service) Insert(fs []*tt.TT) []InsertResult {
 			}
 		}
 	})
+	if firstOf != nil {
+		for i, j := range firstOf {
+			if j == i {
+				continue
+			}
+			// The first copy founded (or found) the class; later copies of
+			// the same function are by definition not new.
+			r := out[j]
+			r.New = false
+			out[i] = r
+		}
+		s.deduped.Add(int64(len(fs) - len(uniq)))
+	}
 	s.inserts.Add(int64(len(fs)))
 	s.batches.Add(1)
 	s.latencyNS.Add(time.Since(start).Nanoseconds())
 	return out
+}
+
+// dedupBatch groups duplicate functions within one batch. uniq lists the
+// indices of first occurrences, in input order; firstOf maps every index
+// to its function's first occurrence, or is nil when the batch has no
+// duplicates (the common case pays one map pass and no scatter).
+func dedupBatch(fs []*tt.TT) (uniq []int, firstOf []int) {
+	if len(fs) < 2 {
+		uniq = make([]int, len(fs))
+		for i := range uniq {
+			uniq[i] = i
+		}
+		return uniq, nil
+	}
+	seen := make(map[string]int, len(fs))
+	firstOf = make([]int, len(fs))
+	uniq = make([]int, 0, len(fs))
+	for i, f := range fs {
+		k := cacheKey(f)
+		if j, ok := seen[k]; ok {
+			firstOf[i] = j
+			continue
+		}
+		seen[k] = i
+		firstOf[i] = i
+		uniq = append(uniq, i)
+	}
+	if len(uniq) == len(fs) {
+		return uniq, nil
+	}
+	return uniq, firstOf
 }
 
 // classifyOne serves one lookup through the cache.
@@ -228,6 +298,14 @@ type Stats struct {
 	Created    int64 `json:"created"`
 	Collisions int64 `json:"insert_collisions"`
 
+	// Deduped counts batch members answered by another copy of the same
+	// function in their own batch — store work the key dedup saved.
+	Deduped int64 `json:"deduped_keys"`
+
+	// JournalErrors counts inserts the store refused because its
+	// write-ahead journal failed; zero without a journal.
+	JournalErrors int64 `json:"journal_errors"`
+
 	// Representative-profile cache counters from the store: hits reuse a
 	// memoized matcher profile, misses build one, entries count memoized
 	// profiles. All zero when the store's profile cache is disabled.
@@ -258,6 +336,8 @@ func (s *Service) Stats() Stats {
 		Inserts:         s.inserts.Load(),
 		Created:         s.created.Load(),
 		Collisions:      s.collisions.Load(),
+		Deduped:         s.deduped.Load(),
+		JournalErrors:   s.st.JournalErrors(),
 		Batches:         s.batches.Load(),
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 	}

@@ -226,3 +226,58 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatalf("batches=%d, want 1", st.Batches)
 	}
 }
+
+// TestBatchDedup: duplicate keys within one batch must cost one store
+// operation each, answer every copy identically, and be counted.
+func TestBatchDedup(t *testing.T) {
+	n := 5
+	svc := newTestService(n, Options{Workers: 3, CacheSize: -1})
+	rng := rand.New(rand.NewSource(900))
+	a, b := tt.Random(n, rng), tt.Random(n, rng)
+
+	// Insert a batch with heavy duplication: a ×4, b ×2.
+	batch := []*tt.TT{a, b, a, a, b, a}
+	ins := svc.Insert(batch)
+	if !ins[0].New || !ins[1].New {
+		t.Fatal("first copies did not found their classes")
+	}
+	for i := 2; i < len(batch); i++ {
+		want := ins[0]
+		if batch[i] == b {
+			want = ins[1]
+		}
+		if ins[i].Key != want.Key || ins[i].Index != want.Index {
+			t.Fatalf("insert %d diverged from its first copy", i)
+		}
+		if ins[i].New {
+			t.Fatalf("duplicate copy %d reported New", i)
+		}
+	}
+	if created := svc.Stats().Created; created != 2 {
+		t.Fatalf("created %d classes from a 2-distinct batch", created)
+	}
+	if st := svc.Stats(); st.Deduped != 4 {
+		t.Fatalf("insert deduped %d, want 4", st.Deduped)
+	}
+
+	// Classify the same shape: 4 duplicates saved, hits still count per copy.
+	res := svc.Classify(batch)
+	for i := range batch {
+		if !res[i].Hit {
+			t.Fatalf("classify %d missed", i)
+		}
+	}
+	st := svc.Stats()
+	if st.Deduped != 8 {
+		t.Fatalf("total deduped %d, want 8", st.Deduped)
+	}
+	if st.Hits != int64(len(batch)) || st.Lookups != int64(len(batch)) {
+		t.Fatalf("hits %d lookups %d, want %d each (dedup must not skew per-copy counters)",
+			st.Hits, st.Lookups, len(batch))
+	}
+
+	// A dedup hit must carry the same certified result as a store hit.
+	if res[2].Key != res[0].Key || res[2].Index != res[0].Index || !res[2].Rep.Equal(res[0].Rep) {
+		t.Fatal("scattered duplicate result diverged")
+	}
+}

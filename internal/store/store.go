@@ -32,6 +32,17 @@
 // removed, so a memoized profile can never go stale; chain growth only
 // appends fresh slots. Options.DisableProfileCache restores the original
 // rebuild-per-query path for comparison.
+//
+// Durability is layered on through two hooks. A Journal (internal/wal's
+// Writer in production) receives every certified new-class insert under
+// the shard write lock, before the class is published — write-ahead
+// ordering, so a crash can lose an unacknowledged insert but never hold a
+// served class that was not logged. Recover rebuilds a store from a WAL
+// directory: the base snapshot is re-added in parallel, then the log is
+// replayed — trusting each record's logged class key when the segment was
+// written under the same MSV configuration (skipping signature hashing
+// and matcher certification entirely), re-hashing otherwise — and finally
+// a fresh Writer is attached as the journal.
 package store
 
 import (
@@ -78,6 +89,18 @@ type Options struct {
 	DisableProfileCache bool
 }
 
+// Journal receives every certified new-class insert before it is
+// published. LogInsert is called under the owning shard's write lock, so
+// implementations must buffer cheaply and must not call back into the
+// store; an error refuses the insert (the class is not published).
+// Commit is called once per logged insert after publication, outside any
+// lock — it is where a sync-every-append journal pays its fsync, so disk
+// latency never stalls the shard. internal/wal's Writer implements both.
+type Journal interface {
+	LogInsert(key uint64, f *tt.TT) error
+	Commit() error
+}
+
 // engines is one borrowed pair of stateful signature engines.
 type engines struct {
 	cls *core.Classifier
@@ -110,6 +133,11 @@ type Store struct {
 	shards    []shard
 	pool      sync.Pool
 	noProfile bool
+
+	// journal, when set, is the write-ahead hook for new-class inserts.
+	// Written once by SetJournal before concurrent use, read by Add.
+	journal     Journal
+	journalErrs atomic.Int64
 
 	// Profile-cache counters: a hit reuses a memoized representative
 	// profile, a miss builds one, entries counts memoized profiles.
@@ -151,6 +179,16 @@ func (s *Store) NumShards() int { return len(s.shards) }
 
 // Config returns the signature selection of the MSV key.
 func (s *Store) Config() core.Config { return s.cfg }
+
+// SetJournal installs the write-ahead hook: every subsequent certified
+// new-class insert is logged through j before being published. It must be
+// called before the store is shared between goroutines (Recover calls it
+// after replay, before returning the store).
+func (s *Store) SetJournal(j Journal) { s.journal = j }
+
+// JournalErrors returns the number of inserts refused because the journal
+// failed to log them. Always zero without a journal.
+func (s *Store) JournalErrors() int64 { return s.journalErrs.Load() }
 
 // borrow gets a private engine pair; release returns it to the pool.
 func (s *Store) borrow() *engines   { return s.pool.Get().(*engines) }
@@ -254,6 +292,15 @@ func (s *Store) certifyChain(sh *shard, key uint64, reps []*tt.TT, profs []*matc
 // class was created (f becomes a representative). f is certified against
 // every chain member with the exact matcher, so an MSV collision founds a
 // new chained class rather than silently merging.
+//
+// With a journal installed, a new class is logged before it is published
+// and committed (made durable) before Add returns. A logging failure
+// refuses the insert — Add returns index -1 with isNew false, the class
+// is not published, and the failure is counted in JournalErrors. A
+// commit failure is also reported as a refusal (index -1, counted), but
+// the class is already published: it will serve lookups until the next
+// restart, after which only what the log durably holds survives —
+// callers seeing a refusal must treat the insert as not persisted.
 func (s *Store) Add(f *tt.TT) (key uint64, index int, isNew bool) {
 	if f.NumVars() != s.n {
 		panic("store: function arity does not match store")
@@ -286,10 +333,49 @@ func (s *Store) Add(f *tt.TT) (key uint64, index int, isNew bool) {
 			return key, i, false
 		}
 	}
+	j := s.journal
+	if j != nil {
+		if err := j.LogInsert(key, f); err != nil {
+			sh.mu.Unlock()
+			s.journalErrs.Add(1)
+			return key, -1, false
+		}
+	}
 	c.reps = append(c.reps, f.Clone())
 	index = len(c.reps) - 1
 	sh.mu.Unlock()
+	if j != nil {
+		if err := j.Commit(); err != nil {
+			s.journalErrs.Add(1)
+			return key, -1, false
+		}
+	}
 	return key, index, true
+}
+
+// addRecovered appends f as a representative of key, trusting a replayed
+// log record: no signature hashing, no matcher certification, no journal
+// write. Every logged record was a distinct certified class in the store
+// that wrote it, so the only duplication replay can encounter is the
+// exact same table arriving twice (a snapshot overlapping stale segments
+// after a crashed compaction) — filtered here by table equality. It
+// returns whether f was published.
+func (s *Store) addRecovered(key uint64, f *tt.TT) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c := sh.chains[key]
+	if c == nil {
+		c = &chain{}
+		sh.chains[key] = c
+	}
+	for _, rep := range c.reps {
+		if rep.Equal(f) {
+			return false
+		}
+	}
+	c.reps = append(c.reps, f.Clone())
+	return true
 }
 
 // Lookup finds f's class. On a hit it returns the chain representative

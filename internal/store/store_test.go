@@ -303,3 +303,52 @@ func TestArityMismatchPanics(t *testing.T) {
 	}()
 	s.Add(tt.MustFromHex(3, "e8"))
 }
+
+// TestSaveDuringConcurrentInserts pins down Save's doc-comment promise:
+// concurrent inserts during Save/Snapshot never corrupt the snapshot —
+// every snapshot taken mid-load parses cleanly, and every class it holds
+// is a class the live store certifies as present.
+func TestSaveDuringConcurrentInserts(t *testing.T) {
+	n := 5
+	s := New(n, Options{Shards: 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(800 + g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Add(tt.Random(n, rng))
+				}
+			}
+		}(g)
+	}
+
+	prev := 0
+	for i := 0; i < 25; i++ {
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("save %d during inserts: %v", i, err)
+		}
+		loaded, err := Load(bytes.NewReader(buf.Bytes()), n, Options{})
+		if err != nil {
+			t.Fatalf("snapshot %d does not reload: %v", i, err)
+		}
+		if loaded.Size() < prev {
+			t.Fatalf("snapshot %d shrank: %d classes after %d", i, loaded.Size(), prev)
+		}
+		prev = loaded.Size()
+		for _, f := range loaded.Snapshot() {
+			if _, _, _, _, ok := s.Lookup(f); !ok {
+				t.Fatalf("snapshot %d holds class %s the live store cannot certify", i, f.Hex())
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,242 @@
+package wal
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+// buildLog writes count arity-n records into dir and returns them plus
+// the final segment's path and the byte range [start, end) of the last
+// record within it.
+func buildLog(t *testing.T, dir string, n, count int) (fs []*tt.TT, lastSeg string, start, end int64) {
+	t.Helper()
+	w, err := OpenWriter(dir, Options{Meta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(40 + n)))
+	for i := 0; i < count; i++ {
+		f := tt.Random(n, rng)
+		fs = append(fs, f)
+		if err := w.Append(uint64(i), f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1]
+	recLen := int64(frameSize + payloadSize(n))
+	return fs, last.Path, last.Size - recLen, last.Size
+}
+
+// TestTornTailEveryOffset is the crash-recovery sweep: a WAL whose final
+// record is cut at EVERY byte offset must replay exactly the preceding
+// records — no error, no partial class — and report the torn length.
+func TestTornTailEveryOffset(t *testing.T) {
+	const count = 5
+	for _, n := range []int{4, 7} {
+		dir := t.TempDir()
+		fs, lastSeg, start, end := buildLog(t, dir, n, count)
+		intact, err := os.ReadFile(lastSeg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for off := start; off < end; off++ {
+			if err := os.WriteFile(lastSeg, intact[:off], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var got []*tt.TT
+			st, err := Replay(dir, func(_ Segment, _ uint64, rec Record) error {
+				got = append(got, rec.TT)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d cut at %d: replay error %v", n, off, err)
+			}
+			if len(got) != count-1 {
+				t.Fatalf("n=%d cut at %d: replayed %d records, want %d", n, off, len(got), count-1)
+			}
+			for i, f := range got {
+				if !f.Equal(fs[i]) {
+					t.Fatalf("n=%d cut at %d: record %d corrupted", n, off, i)
+				}
+			}
+			if st.TornBytes != off-start {
+				t.Fatalf("n=%d cut at %d: torn bytes %d, want %d", n, off, st.TornBytes, off-start)
+			}
+		}
+		// Restore and confirm the intact log still replays in full.
+		if err := os.WriteFile(lastSeg, intact, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, _, _ := collect(t, dir)
+		if len(recs) != count {
+			t.Fatalf("n=%d restored log replays %d records, want %d", n, len(recs), count)
+		}
+	}
+}
+
+// TestOpenWriterTruncatesTornTail: reopening a torn log must discard the
+// partial record on disk and continue appending cleanly after it.
+func TestOpenWriterTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	fs, lastSeg, start, end := buildLog(t, dir, 6, 4)
+	if err := os.Truncate(lastSeg, (start+end)/2); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWriter(dir, Options{Meta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(lastSeg); err != nil || info.Size() != start {
+		t.Fatalf("torn tail not truncated: size %d, want %d (err %v)", info.Size(), start, err)
+	}
+	extra := tt.Random(6, rand.New(rand.NewSource(99)))
+	if err := w.Append(50, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, st := collect(t, dir)
+	if len(recs) != 4 || st.TornBytes != 0 {
+		t.Fatalf("after reopen: %d records, stats %+v (want 4 records, no torn tail)", len(recs), st)
+	}
+	for i := 0; i < 3; i++ {
+		if !recs[i].TT.Equal(fs[i]) {
+			t.Fatalf("record %d corrupted by truncation", i)
+		}
+	}
+	if !recs[3].TT.Equal(extra) {
+		t.Fatal("post-recovery append corrupted")
+	}
+}
+
+// TestTornHeaderRebuilt: a crash before the active segment's header hit
+// disk leaves a short file; reopening must rebuild it.
+func TestTornHeaderRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	_, lastSeg, _, _ := buildLog(t, dir, 5, 2)
+	if err := os.WriteFile(lastSeg, []byte("npn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The torn header also replays as an empty final segment.
+	recs, _, _ := collect(t, dir)
+	if len(recs) != 0 {
+		t.Fatalf("torn-header segment replayed %d records", len(recs))
+	}
+	w, err := OpenWriter(dir, Options{Meta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, tt.New(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _ = collect(t, dir)
+	if len(recs) != 1 {
+		t.Fatalf("rebuilt segment replays %d records, want 1", len(recs))
+	}
+}
+
+// TestSealedCorruptionFailsReplay: the torn-tail tolerance is strictly
+// for the final segment — the same damage in a sealed segment is
+// corruption and must fail.
+func TestSealedCorruptionFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{SegmentBytes: headerSize + 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 6; i++ {
+		if err := w.Append(uint64(i), tt.Random(6, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("need at least 2 segments, got %d", len(segs))
+	}
+	first := segs[0]
+	if err := os.Truncate(first.Path, first.Size-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, func(Segment, uint64, Record) error { return nil }); err == nil {
+		t.Fatal("replay accepted a torn record in a sealed segment")
+	}
+
+	// A flipped payload byte in a sealed segment must also fail.
+	dir2 := t.TempDir()
+	w2, err := OpenWriter(dir2, Options{SegmentBytes: headerSize + 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := w2.Append(uint64(i), tt.Random(6, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs2, err := ListSegments(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(segs2[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+frameSize+3] ^= 0xff
+	if err := os.WriteFile(segs2[0].Path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir2, func(Segment, uint64, Record) error { return nil }); err == nil {
+		t.Fatal("replay accepted a checksum-corrupt record in a sealed segment")
+	}
+}
+
+// TestOfflineCompactorToleratesTornTail: with no live writer, the
+// highest segment was active when its process died — a torn tail there
+// is the ordinary crash artifact and must fold away, not fail the pass.
+func TestOfflineCompactorToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	fs, lastSeg, start, end := buildLog(t, dir, 6, 4)
+	if err := os.Truncate(lastSeg, (start+end)/2); err != nil {
+		t.Fatal(err)
+	}
+	c := &Compactor{Dir: dir, N: 6}
+	st, err := c.Compact()
+	if err != nil {
+		t.Fatalf("offline compaction of a crashed log: %v", err)
+	}
+	if st.RecordsFolded != 3 || st.Classes != 3 {
+		t.Fatalf("compact stats %+v, want the 3 intact records folded", st)
+	}
+	snap, err := ReadSnapshot(dir, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range snap {
+		if !f.Equal(fs[i]) {
+			t.Fatalf("snapshot class %d corrupted", i)
+		}
+	}
+}

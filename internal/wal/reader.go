@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tt"
+	"repro/internal/ttio"
+)
+
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	// Segments is the number of segment files visited.
+	Segments int
+	// Records is the number of valid records delivered.
+	Records int64
+	// Bytes is the total valid bytes read (headers and frames included).
+	Bytes int64
+	// TornBytes is the length of the discarded torn tail of the final
+	// segment, zero after a clean shutdown.
+	TornBytes int64
+}
+
+// Replay streams every record in dir's log to fn in insertion order:
+// segments in sequence order, records in file order within each segment.
+// fn receives the record's segment and the segment's meta word, so a
+// caller can decide per segment whether to trust the logged keys.
+//
+// A torn tail — a record left incomplete by a crash mid-append — is
+// tolerated only in the final segment: replay of that segment stops at
+// the last valid record with no error and reports the discarded length in
+// TornBytes. (Replay itself is read-only; OpenWriter truncates the tail
+// before appending again.) The same damage in a sealed segment is real
+// corruption and fails the replay. An error from fn aborts the replay.
+func Replay(dir string, fn func(seg Segment, meta uint64, rec Record) error) (ReplayStats, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+	return replaySegments(segs, true, fn)
+}
+
+// ReplaySegments replays exactly the given segments in order. Unlike
+// Replay it never tolerates a torn record: callers use it for sealed
+// segments (compaction), where a short record means corruption.
+func ReplaySegments(segs []Segment, fn func(seg Segment, meta uint64, rec Record) error) (ReplayStats, error) {
+	return replaySegments(segs, false, fn)
+}
+
+func replaySegments(segs []Segment, tornTailOK bool, fn func(seg Segment, meta uint64, rec Record) error) (ReplayStats, error) {
+	var st ReplayStats
+	for i, seg := range segs {
+		last := tornTailOK && i == len(segs)-1
+		records, valid, torn, err := replaySegment(seg, last, fn)
+		st.Segments++
+		st.Records += records
+		st.Bytes += valid
+		st.TornBytes += torn
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// replaySegment streams one segment's records to fn. When last is true a
+// torn tail ends the segment silently and its length is returned;
+// otherwise it is an error. valid is the byte length of the intact prefix
+// (header plus whole records).
+func replaySegment(seg Segment, last bool, fn func(seg Segment, meta uint64, rec Record) error) (records, valid, torn int64, err error) {
+	f, err := os.Open(seg.Path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	tear := func(what string) (int64, int64, int64, error) {
+		if last {
+			return records, valid, seg.Size - valid, nil
+		}
+		return records, valid, 0, fmt.Errorf("wal: %s: %s at offset %d in sealed segment", seg.Path, what, valid)
+	}
+
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return tear("short or missing header")
+	}
+	meta, err := parseHeader(hdr[:])
+	if err != nil {
+		if last {
+			return 0, 0, seg.Size, nil
+		}
+		return 0, 0, 0, fmt.Errorf("wal: %s: %w", seg.Path, err)
+	}
+	valid = headerSize
+
+	var frame [frameSize]byte
+	payload := make([]byte, maxPayload)
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return records, valid, 0, nil // clean end of segment
+			}
+			return tear("torn record frame")
+		}
+		size := int(binary.LittleEndian.Uint32(frame[:4]))
+		if size < 9 || size > maxPayload {
+			return tear(fmt.Sprintf("implausible record length %d", size))
+		}
+		p := payload[:size]
+		if _, err := io.ReadFull(br, p); err != nil {
+			return tear("torn record payload")
+		}
+		if crc32.ChecksumIEEE(p) != binary.LittleEndian.Uint32(frame[4:8]) {
+			return tear("record checksum mismatch")
+		}
+		rec, perr := parsePayload(p)
+		if perr != nil {
+			// CRC-valid but unparseable: corruption or format skew, never a
+			// torn tail — fail loudly even in the final segment.
+			return records, valid, 0, fmt.Errorf("wal: %s: offset %d: %w", seg.Path, valid, perr)
+		}
+		valid += frameSize + int64(size)
+		records++
+		if err := fn(seg, meta, rec); err != nil {
+			return records, valid, 0, err
+		}
+	}
+}
+
+// scanSegment validates a segment without delivering records: it returns
+// the segment's meta word, the length of its intact prefix and the record
+// count within it. headerOK reports whether the header itself parsed; a
+// false return means the file should be rebuilt from scratch. OpenWriter
+// uses this to truncate a torn tail before resuming appends.
+func scanSegment(path string) (meta uint64, valid int64, records int64, headerOK bool, err error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	seg := Segment{Path: path, Size: info.Size()}
+	records, valid, _, err = replaySegment(seg, true, func(Segment, uint64, Record) error { return nil })
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if valid < headerSize {
+		return 0, 0, 0, false, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, 0, 0, false, fmt.Errorf("wal: %w", err)
+	}
+	meta, err = parseHeader(hdr[:])
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	return meta, valid, records, true, nil
+}
+
+// ReadSnapshot loads dir's base snapshot, the ttio workload the last
+// compaction wrote (or an operator seeded). It returns nil with no error
+// when no snapshot exists.
+func ReadSnapshot(dir string, n int) ([]*tt.TT, error) {
+	f, err := os.Open(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	return ttio.Read(f, n)
+}

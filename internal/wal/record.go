@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/tt"
+)
+
+// Segment header: 8 magic bytes then the caller's 64-bit meta word,
+// little-endian. The magic doubles as a format version.
+var segMagic = [8]byte{'n', 'p', 'n', 'w', 'a', 'l', '1', '\n'}
+
+const headerSize = 16
+
+// Record frame: a little-endian uint32 payload length, a uint32 CRC32
+// (IEEE) of the payload, then the payload itself — one byte of arity, the
+// little-endian uint64 class key, and the truth-table words little-endian.
+// The frame is what makes a torn tail detectable: a record whose header,
+// payload or checksum is incomplete or inconsistent marks the end of the
+// valid prefix.
+const frameSize = 8
+
+// Record is one logged class insert.
+type Record struct {
+	// Arity is the function's variable count.
+	Arity int
+	// Key is the MSV class key the function was inserted under.
+	Key uint64
+	// TT is the inserted class representative.
+	TT *tt.TT
+}
+
+// words returns the backing word count of an n-variable table, mirroring
+// the tt package's layout (one word up to 6 variables, 2^(n-6) beyond).
+func words(n int) int {
+	if n <= 6 {
+		return 1
+	}
+	return 1 << (n - 6)
+}
+
+// payloadSize returns the record payload length for arity n.
+func payloadSize(n int) int { return 1 + 8 + 8*words(n) }
+
+// maxPayload bounds a credible payload length; anything larger in a frame
+// header is corruption.
+var maxPayload = payloadSize(tt.MaxVars)
+
+// appendRecord appends the framed record (key, f) to dst and returns the
+// extended slice.
+func appendRecord(dst []byte, key uint64, f *tt.TT) []byte {
+	n := f.NumVars()
+	size := payloadSize(n)
+	start := len(dst)
+	dst = append(dst, make([]byte, frameSize+size)...)
+	payload := dst[start+frameSize:]
+	payload[0] = byte(n)
+	binary.LittleEndian.PutUint64(payload[1:9], key)
+	for i, w := range f.Words() {
+		binary.LittleEndian.PutUint64(payload[9+8*i:], w)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(size))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// parsePayload decodes a CRC-verified record payload. A payload that
+// checksums correctly but does not parse is not a torn tail — the bytes
+// are what some writer framed — so parse errors are surfaced as
+// corruption rather than tolerated.
+func parsePayload(p []byte) (Record, error) {
+	if len(p) < 9 {
+		return Record{}, fmt.Errorf("wal: record payload of %d bytes is shorter than its fixed fields", len(p))
+	}
+	n := int(p[0])
+	if n < 1 || n > tt.MaxVars {
+		return Record{}, fmt.Errorf("wal: record arity %d out of range 1..%d", n, tt.MaxVars)
+	}
+	if len(p) != payloadSize(n) {
+		return Record{}, fmt.Errorf("wal: record payload of %d bytes, want %d for arity %d", len(p), payloadSize(n), n)
+	}
+	key := binary.LittleEndian.Uint64(p[1:9])
+	f := tt.New(n)
+	w := f.Words()
+	for i := range w {
+		w[i] = binary.LittleEndian.Uint64(p[9+8*i:])
+	}
+	if n < 6 && w[0]>>(1<<n) != 0 {
+		return Record{}, fmt.Errorf("wal: record table has bits above 2^%d", n)
+	}
+	return Record{Arity: n, Key: key, TT: f}, nil
+}
+
+// appendHeader appends a segment header with the given meta word.
+func appendHeader(dst []byte, meta uint64) []byte {
+	dst = append(dst, segMagic[:]...)
+	var m [8]byte
+	binary.LittleEndian.PutUint64(m[:], meta)
+	return append(dst, m[:]...)
+}
+
+// parseHeader validates a segment header and returns its meta word.
+func parseHeader(h []byte) (uint64, error) {
+	if len(h) < headerSize {
+		return 0, fmt.Errorf("wal: segment header of %d bytes, want %d", len(h), headerSize)
+	}
+	for i, b := range segMagic {
+		if h[i] != b {
+			return 0, fmt.Errorf("wal: bad segment magic %q", h[:8])
+		}
+	}
+	return binary.LittleEndian.Uint64(h[8:16]), nil
+}

@@ -1,0 +1,112 @@
+// Package wal implements the durability subsystem of the class store: a
+// segmented append-only log of class-insert records plus the compaction
+// that folds sealed segments into ttio snapshots.
+//
+// A WAL directory holds the state of one store:
+//
+//	snapshot.tt    ttio workload snapshot — the compacted base state
+//	00000001.wal   log segments, replayed in sequence order after the
+//	00000002.wal   snapshot; the highest sequence is the active segment
+//	...            being appended, all lower sequences are sealed
+//
+// Each segment starts with a 16-byte header (magic + a caller-chosen
+// 64-bit meta word, which the store uses as a fingerprint of the MSV key
+// configuration) followed by CRC32-framed records. A record carries the
+// arity, the 64-bit class key and the raw truth-table words of one
+// certified new-class insert, so replay can rebuild a store without
+// recomputing signatures: Writer appends them (buffered, group-fsynced,
+// rotating segments at a size threshold), Replay streams them back in
+// insertion order, tolerating a torn tail record in the final segment
+// after a crash (OpenWriter truncates that tail before appending again),
+// and Compactor folds the sealed segments together with the previous
+// snapshot into a fresh snapshot and deletes the folded segments.
+//
+// The package is self-contained below internal/store: it knows truth
+// tables and the snapshot file format (internal/tt, internal/ttio) but
+// nothing about stores, services or federation, which layer recovery and
+// per-arity directory management on top.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SnapshotFile is the name of the compacted base snapshot within a WAL
+// directory, a ttio workload file.
+const SnapshotFile = "snapshot.tt"
+
+// DefaultSegmentBytes is the segment rotation threshold used when
+// Options.SegmentBytes is zero.
+const DefaultSegmentBytes = 4 << 20
+
+// segSuffix is the segment file extension; names are zero-padded decimal
+// sequence numbers, so lexical order is sequence order.
+const segSuffix = ".wal"
+
+// Segment describes one log segment file on disk.
+type Segment struct {
+	// Seq is the segment's sequence number; replay order is increasing Seq.
+	Seq uint64
+	// Path is the segment file path.
+	Path string
+	// Size is the file size in bytes at listing time.
+	Size int64
+}
+
+// segmentPath names segment seq within dir.
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%08d%s", seq, segSuffix))
+}
+
+// ListSegments returns the log segments in dir in replay (sequence)
+// order. Files that do not look like segments are ignored. A missing
+// directory lists as empty.
+func ListSegments(dir string) ([]Segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []Segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil || seq == 0 {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			// Deleted between ReadDir and Info — a stats read racing a
+			// concurrent compaction's segment removal. Not an error; the
+			// segment is simply gone.
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		segs = append(segs, Segment{Seq: seq, Path: filepath.Join(dir, name), Size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Seq < segs[j].Seq })
+	return segs, nil
+}
+
+// syncDir fsyncs a directory so metadata operations (segment creation,
+// snapshot rename, segment deletion) survive a crash. Best effort: some
+// filesystems refuse directory fsync, and losing only metadata reverts to
+// a state replay already handles.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

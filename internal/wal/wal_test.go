@@ -1,0 +1,447 @@
+package wal
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/tt"
+	"repro/internal/ttio"
+)
+
+// appendAll logs fs with synthetic keys i*31+7 and returns the keys.
+func appendAll(t *testing.T, w *Writer, fs []*tt.TT) []uint64 {
+	t.Helper()
+	keys := make([]uint64, len(fs))
+	for i, f := range fs {
+		keys[i] = uint64(i)*31 + 7
+		if err := w.Append(keys[i], f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// collect replays dir into a flat record slice.
+func collect(t *testing.T, dir string) ([]Record, []uint64, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	var metas []uint64
+	st, err := Replay(dir, func(_ Segment, meta uint64, rec Record) error {
+		recs = append(recs, rec)
+		metas = append(metas, meta)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, metas, st
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Meta: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var fs []*tt.TT
+	for _, n := range []int{4, 6, 8, 4, 10} {
+		fs = append(fs, tt.Random(n, rng))
+	}
+	keys := appendAll(t, w, fs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := w.Append(1, fs[0]); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+
+	recs, metas, st := collect(t, dir)
+	if len(recs) != len(fs) || st.Records != int64(len(fs)) || st.TornBytes != 0 {
+		t.Fatalf("replayed %d records, stats %+v", len(recs), st)
+	}
+	for i, rec := range recs {
+		if rec.Key != keys[i] || rec.Arity != fs[i].NumVars() || !rec.TT.Equal(fs[i]) {
+			t.Fatalf("record %d mismatch: key %d arity %d", i, rec.Key, rec.Arity)
+		}
+		if metas[i] != 42 {
+			t.Fatalf("record %d meta %d, want 42", i, metas[i])
+		}
+	}
+}
+
+func TestSegmentRotationAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	// ~3 arity-6 records (33 bytes each) per segment.
+	opts := Options{SegmentBytes: headerSize + 100, Meta: 7}
+	w, err := OpenWriter(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var fs []*tt.TT
+	for i := 0; i < 20; i++ {
+		fs = append(fs, tt.Random(6, rng))
+	}
+	appendAll(t, w, fs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("got %d segments, want rotation to produce several", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Seq <= segs[i-1].Seq {
+			t.Fatalf("segments out of order: %+v", segs)
+		}
+	}
+
+	// Reopen and append more: replay must see old then new, in order.
+	w2, err := OpenWriter(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := tt.Random(6, rng)
+	if err := w2.Append(999, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _ := collect(t, dir)
+	if len(recs) != len(fs)+1 {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(fs)+1)
+	}
+	for i, f := range fs {
+		if !recs[i].TT.Equal(f) {
+			t.Fatalf("record %d mismatch after reopen", i)
+		}
+	}
+	if recs[len(fs)].Key != 999 || !recs[len(fs)].TT.Equal(extra) {
+		t.Fatal("appended record mismatch after reopen")
+	}
+}
+
+// TestMetaChangeRotates: reopening a log with a different Meta word must
+// not append into the old segment — replay reports per-segment metas.
+func TestMetaChangeRotates(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	w, err := OpenWriter(dir, Options{Meta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(10, tt.Random(5, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWriter(dir, Options{Meta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(11, tt.Random(5, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, metas, _ := collect(t, dir)
+	if len(metas) != 2 || metas[0] != 1 || metas[1] != 2 {
+		t.Fatalf("metas %v, want [1 2]", metas)
+	}
+}
+
+func TestGroupFsync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{FsyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	rng := rand.New(rand.NewSource(4))
+	if err := w.Append(1, tt.Random(6, rng)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := w.Stats()
+		if st.FsyncLagMillis == 0 && st.Fsyncs >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("group fsync never caught up: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStats(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: headerSize + 70}
+	w, err := OpenWriter(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var fs []*tt.TT
+	for i := 0; i < 7; i++ {
+		fs = append(fs, tt.Random(6, rng))
+	}
+	appendAll(t, w, fs)
+	st := w.Stats()
+	if st.Records != 7 || st.Segments < 2 || st.SealedSegments != st.Segments-1 || st.Bytes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Rotations == 0 || st.Fsyncs == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactor(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: headerSize + 70, Meta: 9}
+	w, err := OpenWriter(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	want := make(map[string]bool)
+	var fs []*tt.TT
+	for i := 0; i < 12; i++ {
+		f := tt.Random(6, rng)
+		fs = append(fs, f)
+		want[f.Hex()] = true
+	}
+	appendAll(t, w, fs)
+
+	c := &Compactor{Dir: dir, N: 6, W: w}
+	st, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsFolded == 0 || st.RecordsFolded != 12 || st.Classes != len(want) || st.Duplicates != 0 {
+		t.Fatalf("compact stats %+v (want %d classes)", st, len(want))
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%d segments survive compaction, want only the active one", len(segs))
+	}
+
+	// Snapshot + remaining log must reproduce exactly the logged classes.
+	got := make(map[string]bool)
+	snap, err := ReadSnapshot(dir, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range snap {
+		got[f.Hex()] = true
+	}
+	if _, err := Replay(dir, func(_ Segment, _ uint64, rec Record) error {
+		got[rec.TT.Hex()] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("after compaction %d classes, want %d", len(got), len(want))
+	}
+	for h := range want {
+		if !got[h] {
+			t.Fatalf("class %s lost by compaction", h)
+		}
+	}
+
+	// Appends continue after compaction; a second pass folds them too and
+	// dedups nothing new.
+	extra := tt.Random(6, rng)
+	if err := w.Append(77, extra); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.RecordsFolded != 1 || st2.Classes != len(want)+1 || st2.Duplicates != 0 {
+		t.Fatalf("second compact stats %+v", st2)
+	}
+
+	// A no-op pass folds nothing and leaves the snapshot alone.
+	before, err := os.Stat(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.SegmentsFolded != 0 || st3.Classes != len(want)+1 || !after.ModTime().Equal(before.ModTime()) {
+		t.Fatalf("no-op compact stats %+v (snapshot rewritten: %v)", st3, !after.ModTime().Equal(before.ModTime()))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactorFoldsStaleDuplicates simulates the crash window between
+// snapshot publication and segment deletion: a record present both in the
+// snapshot and in a sealed segment must fold to one class.
+func TestCompactorFoldsStaleDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	f := tt.Random(6, rng)
+
+	// Seed the snapshot with f, then log f again as a "stale" record.
+	snap, err := os.Create(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ttio.Write(snap, []*tt.TT{f}); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWriter(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, f); err != nil {
+		t.Fatal(err)
+	}
+	g := tt.Random(6, rng)
+	if err := w.Append(6, g); err != nil {
+		t.Fatal(err)
+	}
+
+	c := &Compactor{Dir: dir, N: 6, W: w}
+	st, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicates != 1 || st.Classes != 2 {
+		t.Fatalf("compact stats %+v, want 1 duplicate and 2 classes", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOfflineCompactor compacts a directory with no live writer: every
+// segment is sealed and folded.
+func TestOfflineCompactor(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(8))
+	w, err := OpenWriter(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fs []*tt.TT
+	for i := 0; i < 5; i++ {
+		fs = append(fs, tt.Random(7, rng))
+	}
+	appendAll(t, w, fs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := &Compactor{Dir: dir, N: 7}
+	st, err := c.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsFolded != 1 || st.RecordsFolded != 5 || st.Classes != 5 {
+		t.Fatalf("offline compact stats %+v", st)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 0 {
+		t.Fatalf("%d segments survive offline compaction, want 0", len(segs))
+	}
+	snap, err := ReadSnapshot(dir, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 5 {
+		t.Fatalf("snapshot holds %d classes, want 5", len(snap))
+	}
+}
+
+// TestConcurrentAppends exercises the writer's locking under the race
+// detector: parallel appenders, a compaction mid-stream, and a full
+// replay that must account for every append exactly once.
+func TestConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{SegmentBytes: 1 << 12, FsyncEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, per = 8, 50
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < per; i++ {
+				if err := w.Append(uint64(g*per+i), tt.Random(6, rng)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	c := &Compactor{Dir: dir, N: 6, W: w}
+	if _, err := c.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seen := make(map[uint64]bool)
+	snap, err := ReadSnapshot(dir, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, func(_ Segment, _ uint64, rec Record) error {
+		if seen[rec.Key] {
+			t.Fatalf("key %d replayed twice", rec.Key)
+		}
+		seen[rec.Key] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Every append is either in the snapshot or still in the log.
+	if got := len(snap) + len(seen); got != goroutines*per {
+		t.Fatalf("snapshot %d + log %d = %d records, want %d", len(snap), len(seen), got, goroutines*per)
+	}
+}

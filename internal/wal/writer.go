@@ -1,0 +1,377 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tt"
+)
+
+// ErrClosed is returned by appends to a closed Writer.
+var ErrClosed = errors.New("wal: writer is closed")
+
+// Options configures a Writer.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a segment that has reached
+	// this size is sealed and a new one started before the next append.
+	// Zero means DefaultSegmentBytes.
+	SegmentBytes int64
+	// FsyncEvery is the group-fsync interval: appends are buffered and a
+	// background flusher syncs them to disk at this period, bounding the
+	// post-crash loss window to at most one interval of appends. Zero (the
+	// default) flushes and fsyncs every Append — and every journal Commit
+	// — so nothing acknowledged is ever lost, at a per-operation latency
+	// cost.
+	FsyncEvery time.Duration
+	// Meta is stamped into every segment header this writer creates.
+	// internal/store uses it as a fingerprint of the MSV key configuration
+	// so replay knows whether logged class keys can be trusted.
+	Meta uint64
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return DefaultSegmentBytes
+	}
+	return o.SegmentBytes
+}
+
+// Stats is a point-in-time snapshot of a writer's log.
+type Stats struct {
+	// Segments and SealedSegments count the directory's segment files; the
+	// difference (at most one) is the active segment.
+	Segments       int `json:"segments"`
+	SealedSegments int `json:"sealed_segments"`
+	// Bytes is the total size of all segment files.
+	Bytes int64 `json:"bytes"`
+	// Records counts appends since this writer opened.
+	Records int64 `json:"records"`
+	// Fsyncs and Rotations count syncs and segment rotations since open.
+	Fsyncs    int64 `json:"fsyncs"`
+	Rotations int64 `json:"rotations"`
+	// FsyncLagMillis is the age of the oldest append not yet fsynced —
+	// the data currently at risk — or zero when the log is clean.
+	FsyncLagMillis float64 `json:"fsync_lag_ms"`
+}
+
+// Writer appends class-insert records to a segmented log. Appends are
+// buffered; durability is governed by Options.FsyncEvery. All methods are
+// safe for concurrent use.
+type Writer struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	f          *os.File
+	bw         *bufio.Writer
+	seq        uint64 // active segment sequence
+	size       int64  // active segment size including buffered bytes
+	segRecords int64  // records in the active segment
+	scratch    []byte
+	dirty      bool
+	firstDirty time.Time
+	closed     bool
+
+	records   atomic.Int64
+	fsyncs    atomic.Int64
+	rotations atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// OpenWriter opens dir's log for appending, creating the directory if
+// needed. Crash recovery happens here: a torn tail record in the last
+// segment is truncated away (Replay already refuses to deliver it), and a
+// last segment whose header is unreadable is rebuilt. Appends continue in
+// the last segment unless it is full or was written under a different
+// Meta word, in which case a fresh segment is started.
+func OpenWriter(dir string, o Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	// A crashed compaction may leave a half-written snapshot behind.
+	if tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, tmp := range tmps {
+			os.Remove(tmp)
+		}
+	}
+	w := &Writer{dir: dir, opts: o}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := w.createSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		meta, valid, records, headerOK, err := scanSegment(last.Path)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case !headerOK:
+			// Crash before the header hit disk: rebuild the file in place.
+			if err := os.Remove(last.Path); err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			if err := w.createSegment(last.Seq); err != nil {
+				return nil, err
+			}
+		case meta != o.Meta || valid >= o.segmentBytes():
+			// Stale configuration or already full: seal it as-is (after
+			// dropping any torn tail) and start fresh.
+			if valid < last.Size {
+				if err := os.Truncate(last.Path, valid); err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+			}
+			if err := w.createSegment(last.Seq + 1); err != nil {
+				return nil, err
+			}
+		default:
+			if valid < last.Size {
+				if err := os.Truncate(last.Path, valid); err != nil {
+					return nil, fmt.Errorf("wal: %w", err)
+				}
+			}
+			f, err := os.OpenFile(last.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			w.f, w.bw = f, bufio.NewWriterSize(f, 1<<16)
+			w.seq, w.size, w.segRecords = last.Seq, valid, records
+		}
+	}
+	if o.FsyncEvery > 0 {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.flusher(o.FsyncEvery)
+	}
+	return w, nil
+}
+
+// createSegment starts a new segment file with a fresh header, fsyncing
+// the header and the directory entry so the segment itself is durable.
+func (w *Writer) createSegment(seq uint64) error {
+	path := segmentPath(w.dir, seq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	hdr := appendHeader(nil, w.opts.Meta)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	syncDir(w.dir)
+	w.f, w.bw = f, bufio.NewWriterSize(f, 1<<16)
+	w.seq, w.size, w.segRecords = seq, int64(len(hdr)), 0
+	return nil
+}
+
+// Append logs one class insert. With FsyncEvery zero the record is on
+// disk when Append returns; otherwise it is durable after the next group
+// fsync (at most one interval away).
+func (w *Writer) Append(key uint64, f *tt.TT) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.appendLocked(key, f); err != nil {
+		return err
+	}
+	if w.opts.FsyncEvery <= 0 {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *Writer) appendLocked(key uint64, f *tt.TT) error {
+	if w.closed {
+		return ErrClosed
+	}
+	if w.size >= w.opts.segmentBytes() && w.segRecords > 0 {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	w.scratch = appendRecord(w.scratch[:0], key, f)
+	n, err := w.bw.Write(w.scratch)
+	w.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.segRecords++
+	w.records.Add(1)
+	if !w.dirty {
+		w.dirty = true
+		w.firstDirty = time.Now()
+	}
+	return nil
+}
+
+// LogInsert and Commit are the store.Journal hook. LogInsert only
+// buffers the record — it is called under a store shard lock, so it must
+// never pay a disk sync there. Commit, called by the store after the
+// class is published and the lock released, makes acknowledged appends
+// durable: an fsync in the every-append mode, a no-op in group mode
+// (the background flusher owns durability there).
+func (w *Writer) LogInsert(key uint64, f *tt.TT) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(key, f)
+}
+
+// Commit implements store.Journal; see LogInsert.
+func (w *Writer) Commit() error {
+	if w.opts.FsyncEvery > 0 {
+		return nil
+	}
+	return w.Sync()
+}
+
+// Sync flushes buffered appends and fsyncs the active segment.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.fsyncs.Add(1)
+	w.dirty = false
+	return nil
+}
+
+// rotateLocked seals the active segment (flush, fsync, close) and starts
+// the next one.
+func (w *Writer) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.rotations.Add(1)
+	return w.createSegment(w.seq + 1)
+}
+
+// Seal rotates the active segment if it holds any records, so that every
+// record logged so far lives in a sealed segment, and returns the active
+// (empty or fresh) segment's sequence. Compaction folds exactly the
+// segments below the returned sequence.
+func (w *Writer) Seal() (activeSeq uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.segRecords > 0 {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return w.seq, nil
+}
+
+// ActiveSeq returns the active segment's sequence number.
+func (w *Writer) ActiveSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Dir returns the log directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Close flushes and fsyncs outstanding appends, stops the background
+// flusher and closes the active segment. Close is idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.mu.Unlock()
+	if w.stop != nil {
+		close(w.stop)
+		<-w.done
+	}
+	return err
+}
+
+// flusher is the group-fsync loop: every interval it syncs the log if any
+// append landed since the last sync.
+func (w *Writer) flusher(every time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && w.dirty {
+				w.syncLocked() // next tick retries on error
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// Stats reports the log's current shape: segment counts and bytes are
+// listed live from the directory (so compaction is reflected), counters
+// are since this writer opened.
+func (w *Writer) Stats() Stats {
+	st := Stats{
+		Records:   w.records.Load(),
+		Fsyncs:    w.fsyncs.Load(),
+		Rotations: w.rotations.Load(),
+	}
+	w.mu.Lock()
+	if w.dirty {
+		st.FsyncLagMillis = float64(time.Since(w.firstDirty).Nanoseconds()) / 1e6
+	}
+	buffered := int64(0)
+	if w.bw != nil {
+		buffered = int64(w.bw.Buffered())
+	}
+	w.mu.Unlock()
+	if segs, err := ListSegments(w.dir); err == nil {
+		st.Segments = len(segs)
+		if st.Segments > 0 {
+			st.SealedSegments = st.Segments - 1
+		}
+		for _, s := range segs {
+			st.Bytes += s.Size
+		}
+		st.Bytes += buffered
+	}
+	return st
+}
