@@ -8,6 +8,8 @@
 //	npnserve [-arities 4-10] [-addr :8080] [-shards 16] [-workers 0]
 //	         [-cache 4096] [-config full|serving] [-data dir]
 //	         [-fsync-interval 100ms] [-segment-bytes N] [-compact-every 0]
+//	         [-follow URL] [-follow-mode proxy|local]
+//	         [-follow-interval 200ms] [-stale-after 0]
 //
 // Endpoints:
 //
@@ -33,6 +35,18 @@
 // rotation threshold, and -compact-every runs background compaction
 // (0 leaves compaction to POST /v1/compact).
 //
+// With -follow the server is a replication follower instead: a read-only
+// replica that bootstraps from the primary's latest snapshot, tails its
+// WAL segments over HTTP (internal/replica) and serves classify hits from
+// the local replicated stores. -follow-mode picks what happens beyond
+// them: "proxy" (default) forwards classify misses and every insert to
+// the primary, "local" answers misses as misses and refuses inserts.
+// -follow-interval is the tail poll period; -stale-after, when set, makes
+// /healthz answer 503 once the last successful sync is older than the
+// given duration (load-balancer draining), while classify keeps serving
+// the replicated classes — a follower outlives its primary for reads.
+// Followers are memory-only: -data, -load and -save are rejected.
+//
 // The pre-durability flags remain as deprecated aliases: -load preseeds
 // stores from per-arity n<arity>.tt snapshot files, -save writes them on
 // graceful shutdown. Prefer -data, which subsumes both and survives
@@ -57,6 +71,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/replica"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/tt"
@@ -78,6 +93,12 @@ type config struct {
 	compactEvery  time.Duration
 	loadPath      string
 	savePath      string
+
+	// Follower mode.
+	follow         string
+	followMode     string
+	followInterval time.Duration
+	staleAfter     time.Duration
 }
 
 func main() {
@@ -94,6 +115,10 @@ func main() {
 	flag.DurationVar(&cfg.compactEvery, "compact-every", 0, "background WAL compaction period; 0 disables (with -data)")
 	flag.StringVar(&cfg.loadPath, "load", "", "deprecated (use -data): preseed stores from per-arity n<arity>.tt snapshots in this directory")
 	flag.StringVar(&cfg.savePath, "save", "", "deprecated (use -data): write per-arity snapshots to this directory on graceful shutdown")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only replication follower of this primary base URL")
+	flag.StringVar(&cfg.followMode, "follow-mode", "proxy", "follower miss/insert handling: \"proxy\" (forward to primary) or \"local\" (serve misses, refuse inserts)")
+	flag.DurationVar(&cfg.followInterval, "follow-interval", replica.DefaultInterval, "follower WAL tail poll period (with -follow)")
+	flag.DurationVar(&cfg.staleAfter, "stale-after", 0, "follower staleness gate: /healthz answers 503 once the last sync is older than this; 0 disables (with -follow)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "npnserve: ", log.LstdFlags)
@@ -103,26 +128,47 @@ func main() {
 	if cfg.savePath != "" {
 		logger.Print("-save is deprecated: prefer -data, which also survives crashes")
 	}
-	reg, err := buildRegistry(cfg)
-	if err != nil {
-		logger.Fatal(err)
-	}
-	if cfg.loadPath != "" {
-		loaded, err := loadSnapshots(reg, cfg.loadPath)
+
+	var (
+		reg      *federation.Registry
+		follower *replica.Follower
+		handler  http.Handler
+	)
+	if cfg.follow != "" {
+		f, err := buildFollower(cfg, logger)
 		if err != nil {
-			logger.Fatalf("load: %v", err)
+			logger.Fatal(err)
 		}
-		logger.Printf("preseeded %d classes from %s (arities %v)", loaded, cfg.loadPath, reg.Active())
+		follower, reg = f, f.Registry()
+		handler = replica.NewHandler(f)
+	} else {
+		r, err := buildRegistry(cfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		reg = r
+		handler = federation.NewHandler(reg)
+		if cfg.loadPath != "" {
+			loaded, err := loadSnapshots(reg, cfg.loadPath)
+			if err != nil {
+				logger.Fatalf("load: %v", err)
+			}
+			logger.Printf("preseeded %d classes from %s (arities %v)", loaded, cfg.loadPath, reg.Active())
+		}
 	}
 
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           federation.NewHandler(reg),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if follower != nil {
+		go follower.Run(ctx)
+	}
 
 	stopCompact := func() {}
 	if reg.Durable() && cfg.compactEvery > 0 {
@@ -135,7 +181,11 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		mode := "memory-only"
-		if reg.Durable() {
+		switch {
+		case follower != nil:
+			mode = fmt.Sprintf("follower of %s mode=%s poll=%s stale-after=%s",
+				cfg.follow, follower.Mode(), cfg.followInterval, cfg.staleAfter)
+		case reg.Durable():
 			mode = fmt.Sprintf("durable data=%s fsync=%s segment=%dB", cfg.dataDir, cfg.fsyncInterval, cfg.segmentBytes)
 		}
 		logger.Printf("serving arities %d..%d on %s (shards=%d workers=%d cache=%d config=%s per arity; %s)",
@@ -226,6 +276,47 @@ func buildRegistry(cfg config) (*federation.Registry, error) {
 		Data:    cfg.dataDir,
 		WAL:     wal.Options{SegmentBytes: cfg.segmentBytes, FsyncEvery: cfg.fsyncInterval},
 	})
+}
+
+// buildFollower wires the replication-follower stack from the flag
+// configuration: a memory-only registry of read-only stores plus the
+// tail loop against the -follow primary. Followers hold no WAL of their
+// own (they re-sync from the primary on restart), so the durability and
+// snapshot flags are rejected.
+func buildFollower(cfg config, logger *log.Logger) (*replica.Follower, error) {
+	if cfg.dataDir != "" || cfg.loadPath != "" || cfg.savePath != "" {
+		return nil, errors.New("-follow runs a memory-only replica: remove -data/-load/-save")
+	}
+	lo, hi, err := parseArities(cfg.arities)
+	if err != nil {
+		return nil, err
+	}
+	keyCfg, err := parseKeyConfig(cfg.keyConfig)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := replica.ParseMode(cfg.followMode)
+	if err != nil {
+		return nil, fmt.Errorf("-follow-mode: %w", err)
+	}
+	reg, err := federation.New(lo, hi, federation.Options{
+		Store:   store.Options{Shards: cfg.shards, Config: keyCfg, ReadOnly: true},
+		Service: service.Options{Workers: cfg.workers, CacheSize: cfg.cache},
+	})
+	if err != nil {
+		return nil, err
+	}
+	var logf func(string, ...any)
+	if logger != nil {
+		logf = logger.Printf
+	}
+	return replica.New(reg, replica.Options{
+		Primary:    strings.TrimRight(cfg.follow, "/"),
+		Interval:   cfg.followInterval,
+		Mode:       mode,
+		StaleAfter: cfg.staleAfter,
+		Logf:       logf,
+	}), nil
 }
 
 // snapshotFile names arity n's snapshot within a -load/-save directory.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -10,10 +11,12 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/npn"
+	"repro/internal/replica"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/tt"
@@ -291,6 +294,95 @@ func TestLoadSaveRoundTrip(t *testing.T) {
 		if !r.Hit {
 			t.Fatalf("preloaded class %d missed after snapshot round trip", i)
 		}
+	}
+}
+
+// TestFollowerFlagValidation: follower mode is memory-only and validates
+// its own flags.
+func TestFollowerFlagValidation(t *testing.T) {
+	if _, err := buildFollower(config{arities: "4-6", follow: "http://x", dataDir: "/tmp/x"}, nil); err == nil {
+		t.Fatal("-follow with -data accepted")
+	}
+	if _, err := buildFollower(config{arities: "4-6", follow: "http://x", savePath: "/tmp/x"}, nil); err == nil {
+		t.Fatal("-follow with -save accepted")
+	}
+	if _, err := buildFollower(config{arities: "4-6", follow: "http://x", followMode: "mirror"}, nil); err == nil {
+		t.Fatal("bogus -follow-mode accepted")
+	}
+	f, err := buildFollower(config{arities: "4-6", follow: "http://x/", followMode: "local"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Primary() != "http://x" || f.Mode() != replica.ModeLocal {
+		t.Fatalf("follower wired as (%q, %v)", f.Primary(), f.Mode())
+	}
+}
+
+// TestFollowerServerEndToEnd boots the flag-configured primary and
+// follower stacks: inserts land on the primary over HTTP, one sync later
+// the follower serves them locally with the same identity, and the
+// follower's healthz reports its role.
+func TestFollowerServerEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	pcfg := config{arities: "4-6", shards: 4, cache: 16, dataDir: dir, segmentBytes: 1 << 12}
+	psrv, _ := startServer(t, pcfg)
+
+	rng := rand.New(rand.NewSource(704))
+	var hexes []string
+	for n := 4; n <= 6; n++ {
+		for k := 0; k < 3; k++ {
+			hexes = append(hexes, tt.Random(n, rng).Hex())
+		}
+	}
+	resp, body := post(t, psrv.URL+"/v1/insert", service.ClassifyRequest{Functions: hexes})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+	var ins service.InsertResponse
+	if err := json.Unmarshal(body, &ins); err != nil {
+		t.Fatal(err)
+	}
+
+	fol, err := buildFollower(config{arities: "4-6", shards: 4, cache: 16,
+		follow: psrv.URL, followMode: "local", followInterval: 50 * time.Millisecond,
+		staleAfter: time.Minute}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fsrv := httptest.NewServer(replica.NewHandler(fol))
+	t.Cleanup(fsrv.Close)
+
+	resp, body = post(t, fsrv.URL+"/v1/classify", service.ClassifyRequest{Functions: hexes})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower classify status %d: %s", resp.StatusCode, body)
+	}
+	var cls service.ClassifyResponse
+	if err := json.Unmarshal(body, &cls); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		if !r.Hit || r.Class != ins.Results[i].Class || *r.Index != ins.Results[i].Index {
+			t.Fatalf("follower result %d = %+v, primary inserted (%s,%d)", i, r, ins.Results[i].Class, ins.Results[i].Index)
+		}
+	}
+
+	hresp, err := http.Get(fsrv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+		Role   string `json:"role"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK || health.Role != "follower" || health.Status != "ok" {
+		t.Fatalf("follower healthz %d %+v", hresp.StatusCode, health)
 	}
 }
 

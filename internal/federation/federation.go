@@ -73,6 +73,17 @@ type Registry struct {
 	writers []*wal.Writer      // index n-lo; non-nil iff durable and constructed
 
 	compactMu sync.Mutex // serializes CompactAll passes
+
+	// metaCache memoizes immutable segment header meta words for the
+	// replication manifest (replication.go).
+	metaMu    sync.Mutex
+	metaCache map[metaKey]uint64
+}
+
+// metaKey identifies one segment of one arity in the meta cache.
+type metaKey struct {
+	arity int
+	seq   uint64
 }
 
 // New returns a registry federating arities lo..hi inclusive.
@@ -83,8 +94,9 @@ func New(lo, hi int, o Options) (*Registry, error) {
 	}
 	return &Registry{
 		lo: lo, hi: hi, opts: o,
-		svcs:    make([]*service.Service, hi-lo+1),
-		writers: make([]*wal.Writer, hi-lo+1),
+		svcs:      make([]*service.Service, hi-lo+1),
+		writers:   make([]*wal.Writer, hi-lo+1),
+		metaCache: make(map[metaKey]uint64),
 	}, nil
 }
 

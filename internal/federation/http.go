@@ -20,6 +20,15 @@ import (
 //	                   its snapshot (409 on a non-durable registry)
 //	GET  /v1/stats     aggregate totals + per-arity breakdown
 //	GET  /healthz      liveness + federated range
+//
+// A durable registry additionally serves its write-ahead log to
+// replication followers (internal/replica); all three answer 409 on a
+// non-durable registry:
+//
+//	GET /v1/wal/segments             per-arity segment manifest
+//	GET /v1/wal/snapshot/{arity}     the arity's base snapshot file
+//	GET /v1/wal/segment/{arity}/{seq}?offset=N
+//	                                 raw segment bytes from offset
 func NewHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
@@ -63,6 +72,9 @@ func NewHandler(reg *Registry) http.Handler {
 		}
 		service.WriteJSON(w, http.StatusOK, map[string]any{"arities": results})
 	})
+	mux.HandleFunc("GET /v1/wal/segments", handleWALManifest(reg))
+	mux.HandleFunc("GET /v1/wal/snapshot/{arity}", handleWALSnapshot(reg))
+	mux.HandleFunc("GET /v1/wal/segment/{arity}/{seq}", handleWALSegment(reg))
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		service.WriteJSON(w, http.StatusOK, reg.Stats())
 	})

@@ -1,0 +1,203 @@
+package replica
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/federation"
+	"repro/internal/service"
+	"repro/internal/tt"
+)
+
+// NewHandler returns the follower HTTP surface over f. It speaks the
+// same wire format as the primary's federated handler, with the
+// follower's read/write role distinction threaded through every route:
+//
+//	POST /v1/classify  served from the local replicated stores; in proxy
+//	                   mode, misses are re-asked of the primary and the
+//	                   answers merged (a fresh class the tail loop has
+//	                   not applied yet still hits). Primary unreachable:
+//	                   local answers stand — reads never fail over a
+//	                   dead primary.
+//	POST /v1/insert    proxy mode: forwarded verbatim to the primary
+//	                   (502 when unreachable); local mode: 403 — the
+//	                   follower is read-only.
+//	POST /v1/compact   403 always; compaction is the primary's.
+//	GET  /v1/stats     the federation stats plus a "replication" section
+//	                   (lag in segments/bytes per arity, sync health,
+//	                   proxy counters).
+//	GET  /healthz      role and primary; 503 with status "stale" when
+//	                   the staleness gate (Options.StaleAfter) is
+//	                   tripped, so load balancers drain a follower that
+//	                   lost its primary.
+func NewHandler(f *Follower) http.Handler {
+	reg := f.Registry()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
+		fs, raw, ok := decodeMixedBatch(w, r, reg)
+		if !ok {
+			return
+		}
+		results, err := reg.Classify(fs)
+		if err != nil {
+			service.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp := service.EncodeClassifyResults(raw, results)
+		if f.Mode() == ModeProxy {
+			f.proxyMisses(r, raw, &resp)
+		}
+		service.WriteJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
+		if f.Mode() != ModeProxy {
+			service.WriteError(w, http.StatusForbidden,
+				"follower is read-only (mode local); insert on the primary %s", f.Primary())
+			return
+		}
+		f.proxyInsert(w, r)
+	})
+	mux.HandleFunc("POST /v1/compact", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteError(w, http.StatusForbidden,
+			"follower holds no write-ahead log; compact on the primary %s", f.Primary())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, statsResponse{
+			Stats:       reg.Stats(),
+			Replication: f.Stats(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{
+			"status":   "ok",
+			"role":     "follower",
+			"primary":  f.Primary(),
+			"mode":     f.Mode().String(),
+			"min_vars": reg.MinVars(),
+			"max_vars": reg.MaxVars(),
+			"active":   reg.Active(),
+		}
+		if f.Stale() {
+			body["status"] = "stale"
+			service.WriteJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, body)
+	})
+	return mux
+}
+
+// statsResponse is the follower's /v1/stats body: the flat federation
+// stats with the replication section alongside.
+type statsResponse struct {
+	federation.Stats
+	Replication Stats `json:"replication"`
+}
+
+// proxyMisses re-asks the primary about every miss in a classify
+// response and merges the hits back in place. A proxy failure leaves the
+// local misses standing — the graceful degradation that keeps a follower
+// serving when its primary is gone — and is counted in ProxyErrors.
+func (f *Follower) proxyMisses(r *http.Request, raw []string, resp *service.ClassifyResponse) {
+	var missIdx []int
+	var missFns []string
+	for i, res := range resp.Results {
+		if !res.Hit {
+			missIdx = append(missIdx, i)
+			missFns = append(missFns, raw[i])
+		}
+	}
+	if len(missIdx) == 0 {
+		return
+	}
+	f.proxiedClassifies.Add(int64(len(missIdx)))
+	body, err := json.Marshal(service.ClassifyRequest{Functions: missFns})
+	if err != nil {
+		f.proxyErrors.Add(1)
+		return
+	}
+	var primary service.ClassifyResponse
+	if err := f.postJSON(r, "/v1/classify", body, &primary); err != nil {
+		f.proxyErrors.Add(1)
+		f.logf("replica: proxy classify: %v", err)
+		return
+	}
+	if len(primary.Results) != len(missIdx) {
+		f.proxyErrors.Add(1)
+		return
+	}
+	for j, i := range missIdx {
+		resp.Results[i] = primary.Results[j]
+	}
+}
+
+// proxyInsert forwards an insert request body verbatim to the primary
+// and relays its response. The inserted classes reach the follower's own
+// stores through the tail loop, usually within one poll interval.
+func (f *Follower) proxyInsert(w http.ResponseWriter, r *http.Request) {
+	reg := f.Registry()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes(reg.MaxVars())))
+	if err != nil {
+		service.WriteError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	f.proxiedInserts.Add(1)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, f.Primary()+"/v1/insert", bytes.NewReader(body))
+	if err != nil {
+		f.proxyErrors.Add(1)
+		service.WriteError(w, http.StatusBadGateway, "proxy insert: %v", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.proxyErrors.Add(1)
+		service.WriteError(w, http.StatusBadGateway, "primary unreachable: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// postJSON posts a JSON body to the primary and decodes a JSON response,
+// failing on any non-200.
+func (f *Follower) postJSON(r *http.Request, path string, body []byte, v any) error {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, f.Primary()+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %s", path, resp.Status)
+	}
+	return decodeJSON(resp.Body, v)
+}
+
+// decodeJSON decodes one JSON value from r.
+func decodeJSON(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+// decodeMixedBatch parses a mixed-arity batch exactly as the federated
+// handler does: shared envelope rules, arity inferred per function from
+// its hex length.
+func decodeMixedBatch(w http.ResponseWriter, r *http.Request, reg *federation.Registry) (fs []*tt.TT, raw []string, ok bool) {
+	return service.DecodeBatchWith(w, r, service.MaxBodyBytes(reg.MaxVars()),
+		func(_ int, s string) (*tt.TT, error) {
+			n, err := reg.ArityOfHex(s)
+			if err != nil {
+				return nil, err
+			}
+			return tt.FromHex(n, s)
+		})
+}

@@ -1,16 +1,16 @@
 // Crash recovery: rebuilding a warm store from a WAL directory
 // (internal/wal) — snapshot first, then log replay, then a fresh journal.
+// The snapshot and record application logic itself lives on the Store
+// (ApplySnapshot, ApplyLogRecord) because replication followers
+// (internal/replica) apply the same bytes live over HTTP.
 package store
 
 import (
 	"fmt"
 	"hash/fnv"
 	"os"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
-	"repro/internal/tt"
 	"repro/internal/wal"
 )
 
@@ -19,26 +19,22 @@ import (
 // holds every durable class and journals every future insert. The
 // directory is created if missing (an empty durable store).
 //
-// Replay has a fast and a slow path per log segment. Segments whose meta
-// word matches the fingerprint of this store's MSV configuration carry
-// trustworthy class keys: their records are published directly under the
-// logged key with no signature hashing and no matcher certification —
-// the reason WAL replay beats re-classifying the same functions by a
-// wide margin (see BenchmarkWALReplay). Segments written under any other
-// configuration are re-hashed through the ordinary certified Add path.
-// The base snapshot, which stores plain truth tables, is hashed in
-// parallel across GOMAXPROCS workers but published sequentially in file
-// order, so collision-chain indices — part of a class's served identity
-// (key, index) — come back exactly as the compaction wrote them. Matcher
-// certification is skipped for snapshot entries too: every entry was a
-// distinct certified class in the store lineage that produced it, a
-// property compaction's exact-duplicate folding preserves.
+// Replay has a fast and a slow path per log segment, chosen by
+// ApplyLogRecord: segments whose meta word matches the fingerprint of
+// this store's MSV configuration carry trustworthy class keys and their
+// records are published directly — no signature hashing, no matcher
+// certification — the reason WAL replay beats re-classifying the same
+// functions by a wide margin (see BenchmarkWALReplay); segments written
+// under any other configuration are re-hashed through the certified
+// insert path. The base snapshot goes through ApplySnapshot: hashed in
+// parallel, published sequentially in file order, so collision-chain
+// indices — part of a class's served identity (key, index) — come back
+// exactly as the compaction wrote them.
 //
 // The caller owns the returned writer and must Close it to flush the log
 // on shutdown; the store must not be used after its journal is closed.
 func Recover(dir string, n int, o Options, wo wal.Options) (*Store, *wal.Writer, error) {
 	s := New(n, o)
-	fp := configFingerprint(s.cfg)
 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: recover: %w", err)
@@ -47,75 +43,25 @@ func Recover(dir string, n int, o Options, wo wal.Options) (*Store, *wal.Writer,
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: recover: %w", err)
 	}
-	s.recoverSnapshot(snap)
+	s.ApplySnapshot(snap)
 
 	if _, err := wal.Replay(dir, func(seg wal.Segment, meta uint64, rec wal.Record) error {
 		if rec.Arity != n {
 			return fmt.Errorf("%s holds an arity-%d record, store serves arity %d", seg.Path, rec.Arity, n)
 		}
-		if meta == fp {
-			s.addRecovered(rec.Key, rec.TT)
-		} else {
-			s.Add(rec.TT)
-		}
+		s.ApplyLogRecord(meta, rec.Key, rec.TT)
 		return nil
 	}); err != nil {
 		return nil, nil, fmt.Errorf("store: recover: %w", err)
 	}
 
-	wo.Meta = fp
+	wo.Meta = s.fp
 	w, err := wal.OpenWriter(dir, wo)
 	if err != nil {
 		return nil, nil, fmt.Errorf("store: recover: %w", err)
 	}
 	s.SetJournal(w)
 	return s, w, nil
-}
-
-// recoverSnapshot re-adds a snapshot: MSV keys are computed in parallel
-// (hashing dominates and is embarrassingly parallel), then every table is
-// published sequentially in snapshot order via the trusted-replay path.
-// Sequential publication is what makes recovery deterministic — two
-// tables sharing a key re-form their collision chain in the same order
-// every restart.
-func (s *Store) recoverSnapshot(fs []*tt.TT) {
-	if len(fs) == 0 {
-		return
-	}
-	keys := make([]uint64, len(fs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(fs) {
-		workers = len(fs)
-	}
-	if workers <= 1 {
-		e := s.borrow()
-		for i, f := range fs {
-			keys[i] = e.cls.Hash(f)
-		}
-		s.release(e)
-	} else {
-		var wg sync.WaitGroup
-		chunk := (len(fs) + workers - 1) / workers
-		for lo := 0; lo < len(fs); lo += chunk {
-			hi := lo + chunk
-			if hi > len(fs) {
-				hi = len(fs)
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				e := s.borrow()
-				defer s.release(e)
-				for i := lo; i < hi; i++ {
-					keys[i] = e.cls.Hash(fs[i])
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-	}
-	for i, f := range fs {
-		s.addRecovered(keys[i], f)
-	}
 }
 
 // configFingerprint hashes an MSV configuration into the 64-bit meta word

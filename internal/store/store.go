@@ -48,6 +48,7 @@ package store
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -87,6 +88,11 @@ type Options struct {
 	// per chain member, as the store did before caching. Useful for
 	// benchmarking the cache and for memory-constrained deployments.
 	DisableProfileCache bool
+	// ReadOnly refuses every Add: the public insert path returns a
+	// refusal (index -1) without touching the store. Replication followers
+	// run read-only stores — classes arrive only through the replicated
+	// apply path (ApplySnapshot, ApplyLogRecord), which bypasses the gate.
+	ReadOnly bool
 }
 
 // Journal receives every certified new-class insert before it is
@@ -129,10 +135,12 @@ type shard struct {
 type Store struct {
 	n         int
 	cfg       core.Config
+	fp        uint64 // configFingerprint(cfg), the segment meta word
 	mask      uint64
 	shards    []shard
 	pool      sync.Pool
 	noProfile bool
+	readOnly  bool
 
 	// journal, when set, is the write-ahead hook for new-class inserts.
 	// Written once by SetJournal before concurrent use, read by Add.
@@ -161,7 +169,8 @@ func New(n int, o Options) *Store {
 	for size < shards {
 		size <<= 1
 	}
-	s := &Store{n: n, cfg: cfg, mask: uint64(size - 1), shards: make([]shard, size), noProfile: o.DisableProfileCache}
+	s := &Store{n: n, cfg: cfg, fp: configFingerprint(cfg), mask: uint64(size - 1),
+		shards: make([]shard, size), noProfile: o.DisableProfileCache, readOnly: o.ReadOnly}
 	for i := range s.shards {
 		s.shards[i].chains = make(map[uint64]*chain)
 	}
@@ -179,6 +188,14 @@ func (s *Store) NumShards() int { return len(s.shards) }
 
 // Config returns the signature selection of the MSV key.
 func (s *Store) Config() core.Config { return s.cfg }
+
+// Fingerprint returns the 64-bit hash of the store's MSV configuration —
+// the meta word stamped on WAL segments, which replay and replication
+// compare to decide whether a logged class key can be trusted.
+func (s *Store) Fingerprint() uint64 { return s.fp }
+
+// ReadOnly reports whether the public Add path is gated off.
+func (s *Store) ReadOnly() bool { return s.readOnly }
 
 // SetJournal installs the write-ahead hook: every subsequent certified
 // new-class insert is logged through j before being published. It must be
@@ -301,7 +318,21 @@ func (s *Store) certifyChain(sh *shard, key uint64, reps []*tt.TT, profs []*matc
 // the class is already published: it will serve lookups until the next
 // restart, after which only what the log durably holds survives —
 // callers seeing a refusal must treat the insert as not persisted.
+//
+// On a read-only store Add refuses immediately (key 0, index -1) without
+// hashing; only the replicated apply path can publish into it.
 func (s *Store) Add(f *tt.TT) (key uint64, index int, isNew bool) {
+	if s.readOnly {
+		return 0, -1, false
+	}
+	return s.addCertified(f)
+}
+
+// addCertified is the certified insert path shared by Add and the
+// untrusted branch of ApplyLogRecord: hash, chain certification, journal,
+// publication. It ignores the read-only gate, which governs only the
+// public surface.
+func (s *Store) addCertified(f *tt.TT) (key uint64, index int, isNew bool) {
 	if f.NumVars() != s.n {
 		panic("store: function arity does not match store")
 	}
@@ -376,6 +407,84 @@ func (s *Store) addRecovered(key uint64, f *tt.TT) bool {
 	}
 	c.reps = append(c.reps, f.Clone())
 	return true
+}
+
+// ApplyLogRecord publishes one replayed or replicated log record,
+// choosing the trust level replay and followers share: when meta (the
+// record's segment meta word) matches this store's configuration
+// fingerprint the logged class key is trusted and the record is published
+// directly — no signature hashing, no matcher certification — otherwise
+// the table is re-hashed through the certified insert path. It reports
+// whether a new representative was published (false when the exact table
+// was already present, the idempotence that makes replicated re-delivery
+// — a follower re-bootstrapping after primary compaction — safe).
+// ApplyLogRecord bypasses the read-only gate: it is how classes enter a
+// follower's store. Safe for concurrent use with Lookup, so a follower
+// keeps serving while records stream in.
+func (s *Store) ApplyLogRecord(meta uint64, key uint64, f *tt.TT) bool {
+	if f.NumVars() != s.n {
+		panic("store: function arity does not match store")
+	}
+	if meta == s.fp {
+		return s.addRecovered(key, f)
+	}
+	_, _, isNew := s.addCertified(f)
+	return isNew
+}
+
+// ApplySnapshot publishes a compacted snapshot's tables through the
+// trusted replay path: MSV keys are computed in parallel (hashing
+// dominates and is embarrassingly parallel), then every table is
+// published sequentially in snapshot order, so two tables sharing a key
+// re-form their collision chain in the same order every time — chain
+// indices are part of a class's served identity (key, index), and
+// followers must reproduce the primary's. Publication dedups by exact
+// table equality, so re-applying an overlapping snapshot (a follower
+// re-bootstrapping after the primary compacted) publishes only what is
+// missing. It returns the number of tables published and bypasses the
+// read-only gate.
+func (s *Store) ApplySnapshot(fs []*tt.TT) int {
+	if len(fs) == 0 {
+		return 0
+	}
+	keys := make([]uint64, len(fs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(fs) {
+		workers = len(fs)
+	}
+	if workers <= 1 {
+		e := s.borrow()
+		for i, f := range fs {
+			keys[i] = e.cls.Hash(f)
+		}
+		s.release(e)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(fs) + workers - 1) / workers
+		for lo := 0; lo < len(fs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(fs) {
+				hi = len(fs)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				e := s.borrow()
+				defer s.release(e)
+				for i := lo; i < hi; i++ {
+					keys[i] = e.cls.Hash(fs[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	published := 0
+	for i, f := range fs {
+		if s.addRecovered(keys[i], f) {
+			published++
+		}
+	}
+	return published
 }
 
 // Lookup finds f's class. On a hit it returns the chain representative

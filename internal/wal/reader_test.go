@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tt"
+)
+
+// readAllFrom decodes every record reachable from offset in the segment
+// file, returning the records, the final boundary offset and the
+// terminal error (io.EOF, ErrPartial, ...).
+func readAllFrom(t *testing.T, path string, offset int64) ([]Record, int64, error) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(f, offset)
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			return recs, r.Offset(), err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// TestReaderResumeAtEveryBoundary writes a mixed-arity segment and
+// re-decodes it from every record boundary: a Reader resumed at boundary
+// i must deliver exactly records i..K-1 and land on the same final
+// offset — the property replication followers lean on when they resume a
+// tail mid-segment.
+func TestReaderResumeAtEveryBoundary(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Meta: 99, SegmentBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var fs []*tt.TT
+	for i := 0; i < 24; i++ {
+		fs = append(fs, tt.Random(4+i%5, rng)) // mixed arities, mixed record sizes
+	}
+	keys := appendAll(t, w, fs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v, %v", segs, err)
+	}
+	path := segs[0].Path
+
+	// First pass from 0 records every boundary (and checks Meta).
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(f, 0)
+	boundaries := []int64{0, headerSize}
+	var all []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if meta, ok := r.Meta(); !ok || meta != 99 {
+			t.Fatalf("meta %d,%v after first record", meta, ok)
+		}
+		all = append(all, rec)
+		boundaries = append(boundaries, r.Offset())
+	}
+	f.Close()
+	if len(all) != len(fs) {
+		t.Fatalf("decoded %d records, want %d", len(all), len(fs))
+	}
+	end := boundaries[len(boundaries)-1]
+	if end != segs[0].Size {
+		t.Fatalf("final boundary %d, segment size %d", end, segs[0].Size)
+	}
+
+	for i, off := range boundaries {
+		recs, final, err := readAllFrom(t, path, off)
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("resume at boundary %d (offset %d): terminal %v", i, off, err)
+		}
+		// boundaries[0] is offset 0 (header included) and boundaries[1] is
+		// headerSize: both yield the full record list.
+		wantFrom := i - 1
+		if wantFrom < 0 {
+			wantFrom = 0
+		}
+		if len(recs) != len(fs)-wantFrom || final != end {
+			t.Fatalf("resume at boundary %d: %d records ending %d, want %d ending %d",
+				i, len(recs), final, len(fs)-wantFrom, end)
+		}
+		for j, rec := range recs {
+			k := wantFrom + j
+			if rec.Key != keys[k] || !rec.TT.Equal(fs[k]) {
+				t.Fatalf("resume at boundary %d: record %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestReaderPartialAndFrameErrors crafts truncated and corrupted
+// segment bytes and checks the error taxonomy: a short tail is
+// ErrPartial (retryable, offset at the last whole record), a checksum
+// flip is ErrFrame, and both leave Offset at the boundary before the
+// damage.
+func TestReaderPartialAndFrameErrors(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Meta: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	fs := []*tt.TT{tt.Random(6, rng), tt.Random(6, rng)}
+	appendAll(t, w, fs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := ListSegments(dir)
+	raw, err := os.ReadFile(segs[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := (int64(len(raw)) - headerSize) / 2
+	boundary := headerSize + recLen
+
+	// Truncations anywhere inside the second record: one good record,
+	// then ErrPartial at its boundary.
+	for _, cut := range []int64{boundary + 1, boundary + frameSize, int64(len(raw)) - 1} {
+		r := NewReader(bytes.NewReader(raw[:cut]), 0)
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("cut %d: first record: %v", cut, err)
+		}
+		_, err := r.Next()
+		if !errors.Is(err, ErrPartial) || r.Offset() != boundary {
+			t.Fatalf("cut %d: got %v at offset %d, want ErrPartial at %d", cut, err, r.Offset(), boundary)
+		}
+	}
+
+	// A flipped payload byte in the second record: ErrFrame (checksum).
+	corrupt := append([]byte(nil), raw...)
+	corrupt[boundary+frameSize+2] ^= 0x40
+	r := NewReader(bytes.NewReader(corrupt), 0)
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrFrame) || r.Offset() != boundary {
+		t.Fatalf("checksum flip: got %v at offset %d, want ErrFrame at %d", err, r.Offset(), boundary)
+	}
+
+	// Bad magic: ErrFrame before any record.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	r = NewReader(bytes.NewReader(bad), 0)
+	if _, err := r.Next(); !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	// Empty stream: ErrPartial (header not yet written).
+	r = NewReader(bytes.NewReader(nil), 0)
+	if _, err := r.Next(); !errors.Is(err, ErrPartial) {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+// TestWriterDurableSize: the durable boundary trails appends in
+// group-fsync mode and tracks them exactly in every-append mode — the
+// contract that lets replication serve only what a power cut cannot
+// take back.
+func TestWriterDurableSize(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Meta: 3, FsyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, size := w.DurableSize(); seq != 1 || size != headerSize {
+		t.Fatalf("fresh writer durable (%d,%d), want (1,%d)", seq, size, headerSize)
+	}
+	rng := rand.New(rand.NewSource(14))
+	f := tt.Random(6, rng)
+	if err := w.Append(1, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, size := w.DurableSize(); size != headerSize {
+		t.Fatalf("buffered append already durable at %d", size)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, size := w.DurableSize()
+	if size <= headerSize {
+		t.Fatalf("synced append not durable (size %d)", size)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the scanned on-disk prefix is the durable boundary.
+	w2, err := OpenWriter(dir, Options{Meta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if seq2, size2 := w2.DurableSize(); seq2 != 1 || size2 != size {
+		t.Fatalf("reopened durable (%d,%d), want (1,%d)", seq2, size2, size)
+	}
+}
+
+// TestReaderTailsConcurrentAppend tails a segment that a live Writer
+// keeps appending to — the follower's steady state. The writer runs in
+// group-fsync mode with records big enough to overflow its buffer, so
+// the on-disk file regularly ends mid-record and the reader must stop at
+// ErrPartial and resume from the boundary. Every record must arrive
+// exactly once, in order.
+func TestReaderTailsConcurrentAppend(t *testing.T) {
+	const total = 300
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, Options{Meta: 5, SegmentBytes: 1 << 30, FsyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	fs := make([]*tt.TT, total)
+	for i := range fs {
+		fs[i] = tt.Random(12, rng) // 521-byte payloads overflow the 64KB buffer mid-record
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, f := range fs {
+			if err := w.Append(uint64(i), f); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+		if err := w.Sync(); err != nil {
+			t.Errorf("final sync: %v", err)
+		}
+	}()
+
+	path := SegmentPath(dir, 1)
+	var got []Record
+	offset := int64(0)
+	sawPartial := false
+	deadline := time.Now().Add(30 * time.Second)
+	for len(got) < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("tailed only %d/%d records before deadline", len(got), total)
+		}
+		time.Sleep(2 * time.Millisecond)
+		recs, final, err := readAllFrom(t, path, offset)
+		switch {
+		case errors.Is(err, io.EOF):
+		case errors.Is(err, ErrPartial):
+			sawPartial = true
+		default:
+			t.Fatalf("tail at offset %d: %v", offset, err)
+		}
+		got = append(got, recs...)
+		offset = final
+	}
+	wg.Wait()
+	for i, rec := range got {
+		if rec.Key != uint64(i) || !rec.TT.Equal(fs[i]) {
+			t.Fatalf("tailed record %d mismatch (key %d)", i, rec.Key)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The buffered writer flushes 64KB chunks, so some poll must have
+	// caught a record half-flushed; if not, this test lost its point.
+	if !sawPartial {
+		t.Log("warning: tail never observed a partial record; buffer sizes may have changed")
+	}
+}

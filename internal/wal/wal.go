@@ -21,6 +21,13 @@
 // and Compactor folds the sealed segments together with the previous
 // snapshot into a fresh snapshot and deletes the folded segments.
 //
+// Reader is the streaming form of the same framing: it decodes one
+// segment's bytes incrementally from any record boundary, distinguishing
+// a clean end (io.EOF), a stream caught mid-append (ErrPartial — resume
+// later from Offset) and corruption (ErrFrame). Replay is built on it,
+// and so is WAL-shipping replication (internal/replica), which tails a
+// live primary's segments over HTTP with resumable offsets.
+//
 // The package is self-contained below internal/store: it knows truth
 // tables and the snapshot file format (internal/tt, internal/ttio) but
 // nothing about stores, services or federation, which layer recovery and
@@ -58,8 +65,11 @@ type Segment struct {
 	Size int64
 }
 
-// segmentPath names segment seq within dir.
-func segmentPath(dir string, seq uint64) string {
+// SegmentPath names segment seq within dir. Segment files are zero-padded
+// decimal sequence numbers with the .wal suffix, so lexical order is
+// sequence order; the replication endpoints use this to serve a segment
+// named only by its sequence number.
+func SegmentPath(dir string, seq uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%08d%s", seq, segSuffix))
 }
 

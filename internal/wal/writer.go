@@ -72,6 +72,7 @@ type Writer struct {
 	bw         *bufio.Writer
 	seq        uint64 // active segment sequence
 	size       int64  // active segment size including buffered bytes
+	durable    int64  // active segment bytes known fsynced (a record boundary)
 	segRecords int64  // records in the active segment
 	scratch    []byte
 	dirty      bool
@@ -149,6 +150,7 @@ func OpenWriter(dir string, o Options) (*Writer, error) {
 			}
 			w.f, w.bw = f, bufio.NewWriterSize(f, 1<<16)
 			w.seq, w.size, w.segRecords = last.Seq, valid, records
+			w.durable = valid // the scanned prefix is on disk
 		}
 	}
 	if o.FsyncEvery > 0 {
@@ -162,7 +164,7 @@ func OpenWriter(dir string, o Options) (*Writer, error) {
 // createSegment starts a new segment file with a fresh header, fsyncing
 // the header and the directory entry so the segment itself is durable.
 func (w *Writer) createSegment(seq uint64) error {
-	path := segmentPath(w.dir, seq)
+	path := SegmentPath(w.dir, seq)
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -179,6 +181,7 @@ func (w *Writer) createSegment(seq uint64) error {
 	syncDir(w.dir)
 	w.f, w.bw = f, bufio.NewWriterSize(f, 1<<16)
 	w.seq, w.size, w.segRecords = seq, int64(len(hdr)), 0
+	w.durable = int64(len(hdr)) // header was fsynced above
 	return nil
 }
 
@@ -241,6 +244,18 @@ func (w *Writer) Commit() error {
 	return w.Sync()
 }
 
+// DurableSize returns the active segment's sequence and the length of
+// its prefix known to be fsynced — always a record boundary, since every
+// sync flushes whole buffered records. The replication endpoints serve
+// the active segment only up to this boundary, so a follower can never
+// apply a record its primary might lose to a power cut; sealed segments
+// (sequence below the returned one) are durable in full.
+func (w *Writer) DurableSize() (seq uint64, size int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq, w.durable
+}
+
 // Sync flushes buffered appends and fsyncs the active segment.
 func (w *Writer) Sync() error {
 	w.mu.Lock()
@@ -259,6 +274,7 @@ func (w *Writer) syncLocked() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	w.fsyncs.Add(1)
+	w.durable = w.size
 	w.dirty = false
 	return nil
 }

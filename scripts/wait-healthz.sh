@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# wait-healthz.sh BASE_URL [TRIES]
+#
+# Polls BASE_URL/healthz every 0.1s until it answers 2xx, failing after
+# TRIES attempts (default 100, i.e. ~10s). Shared by every CI smoke step
+# that has to wait for an npnserve to come up.
+set -euo pipefail
+
+url="${1:?usage: wait-healthz.sh http://host:port [tries]}"
+tries="${2:-100}"
+
+for ((i = 0; i < tries; i++)); do
+  if curl -sf "${url}/healthz" >/dev/null 2>&1; then
+    exit 0
+  fi
+  sleep 0.1
+done
+echo "wait-healthz: no healthy /healthz at ${url} after ${tries} tries" >&2
+exit 1
