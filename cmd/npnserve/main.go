@@ -6,21 +6,38 @@
 // Usage:
 //
 //	npnserve [-arities 4-10] [-addr :8080] [-shards 16] [-workers 0]
-//	         [-cache 4096] [-config full|serving] [-data dir]
-//	         [-fsync-interval 100ms] [-segment-bytes N] [-compact-every 0]
-//	         [-follow URL] [-follow-mode proxy|local]
+//	         [-cache 4096] [-config full|serving] [-max-body N]
+//	         [-data dir] [-fsync-interval 100ms] [-segment-bytes N]
+//	         [-compact-every 0] [-follow URL] [-follow-mode proxy|local]
 //	         [-follow-interval 200ms] [-stale-after 0]
 //
-// Endpoints:
+// Endpoints (the /v2 surface of internal/api; see GET /v2/spec for the
+// machine-readable list and README for the full reference):
 //
-//	POST /v1/classify  {"functions":["<hex tt>", ...]} -> class keys, reps,
+//	POST /v2/classify  {"functions":["<hex tt>", ...]} -> class keys, reps,
 //	                   matcher-certified witnesses (read-only). Batches may
 //	                   mix arities: each function's arity is inferred from
-//	                   its hex length and routed to that arity's store.
-//	POST /v1/insert    same body; absent classes are created
-//	POST /v1/compact   admin: fold sealed WAL segments into snapshots
-//	GET  /v1/stats     aggregate totals and a per-arity breakdown
+//	                   its hex length and routed to that arity's store. A
+//	                   bad function fails only its own item: the response
+//	                   carries per-item {"error":{"code",...}} objects.
+//	POST /v2/insert    same body; absent classes are created
+//	POST /v2/classify/stream, POST /v2/insert/stream
+//	                   NDJSON variants (one hex function per line in, one
+//	                   result object per line out) for batches too large
+//	                   to buffer
+//	POST /v2/map       ASCII-AIGER circuit body (+ ?k=6&mode=depth&cuts=8)
+//	                   -> functionally-verified k-LUT mapping with its NPN
+//	                   class census; ?insert=true warms the store with the
+//	                   discovered LUT classes
+//	POST /v2/compact   admin: fold sealed WAL segments into snapshots
+//	GET  /v2/stats     aggregate totals and a per-arity breakdown
+//	GET  /v2/spec      self-description: routes + error codes
 //	GET  /healthz      liveness + federated range
+//
+// The /v1 endpoints (classify, insert, compact, stats) remain mounted as
+// deprecated byte-compatible shims; unmatched routes and methods answer
+// the /v2 JSON error envelope. -max-body bounds the AIGER upload and
+// NDJSON stream bodies in bytes.
 //
 // -arities accepts a single arity ("6") or an inclusive range ("4-10");
 // per-arity stores are constructed lazily on first use. -config selects
@@ -69,6 +86,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/replica"
@@ -87,6 +105,7 @@ type config struct {
 	workers       int
 	cache         int
 	keyConfig     string
+	maxBody       int64
 	dataDir       string
 	fsyncInterval time.Duration
 	segmentBytes  int64
@@ -109,6 +128,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "per-arity batch worker pool width (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.cache, "cache", service.DefaultCacheSize, "per-arity LRU result cache capacity (negative disables)")
 	flag.StringVar(&cfg.keyConfig, "config", "full", "MSV key configuration: \"full\" or \"serving\" (cheap OCV1+OIV keys)")
+	flag.Int64Var(&cfg.maxBody, "max-body", api.DefaultMaxBody, "byte bound on /v2/map circuit uploads and NDJSON stream bodies")
 	flag.StringVar(&cfg.dataDir, "data", "", "durable data directory: per-arity WAL + snapshot under n<arity>/ (empty = memory only)")
 	flag.DurationVar(&cfg.fsyncInterval, "fsync-interval", 100*time.Millisecond, "WAL group-fsync interval; 0 fsyncs every append (with -data)")
 	flag.Int64Var(&cfg.segmentBytes, "segment-bytes", wal.DefaultSegmentBytes, "WAL segment rotation threshold in bytes (with -data)")
@@ -140,14 +160,14 @@ func main() {
 			logger.Fatal(err)
 		}
 		follower, reg = f, f.Registry()
-		handler = replica.NewHandler(f)
+		handler = replica.NewHandlerWith(f, cfg.bodyBound())
 	} else {
 		r, err := buildRegistry(cfg)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		reg = r
-		handler = federation.NewHandler(reg)
+		handler = federation.NewHandlerWith(reg, cfg.bodyBound())
 		if cfg.loadPath != "" {
 			loaded, err := loadSnapshots(reg, cfg.loadPath)
 			if err != nil {
@@ -224,6 +244,16 @@ func main() {
 		}
 		logger.Printf("saved %d classes to %s (arities %v)", saved, cfg.savePath, reg.Active())
 	}
+}
+
+// bodyBound returns the -max-body value, with zero and negatives (and
+// the zero config value the tests construct) falling back to the
+// default.
+func (c config) bodyBound() int64 {
+	if c.maxBody <= 0 {
+		return api.DefaultMaxBody
+	}
+	return c.maxBody
 }
 
 // parseArities parses the -arities value: "6" or "4-10", both inclusive.

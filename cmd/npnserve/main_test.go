@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -10,21 +9,27 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/aig"
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/gen"
 	"repro/internal/npn"
 	"repro/internal/replica"
-	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/tt"
+	"repro/pkg/client"
 )
 
 // startServer builds the flag-configured registry and serves it over a
-// real TCP listener via httptest — the full stack a client sees.
-func startServer(t *testing.T, cfg config) (*httptest.Server, *federation.Registry) {
+// real TCP listener via httptest — the full stack a client sees — and
+// returns the official client pointed at it. pkg/client is the only HTTP
+// client these end-to-end tests use.
+func startServer(t *testing.T, cfg config) (*client.Client, *federation.Registry) {
 	t.Helper()
 	reg, err := buildRegistry(cfg)
 	if err != nil {
@@ -35,37 +40,21 @@ func startServer(t *testing.T, cfg config) (*httptest.Server, *federation.Regist
 			t.Fatal(err)
 		}
 	}
-	srv := httptest.NewServer(federation.NewHandler(reg))
+	srv := httptest.NewServer(federation.NewHandlerWith(reg, cfg.bodyBound()))
 	t.Cleanup(srv.Close)
-	return srv, reg
+	return client.New(srv.URL), reg
 }
 
-func post(t *testing.T, url string, body any) (*http.Response, []byte) {
-	t.Helper()
-	b, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var out bytes.Buffer
-	if _, err := out.ReadFrom(resp.Body); err != nil {
-		t.Fatal(err)
-	}
-	return resp, out.Bytes()
-}
-
-// TestEndToEndMixedArity drives the acceptance scenario: a single batch of
-// truth tables spanning every arity n = 4..10 is inserted into one server,
-// then a single mixed-arity batch of NPN variants is classified; every
-// answer must carry the right class key and a witness the matcher
-// semantics certify (replayed locally against the returned rep), and the
-// per-arity stats breakdown must account for exactly the routed traffic.
+// TestEndToEndMixedArity drives the acceptance scenario through
+// pkg/client: a single batch of truth tables spanning every arity
+// n = 4..10 is inserted into one server, then a single mixed-arity batch
+// of NPN variants is classified; every answer must carry the right class
+// key and a witness the matcher semantics certify (replayed locally by
+// client.ReplayWitness), and the per-arity stats breakdown must account
+// for exactly the routed traffic.
 func TestEndToEndMixedArity(t *testing.T) {
-	srv, _ := startServer(t, config{arities: "4-10", shards: 8, workers: 2, cache: 128})
+	ctx := context.Background()
+	c, _ := startServer(t, config{arities: "4-10", shards: 8, workers: 2, cache: 128})
 
 	rng := rand.New(rand.NewSource(700))
 	var base []*tt.TT
@@ -83,13 +72,12 @@ func TestEndToEndMixedArity(t *testing.T) {
 		hexes[i], hexes[j] = hexes[j], hexes[i]
 	})
 
-	resp, body := post(t, srv.URL+"/v1/insert", service.ClassifyRequest{Functions: hexes})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
-	}
-	var ins service.InsertResponse
-	if err := json.Unmarshal(body, &ins); err != nil {
+	ins, err := c.Insert(ctx, hexes)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if ins.Errors != 0 {
+		t.Fatalf("insert reported %d item errors", ins.Errors)
 	}
 	classOf := make(map[int]string)
 	for i, r := range ins.Results {
@@ -100,17 +88,11 @@ func TestEndToEndMixedArity(t *testing.T) {
 	}
 
 	variants := make([]string, len(base))
-	varTT := make([]*tt.TT, len(base))
 	for i, f := range base {
-		varTT[i] = npn.RandomTransform(f.NumVars(), rng).Apply(f)
-		variants[i] = varTT[i].Hex()
+		variants[i] = randomTransformed(rng, f).Hex()
 	}
-	resp, body = post(t, srv.URL+"/v1/classify", service.ClassifyRequest{Functions: variants})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("classify status %d: %s", resp.StatusCode, body)
-	}
-	var cls service.ClassifyResponse
-	if err := json.Unmarshal(body, &cls); err != nil {
+	cls, err := c.Classify(ctx, variants)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i, r := range cls.Results {
@@ -121,23 +103,18 @@ func TestEndToEndMixedArity(t *testing.T) {
 		if got := fmt.Sprintf("%s:%d", r.Class, *r.Index); got != classOf[i] {
 			t.Fatalf("variant %d classified as %s, inserted as %s", i, got, classOf[i])
 		}
-		tr, err := r.Witness.Transform()
-		if err != nil {
-			t.Fatalf("variant %d witness: %v", i, err)
-		}
-		if !tr.Apply(tt.MustFromHex(n, r.Rep)).Equal(varTT[i]) {
-			t.Fatalf("variant %d (n=%d): wire witness does not verify", i, n)
+		if err := client.ReplayWitness(r); err != nil {
+			t.Fatalf("variant %d (n=%d): %v", i, n, err)
 		}
 	}
 
 	// Stats must reflect the routed traffic, per arity and in total.
-	statsResp, err := http.Get(srv.URL + "/v1/stats")
+	raw, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer statsResp.Body.Close()
 	var st federation.Stats
-	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+	if err := json.Unmarshal(raw, &st); err != nil {
 		t.Fatal(err)
 	}
 	if st.MinVars != 4 || st.MaxVars != 10 || len(st.PerArity) != 7 {
@@ -153,13 +130,253 @@ func TestEndToEndMixedArity(t *testing.T) {
 	}
 
 	// Liveness.
-	hResp, err := http.Get(srv.URL + "/healthz")
+	status, _, err := c.Healthz(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	hResp.Body.Close()
-	if hResp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", hResp.StatusCode)
+	if status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+}
+
+// randomTransformed applies a random NPN transform to f.
+func randomTransformed(rng *rand.Rand, f *tt.TT) *tt.TT {
+	return npn.RandomTransform(f.NumVars(), rng).Apply(f)
+}
+
+// TestPerItemErrors: one bad truth table fails only its own item on /v2,
+// and the error codes are the stable taxonomy.
+func TestPerItemErrors(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t, config{arities: "4-6", shards: 4, cache: 16})
+
+	good := "cafef00dcafef00d" // n=6
+	cls, err := c.Classify(ctx, []string{good, "zzzz", "ab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Errors != 2 {
+		t.Fatalf("errors = %d, want 2", cls.Errors)
+	}
+	if cls.Results[0].Error != nil {
+		t.Fatalf("good item failed: %+v", cls.Results[0].Error)
+	}
+	if cls.Results[1].Error == nil || cls.Results[1].Error.Code != api.CodeBadHex {
+		t.Fatalf("bad hex item: %+v", cls.Results[1].Error)
+	}
+	if cls.Results[2].Error == nil || cls.Results[2].Error.Code != api.CodeArityOutOfRange {
+		t.Fatalf("bad arity item: %+v", cls.Results[2].Error)
+	}
+
+	ins, err := c.Insert(ctx, []string{"zz", good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Errors != 1 || ins.Results[0].Error == nil || ins.Results[1].Error != nil || !ins.Results[1].New {
+		t.Fatalf("insert per-item errors: %+v", ins.Results)
+	}
+}
+
+// TestV1ShimStillServes drives the same flow through the deprecated /v1
+// surface (via the client's raw escape hatch) and checks it agrees with
+// /v2 semantically.
+func TestV1ShimStillServes(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t, config{arities: "4-6", shards: 4, cache: 16})
+
+	body := []byte(`{"functions":["cafef00dcafef00d","1ee1"]}`)
+	status, raw, err := c.Post(ctx, "/v1/insert", "application/json", body)
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("v1 insert: %d %v (%s)", status, err, raw)
+	}
+	var v1 struct {
+		Results []struct {
+			Function string `json:"function"`
+			Class    string `json:"class"`
+			Index    int    `json:"index"`
+			New      bool   `json:"new"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &v1); err != nil {
+		t.Fatal(err)
+	}
+	cls, err := c.Classify(ctx, []string{"cafef00dcafef00d", "1ee1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		if !r.Hit || r.Class != v1.Results[i].Class || *r.Index != v1.Results[i].Index {
+			t.Fatalf("v1/v2 disagree on item %d: v1=(%s,%d) v2=%+v", i, v1.Results[i].Class, v1.Results[i].Index, r)
+		}
+	}
+
+	// The v1 whole-batch contract is preserved: one bad function fails
+	// the request with a 400 and the flat {"error": "..."} body.
+	status, raw, err = c.Post(ctx, "/v1/classify", "application/json", []byte(`{"functions":["cafef00dcafef00d","zz"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusBadRequest || !strings.Contains(string(raw), `"error":"functions[1]`) {
+		t.Fatalf("v1 whole-batch error: %d %s", status, raw)
+	}
+}
+
+// TestJSONFallbacks: unmatched routes and wrong methods answer the /v2
+// JSON error envelope (with Allow on 405) on every stack.
+func TestJSONFallbacks(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t, config{arities: "4-6", shards: 4, cache: 16})
+
+	status, raw, err := c.Get(ctx, "/no/such/route")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env api.ErrorEnvelope
+	if status != http.StatusNotFound || json.Unmarshal(raw, &env) != nil || env.Error == nil || env.Error.Code != api.CodeNotFound {
+		t.Fatalf("404 fallback: %d %s", status, raw)
+	}
+
+	status, raw, err = c.Get(ctx, "/v2/classify") // GET on a POST route
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = api.ErrorEnvelope{}
+	if status != http.StatusMethodNotAllowed || json.Unmarshal(raw, &env) != nil || env.Error == nil || env.Error.Code != api.CodeMethodNotAllowed {
+		t.Fatalf("405 fallback: %d %s", status, raw)
+	}
+
+	// Wrong content type on a POST: unsupported_media_type, not a decode
+	// error.
+	status, raw, err = c.Post(ctx, "/v2/classify", "text/csv", []byte(`{"functions":["1ee1"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = api.ErrorEnvelope{}
+	if status != http.StatusUnsupportedMediaType || json.Unmarshal(raw, &env) != nil || env.Error == nil || env.Error.Code != api.CodeUnsupportedMediaType {
+		t.Fatalf("415 gate: %d %s", status, raw)
+	}
+}
+
+// TestSpecCoversRoutes: GET /v2/spec lists every mounted route — proved
+// by asking for each one and never hitting the not_found fallback — and
+// the headline endpoints are all present.
+func TestSpecCoversRoutes(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t, config{arities: "4-6", shards: 4, cache: 16})
+
+	spec, err := c.Spec(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.APIVersion != api.Version || spec.Role != "federated" {
+		t.Fatalf("spec header %+v", spec)
+	}
+	want := []string{
+		"POST /v2/classify", "POST /v2/insert",
+		"POST /v2/classify/stream", "POST /v2/insert/stream",
+		"POST /v2/map", "POST /v2/compact", "GET /v2/stats", "GET /v2/spec",
+		"GET /healthz", "POST /v1/classify", "POST /v1/insert",
+	}
+	mounted := make(map[string]bool)
+	for _, rt := range spec.Routes {
+		mounted[rt.Method+" "+rt.Pattern] = true
+	}
+	for _, w := range want {
+		if !mounted[w] {
+			t.Fatalf("spec is missing %q (routes: %v)", w, spec.Routes)
+		}
+	}
+	if len(spec.ErrorCodes) == 0 {
+		t.Fatal("spec lists no error codes")
+	}
+
+	// Every spec route must be live: asking with the right method must
+	// never reach the not_found or method_not_allowed fallback.
+	for _, rt := range spec.Routes {
+		path := strings.NewReplacer("{arity}", "5", "{seq}", "1").Replace(rt.Pattern)
+		var status int
+		var err error
+		switch rt.Method {
+		case http.MethodGet:
+			status, _, err = c.Get(ctx, path)
+		case http.MethodPost:
+			status, _, err = c.Post(ctx, path, "application/json", nil)
+		default:
+			t.Fatalf("unexpected method %q in spec", rt.Method)
+		}
+		if err != nil {
+			t.Fatalf("%s %s: %v", rt.Method, path, err)
+		}
+		if status == http.StatusNotFound || status == http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s answered %d: spec lists a route the mux does not serve", rt.Method, path, status)
+		}
+	}
+}
+
+// TestMapEndpoint uploads a real circuit through the client and checks
+// the verified mapping plus the census, and that insert=true warms the
+// classifier: the LUT functions must then classify as hits.
+func TestMapEndpoint(t *testing.T) {
+	ctx := context.Background()
+	c, _ := startServer(t, config{arities: "2-10", shards: 4, cache: 16})
+
+	var aag strings.Builder
+	if err := aig.WriteAAG(&aag, gen.RippleCarryAdder(8)); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := c.Map(ctx, strings.NewReader(aag.String()), client.MapParams{K: 4, Mode: "depth", Insert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.VerifyMethod != "sampled" && res.VerifyMethod != "exhaustive" {
+		t.Fatalf("mapping not verified: %+v", res)
+	}
+	if res.Area != len(res.LUTs) || res.Area == 0 || res.Depth == 0 {
+		t.Fatalf("mapping shape: area=%d depth=%d luts=%d", res.Area, res.Depth, len(res.LUTs))
+	}
+	census := 0
+	for _, row := range res.Classes {
+		census += row.Count
+	}
+	if census != res.Area {
+		t.Fatalf("census counts %d LUTs, area is %d", census, res.Area)
+	}
+	if res.Inserted == nil || res.Inserted.ClassesCreated == 0 || res.Inserted.Errors != 0 {
+		t.Fatalf("insert summary %+v", res.Inserted)
+	}
+
+	// The discovered classes really are in the store now: the K-padded
+	// LUT functions classify as hits.
+	var fns []string
+	for _, l := range res.LUTs {
+		f, err := tt.FromHex(l.Vars, l.Function)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.NumVars() < res.K {
+			f = f.Extend(res.K)
+		}
+		fns = append(fns, f.Hex())
+	}
+	cls, err := c.Classify(ctx, fns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		if !r.Hit {
+			t.Fatalf("mapped LUT %d not warmed into the classifier", i)
+		}
+	}
+
+	// Parameter validation speaks the taxonomy.
+	_, err = c.Map(ctx, strings.NewReader(aag.String()), client.MapParams{K: 40})
+	if e, ok := err.(*api.Error); !ok || e.Code != api.CodeArityOutOfRange {
+		t.Fatalf("k=40 error: %v", err)
+	}
+	_, err = c.Map(ctx, strings.NewReader("not an aag"), client.MapParams{})
+	if e, ok := err.(*api.Error); !ok || e.Code != api.CodeBadCircuit {
+		t.Fatalf("bad circuit error: %v", err)
 	}
 }
 
@@ -241,6 +458,7 @@ func TestSavePurgesStaleSnapshots(t *testing.T) {
 // snapshot directory written by a previous instance — the persistence
 // path of the -load/-save flags.
 func TestLoadSaveRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	reg, err := buildRegistry(config{arities: "4-6", shards: 4, cache: 16})
 	if err != nil {
@@ -272,7 +490,7 @@ func TestLoadSaveRoundTrip(t *testing.T) {
 		t.Fatalf("saved %d classes, stores hold %d", saved, total)
 	}
 
-	srv, reg2 := startServer(t, config{arities: "4-6", shards: 4, cache: 16, loadPath: dir})
+	c, reg2 := startServer(t, config{arities: "4-6", shards: 4, cache: 16, loadPath: dir})
 	total2 := 0
 	for _, n := range reg2.Active() {
 		svc, _ := reg2.Service(n)
@@ -281,13 +499,8 @@ func TestLoadSaveRoundTrip(t *testing.T) {
 	if total2 != total {
 		t.Fatalf("preloaded %d classes, want %d", total2, total)
 	}
-	resp, body := post(t, srv.URL+"/v1/classify",
-		service.ClassifyRequest{Functions: []string{fs[0].Hex(), fs[len(fs)-1].Hex()}})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("classify status %d", resp.StatusCode)
-	}
-	var cls service.ClassifyResponse
-	if err := json.Unmarshal(body, &cls); err != nil {
+	cls, err := c.Classify(ctx, []string{fs[0].Hex(), fs[len(fs)-1].Hex()})
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i, r := range cls.Results {
@@ -323,9 +536,10 @@ func TestFollowerFlagValidation(t *testing.T) {
 // the follower serves them locally with the same identity, and the
 // follower's healthz reports its role.
 func TestFollowerServerEndToEnd(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	pcfg := config{arities: "4-6", shards: 4, cache: 16, dataDir: dir, segmentBytes: 1 << 12}
-	psrv, _ := startServer(t, pcfg)
+	pc, _ := startServer(t, pcfg)
 
 	rng := rand.New(rand.NewSource(704))
 	var hexes []string
@@ -334,17 +548,13 @@ func TestFollowerServerEndToEnd(t *testing.T) {
 			hexes = append(hexes, tt.Random(n, rng).Hex())
 		}
 	}
-	resp, body := post(t, psrv.URL+"/v1/insert", service.ClassifyRequest{Functions: hexes})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
-	}
-	var ins service.InsertResponse
-	if err := json.Unmarshal(body, &ins); err != nil {
+	ins, err := pc.Insert(ctx, hexes)
+	if err != nil {
 		t.Fatal(err)
 	}
 
 	fol, err := buildFollower(config{arities: "4-6", shards: 4, cache: 16,
-		follow: psrv.URL, followMode: "local", followInterval: 50 * time.Millisecond,
+		follow: pc.Base(), followMode: "local", followInterval: 50 * time.Millisecond,
 		staleAfter: time.Minute}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -354,13 +564,10 @@ func TestFollowerServerEndToEnd(t *testing.T) {
 	}
 	fsrv := httptest.NewServer(replica.NewHandler(fol))
 	t.Cleanup(fsrv.Close)
+	fc := client.New(fsrv.URL)
 
-	resp, body = post(t, fsrv.URL+"/v1/classify", service.ClassifyRequest{Functions: hexes})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("follower classify status %d: %s", resp.StatusCode, body)
-	}
-	var cls service.ClassifyResponse
-	if err := json.Unmarshal(body, &cls); err != nil {
+	cls, err := fc.Classify(ctx, hexes)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i, r := range cls.Results {
@@ -369,20 +576,19 @@ func TestFollowerServerEndToEnd(t *testing.T) {
 		}
 	}
 
-	hresp, err := http.Get(fsrv.URL + "/healthz")
+	status, hraw, err := fc.Healthz(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer hresp.Body.Close()
 	var health struct {
 		Status string `json:"status"`
 		Role   string `json:"role"`
 	}
-	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+	if err := json.Unmarshal(hraw, &health); err != nil {
 		t.Fatal(err)
 	}
-	if hresp.StatusCode != http.StatusOK || health.Role != "follower" || health.Status != "ok" {
-		t.Fatalf("follower healthz %d %+v", hresp.StatusCode, health)
+	if status != http.StatusOK || health.Role != "follower" || health.Status != "ok" {
+		t.Fatalf("follower healthz %d %+v", status, health)
 	}
 }
 
@@ -402,20 +608,16 @@ func TestParseKeyConfig(t *testing.T) {
 // TestServingConfigFlag boots the flag-configured stack with -config
 // serving and verifies the weaker key still serves certified answers.
 func TestServingConfigFlag(t *testing.T) {
-	srv, reg := startServer(t, config{arities: "4-6", shards: 4, cache: 16, keyConfig: "serving"})
+	ctx := context.Background()
+	c, reg := startServer(t, config{arities: "4-6", shards: 4, cache: 16, keyConfig: "serving"})
 	rng := rand.New(rand.NewSource(702))
 	f := tt.Random(5, rng)
-	resp, body := post(t, srv.URL+"/v1/insert", service.ClassifyRequest{Functions: []string{f.Hex()}})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	if _, err := c.Insert(ctx, []string{f.Hex()}); err != nil {
+		t.Fatal(err)
 	}
-	variant := npn.RandomTransform(5, rng).Apply(f)
-	resp, body = post(t, srv.URL+"/v1/classify", service.ClassifyRequest{Functions: []string{variant.Hex()}})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("classify status %d: %s", resp.StatusCode, body)
-	}
-	var cls service.ClassifyResponse
-	if err := json.Unmarshal(body, &cls); err != nil {
+	variant := randomTransformed(rng, f)
+	cls, err := c.Classify(ctx, []string{variant.Hex()})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if !cls.Results[0].Hit {
@@ -436,11 +638,12 @@ func TestServingConfigFlag(t *testing.T) {
 // acknowledged insert durable), rebuild the stack on the same data
 // directory and require every class back with its identity.
 func TestDurableServerRestart(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	// fsyncInterval 0 = fsync every append, the kill-safe mode.
 	cfg := config{arities: "4-6", shards: 4, cache: 16, keyConfig: "full",
 		dataDir: dir, segmentBytes: 1 << 12}
-	srv, _ := startServer(t, cfg)
+	c, _ := startServer(t, cfg)
 
 	rng := rand.New(rand.NewSource(703))
 	var hexes []string
@@ -449,23 +652,18 @@ func TestDurableServerRestart(t *testing.T) {
 			hexes = append(hexes, tt.Random(n, rng).Hex())
 		}
 	}
-	resp, body := post(t, srv.URL+"/v1/insert", service.ClassifyRequest{Functions: hexes})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
-	}
-	var ins service.InsertResponse
-	if err := json.Unmarshal(body, &ins); err != nil {
+	ins, err := c.Insert(ctx, hexes)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if ins.Errors != 0 {
+		t.Fatalf("insert errors %d", ins.Errors)
 	}
 	// SIGKILL: the first server's registry is simply abandoned.
 
-	srv2, _ := startServer(t, cfg)
-	resp, body = post(t, srv2.URL+"/v1/classify", service.ClassifyRequest{Functions: hexes})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("classify status %d: %s", resp.StatusCode, body)
-	}
-	var cls service.ClassifyResponse
-	if err := json.Unmarshal(body, &cls); err != nil {
+	c2, _ := startServer(t, cfg)
+	cls, err := c2.Classify(ctx, hexes)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i, r := range cls.Results {
@@ -477,17 +675,14 @@ func TestDurableServerRestart(t *testing.T) {
 		}
 	}
 
-	// Admin compaction over HTTP, then a third restart from the snapshot.
-	resp, body = post(t, srv2.URL+"/v1/compact", struct{}{})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("compact status %d: %s", resp.StatusCode, body)
+	// Admin compaction over HTTP (/v2), then a third restart from the
+	// snapshot.
+	if _, err := c2.Compact(ctx); err != nil {
+		t.Fatalf("compact: %v", err)
 	}
-	srv3, _ := startServer(t, cfg)
-	resp, body = post(t, srv3.URL+"/v1/classify", service.ClassifyRequest{Functions: hexes[:3]})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("post-compaction classify status %d: %s", resp.StatusCode, body)
-	}
-	if err := json.Unmarshal(body, &cls); err != nil {
+	c3, _ := startServer(t, cfg)
+	cls, err = c3.Classify(ctx, hexes[:3])
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i, r := range cls.Results {

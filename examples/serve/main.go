@@ -1,18 +1,19 @@
-// Serve: the federated NPN classification service as a client sees it.
-// The example starts an npnserve-style server in-process on a loopback
-// port, then drives it over real HTTP with mixed-arity batches: it
-// inserts a "cell library" spanning n = 4..7 in one request, classifies
-// one batch of NPN disguises of all those cells — each function routed to
-// its arity's store by the server — and replays every returned witness
-// locally to certify the answers. This is the Boolean-matching loop of
-// examples/dedup turned into a multi-arity service round trip.
+// Serve: the federated NPN classification service as a client sees it,
+// driven through pkg/client — the official Go client of the /v2 API. The
+// example starts an npnserve-style server in-process on a loopback port,
+// then drives it over real HTTP with mixed-arity batches: it inserts a
+// "cell library" spanning n = 4..7 in one request, classifies one batch
+// of NPN disguises of all those cells — each function routed to its
+// arity's store by the server — and certifies every answer by replaying
+// the returned witness locally (client.ReplayWitness). It finishes by
+// demonstrating the /v2 per-item error contract: a batch with one bad
+// entry still answers the good ones.
 //
 // Run with: go run ./examples/serve
 // To drive an already-running server instead: go run ./examples/serve -addr http://host:port
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -25,27 +26,28 @@ import (
 
 	"repro/internal/federation"
 	"repro/internal/npn"
-	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/tt"
+	"repro/pkg/client"
 )
 
 func main() {
 	addr := flag.String("addr", "", "base URL of a running npnserve (empty = start one in-process)")
 	flag.Parse()
 	const lo, hi = 4, 10
+	ctx := context.Background()
 
 	baseURL := *addr
 	if baseURL == "" {
 		url, shutdown, err := startInProcess(lo, hi)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "serve:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer shutdown()
 		baseURL = url
 		fmt.Printf("started in-process npnserve at %s (arities %d..%d)\n\n", baseURL, lo, hi)
 	}
+	c := client.New(baseURL)
 
 	rng := rand.New(rand.NewSource(2023))
 
@@ -61,10 +63,9 @@ func main() {
 			hexes = append(hexes, f.Hex())
 		}
 	}
-	var ins service.InsertResponse
-	if err := call(baseURL+"/v1/insert", service.ClassifyRequest{Functions: hexes}, &ins); err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
+	ins, err := c.Insert(ctx, hexes)
+	if err != nil {
+		fatal(err)
 	}
 	created := 0
 	for _, r := range ins.Results {
@@ -83,40 +84,46 @@ func main() {
 		disguises[i] = npn.RandomTransform(cell.NumVars(), rng).Apply(cell)
 		query[i] = disguises[i].Hex()
 	}
-	var cls service.ClassifyResponse
-	if err := call(baseURL+"/v1/classify", service.ClassifyRequest{Functions: query}, &cls); err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
+	cls, err := c.Classify(ctx, query)
+	if err != nil {
+		fatal(err)
 	}
-
 	certified := 0
 	for i, r := range cls.Results {
 		if !r.Hit {
 			fmt.Printf("query %s: MISS\n", r.Function)
 			continue
 		}
-		tr, err := r.Witness.Transform()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "serve: bad witness:", err)
-			os.Exit(1)
-		}
-		n := disguises[i].NumVars()
-		if !tr.Apply(tt.MustFromHex(n, r.Rep)).Equal(disguises[i]) {
-			fmt.Fprintf(os.Stderr, "serve: witness for %s does not verify\n", r.Function)
-			os.Exit(1)
+		// The client replays the wire witness locally: τ(rep) = query, so
+		// the answer is certified without trusting the server's matcher.
+		if err := client.ReplayWitness(r); err != nil {
+			fatal(err)
 		}
 		certified++
 		if i < 3 {
-			fmt.Printf("query n=%d %s -> class %s rep %s with τ: %v\n", n, r.Function, r.Class, r.Rep, tr)
+			fmt.Printf("query n=%d %s -> class %s rep %s (witness replayed)\n",
+				disguises[i].NumVars(), r.Function, r.Class, r.Rep)
 		}
 	}
 	fmt.Printf("...\nclassified %d disguises: %d hits, every witness replayed and certified locally\n\n",
 		len(disguises), certified)
 
+	// The /v2 contract answers a partially-bad batch per item: the bogus
+	// entry carries {"error":{"code":"bad_hex"}}, the good one still hits.
+	mixed, err := c.Classify(ctx, []string{query[0], "zzzz"})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("per-item errors: batch of 2 with one bad entry -> %d error item(s); good item hit=%v, bad item code=%q\n\n",
+		mixed.Errors, mixed.Results[0].Hit, mixed.Results[1].Error.Code)
+
+	raw, err := c.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
 	var st federation.Stats
-	if err := get(baseURL+"/v1/stats", &st); err != nil {
-		fmt.Fprintln(os.Stderr, "serve:", err)
-		os.Exit(1)
+	if err := json.Unmarshal(raw, &st); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("federation stats: arities %d..%d, %d classes total, %d lookups (%d hits, %d LRU), profile cache %d hits / %d misses\n",
 		st.MinVars, st.MaxVars, st.Totals.Classes, st.Totals.Lookups, st.Totals.Hits,
@@ -150,34 +157,7 @@ func startInProcess(lo, hi int) (string, func(), error) {
 	return "http://" + ln.Addr().String(), shutdown, nil
 }
 
-// call POSTs a JSON body and decodes the JSON response into out.
-func call(url string, body, out any) error {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var buf bytes.Buffer
-		buf.ReadFrom(resp.Body)
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, buf.String())
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
-// get GETs a URL and decodes the JSON response into out.
-func get(url string, out any) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s", url, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
 }

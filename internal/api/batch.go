@@ -1,0 +1,141 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/tt"
+)
+
+// DecodeBatch parses a /v2 BatchRequest body under the shared envelope
+// rules: JSON content type, body byte bound, unknown-field rejection,
+// non-empty batch, MaxBatch limit. Envelope failures are whole-request
+// errors (the batch never started); per-function problems are NOT checked
+// here — they become per-item errors downstream. On failure it writes the
+// error envelope and returns ok=false.
+func DecodeBatch(w http.ResponseWriter, r *http.Request, maxBody int64) (fns []string, ok bool) {
+	if !CheckContentType(w, r, "application/json") {
+		return nil, false
+	}
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			WriteError(w, Errf(CodeBodyTooLarge, "request body exceeds %d bytes", tooLarge.Limit))
+			return nil, false
+		}
+		WriteError(w, Errf(CodeBadRequest, "bad request body: %v", err))
+		return nil, false
+	}
+	if len(req.Functions) == 0 {
+		WriteError(w, Errf(CodeBadRequest, "functions must be a non-empty array of hex truth tables"))
+		return nil, false
+	}
+	if len(req.Functions) > MaxBatch {
+		WriteError(w, Errf(CodeBatchTooLarge, "batch of %d exceeds limit %d", len(req.Functions), MaxBatch).
+			WithDetail("use the /v2 streaming endpoints for larger batches"))
+		return nil, false
+	}
+	return req.Functions, true
+}
+
+// resolveBatch runs Resolve over the batch: items[i] is pre-filled with
+// the error item for unresolvable functions, valid holds the parsed
+// functions and validIdx their positions.
+func resolveBatch[T any](b Backend, fns []string, errItem func(fn string, e *Error) T) (items []T, valid []*tt.TT, validIdx []int, nErr int) {
+	items = make([]T, len(fns))
+	for i, s := range fns {
+		f, e := b.Resolve(s)
+		if e != nil {
+			items[i] = errItem(s, e)
+			nErr++
+			continue
+		}
+		valid = append(valid, f)
+		validIdx = append(validIdx, i)
+	}
+	return items, valid, validIdx, nErr
+}
+
+// classifyBatch resolves and classifies one slice of functions into
+// per-item results — the core shared by the buffered handler and the
+// streaming variant.
+func classifyBatch(ctx context.Context, b Backend, fns []string) ([]ClassifyItem, int, *Error) {
+	items, valid, validIdx, nErr := resolveBatch(b, fns, func(fn string, e *Error) ClassifyItem {
+		return ClassifyItem{Function: fn, Error: e}
+	})
+	if len(valid) > 0 {
+		results, batchErr := b.Classify(ctx, valid)
+		if batchErr != nil {
+			return nil, 0, batchErr
+		}
+		for j, res := range results {
+			i := validIdx[j]
+			items[i] = classifyItem(fns[i], res)
+		}
+	}
+	return items, nErr, nil
+}
+
+// insertBatch resolves and inserts one slice of functions into per-item
+// results, or a whole-batch error.
+func insertBatch(ctx context.Context, b Backend, fns []string) ([]InsertItem, int, *Error) {
+	items, valid, validIdx, nErr := resolveBatch(b, fns, func(fn string, e *Error) InsertItem {
+		return InsertItem{Function: fn, Error: e}
+	})
+	if len(valid) > 0 {
+		outcomes, batchErr := b.Insert(ctx, valid)
+		if batchErr != nil {
+			return nil, 0, batchErr
+		}
+		for j, o := range outcomes {
+			i := validIdx[j]
+			items[i] = insertItem(fns[i], o)
+			if items[i].Error != nil {
+				nErr++
+			}
+		}
+	}
+	return items, nErr, nil
+}
+
+// HandleClassify returns the POST /v2/classify handler over b: a buffered
+// batch lookup where one bad truth table fails only its own item.
+func HandleClassify(b Backend, maxBody int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fns, ok := DecodeBatch(w, r, maxBody)
+		if !ok {
+			return
+		}
+		items, nErr, batchErr := classifyBatch(r.Context(), b, fns)
+		if batchErr != nil {
+			WriteError(w, batchErr)
+			return
+		}
+		WriteJSON(w, http.StatusOK, ClassifyResponse{Results: items, Errors: nErr})
+	}
+}
+
+// HandleInsert returns the POST /v2/insert handler over b. Per-item
+// failures (bad_hex, arity_out_of_range, not_durable) are reported inside
+// a 200 response; whole-batch conditions (read_only, primary_unreachable)
+// are error envelopes.
+func HandleInsert(b Backend, maxBody int64) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fns, ok := DecodeBatch(w, r, maxBody)
+		if !ok {
+			return
+		}
+		items, nErr, batchErr := insertBatch(r.Context(), b, fns)
+		if batchErr != nil {
+			WriteError(w, batchErr)
+			return
+		}
+		WriteJSON(w, http.StatusOK, InsertResponse{Results: items, Errors: nErr})
+	}
+}

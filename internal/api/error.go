@@ -1,0 +1,149 @@
+// Package api is the versioned wire contract of the serving stack: the
+// typed request/response envelopes, the machine-readable error taxonomy,
+// the Router that mounts every endpoint (with a JSON 404/405 fallback and
+// a self-describing GET /v2/spec), the shared /v2 batch handlers with
+// per-item errors, their NDJSON streaming variants, and the /v2/map
+// circuit-mapping endpoint. The three handler stacks — internal/service
+// (single arity), internal/federation (mixed arity) and internal/replica
+// (follower) — all mount their routes through this package, so the wire
+// format cannot diverge between them, and pkg/client is its consumer on
+// the client side.
+//
+// Versioning: /v2 is the current surface. /v1 remains mounted by every
+// stack as a byte-compatible shim for valid requests; its whole-batch
+// error behavior is frozen, and new endpoints land on /v2 only.
+package api
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Code is a stable machine-readable error code. Codes are part of the
+// wire contract: clients switch on them, so existing codes never change
+// meaning and removals are breaking.
+type Code string
+
+const (
+	// CodeBadRequest is a malformed request envelope (bad JSON, unknown
+	// fields, empty batch, bad query parameter).
+	CodeBadRequest Code = "bad_request"
+	// CodeBadHex is a function string that is not valid hexadecimal for
+	// its claimed length.
+	CodeBadHex Code = "bad_hex"
+	// CodeArityOutOfRange is a function (or mapping arity) outside the
+	// server's served arity range.
+	CodeArityOutOfRange Code = "arity_out_of_range"
+	// CodeBatchTooLarge is a batch exceeding MaxBatch functions.
+	CodeBatchTooLarge Code = "batch_too_large"
+	// CodeBodyTooLarge is a request body exceeding the byte bound.
+	CodeBodyTooLarge Code = "body_too_large"
+	// CodeUnsupportedMediaType is a request whose Content-Type the
+	// endpoint does not accept.
+	CodeUnsupportedMediaType Code = "unsupported_media_type"
+	// CodeReadOnly is a write refused because the server does not accept
+	// writes (a follower in local mode, a read-only store).
+	CodeReadOnly Code = "read_only"
+	// CodeNotDurable is a write that could not be made durable (journal
+	// failure, or a durability operation on a memory-only server).
+	CodeNotDurable Code = "not_durable"
+	// CodeBadCircuit is an AIGER body that does not parse or cannot be
+	// mapped.
+	CodeBadCircuit Code = "bad_circuit"
+	// CodeVerifyFailed is a mapping that failed functional verification —
+	// a server-side bug surfaced rather than an answer served.
+	CodeVerifyFailed Code = "verify_failed"
+	// CodeNotFound is an unmatched route.
+	CodeNotFound Code = "not_found"
+	// CodeMethodNotAllowed is a matched route asked with the wrong method.
+	CodeMethodNotAllowed Code = "method_not_allowed"
+	// CodePrimaryUnreachable is a follower that could not reach its
+	// primary for a forwarded write.
+	CodePrimaryUnreachable Code = "primary_unreachable"
+	// CodeInternal is an unexpected server-side failure.
+	CodeInternal Code = "internal"
+)
+
+// Codes lists every stable error code, in the order documented. The spec
+// endpoint publishes this list so clients can enumerate the taxonomy.
+func Codes() []Code {
+	return []Code{
+		CodeBadRequest, CodeBadHex, CodeArityOutOfRange, CodeBatchTooLarge,
+		CodeBodyTooLarge, CodeUnsupportedMediaType, CodeReadOnly,
+		CodeNotDurable, CodeBadCircuit, CodeVerifyFailed, CodeNotFound,
+		CodeMethodNotAllowed, CodePrimaryUnreachable, CodeInternal,
+	}
+}
+
+// Error is the wire error: a stable code, a human-readable message and an
+// optional machine-oriented detail (e.g. the accepted hex lengths). It is
+// both the body of every non-2xx /v2 response — wrapped as
+// {"error": {...}} — and the per-item error object inside /v2 batch
+// responses.
+type Error struct {
+	Code    Code   `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Error implements the error interface, so an *Error travels through
+// ordinary Go error plumbing (and pkg/client returns it as-is).
+func (e *Error) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%s: %s (%s)", e.Code, e.Message, e.Detail)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Errf builds an Error with a formatted message.
+func Errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// WithDetail returns a copy of e carrying the formatted detail.
+func (e *Error) WithDetail(format string, args ...any) *Error {
+	cp := *e
+	cp.Detail = fmt.Sprintf(format, args...)
+	return &cp
+}
+
+// HTTPStatus maps the code to its response status. Per-item errors inside
+// a 200 batch response never reach this; it applies when an Error is the
+// whole response.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeUnsupportedMediaType:
+		return http.StatusUnsupportedMediaType
+	case CodeReadOnly:
+		return http.StatusForbidden
+	case CodeNotDurable:
+		return http.StatusConflict
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodePrimaryUnreachable:
+		return http.StatusBadGateway
+	case CodeVerifyFailed, CodeInternal:
+		return http.StatusInternalServerError
+	default: // bad_request, bad_hex, arity_out_of_range, batch_too_large, bad_circuit
+		return http.StatusBadRequest
+	}
+}
+
+// ErrorEnvelope is the body of every non-2xx /v2 response:
+// {"error": {"code": ..., "message": ..., "detail": ...}}.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}
+
+// AsError coerces err into a wire *Error: an *Error passes through, any
+// other error becomes CodeInternal.
+func AsError(err error) *Error {
+	if e, ok := err.(*Error); ok {
+		return e
+	}
+	return Errf(CodeInternal, "%v", err)
+}

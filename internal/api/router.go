@@ -1,0 +1,176 @@
+package api
+
+import (
+	"encoding/json"
+	"mime"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Version is the current API version identifier, the prefix of every new
+// endpoint.
+const Version = "v2"
+
+// Route describes one mounted endpoint, as published by GET /v2/spec.
+type Route struct {
+	Method  string `json:"method"`
+	Pattern string `json:"pattern"`
+	Desc    string `json:"desc,omitempty"`
+	// Deprecated marks compatibility shims (the /v1 surface).
+	Deprecated bool `json:"deprecated,omitempty"`
+}
+
+// Spec is the body of GET /v2/spec: the server's self-description — its
+// role, every mounted route, and the error-code taxonomy. CI asserts the
+// route list covers the live mux; it does by construction, because the
+// Router derives both from the same registrations.
+type Spec struct {
+	Service    string   `json:"service"`
+	APIVersion string   `json:"api_version"`
+	Role       string   `json:"role"`
+	Routes     []Route  `json:"routes"`
+	ErrorCodes []string `json:"error_codes"`
+}
+
+// Router is the shared HTTP mount point of every serving stack: routes
+// are registered per (method, pattern), unmatched paths answer the JSON
+// not_found envelope instead of Go's plain-text 404, a matched pattern
+// asked with the wrong method answers the JSON method_not_allowed
+// envelope with an Allow header, and the registrations double as the
+// GET /v2/spec self-description.
+type Router struct {
+	role    string
+	mux     *http.ServeMux
+	methods map[string]map[string]http.HandlerFunc // pattern -> method -> handler
+	routes  []Route
+}
+
+// NewRouter returns an empty router for a stack with the given role
+// ("single", "federated", "follower").
+func NewRouter(role string) *Router {
+	rt := &Router{
+		role:    role,
+		mux:     http.NewServeMux(),
+		methods: make(map[string]map[string]http.HandlerFunc),
+	}
+	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, Errf(CodeNotFound, "no route for %s", r.URL.Path))
+	})
+	return rt
+}
+
+// Handle mounts h at method+pattern (a net/http ServeMux pattern, may
+// hold {wildcards}) and records it in the spec. Registering two handlers
+// for the same method and pattern panics, like ServeMux.
+func (rt *Router) Handle(method, pattern, desc string, h http.HandlerFunc) {
+	rt.handle(method, pattern, desc, false, h)
+}
+
+// HandleDeprecated mounts a compatibility shim: served identically,
+// marked deprecated in the spec.
+func (rt *Router) HandleDeprecated(method, pattern, desc string, h http.HandlerFunc) {
+	rt.handle(method, pattern, desc, true, h)
+}
+
+func (rt *Router) handle(method, pattern, desc string, deprecated bool, h http.HandlerFunc) {
+	byMethod, ok := rt.methods[pattern]
+	if !ok {
+		byMethod = make(map[string]http.HandlerFunc)
+		rt.methods[pattern] = byMethod
+		rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			rt.dispatch(byMethod, w, r)
+		})
+	}
+	if _, dup := byMethod[method]; dup {
+		panic("api: duplicate route " + method + " " + pattern)
+	}
+	byMethod[method] = h
+	rt.routes = append(rt.routes, Route{Method: method, Pattern: pattern, Desc: desc, Deprecated: deprecated})
+}
+
+// dispatch picks the method's handler, or answers method_not_allowed with
+// the Allow header listing what the pattern does serve.
+func (rt *Router) dispatch(byMethod map[string]http.HandlerFunc, w http.ResponseWriter, r *http.Request) {
+	if h, ok := byMethod[r.Method]; ok {
+		h(w, r)
+		return
+	}
+	allow := make([]string, 0, len(byMethod))
+	for m := range byMethod {
+		allow = append(allow, m)
+	}
+	sort.Strings(allow)
+	w.Header().Set("Allow", strings.Join(allow, ", "))
+	WriteError(w, Errf(CodeMethodNotAllowed, "method %s not allowed", r.Method).
+		WithDetail("allowed: %s", strings.Join(allow, ", ")))
+}
+
+// MountSpec registers GET /v2/spec, serving the router's own route table.
+// Call it after every other registration... or before: the spec is built
+// per request, so it always reflects the final table.
+func (rt *Router) MountSpec() {
+	rt.Handle("GET", "/v2/spec", "API self-description: routes and error codes",
+		func(w http.ResponseWriter, r *http.Request) {
+			WriteJSON(w, http.StatusOK, rt.Spec())
+		})
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Routes returns the registered routes in registration order.
+func (rt *Router) Routes() []Route {
+	out := make([]Route, len(rt.routes))
+	copy(out, rt.routes)
+	return out
+}
+
+// Spec returns the self-description served at GET /v2/spec.
+func (rt *Router) Spec() Spec {
+	codes := Codes()
+	cs := make([]string, len(codes))
+	for i, c := range codes {
+		cs[i] = string(c)
+	}
+	return Spec{Service: "npnserve", APIVersion: Version, Role: rt.role, Routes: rt.Routes(), ErrorCodes: cs}
+}
+
+// WriteJSON emits a JSON response with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are sent; nothing recoverable remains.
+		return
+	}
+}
+
+// WriteError emits the {"error": {...}} envelope at the code's status.
+func WriteError(w http.ResponseWriter, e *Error) {
+	WriteJSON(w, e.HTTPStatus(), ErrorEnvelope{Error: e})
+}
+
+// CheckContentType gates a request on its Content-Type: a missing header
+// always passes (curl-friendliness), a present one must have one of the
+// accepted media types. On failure it writes the unsupported_media_type
+// envelope and returns false.
+func CheckContentType(w http.ResponseWriter, r *http.Request, accepted ...string) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err == nil {
+		for _, a := range accepted {
+			if mt == a {
+				return true
+			}
+		}
+	}
+	WriteError(w, Errf(CodeUnsupportedMediaType, "content type %q not accepted", ct).
+		WithDetail("accepted: %s", strings.Join(accepted, ", ")))
+	return false
+}

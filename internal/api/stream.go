@@ -1,0 +1,195 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// NDJSONContentType is the media type of the streaming request and
+// response bodies: one JSON value per line.
+const NDJSONContentType = "application/x-ndjson"
+
+// StreamChunk is how many input lines the streaming handlers buffer
+// before running them through the backend as one pipeline batch: large
+// enough to keep the worker pool fed, small enough that memory stays
+// bounded however large the upload is.
+const StreamChunk = 1024
+
+// maxStreamLine bounds one input line (one hex function). The largest
+// legal table (tt.MaxVars) is 16384 hex digits; anything past this is a
+// framing error, not a function.
+const maxStreamLine = 1 << 16
+
+// streamAccepted lists the request content types the streaming endpoints
+// take. text/plain is allowed because the body genuinely is just one hex
+// string per line.
+var streamAccepted = []string{NDJSONContentType, "application/ndjson", "text/plain"}
+
+// HandleClassifyStream returns the POST /v2/classify/stream handler: an
+// NDJSON variant of classify for batches too large to buffer. The request
+// body is one hex function per line (a bare string; surrounding
+// whitespace and JSON string quoting are both accepted), the response is
+// one ClassifyItem JSON object per line, in input order, flushed per
+// chunk. Item errors are reported inline exactly as in the buffered
+// endpoint; there is no MaxBatch limit — the stream is bounded by maxBody
+// bytes only.
+func HandleClassifyStream(b Backend, maxBody int64) http.HandlerFunc {
+	return handleStream(maxBody, func(ctx context.Context, w *streamWriter, fns []string) error {
+		items, _, batchErr := classifyBatch(ctx, b, fns)
+		if batchErr != nil {
+			return batchErr
+		}
+		for i := range items {
+			if err := w.writeLine(&items[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// HandleInsertStream returns the POST /v2/insert/stream handler: the
+// NDJSON variant of insert. A whole-batch condition (read_only,
+// primary_unreachable) surfaces as an error envelope before any line is
+// written when it hits the first chunk, or as a trailing error line once
+// the response status is already committed.
+func HandleInsertStream(b Backend, maxBody int64) http.HandlerFunc {
+	return handleStream(maxBody, func(ctx context.Context, w *streamWriter, fns []string) error {
+		items, _, batchErr := insertBatch(ctx, b, fns)
+		if batchErr != nil {
+			return batchErr
+		}
+		for i := range items {
+			if err := w.writeLine(&items[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// streamWriter writes NDJSON response lines, committing the 200 header on
+// the first line so envelope errors can still claim their own status
+// before anything was sent.
+type streamWriter struct {
+	w         http.ResponseWriter
+	bw        *bufio.Writer
+	flusher   http.Flusher
+	committed bool
+}
+
+func (sw *streamWriter) commit() {
+	if sw.committed {
+		return
+	}
+	sw.committed = true
+	sw.w.Header().Set("Content-Type", NDJSONContentType)
+	sw.w.WriteHeader(http.StatusOK)
+}
+
+func (sw *streamWriter) writeLine(v any) error {
+	sw.commit()
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := sw.bw.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (sw *streamWriter) flush() {
+	// Flushing an untouched response would commit a 200 header and rob a
+	// later envelope error of its status.
+	if !sw.committed {
+		return
+	}
+	sw.bw.Flush()
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+// handleStream is the shared NDJSON pump: scan input lines, chunk them,
+// hand each chunk to process, flush between chunks. An error from process
+// (or a framing error in the input) ends the stream: as a proper error
+// envelope when nothing has been written yet, as one trailing
+// {"error": {...}} line otherwise — a streaming client must treat an
+// error line as terminal.
+func handleStream(maxBody int64, process func(context.Context, *streamWriter, []string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !CheckContentType(w, r, streamAccepted...) {
+			return
+		}
+		sw := &streamWriter{w: w, bw: bufio.NewWriter(w)}
+		sw.flusher, _ = w.(http.Flusher)
+		defer sw.flush()
+
+		fail := func(e *Error) {
+			if !sw.committed {
+				WriteError(w, e)
+				return
+			}
+			sw.writeLine(ErrorEnvelope{Error: e})
+		}
+
+		sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxBody))
+		sc.Buffer(make([]byte, 64*1024), maxStreamLine)
+		chunk := make([]string, 0, StreamChunk)
+		drain := func() error {
+			if len(chunk) == 0 {
+				return nil
+			}
+			err := process(r.Context(), sw, chunk)
+			chunk = chunk[:0]
+			sw.flush()
+			return err
+		}
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			// Accept a JSON-quoted string line too: some NDJSON tooling
+			// quotes every value.
+			if len(line) >= 2 && line[0] == '"' {
+				var s string
+				if err := json.Unmarshal([]byte(line), &s); err != nil {
+					fail(Errf(CodeBadRequest, "bad NDJSON line: %v", err))
+					return
+				}
+				line = s
+			}
+			chunk = append(chunk, line)
+			if len(chunk) == StreamChunk {
+				if err := drain(); err != nil {
+					fail(AsError(err))
+					return
+				}
+			}
+		}
+		if err := sc.Err(); err != nil {
+			var tooLarge *http.MaxBytesError
+			switch {
+			case errors.As(err, &tooLarge):
+				fail(Errf(CodeBodyTooLarge, "request body exceeds %d bytes", tooLarge.Limit))
+			case errors.Is(err, bufio.ErrTooLong):
+				fail(Errf(CodeBadRequest, "input line exceeds %d bytes", maxStreamLine))
+			default:
+				fail(Errf(CodeBadRequest, "reading request body: %v", err))
+			}
+			return
+		}
+		if err := drain(); err != nil {
+			fail(AsError(err))
+			return
+		}
+		// An empty stream is a valid empty result; commit the 200.
+		sw.commit()
+	}
+}

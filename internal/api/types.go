@@ -1,0 +1,194 @@
+package api
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+// MaxBatch bounds the number of functions accepted in one buffered batch
+// request. Larger workloads use the NDJSON streaming endpoints, which are
+// bounded by bytes, not items.
+const MaxBatch = 1 << 16
+
+// BatchRequest is the body of POST /v2/classify and POST /v2/insert: a
+// batch of hexadecimal truth tables. Which arities are accepted — one
+// fixed arity, or inference from the hex length — is the mounting stack's
+// choice, expressed through its Backend.Resolve.
+type BatchRequest struct {
+	Functions []string `json:"functions"`
+}
+
+// Witness is the wire form of an npn.Transform: a certificate τ with
+// τ(rep) = function that a client can replay locally. The field names are
+// shared with the /v1 surface, so a witness decoded from either version
+// replays identically.
+type Witness struct {
+	// Perm maps result input i to representative input Perm[i].
+	Perm []int `json:"perm"`
+	// NegMask bit i complements input i.
+	NegMask uint32 `json:"neg_mask"`
+	// OutNeg complements the output.
+	OutNeg bool `json:"out_neg"`
+}
+
+// NewWitness encodes a witness transform into its wire form.
+func NewWitness(w npn.Transform) *Witness {
+	perm := make([]int, w.N)
+	for i := range perm {
+		perm[i] = int(w.Perm[i])
+	}
+	return &Witness{Perm: perm, NegMask: w.NegMask, OutNeg: w.OutNeg}
+}
+
+// Transform decodes the wire witness back into an npn.Transform.
+func (w *Witness) Transform() (npn.Transform, error) {
+	n := len(w.Perm)
+	if n > tt.MaxVars {
+		return npn.Transform{}, fmt.Errorf("witness arity %d out of range", n)
+	}
+	tr := npn.Identity(n)
+	for i, p := range w.Perm {
+		if p < 0 || p >= n {
+			return npn.Transform{}, fmt.Errorf("witness perm[%d] = %d out of range", i, p)
+		}
+		tr.Perm[i] = uint8(p)
+	}
+	tr.NegMask = w.NegMask
+	tr.OutNeg = w.OutNeg
+	if err := tr.Validate(); err != nil {
+		return npn.Transform{}, err
+	}
+	return tr, nil
+}
+
+// ClassifyItem is one function's outcome in a /v2 classify response.
+// Exactly one of two shapes appears on the wire: an error item
+// ({"function", "error"}) when the function itself was unusable, or a
+// result item carrying the class key (valid even on a miss) plus, on a
+// hit, the chain index, representative and witness.
+type ClassifyItem struct {
+	Function string `json:"function"`
+	// Error, when set, is this item's failure; the rest of the batch is
+	// unaffected. The sibling result fields are zero.
+	Error   *Error   `json:"error,omitempty"`
+	Hit     bool     `json:"hit"`
+	Class   string   `json:"class,omitempty"`
+	Index   *int     `json:"index,omitempty"`
+	Rep     string   `json:"rep,omitempty"`
+	Witness *Witness `json:"witness,omitempty"`
+}
+
+// ClassifyResponse is the body of POST /v2/classify. Errors counts the
+// items that carry per-item errors, so a client can cheaply detect a
+// partially-failed batch without scanning.
+type ClassifyResponse struct {
+	Results []ClassifyItem `json:"results"`
+	Errors  int            `json:"errors"`
+}
+
+// InsertItem is one function's outcome in a /v2 insert response. An item
+// error (bad_hex, arity_out_of_range, not_durable) fails only that item.
+type InsertItem struct {
+	Function string `json:"function"`
+	Error    *Error `json:"error,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Index    int    `json:"index"`
+	New      bool   `json:"new"`
+}
+
+// InsertResponse is the body of POST /v2/insert.
+type InsertResponse struct {
+	Results []InsertItem `json:"results"`
+	Errors  int          `json:"errors"`
+}
+
+// Result is one function's classification outcome as a Backend reports
+// it — the transport-free twin of the pipeline's result, so this package
+// does not depend on any particular serving stack.
+type Result struct {
+	// Key is the MSV class key (valid even on a miss).
+	Key uint64
+	// Index is the representative's chain position; meaningful on a hit.
+	Index int
+	// Hit reports whether the class is stored.
+	Hit bool
+	// RepHex is the certified representative's hex form (empty on a miss).
+	RepHex string
+	// Witness is a transform τ with τ(RepHex) = function (hit only).
+	Witness npn.Transform
+}
+
+// InsertOutcome is one function's insertion outcome as a Backend reports
+// it. Err carries a per-item failure (e.g. a forwarding follower relaying
+// the primary's item error); Index < 0 with a nil Err means the store
+// refused the insert (journal failure) and is reported as not_durable.
+type InsertOutcome struct {
+	Key   uint64
+	Index int
+	New   bool
+	Err   *Error
+}
+
+// Backend is what a serving stack plugs into the shared /v2 batch and
+// streaming handlers: hex resolution (which owns arity selection and
+// error coding), and the batch pipeline operations. The context is the
+// request's — a forwarding follower threads it into its primary calls.
+//
+// Classify and Insert return one entry per input, in order, or a
+// whole-batch *Error for conditions that fail every item identically
+// (read_only on a local-mode follower, primary_unreachable on a
+// forwarding one, a failed store recovery).
+type Backend interface {
+	// Resolve parses one hex function, choosing its arity. A nil *Error
+	// means the function is valid; resolution must also make the arity's
+	// store ready, so Classify/Insert on resolved functions cannot fail
+	// per item.
+	Resolve(hex string) (*tt.TT, *Error)
+	Classify(ctx context.Context, fs []*tt.TT) ([]Result, *Error)
+	Insert(ctx context.Context, fs []*tt.TT) ([]InsertOutcome, *Error)
+}
+
+// KeyHex renders a class key in its canonical 16-digit wire form.
+func KeyHex(key uint64) string { return fmt.Sprintf("%016x", key) }
+
+// classifyItem encodes one resolved function's result.
+func classifyItem(fn string, r Result) ClassifyItem {
+	it := ClassifyItem{Function: fn, Hit: r.Hit, Class: KeyHex(r.Key)}
+	if r.Hit {
+		idx := r.Index
+		it.Index = &idx
+		it.Rep = r.RepHex
+		it.Witness = NewWitness(r.Witness)
+	}
+	return it
+}
+
+// insertItem encodes one resolved function's insertion outcome.
+func insertItem(fn string, o InsertOutcome) InsertItem {
+	if o.Err != nil {
+		return InsertItem{Function: fn, Error: o.Err}
+	}
+	if o.Index < 0 {
+		return InsertItem{
+			Function: fn,
+			Class:    KeyHex(o.Key),
+			Index:    -1,
+			Error: Errf(CodeNotDurable,
+				"insert refused: journal failure, class not stored durably"),
+		}
+	}
+	return InsertItem{Function: fn, Class: KeyHex(o.Key), Index: o.Index, New: o.New}
+}
+
+// HexDigits returns the wire length of an n-variable hex truth table:
+// 2^n/4 digits, floored at one.
+func HexDigits(n int) int {
+	d := (1 << n) / 4
+	if d == 0 {
+		d = 1
+	}
+	return d
+}

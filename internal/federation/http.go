@@ -1,92 +1,204 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
 
+	"repro/internal/api"
 	"repro/internal/service"
 	"repro/internal/tt"
 )
 
-// NewHandler returns the federated HTTP/JSON API over reg. The wire
-// format is the single-arity service API with one relaxation: a batch may
-// mix arities, and each function's arity is inferred from its hex length
-// (2^n/4 digits, unique per arity for n ≥ 2).
+// NewHandler returns the federated HTTP/JSON API over reg with the
+// default body bound for uploads and streams; see NewHandlerWith.
+func NewHandler(reg *Registry) http.Handler {
+	return NewHandlerWith(reg, api.DefaultMaxBody)
+}
+
+// NewHandlerWith returns the federated versioned API over reg, mounted
+// on the shared api.Router (JSON 404/405 fallback, GET /v2/spec
+// self-description). The wire format is the single-arity service API
+// with one relaxation: a batch may mix arities, and each function's
+// arity is inferred from its hex length (2^n/4 digits, unique per arity
+// for n ≥ 2).
 //
-//	POST /v1/classify  mixed-arity batch lookup (read-only)
-//	POST /v1/insert    mixed-arity batch insert
-//	POST /v1/compact   admin: fold every arity's sealed WAL segments into
-//	                   its snapshot (409 on a non-durable registry)
-//	GET  /v1/stats     aggregate totals + per-arity breakdown
-//	GET  /healthz      liveness + federated range
+//	POST /v2/classify         mixed-arity batch lookup, per-item errors
+//	POST /v2/insert           mixed-arity batch insert, per-item errors
+//	POST /v2/classify/stream  NDJSON variant for unbuffered batches
+//	POST /v2/insert/stream    NDJSON variant for unbuffered batches
+//	POST /v2/map              map an ASCII-AIGER circuit to k-LUTs;
+//	                          ?insert=true warms the store with the
+//	                          discovered LUT classes
+//	POST /v2/compact          admin: fold sealed WAL segments (409 via
+//	                          code not_durable on a memory-only registry)
+//	GET  /v2/stats            aggregate totals + per-arity breakdown
+//	GET  /v2/spec             routes + error codes
+//	GET  /healthz             liveness + federated range
 //
-// A durable registry additionally serves its write-ahead log to
-// replication followers (internal/replica); all three answer 409 on a
-// non-durable registry:
+// plus the deprecated /v1 shims (classify, insert, compact, stats),
+// byte-compatible for valid requests, and the replication endpoints a
+// durable registry serves to followers (all three answer 409 on a
+// non-durable registry):
 //
 //	GET /v1/wal/segments             per-arity segment manifest
 //	GET /v1/wal/snapshot/{arity}     the arity's base snapshot file
 //	GET /v1/wal/segment/{arity}/{seq}?offset=N
 //	                                 raw segment bytes from offset
-func NewHandler(reg *Registry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
-		fs, raw, ok := decodeMixedBatch(w, r, reg)
-		if !ok {
-			return
-		}
-		results, err := reg.Classify(fs)
-		if err != nil {
-			service.WriteError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		service.WriteJSON(w, http.StatusOK, service.EncodeClassifyResults(raw, results))
-	})
-	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
-		fs, raw, ok := decodeMixedBatch(w, r, reg)
-		if !ok {
-			return
-		}
-		results, err := reg.Insert(fs)
-		if err != nil {
-			service.WriteError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		if refused := service.CountRefusedInserts(results); refused > 0 {
-			service.WriteError(w, http.StatusInternalServerError,
-				"%d of %d inserts refused: journal failure, classes not durable", refused, len(results))
-			return
-		}
-		service.WriteJSON(w, http.StatusOK, service.EncodeInsertResults(raw, results))
-	})
-	mux.HandleFunc("POST /v1/compact", func(w http.ResponseWriter, r *http.Request) {
-		results, err := reg.CompactAll()
-		if errors.Is(err, ErrNotDurable) {
-			service.WriteError(w, http.StatusConflict, "%v", err)
-			return
-		}
-		if err != nil {
-			service.WriteError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		service.WriteJSON(w, http.StatusOK, map[string]any{"arities": results})
-	})
-	mux.HandleFunc("GET /v1/wal/segments", handleWALManifest(reg))
-	mux.HandleFunc("GET /v1/wal/snapshot/{arity}", handleWALSnapshot(reg))
-	mux.HandleFunc("GET /v1/wal/segment/{arity}/{seq}", handleWALSegment(reg))
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		service.WriteJSON(w, http.StatusOK, reg.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		service.WriteJSON(w, http.StatusOK, map[string]any{
-			"status":   "ok",
-			"min_vars": reg.MinVars(),
-			"max_vars": reg.MaxVars(),
-			"active":   reg.Active(),
+//
+// maxBody bounds the AIGER upload and NDJSON stream bodies (npnserve's
+// -max-body flag); the JSON batch endpoints keep their arity-derived
+// bound.
+func NewHandlerWith(reg *Registry, maxBody int64) http.Handler {
+	rt := api.NewRouter("federated")
+	b := fedBackend{reg}
+	jsonBody := service.MaxBodyBytes(reg.MaxVars())
+
+	rt.HandleDeprecated("POST", "/v1/classify", "mixed-arity batch lookup (use /v2/classify)",
+		func(w http.ResponseWriter, r *http.Request) {
+			if !api.CheckContentType(w, r, "application/json") {
+				return
+			}
+			fs, raw, ok := decodeMixedBatch(w, r, reg)
+			if !ok {
+				return
+			}
+			results, err := reg.Classify(fs)
+			if err != nil {
+				service.WriteError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, service.EncodeClassifyResults(raw, results))
 		})
-	})
-	return mux
+	rt.HandleDeprecated("POST", "/v1/insert", "mixed-arity batch insert (use /v2/insert)",
+		func(w http.ResponseWriter, r *http.Request) {
+			if !api.CheckContentType(w, r, "application/json") {
+				return
+			}
+			fs, raw, ok := decodeMixedBatch(w, r, reg)
+			if !ok {
+				return
+			}
+			results, err := reg.Insert(fs)
+			if err != nil {
+				service.WriteError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if refused := service.CountRefusedInserts(results); refused > 0 {
+				service.WriteError(w, http.StatusInternalServerError,
+					"%d of %d inserts refused: journal failure, classes not durable", refused, len(results))
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, service.EncodeInsertResults(raw, results))
+		})
+	rt.HandleDeprecated("POST", "/v1/compact", "fold sealed WAL segments (use /v2/compact)",
+		func(w http.ResponseWriter, r *http.Request) {
+			results, err := reg.CompactAll()
+			if errors.Is(err, ErrNotDurable) {
+				service.WriteError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			if err != nil {
+				service.WriteError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, map[string]any{"arities": results})
+		})
+	rt.HandleDeprecated("GET", "/v1/stats", "aggregate + per-arity counters (use /v2/stats)",
+		func(w http.ResponseWriter, r *http.Request) {
+			service.WriteJSON(w, http.StatusOK, reg.Stats())
+		})
+	rt.Handle("GET", "/v1/wal/segments", "replication: per-arity segment manifest", handleWALManifest(reg))
+	rt.Handle("GET", "/v1/wal/snapshot/{arity}", "replication: base snapshot file", handleWALSnapshot(reg))
+	rt.Handle("GET", "/v1/wal/segment/{arity}/{seq}", "replication: raw segment bytes from ?offset=", handleWALSegment(reg))
+
+	rt.Handle("POST", "/v2/classify", "mixed-arity batch lookup with per-item errors", api.HandleClassify(b, jsonBody))
+	rt.Handle("POST", "/v2/insert", "mixed-arity batch insert with per-item errors", api.HandleInsert(b, jsonBody))
+	rt.Handle("POST", "/v2/classify/stream", "NDJSON streaming lookup", api.HandleClassifyStream(b, maxBody))
+	rt.Handle("POST", "/v2/insert/stream", "NDJSON streaming insert", api.HandleInsertStream(b, maxBody))
+	rt.Handle("POST", "/v2/map", "map an ASCII-AIGER circuit to k-LUTs; ?insert=true warms the store",
+		api.HandleMap(api.MapConfig{MaxBody: maxBody, Insert: b.insertMapped}))
+	rt.Handle("POST", "/v2/compact", "fold every arity's sealed WAL segments into its snapshot",
+		func(w http.ResponseWriter, r *http.Request) {
+			results, err := reg.CompactAll()
+			if errors.Is(err, ErrNotDurable) {
+				api.WriteError(w, api.Errf(api.CodeNotDurable, "%v", err))
+				return
+			}
+			if err != nil {
+				api.WriteError(w, api.Errf(api.CodeInternal, "%v", err))
+				return
+			}
+			api.WriteJSON(w, http.StatusOK, map[string]any{"arities": results})
+		})
+	rt.Handle("GET", "/v2/stats", "aggregate totals + per-arity breakdown",
+		func(w http.ResponseWriter, r *http.Request) {
+			api.WriteJSON(w, http.StatusOK, reg.Stats())
+		})
+	rt.Handle("GET", "/healthz", "liveness + federated range",
+		func(w http.ResponseWriter, r *http.Request) {
+			service.WriteJSON(w, http.StatusOK, map[string]any{
+				"status":   "ok",
+				"min_vars": reg.MinVars(),
+				"max_vars": reg.MaxVars(),
+				"active":   reg.Active(),
+			})
+		})
+	rt.MountSpec()
+	return rt
+}
+
+// fedBackend adapts the registry to the shared /v2 handlers.
+type fedBackend struct{ reg *Registry }
+
+// Resolve infers the arity from the hex length, constructs that arity's
+// service (so Classify/Insert cannot fail later) and parses the table.
+func (b fedBackend) Resolve(s string) (*tt.TT, *api.Error) {
+	n, err := b.reg.ArityOfHex(s)
+	if err != nil {
+		return nil, api.Errf(api.CodeArityOutOfRange,
+			"hex truth table of %d digits matches no federated arity %d..%d",
+			len(s), b.reg.MinVars(), b.reg.MaxVars()).
+			WithDetail("want one of %s hex digits", b.reg.arityLengths())
+	}
+	if _, err := b.reg.Service(n); err != nil {
+		return nil, api.Errf(api.CodeInternal, "%v", err)
+	}
+	f, err := tt.FromHex(n, s)
+	if err != nil {
+		return nil, api.Errf(api.CodeBadHex, "%v", err)
+	}
+	return f, nil
+}
+
+func (b fedBackend) Classify(_ context.Context, fs []*tt.TT) ([]api.Result, *api.Error) {
+	results, err := b.reg.Classify(fs)
+	if err != nil {
+		return nil, api.Errf(api.CodeInternal, "%v", err)
+	}
+	return service.ToAPIResults(results), nil
+}
+
+func (b fedBackend) Insert(_ context.Context, fs []*tt.TT) ([]api.InsertOutcome, *api.Error) {
+	results, err := b.reg.Insert(fs)
+	if err != nil {
+		return nil, api.Errf(api.CodeInternal, "%v", err)
+	}
+	return service.ToAPIOutcomes(results), nil
+}
+
+// insertMapped stores a mapping's K-ary LUT functions, provided K is a
+// federated arity.
+func (b fedBackend) insertMapped(ctx context.Context, fs []*tt.TT) ([]api.InsertOutcome, *api.Error) {
+	if len(fs) > 0 {
+		if k := fs[0].NumVars(); k < b.reg.MinVars() || k > b.reg.MaxVars() {
+			return nil, api.Errf(api.CodeArityOutOfRange,
+				"mapped LUTs have arity %d, outside the federated range %d..%d (retry with a federated k or without insert=true)",
+				k, b.reg.MinVars(), b.reg.MaxVars())
+		}
+	}
+	return b.Insert(ctx, fs)
 }
 
 // ArityOfHex maps a hex truth table to the unique federated arity whose

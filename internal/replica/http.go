@@ -1,107 +1,298 @@
 package replica
 
 import (
-	"bytes"
-	"encoding/json"
-	"fmt"
+	"context"
 	"io"
 	"net/http"
+	"strconv"
 
+	"repro/internal/api"
 	"repro/internal/federation"
 	"repro/internal/service"
 	"repro/internal/tt"
 )
 
-// NewHandler returns the follower HTTP surface over f. It speaks the
-// same wire format as the primary's federated handler, with the
-// follower's read/write role distinction threaded through every route:
+// NewHandler returns the follower HTTP surface over f with the default
+// body bound for uploads and streams; see NewHandlerWith.
+func NewHandler(f *Follower) http.Handler {
+	return NewHandlerWith(f, api.DefaultMaxBody)
+}
+
+// NewHandlerWith returns the follower's versioned API, mounted on the
+// shared api.Router. It speaks the same wire format as the primary's
+// federated handler, with the follower's read/write role distinction
+// threaded through every route:
 //
-//	POST /v1/classify  served from the local replicated stores; in proxy
-//	                   mode, misses are re-asked of the primary and the
-//	                   answers merged (a fresh class the tail loop has
-//	                   not applied yet still hits). Primary unreachable:
-//	                   local answers stand — reads never fail over a
-//	                   dead primary.
-//	POST /v1/insert    proxy mode: forwarded verbatim to the primary
-//	                   (502 when unreachable); local mode: 403 — the
-//	                   follower is read-only.
-//	POST /v1/compact   403 always; compaction is the primary's.
-//	GET  /v1/stats     the federation stats plus a "replication" section
+//	POST /v2/classify (+ /v1, + /stream)
+//	                   served from the local replicated stores; in proxy
+//	                   mode, misses are re-asked of the primary through
+//	                   pkg/client and the answers merged (a fresh class
+//	                   the tail loop has not applied yet still hits).
+//	                   Primary unreachable: local answers stand — reads
+//	                   never fail over a dead primary.
+//	POST /v2/insert (+ /v1, + /stream)
+//	                   proxy mode: forwarded to the primary
+//	                   (primary_unreachable/502 when it is gone); local
+//	                   mode: read_only/403 — the follower is read-only.
+//	POST /v2/map       mapped locally; ?insert=true forwards the LUT
+//	                   classes in proxy mode and is read_only in local.
+//	POST /v2/compact (+ /v1)
+//	                   read_only/403 always; compaction is the primary's.
+//	GET  /v2/stats (+ /v1)
+//	                   the federation stats plus a "replication" section
 //	                   (lag in segments/bytes per arity, sync health,
 //	                   proxy counters).
+//	GET  /v2/spec      routes + error codes.
 //	GET  /healthz      role and primary; 503 with status "stale" when
 //	                   the staleness gate (Options.StaleAfter) is
 //	                   tripped, so load balancers drain a follower that
 //	                   lost its primary.
-func NewHandler(f *Follower) http.Handler {
+func NewHandlerWith(f *Follower, maxBody int64) http.Handler {
+	rt := api.NewRouter("follower")
 	reg := f.Registry()
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
-		fs, raw, ok := decodeMixedBatch(w, r, reg)
-		if !ok {
-			return
-		}
-		results, err := reg.Classify(fs)
-		if err != nil {
-			service.WriteError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		resp := service.EncodeClassifyResults(raw, results)
-		if f.Mode() == ModeProxy {
-			f.proxyMisses(r, raw, &resp)
-		}
-		service.WriteJSON(w, http.StatusOK, resp)
-	})
-	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
-		if f.Mode() != ModeProxy {
-			service.WriteError(w, http.StatusForbidden,
-				"follower is read-only (mode local); insert on the primary %s", f.Primary())
-			return
-		}
-		f.proxyInsert(w, r)
-	})
-	mux.HandleFunc("POST /v1/compact", func(w http.ResponseWriter, r *http.Request) {
-		service.WriteError(w, http.StatusForbidden,
-			"follower holds no write-ahead log; compact on the primary %s", f.Primary())
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		service.WriteJSON(w, http.StatusOK, statsResponse{
-			Stats:       reg.Stats(),
-			Replication: f.Stats(),
+	b := replicaBackend{f}
+	jsonBody := service.MaxBodyBytes(reg.MaxVars())
+
+	rt.HandleDeprecated("POST", "/v1/classify", "local lookup, proxy-merged misses (use /v2/classify)",
+		func(w http.ResponseWriter, r *http.Request) {
+			if !api.CheckContentType(w, r, "application/json") {
+				return
+			}
+			fs, raw, ok := decodeMixedBatch(w, r, reg)
+			if !ok {
+				return
+			}
+			results, err := reg.Classify(fs)
+			if err != nil {
+				service.WriteError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			resp := service.EncodeClassifyResults(raw, results)
+			if f.Mode() == ModeProxy {
+				f.proxyMisses(r.Context(), raw, &resp)
+			}
+			service.WriteJSON(w, http.StatusOK, resp)
 		})
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		body := map[string]any{
-			"status":   "ok",
-			"role":     "follower",
-			"primary":  f.Primary(),
-			"mode":     f.Mode().String(),
-			"min_vars": reg.MinVars(),
-			"max_vars": reg.MaxVars(),
-			"active":   reg.Active(),
-		}
-		if f.Stale() {
-			body["status"] = "stale"
-			service.WriteJSON(w, http.StatusServiceUnavailable, body)
-			return
-		}
-		service.WriteJSON(w, http.StatusOK, body)
-	})
-	return mux
+	rt.HandleDeprecated("POST", "/v1/insert", "proxy-forwarded insert (use /v2/insert)",
+		func(w http.ResponseWriter, r *http.Request) {
+			if !api.CheckContentType(w, r, "application/json") {
+				return
+			}
+			if f.Mode() != ModeProxy {
+				service.WriteError(w, http.StatusForbidden,
+					"follower is read-only (mode local); insert on the primary %s", f.Primary())
+				return
+			}
+			f.relayInsert(w, r)
+		})
+	rt.HandleDeprecated("POST", "/v1/compact", "refused on a follower",
+		func(w http.ResponseWriter, r *http.Request) {
+			service.WriteError(w, http.StatusForbidden,
+				"follower holds no write-ahead log; compact on the primary %s", f.Primary())
+		})
+	rt.HandleDeprecated("GET", "/v1/stats", "federation + replication counters (use /v2/stats)",
+		func(w http.ResponseWriter, r *http.Request) {
+			service.WriteJSON(w, http.StatusOK, statsResponse{
+				Stats:       reg.Stats(),
+				Replication: f.Stats(),
+			})
+		})
+
+	rt.Handle("POST", "/v2/classify", "local lookup with per-item errors, proxy-merged misses",
+		api.HandleClassify(b, jsonBody))
+	rt.Handle("POST", "/v2/insert", "insert forwarded to the primary (read_only in local mode)",
+		api.HandleInsert(b, jsonBody))
+	rt.Handle("POST", "/v2/classify/stream", "NDJSON streaming lookup", api.HandleClassifyStream(b, maxBody))
+	rt.Handle("POST", "/v2/insert/stream", "NDJSON streaming insert", api.HandleInsertStream(b, maxBody))
+	// A local-mode follower mounts no map-insert hook at all, so
+	// ?insert=true is refused before any mapping work; in proxy mode the
+	// discovered classes are forwarded to the primary.
+	mapInsert := b.insertMapped
+	if f.Mode() != ModeProxy {
+		mapInsert = nil
+	}
+	rt.Handle("POST", "/v2/map", "map an ASCII-AIGER circuit to k-LUTs",
+		api.HandleMap(api.MapConfig{MaxBody: maxBody, Insert: mapInsert}))
+	rt.Handle("POST", "/v2/compact", "refused on a follower",
+		func(w http.ResponseWriter, r *http.Request) {
+			api.WriteError(w, api.Errf(api.CodeReadOnly,
+				"follower holds no write-ahead log; compact on the primary %s", f.Primary()))
+		})
+	rt.Handle("GET", "/v2/stats", "federation + replication counters",
+		func(w http.ResponseWriter, r *http.Request) {
+			api.WriteJSON(w, http.StatusOK, statsResponse{
+				Stats:       reg.Stats(),
+				Replication: f.Stats(),
+			})
+		})
+	rt.Handle("GET", "/healthz", "role, primary, staleness gate",
+		func(w http.ResponseWriter, r *http.Request) {
+			body := map[string]any{
+				"status":   "ok",
+				"role":     "follower",
+				"primary":  f.Primary(),
+				"mode":     f.Mode().String(),
+				"min_vars": reg.MinVars(),
+				"max_vars": reg.MaxVars(),
+				"active":   reg.Active(),
+			}
+			if f.Stale() {
+				body["status"] = "stale"
+				service.WriteJSON(w, http.StatusServiceUnavailable, body)
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, body)
+		})
+	rt.MountSpec()
+	return rt
 }
 
-// statsResponse is the follower's /v1/stats body: the flat federation
-// stats with the replication section alongside.
+// statsResponse is the follower's stats body: the flat federation stats
+// with the replication section alongside.
 type statsResponse struct {
 	federation.Stats
 	Replication Stats `json:"replication"`
 }
 
-// proxyMisses re-asks the primary about every miss in a classify
-// response and merges the hits back in place. A proxy failure leaves the
+// replicaBackend adapts the follower to the shared /v2 handlers: reads
+// come from the local replicated stores, writes go through the primary.
+type replicaBackend struct{ f *Follower }
+
+func (b replicaBackend) Resolve(s string) (*tt.TT, *api.Error) {
+	reg := b.f.Registry()
+	n, err := reg.ArityOfHex(s)
+	if err != nil {
+		return nil, api.Errf(api.CodeArityOutOfRange,
+			"hex truth table of %d digits matches no federated arity %d..%d",
+			len(s), reg.MinVars(), reg.MaxVars())
+	}
+	if _, err := reg.Service(n); err != nil {
+		return nil, api.Errf(api.CodeInternal, "%v", err)
+	}
+	f, err := tt.FromHex(n, s)
+	if err != nil {
+		return nil, api.Errf(api.CodeBadHex, "%v", err)
+	}
+	return f, nil
+}
+
+// Classify answers from the replicated stores; in proxy mode the misses
+// are re-asked of the primary and merged, and a proxy failure leaves the
 // local misses standing — the graceful degradation that keeps a follower
-// serving when its primary is gone — and is counted in ProxyErrors.
-func (f *Follower) proxyMisses(r *http.Request, raw []string, resp *service.ClassifyResponse) {
+// serving when its primary is gone.
+func (b replicaBackend) Classify(ctx context.Context, fs []*tt.TT) ([]api.Result, *api.Error) {
+	results, err := b.f.Registry().Classify(fs)
+	if err != nil {
+		return nil, api.Errf(api.CodeInternal, "%v", err)
+	}
+	out := service.ToAPIResults(results)
+	if b.f.Mode() == ModeProxy {
+		b.f.proxyMissResults(ctx, fs, out)
+	}
+	return out, nil
+}
+
+// Insert forwards the batch to the primary in proxy mode and refuses it
+// in local mode.
+func (b replicaBackend) Insert(ctx context.Context, fs []*tt.TT) ([]api.InsertOutcome, *api.Error) {
+	if b.f.Mode() != ModeProxy {
+		return nil, api.Errf(api.CodeReadOnly,
+			"follower is read-only (mode local); insert on the primary %s", b.f.Primary())
+	}
+	hexes := make([]string, len(fs))
+	for i, fn := range fs {
+		hexes[i] = fn.Hex()
+	}
+	b.f.proxiedInserts.Add(1)
+	resp, err := b.f.api.Insert(ctx, hexes)
+	if err != nil {
+		b.f.proxyErrors.Add(1)
+		if e, ok := err.(*api.Error); ok {
+			return nil, e // the primary's own refusal, relayed with its code
+		}
+		return nil, api.Errf(api.CodePrimaryUnreachable, "primary unreachable: %v", err)
+	}
+	if len(resp.Results) != len(fs) {
+		b.f.proxyErrors.Add(1)
+		return nil, api.Errf(api.CodeInternal,
+			"primary answered %d results for %d inserts", len(resp.Results), len(fs))
+	}
+	out := make([]api.InsertOutcome, len(resp.Results))
+	for i, it := range resp.Results {
+		o := api.InsertOutcome{Index: it.Index, New: it.New, Err: it.Error}
+		if key, perr := strconv.ParseUint(it.Class, 16, 64); perr == nil {
+			o.Key = key
+		}
+		out[i] = o
+	}
+	return out, nil
+}
+
+// insertMapped forwards a mapping's LUT classes to the primary; a
+// local-mode follower cannot warm anything (its handler mounts no hook).
+func (b replicaBackend) insertMapped(ctx context.Context, fs []*tt.TT) ([]api.InsertOutcome, *api.Error) {
+	return b.Insert(ctx, fs)
+}
+
+// askPrimary is the one miss-proxy algorithm both API versions share:
+// re-ask the primary about the functions at missIdx and return its items
+// aligned with missIdx, or nil when the answers are unusable (primary
+// unreachable, response shape wrong) — the caller's local misses then
+// stand, the graceful degradation that keeps a follower serving when its
+// primary is gone. Failures are counted in ProxyErrors.
+func (f *Follower) askPrimary(ctx context.Context, missFns []string) []api.ClassifyItem {
+	if len(missFns) == 0 {
+		return nil
+	}
+	f.proxiedClassifies.Add(int64(len(missFns)))
+	resp, err := f.api.Classify(ctx, missFns)
+	if err != nil {
+		f.proxyErrors.Add(1)
+		f.logf("replica: proxy classify: %v", err)
+		return nil
+	}
+	if len(resp.Results) != len(missFns) {
+		f.proxyErrors.Add(1)
+		return nil
+	}
+	return resp.Results
+}
+
+// proxyMissResults re-asks the primary about every miss and merges hits
+// back in place, converting wire items to pipeline results. Conversion
+// failures (a malformed witness from a foreign primary) leave the local
+// miss standing.
+func (f *Follower) proxyMissResults(ctx context.Context, fs []*tt.TT, out []api.Result) {
+	var missIdx []int
+	var missFns []string
+	for i, r := range out {
+		if !r.Hit {
+			missIdx = append(missIdx, i)
+			missFns = append(missFns, fs[i].Hex())
+		}
+	}
+	items := f.askPrimary(ctx, missFns)
+	if items == nil {
+		return
+	}
+	for j, i := range missIdx {
+		it := items[j]
+		if it.Error != nil || !it.Hit || it.Witness == nil || it.Index == nil {
+			continue
+		}
+		key, kerr := strconv.ParseUint(it.Class, 16, 64)
+		tr, terr := it.Witness.Transform()
+		if kerr != nil || terr != nil {
+			f.proxyErrors.Add(1)
+			continue
+		}
+		out[i] = api.Result{Key: key, Index: *it.Index, Hit: true, RepHex: it.Rep, Witness: tr}
+	}
+}
+
+// proxyMisses is the /v1 twin of proxyMissResults, splicing primary hits
+// into the v1 response shape through the same askPrimary core.
+func (f *Follower) proxyMisses(ctx context.Context, raw []string, resp *service.ClassifyResponse) {
 	var missIdx []int
 	var missFns []string
 	for i, res := range resp.Results {
@@ -110,34 +301,34 @@ func (f *Follower) proxyMisses(r *http.Request, raw []string, resp *service.Clas
 			missFns = append(missFns, raw[i])
 		}
 	}
-	if len(missIdx) == 0 {
-		return
-	}
-	f.proxiedClassifies.Add(int64(len(missIdx)))
-	body, err := json.Marshal(service.ClassifyRequest{Functions: missFns})
-	if err != nil {
-		f.proxyErrors.Add(1)
-		return
-	}
-	var primary service.ClassifyResponse
-	if err := f.postJSON(r, "/v1/classify", body, &primary); err != nil {
-		f.proxyErrors.Add(1)
-		f.logf("replica: proxy classify: %v", err)
-		return
-	}
-	if len(primary.Results) != len(missIdx) {
-		f.proxyErrors.Add(1)
+	items := f.askPrimary(ctx, missFns)
+	if items == nil {
 		return
 	}
 	for j, i := range missIdx {
-		resp.Results[i] = primary.Results[j]
+		it := items[j]
+		if it.Error != nil {
+			continue
+		}
+		// service.WitnessJSON is an alias of api.Witness, so the primary's
+		// witness carries over as-is.
+		resp.Results[i] = service.ClassifyResultJSON{
+			Function: raw[i],
+			Hit:      it.Hit,
+			Class:    it.Class,
+			Index:    it.Index,
+			Rep:      it.Rep,
+			Witness:  it.Witness,
+		}
 	}
 }
 
-// proxyInsert forwards an insert request body verbatim to the primary
-// and relays its response. The inserted classes reach the follower's own
-// stores through the tail loop, usually within one poll interval.
-func (f *Follower) proxyInsert(w http.ResponseWriter, r *http.Request) {
+// relayInsert forwards a /v1 insert request body verbatim to the primary
+// through the raw escape hatch of pkg/client and relays status and body,
+// so the v1 shim stays byte-compatible. The inserted classes reach the
+// follower's own stores through the tail loop, usually within one poll
+// interval.
+func (f *Follower) relayInsert(w http.ResponseWriter, r *http.Request) {
 	reg := f.Registry()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, service.MaxBodyBytes(reg.MaxVars())))
 	if err != nil {
@@ -145,47 +336,15 @@ func (f *Follower) proxyInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.proxiedInserts.Add(1)
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, f.Primary()+"/v1/insert", bytes.NewReader(body))
-	if err != nil {
-		f.proxyErrors.Add(1)
-		service.WriteError(w, http.StatusBadGateway, "proxy insert: %v", err)
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := f.client.Do(req)
+	status, respBody, err := f.api.Post(r.Context(), "/v1/insert", "application/json", body)
 	if err != nil {
 		f.proxyErrors.Add(1)
 		service.WriteError(w, http.StatusBadGateway, "primary unreachable: %v", err)
 		return
 	}
-	defer resp.Body.Close()
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
-}
-
-// postJSON posts a JSON body to the primary and decodes a JSON response,
-// failing on any non-200.
-func (f *Follower) postJSON(r *http.Request, path string, body []byte, v any) error {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, f.Primary()+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := f.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST %s: %s", path, resp.Status)
-	}
-	return decodeJSON(resp.Body, v)
-}
-
-// decodeJSON decodes one JSON value from r.
-func decodeJSON(r io.Reader, v any) error {
-	return json.NewDecoder(r).Decode(v)
+	w.WriteHeader(status)
+	w.Write(respBody)
 }
 
 // decodeMixedBatch parses a mixed-arity batch exactly as the federated

@@ -19,6 +19,11 @@
 // from the fresh snapshot, which is safe because every apply path dedups
 // by exact table equality.
 //
+// Proxy mode speaks the primary's /v2 API through pkg/client, so a
+// follower requires a primary of the same API generation — the two are
+// components of one deployment, shipped together like the WAL framing
+// they already share. Upgrade primaries before followers.
+//
 // Followers are eventually consistent: the primary ships only its
 // fsynced prefix (never a record it could still lose to a power cut, so
 // a follower's state is always a prefix of the primary's durable
@@ -32,6 +37,7 @@ package replica
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -46,6 +52,8 @@ import (
 	"repro/internal/store"
 	"repro/internal/ttio"
 	"repro/internal/wal"
+
+	apiclient "repro/pkg/client"
 )
 
 // DefaultInterval is the poll period used when Options.Interval is zero.
@@ -137,6 +145,11 @@ type Follower struct {
 	reg    *federation.Registry
 	opts   Options
 	client *http.Client
+	// api is the official typed client (pkg/client) every proxy-mode
+	// request to the primary goes through. The tail loop keeps the raw
+	// client: segment tailing streams bodies the typed client would
+	// buffer.
+	api *apiclient.Client
 
 	mu         sync.Mutex
 	arities    map[int]arityState
@@ -174,7 +187,11 @@ func New(reg *federation.Registry, opts Options) *Follower {
 			IdleConnTimeout:       90 * time.Second,
 		}}
 	}
-	return &Follower{reg: reg, opts: opts, client: client, arities: map[int]arityState{}}
+	f := &Follower{reg: reg, opts: opts, client: client, arities: map[int]arityState{}}
+	// Proxying does not retry: a dead primary must degrade to local
+	// answers within one round trip, not after a retry budget.
+	f.api = apiclient.New(opts.Primary, apiclient.WithHTTPClient(client), apiclient.WithRetries(0))
+	return f
 }
 
 // Registry returns the local registry the follower applies into.
@@ -486,7 +503,7 @@ func (f *Follower) getJSON(ctx context.Context, path string, v any) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("GET %s: %s", path, resp.Status)
 	}
-	return decodeJSON(resp.Body, v)
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // Stale reports whether the staleness gate is tripped: StaleAfter is set

@@ -1,17 +1,22 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
+	"repro/internal/api"
 	"repro/internal/npn"
 	"repro/internal/tt"
 )
 
-// MaxBatch bounds the number of functions accepted in one request.
-const MaxBatch = 1 << 16
+// MaxBatch bounds the number of functions accepted in one request. It is
+// the wire contract's limit (api.MaxBatch) — one constant governs both
+// surfaces, so the /v1 item limit and the /v2 byte bound derived from it
+// cannot drift apart.
+const MaxBatch = api.MaxBatch
 
 // ClassifyRequest is the body of POST /v1/classify and POST /v1/insert:
 // a batch of hexadecimal truth tables of the server's arity.
@@ -19,46 +24,13 @@ type ClassifyRequest struct {
 	Functions []string `json:"functions"`
 }
 
-// WitnessJSON is the wire form of an npn.Transform witness.
-type WitnessJSON struct {
-	// Perm maps result input i to representative input Perm[i].
-	Perm []int `json:"perm"`
-	// NegMask bit i complements input i.
-	NegMask uint32 `json:"neg_mask"`
-	// OutNeg complements the output.
-	OutNeg bool `json:"out_neg"`
-}
+// WitnessJSON is the wire form of an npn.Transform witness. It is an
+// alias of the /v2 contract's api.Witness — same fields, same json tags,
+// one Transform() decode path — so the two surfaces cannot drift.
+type WitnessJSON = api.Witness
 
 // NewWitnessJSON encodes a witness transform into its wire form.
-func NewWitnessJSON(w npn.Transform) *WitnessJSON {
-	perm := make([]int, w.N)
-	for i := range perm {
-		perm[i] = int(w.Perm[i])
-	}
-	return &WitnessJSON{Perm: perm, NegMask: w.NegMask, OutNeg: w.OutNeg}
-}
-
-// Transform decodes the wire witness back into an npn.Transform, so a
-// client can replay τ(rep) = f locally.
-func (w *WitnessJSON) Transform() (npn.Transform, error) {
-	n := len(w.Perm)
-	if n > tt.MaxVars {
-		return npn.Transform{}, fmt.Errorf("witness arity %d out of range", n)
-	}
-	tr := npn.Identity(n)
-	for i, p := range w.Perm {
-		if p < 0 || p >= n {
-			return npn.Transform{}, fmt.Errorf("witness perm[%d] = %d out of range", i, p)
-		}
-		tr.Perm[i] = uint8(p)
-	}
-	tr.NegMask = w.NegMask
-	tr.OutNeg = w.OutNeg
-	if err := tr.Validate(); err != nil {
-		return npn.Transform{}, err
-	}
-	return tr, nil
-}
+func NewWitnessJSON(w npn.Transform) *WitnessJSON { return api.NewWitness(w) }
 
 // ClassifyResultJSON is one function's classification outcome. Class is
 // the 16-hex-digit MSV key, valid even on a miss; Index, Rep and Witness
@@ -155,60 +127,157 @@ func EncodeInsertResults(raw []string, results []InsertResult) InsertResponse {
 	return resp
 }
 
-// NewHandler returns the HTTP/JSON API over a single-arity svc:
+// NewHandler returns the HTTP/JSON API over a single-arity svc with the
+// default body bound for uploads and streams; see NewHandlerWith.
+func NewHandler(svc *Service) http.Handler {
+	return NewHandlerWith(svc, api.DefaultMaxBody)
+}
+
+// NewHandlerWith returns the versioned HTTP/JSON API over a single-arity
+// svc, mounted on the shared api.Router (JSON 404/405 fallback, GET
+// /v2/spec self-description):
 //
-//	POST /v1/classify  batch lookup (read-only)
-//	POST /v1/insert    batch insert
-//	GET  /v1/stats     counters + store shape
-//	GET  /healthz      liveness
+//	POST /v2/classify         batch lookup, per-item errors (read-only)
+//	POST /v2/insert           batch insert, per-item errors
+//	POST /v2/classify/stream  NDJSON variant for unbuffered batches
+//	POST /v2/insert/stream    NDJSON variant for unbuffered batches
+//	POST /v2/map              map an ASCII-AIGER circuit to k-LUTs
+//	GET  /v2/stats            counters + store shape
+//	GET  /v2/spec             routes + error codes
+//	GET  /healthz             liveness
+//
+// plus the deprecated /v1 shims (classify, insert, stats), which keep
+// their exact pre-v2 bodies for valid requests. maxBody bounds the AIGER
+// upload and NDJSON stream bodies (npnserve's -max-body flag); the JSON
+// batch endpoints keep their arity-derived bound.
 //
 // cmd/npnserve serves the federated handler (internal/federation), which
 // speaks the same wire format over many arities; this one remains the
 // transport for embedding a single service in-process.
-func NewHandler(svc *Service) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/classify", func(w http.ResponseWriter, r *http.Request) {
-		fs, raw, ok := decodeBatch(w, r, svc.NumVars())
-		if !ok {
-			return
-		}
-		writeJSON(w, http.StatusOK, EncodeClassifyResults(raw, svc.Classify(fs)))
-	})
-	mux.HandleFunc("POST /v1/insert", func(w http.ResponseWriter, r *http.Request) {
-		fs, raw, ok := decodeBatch(w, r, svc.NumVars())
-		if !ok {
-			return
-		}
-		results := svc.Insert(fs)
-		if refused := CountRefusedInserts(results); refused > 0 {
-			WriteError(w, http.StatusInternalServerError,
-				"%d of %d inserts refused: journal failure, classes not durable", refused, len(results))
-			return
-		}
-		writeJSON(w, http.StatusOK, EncodeInsertResults(raw, results))
-	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"arity":  svc.NumVars(),
+func NewHandlerWith(svc *Service, maxBody int64) http.Handler {
+	rt := api.NewRouter("single")
+	b := backend{svc}
+	jsonBody := MaxBodyBytes(svc.NumVars())
+
+	rt.HandleDeprecated("POST", "/v1/classify", "batch lookup (use /v2/classify)",
+		func(w http.ResponseWriter, r *http.Request) {
+			if !api.CheckContentType(w, r, "application/json") {
+				return
+			}
+			fs, raw, ok := decodeBatch(w, r, svc.NumVars())
+			if !ok {
+				return
+			}
+			writeJSON(w, http.StatusOK, EncodeClassifyResults(raw, svc.Classify(fs)))
 		})
-	})
-	return mux
+	rt.HandleDeprecated("POST", "/v1/insert", "batch insert (use /v2/insert)",
+		func(w http.ResponseWriter, r *http.Request) {
+			if !api.CheckContentType(w, r, "application/json") {
+				return
+			}
+			fs, raw, ok := decodeBatch(w, r, svc.NumVars())
+			if !ok {
+				return
+			}
+			results := svc.Insert(fs)
+			if refused := CountRefusedInserts(results); refused > 0 {
+				WriteError(w, http.StatusInternalServerError,
+					"%d of %d inserts refused: journal failure, classes not durable", refused, len(results))
+				return
+			}
+			writeJSON(w, http.StatusOK, EncodeInsertResults(raw, results))
+		})
+	rt.HandleDeprecated("GET", "/v1/stats", "counters (use /v2/stats)",
+		func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, svc.Stats())
+		})
+
+	rt.Handle("POST", "/v2/classify", "batch lookup with per-item errors", api.HandleClassify(b, jsonBody))
+	rt.Handle("POST", "/v2/insert", "batch insert with per-item errors", api.HandleInsert(b, jsonBody))
+	rt.Handle("POST", "/v2/classify/stream", "NDJSON streaming lookup", api.HandleClassifyStream(b, maxBody))
+	rt.Handle("POST", "/v2/insert/stream", "NDJSON streaming insert", api.HandleInsertStream(b, maxBody))
+	rt.Handle("POST", "/v2/map", "map an ASCII-AIGER circuit to k-LUTs",
+		api.HandleMap(api.MapConfig{MaxBody: maxBody, Insert: b.insertMapped}))
+	rt.Handle("GET", "/v2/stats", "counters + store shape",
+		func(w http.ResponseWriter, r *http.Request) {
+			api.WriteJSON(w, http.StatusOK, svc.Stats())
+		})
+	rt.Handle("GET", "/healthz", "liveness",
+		func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status": "ok",
+				"arity":  svc.NumVars(),
+			})
+		})
+	rt.MountSpec()
+	return rt
+}
+
+// backend adapts a single-arity Service to the shared /v2 handlers.
+type backend struct{ svc *Service }
+
+// Resolve parses one hex function at the service's fixed arity.
+func (b backend) Resolve(s string) (*tt.TT, *api.Error) {
+	n := b.svc.NumVars()
+	if len(s) != HexDigits(n) {
+		return nil, api.Errf(api.CodeArityOutOfRange,
+			"hex truth table of %d digits; this server serves arity %d", len(s), n).
+			WithDetail("want %d hex digits", HexDigits(n))
+	}
+	f, err := tt.FromHex(n, s)
+	if err != nil {
+		return nil, api.Errf(api.CodeBadHex, "%v", err)
+	}
+	return f, nil
+}
+
+func (b backend) Classify(_ context.Context, fs []*tt.TT) ([]api.Result, *api.Error) {
+	return ToAPIResults(b.svc.Classify(fs)), nil
+}
+
+func (b backend) Insert(_ context.Context, fs []*tt.TT) ([]api.InsertOutcome, *api.Error) {
+	return ToAPIOutcomes(b.svc.Insert(fs)), nil
+}
+
+// insertMapped stores a mapping's K-ary LUT functions, provided the
+// mapping width matches the arity this service stores.
+func (b backend) insertMapped(_ context.Context, fs []*tt.TT) ([]api.InsertOutcome, *api.Error) {
+	if len(fs) > 0 && fs[0].NumVars() != b.svc.NumVars() {
+		return nil, api.Errf(api.CodeArityOutOfRange,
+			"mapped LUTs have arity %d; this server stores arity %d (retry with k=%d or without insert=true)",
+			fs[0].NumVars(), b.svc.NumVars(), b.svc.NumVars())
+	}
+	return ToAPIOutcomes(b.svc.Insert(fs)), nil
+}
+
+// ToAPIResults converts pipeline results to their wire-contract form —
+// the one conversion every serving stack (single, federated, follower)
+// routes through, so /v2 results cannot diverge between them.
+func ToAPIResults(rs []Result) []api.Result {
+	out := make([]api.Result, len(rs))
+	for i, r := range rs {
+		out[i] = api.Result{Key: r.Key, Index: r.Index, Hit: r.Hit, Witness: r.Witness}
+		if r.Hit {
+			out[i].RepHex = r.Rep.Hex()
+		}
+	}
+	return out
+}
+
+// ToAPIOutcomes converts pipeline insert results to their wire form.
+func ToAPIOutcomes(rs []InsertResult) []api.InsertOutcome {
+	out := make([]api.InsertOutcome, len(rs))
+	for i, r := range rs {
+		out[i] = api.InsertOutcome{Key: r.Key, Index: r.Index, New: r.New}
+	}
+	return out
 }
 
 // HexDigits returns the wire length of an n-variable hex truth table:
 // 2^n/4 digits, floored at one. This is the rule the federated handler
-// inverts to infer a function's arity from its length.
-func HexDigits(n int) int {
-	d := (1 << n) / 4
-	if d == 0 {
-		d = 1
-	}
-	return d
-}
+// inverts to infer a function's arity from its length; the definition
+// lives in the wire contract (api.HexDigits).
+func HexDigits(n int) int { return api.HexDigits(n) }
 
 // MaxBodyBytes bounds the request body for a handler whose largest
 // accepted arity is n: a full MaxBatch of that arity's tables with JSON

@@ -1,0 +1,344 @@
+// Package client is the official Go client of the npnserve /v2 API —
+// the one HTTP client the repository itself uses (replica proxy mode,
+// examples/serve, the cmd-level end-to-end tests) and the one external
+// callers should embed. It speaks the typed envelopes of internal/api,
+// decodes the machine-readable error taxonomy into *api.Error values,
+// retries transient transport failures, streams NDJSON batches with
+// mid-stream resume, and replays witness certificates locally.
+//
+//	c := client.New("http://localhost:8080")
+//	resp, err := c.Insert(ctx, []string{"cafef00dcafef00d"})
+//	cls, err := c.Classify(ctx, []string{"f00dcafef00dcafe"})
+//	for _, it := range cls.Results {
+//		if it.Hit {
+//			err := client.ReplayWitness(it) // certify τ(rep) = function
+//		}
+//	}
+//
+// Errors: any non-2xx /v2 response decodes into an *api.Error, so callers
+// can switch on its stable Code (api.CodeBadHex, api.CodeReadOnly, ...).
+// Per-item errors inside 200 batch responses are on the items themselves.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/tt"
+)
+
+// DefaultTimeout is the whole-request timeout of the default HTTP client.
+const DefaultTimeout = 30 * time.Second
+
+// Client is a connection to one npnserve-compatible server. It is safe
+// for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a failed request is retried beyond the
+// first attempt. Only transport errors and 502/503/504 responses are
+// retried; every API operation here is idempotent (insert included — the
+// store dedups by exact table), so retries are always safe.
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base delay between retries (attempt k waits
+// k*backoff). Zero disables the delay.
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New returns a client for the server at base (e.g. "http://host:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: DefaultTimeout},
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Base returns the server base URL.
+func (c *Client) Base() string { return c.base }
+
+// Classify looks up a batch of hex truth tables via POST /v2/classify.
+// Per-item failures are on the returned items; the error return is for
+// envelope-level failures only.
+func (c *Client) Classify(ctx context.Context, fns []string) (*api.ClassifyResponse, error) {
+	var out api.ClassifyResponse
+	if err := c.postJSON(ctx, "/v2/classify", api.BatchRequest{Functions: fns}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Insert inserts a batch of hex truth tables via POST /v2/insert.
+func (c *Client) Insert(ctx context.Context, fns []string) (*api.InsertResponse, error) {
+	var out api.InsertResponse
+	if err := c.postJSON(ctx, "/v2/insert", api.BatchRequest{Functions: fns}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// MapParams mirror the query parameters of POST /v2/map.
+type MapParams struct {
+	K      int    // 0 = server default (6)
+	Mode   string // "", "depth" or "area"
+	Cuts   int    // 0 = server default (8)
+	Insert bool   // insert discovered LUT classes into the store
+}
+
+func (p MapParams) query() string {
+	q := url.Values{}
+	if p.K != 0 {
+		q.Set("k", strconv.Itoa(p.K))
+	}
+	if p.Mode != "" {
+		q.Set("mode", p.Mode)
+	}
+	if p.Cuts != 0 {
+		q.Set("cuts", strconv.Itoa(p.Cuts))
+	}
+	if p.Insert {
+		q.Set("insert", "true")
+	}
+	if len(q) == 0 {
+		return ""
+	}
+	return "?" + q.Encode()
+}
+
+// Map uploads an ASCII-AIGER circuit to POST /v2/map and returns the
+// functionally-verified k-LUT mapping with its NPN class census.
+func (c *Client) Map(ctx context.Context, circuit io.Reader, p MapParams) (*api.MapResponse, error) {
+	body, err := io.ReadAll(circuit)
+	if err != nil {
+		return nil, err
+	}
+	status, resp, err := c.do(ctx, http.MethodPost, "/v2/map"+p.query(), "text/plain", body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, decodeAPIError(status, resp)
+	}
+	var out api.MapResponse
+	if err := json.Unmarshal(resp, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding map response: %w", err)
+	}
+	return &out, nil
+}
+
+// Stats fetches GET /v2/stats. The body shape depends on the server's
+// role (single arity, federated, follower), so it is returned raw for the
+// caller to decode into the matching stats type.
+func (c *Client) Stats(ctx context.Context) (json.RawMessage, error) {
+	return c.getRawJSON(ctx, "/v2/stats")
+}
+
+// Spec fetches the server's self-description from GET /v2/spec.
+func (c *Client) Spec(ctx context.Context) (*api.Spec, error) {
+	raw, err := c.getRawJSON(ctx, "/v2/spec")
+	if err != nil {
+		return nil, err
+	}
+	var s api.Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("client: decoding spec: %w", err)
+	}
+	return &s, nil
+}
+
+// Compact triggers POST /v2/compact (federated primaries only) and
+// returns the per-arity report.
+func (c *Client) Compact(ctx context.Context) (json.RawMessage, error) {
+	status, body, err := c.do(ctx, http.MethodPost, "/v2/compact", "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, decodeAPIError(status, body)
+	}
+	return body, nil
+}
+
+// Healthz fetches GET /healthz, returning the status code alongside the
+// body: a follower past its staleness gate answers 503 with a body that
+// is still well-formed. It deliberately bypasses the retry policy — a
+// probe that retried 503s would mask and delay exactly the state it
+// exists to surface.
+func (c *Client) Healthz(ctx context.Context) (int, json.RawMessage, error) {
+	return c.once(ctx, http.MethodGet, "/healthz", "", nil)
+}
+
+// Get is the raw GET escape hatch: one request (with retries) against an
+// arbitrary path, returning status and body. It exists so components that
+// relay /v1 traffic byte-for-byte (the follower proxy) still route every
+// request through this client.
+func (c *Client) Get(ctx context.Context, path string) (int, []byte, error) {
+	return c.do(ctx, http.MethodGet, path, "", nil)
+}
+
+// Post is the raw POST escape hatch, the write-side twin of Get.
+func (c *Client) Post(ctx context.Context, path, contentType string, body []byte) (int, []byte, error) {
+	return c.do(ctx, http.MethodPost, path, contentType, body)
+}
+
+// getRawJSON GETs a path and returns the body, decoding error envelopes.
+func (c *Client) getRawJSON(ctx context.Context, path string) (json.RawMessage, error) {
+	status, body, err := c.do(ctx, http.MethodGet, path, "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, decodeAPIError(status, body)
+	}
+	return body, nil
+}
+
+// postJSON posts a JSON body and decodes a 200 JSON response into out.
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	status, body, err := c.do(ctx, http.MethodPost, path, "application/json", b)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return decodeAPIError(status, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// do issues one request with the retry policy: transport errors and
+// 502/503/504 are retried up to c.retries times with linear backoff.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (int, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, time.Duration(attempt)*c.backoff); err != nil {
+				return 0, nil, err
+			}
+		}
+		status, respBody, err := c.once(ctx, method, path, contentType, body)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		if retryableStatus(status) && attempt < c.retries {
+			lastErr = fmt.Errorf("client: %s %s: status %d", method, path, status)
+			continue
+		}
+		return status, respBody, nil
+	}
+	return 0, nil, lastErr
+}
+
+func (c *Client) once(ctx context.Context, method, path, contentType string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+func retryableStatus(status int) bool {
+	return status == http.StatusBadGateway || status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// decodeAPIError turns a non-2xx body into an *api.Error when it carries
+// the /v2 envelope, or a plain error otherwise (e.g. a /v1 shim body).
+func decodeAPIError(status int, body []byte) error {
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil {
+		return env.Error
+	}
+	return fmt.Errorf("client: status %d: %s", status, bytes.TrimSpace(body))
+}
+
+// ReplayWitness certifies one classify hit locally: it decodes the wire
+// witness τ and checks τ(rep) = function, so a client never has to trust
+// the server's matcher. Items that are misses or carry errors fail.
+func ReplayWitness(it api.ClassifyItem) error {
+	if it.Error != nil {
+		return fmt.Errorf("client: item %q carries error %s", it.Function, it.Error.Code)
+	}
+	if !it.Hit || it.Witness == nil {
+		return fmt.Errorf("client: item %q is not a hit", it.Function)
+	}
+	tr, err := it.Witness.Transform()
+	if err != nil {
+		return fmt.Errorf("client: witness for %q: %w", it.Function, err)
+	}
+	n := len(it.Witness.Perm)
+	rep, err := tt.FromHex(n, it.Rep)
+	if err != nil {
+		return fmt.Errorf("client: rep for %q: %w", it.Function, err)
+	}
+	fn, err := tt.FromHex(n, it.Function)
+	if err != nil {
+		return fmt.Errorf("client: function %q: %w", it.Function, err)
+	}
+	if !tr.Apply(rep).Equal(fn) {
+		return fmt.Errorf("client: witness for %q does not verify", it.Function)
+	}
+	return nil
+}

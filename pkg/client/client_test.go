@@ -1,0 +1,502 @@
+// The pkg/client round-trip suite: the official client against every
+// server role it claims to speak to — a single-arity service, a
+// federated registry, and a replication follower in both -follow-modes —
+// including mid-batch per-item errors, NDJSON streaming, and streaming
+// resume across a dropped connection.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/federation"
+	"repro/internal/npn"
+	"repro/internal/replica"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/tt"
+	"repro/internal/wal"
+	"repro/pkg/client"
+)
+
+func newSingle(t *testing.T, n int) *client.Client {
+	t.Helper()
+	svc := service.New(store.New(n, store.Options{Shards: 4}), service.Options{Workers: 2})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL)
+}
+
+func newFederated(t *testing.T) *client.Client {
+	t.Helper()
+	reg, err := federation.New(4, 8, federation.Options{Store: store.Options{Shards: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(federation.NewHandler(reg))
+	t.Cleanup(srv.Close)
+	return client.New(srv.URL)
+}
+
+// newPrimaryAndFollower builds a durable primary (per-append fsync, so a
+// SyncOnce immediately sees every acknowledged insert) and a follower of
+// it in the given mode. The primary's server is returned so tests can
+// kill it.
+func newPrimaryAndFollower(t *testing.T, mode replica.Mode) (pc, fc *client.Client, fol *replica.Follower, psrv *httptest.Server) {
+	t.Helper()
+	preg, err := federation.New(4, 6, federation.Options{
+		Store: store.Options{Shards: 4},
+		Data:  t.TempDir(),
+		WAL:   wal.Options{SegmentBytes: 1 << 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { preg.Close() })
+	psrv = httptest.NewServer(federation.NewHandler(preg))
+	t.Cleanup(psrv.Close)
+
+	freg, err := federation.New(4, 6, federation.Options{
+		Store: store.Options{Shards: 4, ReadOnly: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol = replica.New(freg, replica.Options{Primary: psrv.URL, Mode: mode})
+	fsrv := httptest.NewServer(replica.NewHandler(fol))
+	t.Cleanup(fsrv.Close)
+	return client.New(psrv.URL), client.New(fsrv.URL), fol, psrv
+}
+
+// roundTrip drives the shared correctness scenario against any server:
+// insert a batch, classify NPN variants, demand identity equality and a
+// locally-replayable witness, and check mid-batch per-item errors.
+func roundTrip(t *testing.T, c *client.Client, fns []*tt.TT, rng *rand.Rand) {
+	t.Helper()
+	ctx := context.Background()
+	hexes := make([]string, len(fns))
+	for i, f := range fns {
+		hexes[i] = f.Hex()
+	}
+	ins, err := c.Insert(ctx, hexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Errors != 0 || len(ins.Results) != len(fns) {
+		t.Fatalf("insert %+v", ins)
+	}
+
+	variants := make([]string, len(fns))
+	for i, f := range fns {
+		variants[i] = npn.RandomTransform(f.NumVars(), rng).Apply(f).Hex()
+	}
+	cls, err := c.Classify(ctx, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		if !r.Hit || r.Class != ins.Results[i].Class || *r.Index != ins.Results[i].Index {
+			t.Fatalf("variant %d: %+v, inserted (%s,%d)", i, r, ins.Results[i].Class, ins.Results[i].Index)
+		}
+		if err := client.ReplayWitness(r); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+	}
+
+	// Mid-batch per-item error: the bad middle entry must not take the
+	// good neighbors down.
+	mixed, err := c.Classify(ctx, []string{variants[0], "zz!", variants[len(variants)-1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Errors != 1 || mixed.Results[1].Error == nil {
+		t.Fatalf("mid-batch error: %+v", mixed)
+	}
+	if !mixed.Results[0].Hit || !mixed.Results[2].Hit {
+		t.Fatalf("good neighbors failed: %+v", mixed.Results)
+	}
+}
+
+func TestSingleArityRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	c := newSingle(t, 5)
+	var fns []*tt.TT
+	for i := 0; i < 6; i++ {
+		fns = append(fns, tt.Random(5, rng))
+	}
+	roundTrip(t, c, fns, rng)
+
+	// Single-arity resolution: a wrong-length table is per-item
+	// arity_out_of_range.
+	cls, err := c.Classify(context.Background(), []string{"1ee1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Results[0].Error == nil || cls.Results[0].Error.Code != api.CodeArityOutOfRange {
+		t.Fatalf("wrong-length item: %+v", cls.Results[0])
+	}
+
+	spec, err := c.Spec(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Role != "single" {
+		t.Fatalf("spec role %q", spec.Role)
+	}
+	raw, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Arity != 5 || st.Classes == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFederatedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	c := newFederated(t)
+	var fns []*tt.TT
+	for n := 4; n <= 8; n++ {
+		fns = append(fns, tt.Random(n, rng), tt.Random(n, rng))
+	}
+	roundTrip(t, c, fns, rng)
+}
+
+func TestFollowerLocalMode(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(83))
+	pc, fc, fol, _ := newPrimaryAndFollower(t, replica.ModeLocal)
+
+	var hexes []string
+	for n := 4; n <= 6; n++ {
+		hexes = append(hexes, tt.Random(n, rng).Hex())
+	}
+	ins, err := pc.Insert(ctx, hexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fol.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replicated classes hit locally with the primary's identity.
+	cls, err := fc.Classify(ctx, hexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cls.Results {
+		if !r.Hit || r.Class != ins.Results[i].Class || *r.Index != ins.Results[i].Index {
+			t.Fatalf("follower item %d: %+v", i, r)
+		}
+		if err := client.ReplayWitness(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A local-mode follower refuses writes with the stable code.
+	_, err = fc.Insert(ctx, []string{tt.Random(4, rng).Hex()})
+	if e, ok := err.(*api.Error); !ok || e.Code != api.CodeReadOnly {
+		t.Fatalf("local-mode insert error: %v", err)
+	}
+	// ...and answers misses locally as misses.
+	miss, err := fc.Classify(ctx, []string{tt.Random(6, rng).Hex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Results[0].Hit {
+		t.Fatal("unreplicated class hit in local mode")
+	}
+}
+
+func TestFollowerProxyMode(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(84))
+	pc, fc, fol, psrv := newPrimaryAndFollower(t, replica.ModeProxy)
+
+	// An insert through the follower is forwarded to the primary.
+	f := tt.Random(5, rng)
+	ins, err := fc.Insert(ctx, []string{f.Hex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Errors != 0 || !ins.Results[0].New {
+		t.Fatalf("proxied insert %+v", ins)
+	}
+	direct, err := pc.Classify(ctx, []string{f.Hex()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !direct.Results[0].Hit || direct.Results[0].Class != ins.Results[0].Class {
+		t.Fatalf("insert did not land on the primary: %+v", direct.Results[0])
+	}
+
+	// A classify miss on the not-yet-synced follower is re-asked of the
+	// primary and merged: the fresh class still hits, witness and all.
+	g := tt.Random(6, rng)
+	if _, err := pc.Insert(ctx, []string{g.Hex()}); err != nil {
+		t.Fatal(err)
+	}
+	variant := npn.RandomTransform(6, rng).Apply(g).Hex()
+	cls, err := fc.Classify(ctx, []string{variant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cls.Results[0].Hit {
+		t.Fatalf("proxy-merged miss did not hit: %+v", cls.Results[0])
+	}
+	if err := client.ReplayWitness(cls.Results[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-item errors forward too: a refused item from the primary stays
+	// a per-item error at the follower.
+	mixed, err := fc.Insert(ctx, []string{tt.Random(4, rng).Hex(), "zzzz!"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Errors != 1 || mixed.Results[1].Error == nil || mixed.Results[0].Error != nil {
+		t.Fatalf("proxied per-item errors: %+v", mixed)
+	}
+
+	// Sync what exists, then kill the primary: reads degrade gracefully
+	// to local answers, writes answer primary_unreachable.
+	if err := fol.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	psrv.Close()
+	after, err := fc.Classify(ctx, []string{f.Hex(), tt.Random(4, rng).Hex()})
+	if err != nil {
+		t.Fatalf("reads must survive a dead primary: %v", err)
+	}
+	if !after.Results[0].Hit {
+		t.Fatal("replicated class lost after primary death")
+	}
+	if after.Results[1].Hit {
+		t.Fatal("phantom hit after primary death")
+	}
+	_, err = fc.Insert(ctx, []string{tt.Random(4, rng).Hex()})
+	if e, ok := err.(*api.Error); !ok || e.Code != api.CodePrimaryUnreachable {
+		t.Fatalf("insert with dead primary: %v", err)
+	}
+}
+
+// TestStreamRoundTrip pushes a batch bigger than one server chunk
+// through both NDJSON endpoints and checks order, completeness and
+// inline per-item errors.
+func TestStreamRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(85))
+	c := newFederated(t)
+
+	n := api.StreamChunk + 37
+	fns := make([]string, n)
+	for i := range fns {
+		fns[i] = tt.Random(4+(i%3), rng).Hex()
+	}
+	badAt := api.StreamChunk + 3
+	fns[badAt] = "zzzz"
+
+	got := 0
+	err := c.InsertStream(ctx, fns, func(i int, item api.InsertItem) error {
+		if i != got {
+			t.Fatalf("insert stream out of order: got index %d, want %d", i, got)
+		}
+		got++
+		if i == badAt {
+			if item.Error == nil || item.Error.Code != api.CodeBadHex {
+				t.Fatalf("bad item %d: %+v", i, item)
+			}
+		} else if item.Error != nil {
+			t.Fatalf("item %d: %+v", i, item.Error)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("insert stream delivered %d of %d", got, n)
+	}
+
+	got = 0
+	err = c.ClassifyStream(ctx, fns, func(i int, item api.ClassifyItem) error {
+		got++
+		if i == badAt {
+			return nil
+		}
+		if !item.Hit {
+			t.Fatalf("item %d missed after insert stream", i)
+		}
+		return client.ReplayWitness(item)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("classify stream delivered %d of %d", got, n)
+	}
+}
+
+// truncating wraps a handler and serves only the first cutLines response
+// lines of the first streaming request, simulating a connection that
+// drops mid-stream; later requests pass through untouched.
+type truncating struct {
+	inner    http.Handler
+	cutLines int
+
+	mu       sync.Mutex
+	requests []int // functions per streaming request body
+}
+
+func (tr *truncating) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasSuffix(r.URL.Path, "/stream") {
+		tr.inner.ServeHTTP(w, r)
+		return
+	}
+	body, _ := io.ReadAll(r.Body)
+	nFns := len(strings.Fields(string(body)))
+	tr.mu.Lock()
+	tr.requests = append(tr.requests, nFns)
+	first := len(tr.requests) == 1
+	tr.mu.Unlock()
+
+	rec := httptest.NewRecorder()
+	req := r.Clone(r.Context())
+	req.Body = io.NopCloser(strings.NewReader(string(body)))
+	tr.inner.ServeHTTP(rec, req)
+	if !first {
+		w.Header().Set("Content-Type", rec.Header().Get("Content-Type"))
+		w.WriteHeader(rec.Code)
+		io.Copy(w, rec.Body)
+		return
+	}
+	lines := strings.SplitAfter(rec.Body.String(), "\n")
+	w.Header().Set("Content-Type", rec.Header().Get("Content-Type"))
+	w.WriteHeader(rec.Code)
+	for i := 0; i < tr.cutLines && i < len(lines); i++ {
+		io.WriteString(w, lines[i])
+	}
+	// Returning here closes the response short of one line per input:
+	// the client must notice and resume from the boundary.
+}
+
+// TestStreamResume: the first streaming attempt dies after 10 result
+// lines; the client resumes with the unanswered suffix and the caller
+// sees every index exactly once.
+func TestStreamResume(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(86))
+	reg, err := federation.New(4, 6, federation.Options{Store: store.Options{Shards: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &truncating{inner: federation.NewHandler(reg), cutLines: 10}
+	srv := httptest.NewServer(tr)
+	t.Cleanup(srv.Close)
+	c := client.New(srv.URL, client.WithBackoff(time.Millisecond))
+
+	n := 25
+	fns := make([]string, n)
+	for i := range fns {
+		fns[i] = tt.Random(5, rng).Hex()
+	}
+	seen := make([]bool, n)
+	err = c.InsertStream(ctx, fns, func(i int, item api.InsertItem) error {
+		if seen[i] {
+			return fmt.Errorf("index %d delivered twice", i)
+		}
+		seen[i] = true
+		if item.Function != fns[i] {
+			return fmt.Errorf("index %d answered for %q, want %q", i, item.Function, fns[i])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d never delivered", i)
+		}
+	}
+	if len(tr.requests) != 2 || tr.requests[0] != n || tr.requests[1] != n-10 {
+		t.Fatalf("resume requests %v, want [%d %d]", tr.requests, n, n-10)
+	}
+}
+
+// flaky503 fails the first reqFails requests with 503, then passes
+// through.
+type flaky503 struct {
+	inner http.Handler
+	mu    sync.Mutex
+	fails int
+}
+
+func (f *flaky503) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	fail := f.fails > 0
+	if fail {
+		f.fails--
+	}
+	f.mu.Unlock()
+	if fail {
+		http.Error(w, "try later", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestRetries: transient 503s are retried within the budget and surface
+// after it.
+func TestRetries(t *testing.T) {
+	ctx := context.Background()
+	reg, err := federation.New(4, 6, federation.Options{Store: store.Options{Shards: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flaky503{inner: federation.NewHandler(reg), fails: 2}
+	srv := httptest.NewServer(fl)
+	t.Cleanup(srv.Close)
+
+	c := client.New(srv.URL, client.WithRetries(2), client.WithBackoff(time.Millisecond))
+	if _, err := c.Insert(ctx, []string{"1ee1"}); err != nil {
+		t.Fatalf("insert did not survive 2 flaps: %v", err)
+	}
+
+	fl.mu.Lock()
+	fl.fails = 3
+	fl.mu.Unlock()
+	c0 := client.New(srv.URL, client.WithRetries(0), client.WithBackoff(time.Millisecond))
+	if _, err := c0.Insert(ctx, []string{"1ee1"}); err == nil {
+		t.Fatal("no-retry client swallowed a 503")
+	}
+}
+
+// TestEnvelopeErrorsDecode: non-2xx /v2 responses decode into *api.Error
+// with their stable codes.
+func TestEnvelopeErrorsDecode(t *testing.T) {
+	ctx := context.Background()
+	c := newFederated(t)
+	_, err := c.Classify(ctx, nil)
+	if e, ok := err.(*api.Error); !ok || e.Code != api.CodeBadRequest {
+		t.Fatalf("empty batch error: %v", err)
+	}
+	_, err = c.Compact(ctx)
+	if e, ok := err.(*api.Error); !ok || e.Code != api.CodeNotDurable {
+		t.Fatalf("compact on memory registry: %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+)
+
+// NDJSON streaming: the /v2/classify/stream and /v2/insert/stream
+// endpoints answer one result line per input line, in order, so a client
+// that has received k result lines knows exactly which inputs are
+// outstanding. The stream methods here exploit that for resume: when the
+// connection drops mid-stream, the request is re-issued with only the
+// unanswered suffix of the batch, up to the client's retry budget, and
+// the caller's callback never sees a duplicate or a gap.
+
+// ClassifyStream classifies fns via POST /v2/classify/stream, invoking fn
+// once per function in input order with its original index. Per-item
+// failures arrive as items carrying Error; a terminal server-side error
+// line or an exhausted retry budget returns an error. A non-nil error
+// from fn aborts the stream.
+func (c *Client) ClassifyStream(ctx context.Context, fns []string, fn func(i int, item api.ClassifyItem) error) error {
+	return c.stream(ctx, "/v2/classify/stream", fns, func(i int, line []byte) error {
+		var item api.ClassifyItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("client: bad stream line %d: %w", i, err)
+		}
+		return fn(i, item)
+	})
+}
+
+// InsertStream inserts fns via POST /v2/insert/stream; the streaming twin
+// of Insert, with the same resume behavior as ClassifyStream.
+func (c *Client) InsertStream(ctx context.Context, fns []string, fn func(i int, item api.InsertItem) error) error {
+	return c.stream(ctx, "/v2/insert/stream", fns, func(i int, line []byte) error {
+		var item api.InsertItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("client: bad stream line %d: %w", i, err)
+		}
+		return fn(i, item)
+	})
+}
+
+// stream pumps one NDJSON request/response exchange with resume: next is
+// the index of the first function not yet answered.
+func (c *Client) stream(ctx context.Context, path string, fns []string, deliver func(i int, line []byte) error) error {
+	next := 0
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if next >= len(fns) {
+			return nil
+		}
+		if attempt > 0 {
+			if err := sleepCtx(ctx, time.Duration(attempt)*c.backoff); err != nil {
+				return err
+			}
+		}
+		advanced, err := c.streamOnce(ctx, path, fns[next:], func(j int, line []byte) error {
+			return deliver(next+j, line)
+		})
+		next += advanced
+		if err == nil {
+			return nil
+		}
+		var se *streamError
+		if !errors.As(err, &se) {
+			return err // caller abort or terminal server error: do not retry
+		}
+		lastErr = se.err
+		if advanced > 0 {
+			attempt = 0 // progress resets the budget: a slow stream is not a flap
+		}
+	}
+	return fmt.Errorf("client: stream %s: retries exhausted after %d/%d results: %w",
+		path, next, len(fns), lastErr)
+}
+
+// streamError marks a retryable transport-level stream failure.
+type streamError struct{ err error }
+
+func (e *streamError) Error() string { return e.err.Error() }
+func (e *streamError) Unwrap() error { return e.err }
+
+// streamOnce issues one streaming exchange, returning how many result
+// lines were delivered. Transport failures come back as *streamError
+// (resumable); terminal error lines and callback errors come back as-is.
+func (c *Client) streamOnce(ctx context.Context, path string, fns []string, deliver func(j int, line []byte) error) (int, error) {
+	// The body is produced lazily through a pipe — the endpoints exist
+	// for batches too large to buffer, so the client must not hold the
+	// whole serialization in memory either. Each entry is sent as a
+	// JSON-quoted line (the server accepts both bare and quoted forms):
+	// an entry holding whitespace, a newline or nothing at all still
+	// occupies exactly one request line, so the index-to-result mapping
+	// the resume logic depends on cannot desync — a hostile entry becomes
+	// a per-item error, not a shifted stream.
+	pr, pw := io.Pipe()
+	go func() {
+		bw := bufio.NewWriter(pw)
+		for _, fn := range fns {
+			b, err := json.Marshal(fn)
+			if err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+			if _, err := bw.Write(append(b, '\n')); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, pr)
+	if err != nil {
+		pr.Close()
+		return 0, err
+	}
+	req.Header.Set("Content-Type", api.NDJSONContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, &streamError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if retryableStatus(resp.StatusCode) {
+			return 0, &streamError{fmt.Errorf("status %d: %s", resp.StatusCode, raw)}
+		}
+		return 0, decodeAPIError(resp.StatusCode, raw)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	delivered := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		// A line without "function" but with "error" is the server's
+		// terminal error envelope — the stream is over.
+		var probe struct {
+			Function *string    `json:"function"`
+			Error    *api.Error `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			return delivered, fmt.Errorf("client: undecodable stream line: %w", err)
+		}
+		if probe.Function == nil && probe.Error != nil {
+			return delivered, probe.Error
+		}
+		if delivered >= len(fns) {
+			return delivered, fmt.Errorf("client: server answered %d lines for %d functions", delivered+1, len(fns))
+		}
+		if err := deliver(delivered, []byte(line)); err != nil {
+			return delivered + 1, err
+		}
+		delivered++
+	}
+	if err := sc.Err(); err != nil {
+		return delivered, &streamError{err}
+	}
+	if delivered < len(fns) {
+		// The server closed cleanly but short — treat as a dropped
+		// connection and resume from the boundary.
+		return delivered, &streamError{fmt.Errorf("stream ended after %d of %d results", delivered, len(fns))}
+	}
+	return delivered, nil
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# api-parity.sh — drive the same insert/classify/stats flow through the
+# deprecated /v1 surface and the /v2 surface of a real npnserve process
+# and diff the semantic results, then assert the /v2 contract points the
+# two surfaces intentionally diverge on (per-item errors, JSON 404/405,
+# content-type gate) and smoke the /v2/map and /v2/spec endpoints.
+#
+# Usage: scripts/api-parity.sh [path-to-npnserve-binary]
+# Requires: curl, jq.
+set -euo pipefail
+
+BIN=${1:-/tmp/npnserve}
+ADDR=127.0.0.1:18200
+BASE=http://$ADDR
+HERE=$(cd "$(dirname "$0")" && pwd)
+
+if [ ! -x "$BIN" ]; then
+  echo "api-parity: building npnserve to $BIN"
+  go build -o "$BIN" ./cmd/npnserve
+fi
+
+"$BIN" -addr "$ADDR" -arities 2-10 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+"$HERE"/wait-healthz.sh "$BASE"
+
+FNS='{"functions":["1ee1","cafef00dcafef00d","e8","96969696"]}'
+# Output-complemented NPN variants of the inserted functions.
+VARS='{"functions":["e11e","35010ff235010ff2","17","69696969"]}'
+
+# --- The same flow through both surfaces must agree semantically. -----
+# v1 and v2 are driven against the same server sequentially; the second
+# insert of the same functions must be new:false everywhere, so we
+# normalize on (function, class, index) for inserts and the full result
+# row for classifies.
+norm_results='.results | map({function, class, index})'
+V1_INS=$(curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v1/insert" -d "$FNS" | jq "$norm_results")
+V2_INS=$(curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v2/insert" -d "$FNS" | jq "$norm_results")
+diff <(echo "$V1_INS") <(echo "$V2_INS") || { echo "api-parity: v1/v2 insert results diverge"; exit 1; }
+
+norm_cls='.results | map({function, hit, class, index, rep, witness})'
+V1_CLS=$(curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v1/classify" -d "$VARS" | jq "$norm_cls")
+V2_CLS=$(curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v2/classify" -d "$VARS" | jq "$norm_cls")
+diff <(echo "$V1_CLS") <(echo "$V2_CLS") || { echo "api-parity: v1/v2 classify results diverge"; exit 1; }
+echo "$V2_CLS" | jq -e 'all(.hit)' >/dev/null || { echo "api-parity: inserted classes did not hit"; exit 1; }
+
+V1_ST=$(curl -sf "$BASE/v1/stats" | jq '.totals | {classes, inserts, lookups, hits}')
+V2_ST=$(curl -sf "$BASE/v2/stats" | jq '.totals | {classes, inserts, lookups, hits}')
+diff <(echo "$V1_ST") <(echo "$V2_ST") || { echo "api-parity: v1/v2 stats diverge"; exit 1; }
+
+# --- Intentional divergence: the per-item error contract. -------------
+BAD='{"functions":["1ee1","zzzz"]}'
+V1_CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: application/json' "$BASE/v1/classify" -d "$BAD")
+[ "$V1_CODE" = "400" ] || { echo "api-parity: v1 whole-batch error returned $V1_CODE, want 400"; exit 1; }
+V2_BAD=$(curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v2/classify" -d "$BAD")
+echo "$V2_BAD" | jq -e '.errors == 1 and .results[0].hit and .results[1].error.code == "bad_hex"' >/dev/null \
+  || { echo "api-parity: v2 per-item error contract broken: $V2_BAD"; exit 1; }
+
+# --- JSON fallbacks and the content-type gate. ------------------------
+curl -s "$BASE/no/such/route" | jq -e '.error.code == "not_found"' >/dev/null \
+  || { echo "api-parity: 404 fallback is not the JSON envelope"; exit 1; }
+ALLOW=$(curl -s -o /dev/null -D - "$BASE/v2/classify" | tr -d '\r' | awk -F': ' 'tolower($1)=="allow"{print $2}')
+[ "$ALLOW" = "POST" ] || { echo "api-parity: 405 Allow header is '$ALLOW', want POST"; exit 1; }
+UMT=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H 'Content-Type: text/csv' "$BASE/v2/classify" -d "$FNS")
+[ "$UMT" = "415" ] || { echo "api-parity: wrong content type returned $UMT, want 415"; exit 1; }
+
+# --- NDJSON streaming answers one line per input, in order. -----------
+STREAM=$(printf '8bb8\nzzzz\nf00dcafef00dcafe\n' | \
+  curl -sf -X POST -H 'Content-Type: application/x-ndjson' "$BASE/v2/classify/stream" --data-binary @-)
+[ "$(echo "$STREAM" | wc -l)" = "3" ] || { echo "api-parity: stream line count: $STREAM"; exit 1; }
+echo "$STREAM" | sed -n 2p | jq -e '.error.code == "bad_hex"' >/dev/null \
+  || { echo "api-parity: stream per-item error missing: $STREAM"; exit 1; }
+
+# --- /v2/map: a real circuit, verified, census included, store warmed. -
+AAG=$(mktemp)
+# a∧b and a⊕b over two inputs, in reencoded ASCII AIGER.
+cat > "$AAG" <<'EOF'
+aag 5 2 0 2 3
+2
+4
+6
+10
+6 2 4
+8 3 5
+10 7 9
+EOF
+MAP=$(curl -sf -X POST -H 'Content-Type: text/plain' --data-binary @"$AAG" "$BASE/v2/map?k=2&insert=true")
+rm -f "$AAG"
+echo "$MAP" | jq -e '.verified and .area > 0 and (.classes | length) > 0 and .inserted.classes_created > 0' >/dev/null \
+  || { echo "api-parity: /v2/map smoke failed: $MAP"; exit 1; }
+# The discovered LUT classes warmed the classifier: its functions hit now.
+WARMQ=$(echo "$MAP" | jq '{functions: ([.luts[].function] | unique)}')
+curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v2/classify" -d "$WARMQ" | \
+  jq -e '.errors == 0 and all(.results[]; .hit)' >/dev/null \
+  || { echo "api-parity: mapped LUT classes did not warm the classifier"; exit 1; }
+
+# --- /v2/spec self-describes every headline route. --------------------
+SPEC=$(curl -sf "$BASE/v2/spec")
+for route in /v2/classify /v2/insert /v2/classify/stream /v2/insert/stream /v2/map /v2/compact /v2/stats /v2/spec /v1/classify /healthz; do
+  echo "$SPEC" | jq -e --arg p "$route" '.routes | map(.pattern) | index($p) != null' >/dev/null \
+    || { echo "api-parity: spec is missing $route"; exit 1; }
+done
+echo "$SPEC" | jq -e '.error_codes | index("bad_hex") != null and index("unsupported_media_type") != null' >/dev/null \
+  || { echo "api-parity: spec error codes incomplete"; exit 1; }
+# Every route the spec lists must actually be mounted: probing it with
+# its own method must not hit the not_found/method_not_allowed fallback.
+while read -r method pattern; do
+  path=$(echo "$pattern" | sed 's/{arity}/5/; s/{seq}/1/')
+  code=$(curl -s -o /dev/null -w '%{http_code}' -X "$method" -H 'Content-Type: application/json' "$BASE$path")
+  if [ "$code" = "404" ] || [ "$code" = "405" ]; then
+    echo "api-parity: spec lists $method $pattern but the mux answered $code"; exit 1
+  fi
+done < <(echo "$SPEC" | jq -r '.routes[] | "\(.method) \(.pattern)"')
+
+echo "api-parity: OK (v1/v2 agree; per-item errors, fallbacks, streaming, map and spec verified)"
