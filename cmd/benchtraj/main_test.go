@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestParseBench parses a realistic go test -bench -benchmem transcript:
+// noise lines are skipped, result lines keep their full sub-benchmark
+// names, and the -benchmem columns are optional.
+func TestParseBench(t *testing.T) {
+	const transcript = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLookupCachedVsUncached/full-uncached-n6         	   16614	     15104 ns/op	    6819 B/op	      97 allocs/op
+BenchmarkWALReplay/replay                                	      30	   9280500 ns/op	 2981437 B/op	  100357 allocs/op
+BenchmarkBare                                            	 1000000	      1042 ns/op
+PASS
+ok  	repro	7.247s
+`
+	lines, err := parseBench(strings.NewReader(transcript))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("parsed %d lines, want 3: %+v", len(lines), lines)
+	}
+	l := lines[0]
+	if l.Name != "BenchmarkLookupCachedVsUncached/full-uncached-n6" ||
+		l.Iterations != 16614 || l.NsPerOp != 15104 || l.BytesPerOp != 6819 || l.AllocsPerOp != 97 {
+		t.Fatalf("line 0 = %+v", l)
+	}
+	if lines[1].NsPerOp != 9280500 || lines[1].AllocsPerOp != 100357 {
+		t.Fatalf("line 1 = %+v", lines[1])
+	}
+	bare := lines[2]
+	if bare.Name != "BenchmarkBare" || bare.NsPerOp != 1042 || bare.BytesPerOp != 0 || bare.AllocsPerOp != 0 {
+		t.Fatalf("line 2 = %+v", bare)
+	}
+}
+
+// TestReadDocRejectsForeignSchema: the trajectory tooling refuses files
+// it does not understand instead of diffing garbage.
+func TestReadDocRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.json"
+	if err := os.WriteFile(path, []byte(`{"schema":"something/v9","serve":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readDoc(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign schema accepted: %v", err)
+	}
+}

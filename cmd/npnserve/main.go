@@ -10,6 +10,7 @@
 //	         [-data dir] [-fsync-interval 100ms] [-segment-bytes N]
 //	         [-compact-every 0] [-follow URL] [-follow-mode proxy|local]
 //	         [-follow-interval 200ms] [-stale-after 0]
+//	         [-metrics] [-slow-request 500ms] [-pprof-addr addr]
 //
 // Endpoints (the /v2 surface of internal/api; see GET /v2/spec for the
 // machine-readable list and README for the full reference):
@@ -33,6 +34,7 @@
 //	GET  /v2/stats     aggregate totals and a per-arity breakdown
 //	GET  /v2/spec      self-description: routes + error codes
 //	GET  /healthz      liveness + federated range
+//	GET  /metrics      Prometheus text exposition (with -metrics, default)
 //
 // The /v1 endpoints (classify, insert, compact, stats) remain mounted as
 // deprecated byte-compatible shims; unmatched routes and methods answer
@@ -68,6 +70,16 @@
 // stores from per-arity n<arity>.tt snapshot files, -save writes them on
 // graceful shutdown. Prefer -data, which subsumes both and survives
 // crashes.
+//
+// Observability (internal/obs, on by default): -metrics mounts GET
+// /metrics with counters, gauges and latency histograms from every layer
+// (service, store, WAL, federation, replication), installs the request
+// middleware — every response carries an X-Request-Id (caller-supplied
+// IDs are honored and echoed, and stamped into per-item batch errors) —
+// and logs any request slower than -slow-request as a structured line
+// keyed by that ID (0 disables the log). -metrics=false strips all of it.
+// -pprof-addr serves net/http/pprof on a second, private listener (e.g.
+// "localhost:6060"); it is opt-in and never shares the API address.
 package main
 
 import (
@@ -77,6 +89,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -89,6 +102,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/federation"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/service"
 	"repro/internal/store"
@@ -118,6 +132,11 @@ type config struct {
 	followMode     string
 	followInterval time.Duration
 	staleAfter     time.Duration
+
+	// Observability.
+	metrics     bool
+	slowRequest time.Duration
+	pprofAddr   string
 }
 
 func main() {
@@ -139,6 +158,9 @@ func main() {
 	flag.StringVar(&cfg.followMode, "follow-mode", "proxy", "follower miss/insert handling: \"proxy\" (forward to primary) or \"local\" (serve misses, refuse inserts)")
 	flag.DurationVar(&cfg.followInterval, "follow-interval", replica.DefaultInterval, "follower WAL tail poll period (with -follow)")
 	flag.DurationVar(&cfg.staleAfter, "stale-after", 0, "follower staleness gate: /healthz answers 503 once the last sync is older than this; 0 disables (with -follow)")
+	flag.BoolVar(&cfg.metrics, "metrics", true, "serve GET /metrics (Prometheus text) and trace requests with X-Request-Id")
+	flag.DurationVar(&cfg.slowRequest, "slow-request", 500*time.Millisecond, "log requests slower than this as structured slow-request lines; 0 disables (with -metrics)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate private address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "npnserve: ", log.LstdFlags)
@@ -154,20 +176,21 @@ func main() {
 		follower *replica.Follower
 		handler  http.Handler
 	)
+	hopts := cfg.handlerOptions()
 	if cfg.follow != "" {
 		f, err := buildFollower(cfg, logger)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		follower, reg = f, f.Registry()
-		handler = replica.NewHandlerWith(f, cfg.bodyBound())
+		handler = replica.NewHandlerOpts(f, hopts)
 	} else {
 		r, err := buildRegistry(cfg)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		reg = r
-		handler = federation.NewHandlerWith(reg, cfg.bodyBound())
+		handler = federation.NewHandlerOpts(reg, hopts)
 		if cfg.loadPath != "" {
 			loaded, err := loadSnapshots(reg, cfg.loadPath)
 			if err != nil {
@@ -181,6 +204,17 @@ func main() {
 		Addr:              cfg.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// pprof lives on its own listener so profiling stays private even when
+	// the API address is exposed; losing it never takes the API down.
+	if cfg.pprofAddr != "" {
+		go func() {
+			logger.Printf("pprof on http://%s/debug/pprof/", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, pprofMux()); err != nil {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -254,6 +288,37 @@ func (c config) bodyBound() int64 {
 		return api.DefaultMaxBody
 	}
 	return c.maxBody
+}
+
+// handlerOptions assembles the observability surface both server roles
+// share: with -metrics a fresh obs registry (plus the Go runtime
+// collectors) and the request middleware with the -slow-request
+// threshold; without, just the body bound. The same options value feeds
+// federation.NewHandlerOpts and replica.NewHandlerOpts, so primary and
+// follower expose the identical metric surface.
+func (c config) handlerOptions() federation.HandlerOptions {
+	o := federation.HandlerOptions{MaxBody: c.bodyBound()}
+	if !c.metrics {
+		return o
+	}
+	m := obs.NewRegistry()
+	obs.RegisterRuntime(m)
+	o.Metrics = m
+	o.HTTP = obs.NewHTTPMetrics(m, obs.HTTPOptions{SlowRequest: c.slowRequest})
+	return o
+}
+
+// pprofMux mounts the net/http/pprof handlers on a private mux — the
+// package's init-time registration on DefaultServeMux is deliberately not
+// used, so nothing pprof-shaped can ever leak onto the API listener.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // parseArities parses the -arities value: "6" or "4-10", both inclusive.

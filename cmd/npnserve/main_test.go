@@ -40,7 +40,7 @@ func startServer(t *testing.T, cfg config) (*client.Client, *federation.Registry
 			t.Fatal(err)
 		}
 	}
-	srv := httptest.NewServer(federation.NewHandlerWith(reg, cfg.bodyBound()))
+	srv := httptest.NewServer(federation.NewHandlerOpts(reg, cfg.handlerOptions()))
 	t.Cleanup(srv.Close)
 	return client.New(srv.URL), reg
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 
+	"repro/internal/obs"
 	"repro/internal/tt"
 )
 
@@ -66,17 +67,19 @@ func resolveBatch[T any](b Backend, fns []string, errItem func(fn string, e *Err
 // per-item results — the core shared by the buffered handler and the
 // streaming variant.
 func classifyBatch(ctx context.Context, b Backend, fns []string) ([]ClassifyItem, int, *Error) {
+	reqID := obs.RequestIDFromContext(ctx)
 	items, valid, validIdx, nErr := resolveBatch(b, fns, func(fn string, e *Error) ClassifyItem {
-		return ClassifyItem{Function: fn, Error: e}
+		return ClassifyItem{Function: fn, Error: e.WithRequestID(reqID)}
 	})
 	if len(valid) > 0 {
 		results, batchErr := b.Classify(ctx, valid)
 		if batchErr != nil {
-			return nil, 0, batchErr
+			return nil, 0, batchErr.WithRequestID(reqID)
 		}
 		for j, res := range results {
 			i := validIdx[j]
 			items[i] = classifyItem(fns[i], res)
+			items[i].Error = items[i].Error.WithRequestID(reqID)
 		}
 	}
 	return items, nErr, nil
@@ -85,18 +88,20 @@ func classifyBatch(ctx context.Context, b Backend, fns []string) ([]ClassifyItem
 // insertBatch resolves and inserts one slice of functions into per-item
 // results, or a whole-batch error.
 func insertBatch(ctx context.Context, b Backend, fns []string) ([]InsertItem, int, *Error) {
+	reqID := obs.RequestIDFromContext(ctx)
 	items, valid, validIdx, nErr := resolveBatch(b, fns, func(fn string, e *Error) InsertItem {
-		return InsertItem{Function: fn, Error: e}
+		return InsertItem{Function: fn, Error: e.WithRequestID(reqID)}
 	})
 	if len(valid) > 0 {
 		outcomes, batchErr := b.Insert(ctx, valid)
 		if batchErr != nil {
-			return nil, 0, batchErr
+			return nil, 0, batchErr.WithRequestID(reqID)
 		}
 		for j, o := range outcomes {
 			i := validIdx[j]
 			items[i] = insertItem(fns[i], o)
 			if items[i].Error != nil {
+				items[i].Error = items[i].Error.WithRequestID(reqID)
 				nErr++
 			}
 		}

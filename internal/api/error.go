@@ -84,6 +84,12 @@ type Error struct {
 	Code    Code   `json:"code"`
 	Message string `json:"message"`
 	Detail  string `json:"detail,omitempty"`
+	// RequestID correlates the error with the request that produced it:
+	// the ID the obs middleware stamped (or the caller supplied via
+	// X-Request-Id). Set on envelope-level errors, per-item batch errors
+	// and the NDJSON trailing error line, so one grep finds a failed item
+	// in a million-line stream and its slow-request log line alike.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Error implements the error interface, so an *Error travels through
@@ -104,6 +110,20 @@ func Errf(code Code, format string, args ...any) *Error {
 func (e *Error) WithDetail(format string, args ...any) *Error {
 	cp := *e
 	cp.Detail = fmt.Sprintf(format, args...)
+	return &cp
+}
+
+// WithRequestID returns e carrying the request ID — a copy when stamping
+// is needed, e itself when id is empty or already present. Nil-safe, so
+// call sites can stamp unconditionally: items without errors pass
+// through untouched. Copying matters: backends may hand out shared
+// *Error values, which must not mutate under one request's ID.
+func (e *Error) WithRequestID(id string) *Error {
+	if e == nil || id == "" || e.RequestID == id {
+		return e
+	}
+	cp := *e
+	cp.RequestID = id
 	return &cp
 }
 

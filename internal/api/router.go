@@ -44,7 +44,20 @@ type Router struct {
 	mux     *http.ServeMux
 	methods map[string]map[string]http.HandlerFunc // pattern -> method -> handler
 	routes  []Route
+	mw      []Middleware
 }
+
+// Middleware wraps one route's dispatch. It receives the registered
+// pattern (not the concrete URL — "/v2/classify", never a per-request
+// path, so metric label cardinality stays bounded) and the next handler.
+// The signature is a plain func type so an implementation (obs's HTTP
+// metrics) never has to import this package.
+type Middleware func(route string, next http.HandlerFunc) http.HandlerFunc
+
+// UnmatchedRoute is the route label middleware sees for requests no
+// pattern matched (the JSON 404 fallback) — one bounded label instead of
+// an attacker-controlled URL space.
+const UnmatchedRoute = "unmatched"
 
 // NewRouter returns an empty router for a stack with the given role
 // ("single", "federated", "follower").
@@ -55,9 +68,26 @@ func NewRouter(role string) *Router {
 		methods: make(map[string]map[string]http.HandlerFunc),
 	}
 	rt.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		WriteError(w, Errf(CodeNotFound, "no route for %s", r.URL.Path))
+		rt.wrap(UnmatchedRoute, func(w http.ResponseWriter, r *http.Request) {
+			WriteError(w, Errf(CodeNotFound, "no route for %s", r.URL.Path))
+		})(w, r)
 	})
 	return rt
+}
+
+// Use appends a middleware applied to every route — registered before or
+// after the Use call — including the 404 fallback and the 405 path.
+// Middleware run in Use order, outermost first. Use must be called
+// before the router starts serving; it is not safe concurrently with
+// ServeHTTP.
+func (rt *Router) Use(mw Middleware) { rt.mw = append(rt.mw, mw) }
+
+// wrap applies the middleware chain to a handler under a route label.
+func (rt *Router) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	for i := len(rt.mw) - 1; i >= 0; i-- {
+		h = rt.mw[i](route, h)
+	}
+	return h
 }
 
 // Handle mounts h at method+pattern (a net/http ServeMux pattern, may
@@ -79,7 +109,12 @@ func (rt *Router) handle(method, pattern, desc string, deprecated bool, h http.H
 		byMethod = make(map[string]http.HandlerFunc)
 		rt.methods[pattern] = byMethod
 		rt.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-			rt.dispatch(byMethod, w, r)
+			// Wrapped per request so Use works regardless of registration
+			// order; the chain is short and the closures are cheap next to
+			// serving the request.
+			rt.wrap(pattern, func(w http.ResponseWriter, r *http.Request) {
+				rt.dispatch(byMethod, w, r)
+			})(w, r)
 		})
 	}
 	if _, dup := byMethod[method]; dup {

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"net/http"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // NDJSONContentType is the media type of the streaming request and
@@ -131,6 +133,10 @@ func handleStream(maxBody int64, process func(context.Context, *streamWriter, []
 		defer sw.flush()
 
 		fail := func(e *Error) {
+			// The trailing error line of a committed stream carries the
+			// request ID: it is the only place a client interrupted
+			// mid-stream can learn which server-side logs to ask for.
+			e = e.WithRequestID(obs.RequestIDFromContext(r.Context()))
 			if !sw.committed {
 				WriteError(w, e)
 				return

@@ -72,6 +72,11 @@ type Registry struct {
 	svcs    []*service.Service // index n-lo; nil until first use
 	writers []*wal.Writer      // index n-lo; non-nil iff durable and constructed
 
+	// obs holds the push instruments RegisterMetrics installed; services
+	// and writers constructed afterwards observe through them.
+	obs           *obsHooks
+	obsRegistered bool
+
 	compactMu sync.Mutex // serializes CompactAll passes
 
 	// metaCache memoizes immutable segment header meta words for the
@@ -129,9 +134,13 @@ func (r *Registry) Service(n int) (*service.Service, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.svcs[n-r.lo] == nil {
+		svcOpts, walOpts := r.opts.Service, r.opts.WAL
+		if ob, of := r.hooksFor(n); ob != nil {
+			svcOpts.ObserveBatch, walOpts.ObserveFsync = ob, of
+		}
 		var st *store.Store
 		if r.Durable() {
-			recovered, w, err := store.Recover(r.ArityDir(n), n, r.opts.Store, r.opts.WAL)
+			recovered, w, err := store.Recover(r.ArityDir(n), n, r.opts.Store, walOpts)
 			if err != nil {
 				return nil, fmt.Errorf("federation: recover arity %d: %w", n, err)
 			}
@@ -140,7 +149,7 @@ func (r *Registry) Service(n int) (*service.Service, error) {
 		} else {
 			st = store.New(n, r.opts.Store)
 		}
-		r.svcs[n-r.lo] = service.New(st, r.opts.Service)
+		r.svcs[n-r.lo] = service.New(st, svcOpts)
 	}
 	return r.svcs[n-r.lo], nil
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/tt"
 )
@@ -15,6 +16,40 @@ import (
 // default body bound for uploads and streams; see NewHandlerWith.
 func NewHandler(reg *Registry) http.Handler {
 	return NewHandlerWith(reg, api.DefaultMaxBody)
+}
+
+// HandlerOptions configures the observability surface of a federated (or,
+// via internal/replica, follower) handler.
+type HandlerOptions struct {
+	// MaxBody bounds the AIGER upload and NDJSON stream bodies; zero means
+	// api.DefaultMaxBody.
+	MaxBody int64
+	// Metrics, when non-nil, mounts GET /metrics (Prometheus text
+	// exposition) and registers the registry's collectors on it.
+	Metrics *obs.Registry
+	// HTTP, when non-nil, is installed as the router middleware: request
+	// IDs, per-route latency histograms, the slow-request log.
+	HTTP *obs.HTTPMetrics
+}
+
+func (o HandlerOptions) maxBody() int64 {
+	if o.MaxBody <= 0 {
+		return api.DefaultMaxBody
+	}
+	return o.MaxBody
+}
+
+// mount wires o's observability onto a router: middleware first (so
+// /metrics itself is traced too), then the /metrics route and the
+// registry collectors.
+func (o HandlerOptions) mount(rt *api.Router, reg *Registry) {
+	if o.HTTP != nil {
+		rt.Use(o.HTTP.Wrap)
+	}
+	if o.Metrics != nil {
+		reg.RegisterMetrics(o.Metrics)
+		rt.Handle("GET", "/metrics", "Prometheus metrics exposition", obs.Handler(o.Metrics))
+	}
 }
 
 // NewHandlerWith returns the federated versioned API over reg, mounted
@@ -51,7 +86,18 @@ func NewHandler(reg *Registry) http.Handler {
 // -max-body flag); the JSON batch endpoints keep their arity-derived
 // bound.
 func NewHandlerWith(reg *Registry, maxBody int64) http.Handler {
+	return NewHandlerOpts(reg, HandlerOptions{MaxBody: maxBody})
+}
+
+// NewHandlerOpts is NewHandlerWith plus the observability surface: with
+// HandlerOptions.Metrics set the stack additionally serves GET /metrics
+// (listed in /v2/spec like every route), and with HandlerOptions.HTTP set
+// every route — the /v1 shims, the 404 fallback and /metrics itself
+// included — is traced and measured by the obs middleware.
+func NewHandlerOpts(reg *Registry, o HandlerOptions) http.Handler {
+	maxBody := o.maxBody()
 	rt := api.NewRouter("federated")
+	o.mount(rt, reg)
 	b := fedBackend{reg}
 	jsonBody := service.MaxBodyBytes(reg.MaxVars())
 

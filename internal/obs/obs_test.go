@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A counter.")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("test_gauge", "A gauge.")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestVecChildrenAreStable(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_labeled_total", "Labeled.", "route", "method")
+	v.With("/v2/classify", "POST").Inc()
+	v.With("/v2/classify", "POST").Inc()
+	v.With("/v2/insert", "POST").Inc()
+	if got := v.With("/v2/classify", "POST").Value(); got != 2 {
+		t.Fatalf("child = %v, want 2 (With must return the same series)", got)
+	}
+}
+
+func TestRegistryPanicsOnDuplicateAndBadNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup_total", "x")
+	for name, fn := range map[string]func(){
+		"duplicate":  func() { r.Gauge("test_dup_total", "x") },
+		"bad name":   func() { r.Counter("0bad", "x") },
+		"le label":   func() { r.CounterVec("test_le_total", "x", "le") },
+		"func histo": func() { r.RegisterFunc([]FuncFamily{{Name: "test_fh", Kind: KindHistogram}}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Satellite: empty histogram must render validly and estimate 0.
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_empty_seconds", "Empty.", DurationBuckets())
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_empty_seconds_bucket{le="+Inf"} 0`,
+		"test_empty_seconds_sum 0",
+		"test_empty_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := Parse(strings.NewReader(out)); err != nil {
+		t.Fatalf("empty render does not parse: %v", err)
+	}
+}
+
+// Satellite: a value exactly on a bucket boundary counts into that
+// bucket (le is an upper *inclusive* bound).
+func TestHistogramBucketBoundary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_bound", "Boundary.", []float64{1, 2, 5})
+	h.Observe(1) // exactly le=1
+	h.Observe(2) // exactly le=2
+	h.Observe(5) // exactly le=5
+	h.Observe(7) // +Inf
+	cum, count, sum := h.snapshot()
+	if want := []uint64{1, 2, 3, 4}; !equalU64(cum, want) {
+		t.Fatalf("cumulative = %v, want %v", cum, want)
+	}
+	if count != 4 || sum != 15 {
+		t.Fatalf("count,sum = %d,%v want 4,15", count, sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_q", "Quantiles.", []float64{0.01, 0.1, 1})
+	// 90 observations in (0, 0.01], 10 in (0.1, 1].
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.01 {
+		t.Errorf("p50 = %v, want within first bucket (0, 0.01]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Errorf("p99 = %v, want within last bucket (0.1, 1]", p99)
+	}
+	// Everything beyond +Inf's finite floor estimates as the top bound.
+	h2 := r.Histogram("test_q2", "Overflow.", []float64{1})
+	h2.Observe(100)
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1 (highest finite bound)", got)
+	}
+}
+
+// Satellite: concurrent Observe during Render must be race-free (run
+// under -race) and every intermediate render must parse.
+func TestHistogramConcurrentObserveRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "Concurrent.", DurationBuckets())
+	c := r.Counter("test_conc_total", "Concurrent counter.")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(math.Mod(v, 1))
+				c.Inc()
+				v += 0.000123
+			}
+		}(float64(i))
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := Parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("mid-flight render does not parse: %v", err)
+		}
+		// The exposition must always be internally consistent: cumulative
+		// buckets monotone, +Inf equal to _count.
+		assertHistogramConsistent(t, sc, "test_conc_seconds")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func assertHistogramConsistent(t *testing.T, sc *Scrape, name string) {
+	t.Helper()
+	prev := -1.0
+	var inf, count float64
+	for _, s := range sc.Samples {
+		switch s.Name {
+		case name + "_bucket":
+			if s.Value < prev {
+				t.Fatalf("%s buckets not monotone: %v after %v", name, s.Value, prev)
+			}
+			prev = s.Value
+			if s.Label("le") == "+Inf" {
+				inf = s.Value
+			}
+		case name + "_count":
+			count = s.Value
+		}
+	}
+	if inf != count {
+		t.Fatalf("%s: +Inf bucket %v != _count %v", name, inf, count)
+	}
+}
+
+// Satellite: exposition lint via golden-file parse — a fixed registry
+// renders byte-for-byte the committed golden file, and the golden file
+// itself parses.
+func TestRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("golden_requests_total", "Requests served.").Add(42)
+	g := r.Gauge("golden_depth", "Queue depth.")
+	g.Set(3)
+	v := r.CounterVec("golden_labeled_total", "By route.", "route", "method")
+	v.With("/v2/classify", "POST").Add(7)
+	v.With(`/quo"te`, "GET\n").Inc() // escaping
+	h := r.Histogram("golden_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.0625) // exact in binary, so the rendered _sum is stable
+	h.Observe(0.5)
+	h.Observe(2)
+	r.GaugeFunc("golden_func", "From a func.", func() float64 { return 1.5 })
+
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	want, err := os.ReadFile("testdata/golden.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("render differs from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	sc, err := Parse(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("golden render does not parse: %v", err)
+	}
+	if val, ok := sc.Value("golden_labeled_total", "route=/v2/classify", "method=POST"); !ok || val != 7 {
+		t.Errorf("parsed labeled counter = %v,%v want 7,true", val, ok)
+	}
+	if val, ok := sc.Value("golden_labeled_total", `route=/quo"te`, "method=GET\n"); !ok || val != 1 {
+		t.Errorf("escaped labels did not round-trip: %v,%v", val, ok)
+	}
+	if sc.Types["golden_seconds"] != "histogram" {
+		t.Errorf("TYPE golden_seconds = %q, want histogram", sc.Types["golden_seconds"])
+	}
+	if val, ok := sc.Value("golden_seconds_count"); !ok || val != 3 {
+		t.Errorf("histogram count = %v,%v want 3,true", val, ok)
+	}
+}
+
+func TestFuncCollectorMultiFamily(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterFunc([]FuncFamily{
+		{Name: "test_func_a", Help: "A.", Kind: KindGauge, Labels: []string{"arity"}},
+		{Name: "test_func_b_total", Help: "B.", Kind: KindCounter},
+	}, func(emit func(int, []string, float64)) {
+		emit(0, []string{"4"}, 12)
+		emit(0, []string{"6"}, 34)
+		emit(1, nil, 9)
+	})
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := sc.Value("test_func_a", "arity=6"); !ok || v != 34 {
+		t.Errorf("func gauge = %v,%v want 34,true", v, ok)
+	}
+	if v, ok := sc.Value("test_func_b_total"); !ok || v != 9 {
+		t.Errorf("func counter = %v,%v want 9,true", v, ok)
+	}
+	if sc.Types["test_func_a"] != "gauge" || sc.Types["test_func_b_total"] != "counter" {
+		t.Errorf("TYPE lines wrong: %v", sc.Types)
+	}
+}
+
+func TestScrapeQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_sq_seconds", "x", []float64{0.01, 0.1, 1})
+	for i := 0; i < 99; i++ {
+		h.Observe(0.005)
+	}
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := h.Quantile(0.99)
+	scraped := sc.Quantile("test_sq_seconds", 0.99)
+	if math.Abs(direct-scraped) > 1e-9 {
+		t.Errorf("scrape quantile %v != direct quantile %v", scraped, direct)
+	}
+}
+
+func TestQuantileFromBucketsEdges(t *testing.T) {
+	buckets := []float64{1, 2}
+	if got := QuantileFromBuckets(buckets, []uint64{0, 0, 0}, 0, 0.5); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	// All mass in first bucket: q=1 interpolates to the bucket's top.
+	if got := QuantileFromBuckets(buckets, []uint64{4, 4, 4}, 4, 1); got != 1 {
+		t.Errorf("q=1 = %v, want 1", got)
+	}
+	if got := QuantileFromBuckets(buckets, []uint64{4, 4, 4}, 4, 0); got != 0 {
+		t.Errorf("q=0 = %v, want 0 (bottom of first bucket)", got)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_dur_seconds", "x", DurationBuckets())
+	h.ObserveDuration(250 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("sum = %v, want 0.25", got)
+	}
+	if h.Count() != 1 {
+		t.Errorf("count = %d, want 1", h.Count())
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

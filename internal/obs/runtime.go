@@ -1,0 +1,28 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntime exports the Go runtime's own health signals —
+// goroutine count, heap size, GC totals — alongside the serving metrics,
+// so one scrape answers both "is the store slow" and "is the process
+// sick".
+func RegisterRuntime(r *Registry) {
+	fams := []FuncFamily{
+		{Name: "npn_go_goroutines", Help: "Live goroutines.", Kind: KindGauge},
+		{Name: "npn_go_heap_alloc_bytes", Help: "Heap bytes allocated and in use.", Kind: KindGauge},
+		{Name: "npn_go_heap_objects", Help: "Live heap objects.", Kind: KindGauge},
+		{Name: "npn_go_gc_total", Help: "Completed GC cycles.", Kind: KindCounter},
+		{Name: "npn_go_gc_pause_seconds_total", Help: "Cumulative GC stop-the-world pause time.", Kind: KindCounter},
+		{Name: "npn_go_alloc_bytes_total", Help: "Cumulative bytes allocated.", Kind: KindCounter},
+	}
+	r.RegisterFunc(fams, func(emit func(int, []string, float64)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		emit(0, nil, float64(runtime.NumGoroutine()))
+		emit(1, nil, float64(ms.HeapAlloc))
+		emit(2, nil, float64(ms.HeapObjects))
+		emit(3, nil, float64(ms.NumGC))
+		emit(4, nil, float64(ms.PauseTotalNs)/1e9)
+		emit(5, nil, float64(ms.TotalAlloc))
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/federation"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/tt"
 )
@@ -48,8 +49,29 @@ func NewHandler(f *Follower) http.Handler {
 //	                   tripped, so load balancers drain a follower that
 //	                   lost its primary.
 func NewHandlerWith(f *Follower, maxBody int64) http.Handler {
+	return NewHandlerOpts(f, federation.HandlerOptions{MaxBody: maxBody})
+}
+
+// NewHandlerOpts is NewHandlerWith plus the observability surface (the
+// same options struct the federated handler takes): with Metrics set the
+// follower serves GET /metrics carrying both the local federation's
+// series and the replication lag/sync/proxy series, and with HTTP set
+// every route is traced and measured by the obs middleware.
+func NewHandlerOpts(f *Follower, o federation.HandlerOptions) http.Handler {
+	maxBody := o.MaxBody
+	if maxBody <= 0 {
+		maxBody = api.DefaultMaxBody
+	}
 	rt := api.NewRouter("follower")
 	reg := f.Registry()
+	if o.HTTP != nil {
+		rt.Use(o.HTTP.Wrap)
+	}
+	if o.Metrics != nil {
+		reg.RegisterMetrics(o.Metrics)
+		f.RegisterMetrics(o.Metrics)
+		rt.Handle("GET", "/metrics", "Prometheus metrics exposition", obs.Handler(o.Metrics))
+	}
 	b := replicaBackend{f}
 	jsonBody := service.MaxBodyBytes(reg.MaxVars())
 

@@ -40,13 +40,20 @@ type Options struct {
 	// CacheSize bounds the function→result LRU cache. Zero means
 	// DefaultCacheSize; negative disables caching.
 	CacheSize int
+	// ObserveBatch, when set, is called once per completed batch with the
+	// operation ("classify" or "insert"), the batch size and the batch's
+	// wall time — the hook internal/obs uses to feed batch-size and
+	// batch-latency histograms. It runs on the request path and must be
+	// cheap and non-blocking.
+	ObserveBatch func(op string, size int, d time.Duration)
 }
 
 // Service is a concurrency-safe batch classification pipeline.
 type Service struct {
-	st      *store.Store
-	workers int
-	cache   *lruCache // nil when disabled
+	st           *store.Store
+	workers      int
+	cache        *lruCache // nil when disabled
+	observeBatch func(op string, size int, d time.Duration)
 
 	started time.Time
 
@@ -76,7 +83,8 @@ func New(st *store.Store, o Options) *Service {
 	case o.CacheSize > 0:
 		cache = newLRUCache(o.CacheSize)
 	}
-	return &Service{st: st, workers: workers, cache: cache, started: time.Now()}
+	return &Service{st: st, workers: workers, cache: cache,
+		observeBatch: o.ObserveBatch, started: time.Now()}
 }
 
 // Store returns the backing class store.
@@ -135,7 +143,11 @@ func (s *Service) Classify(fs []*tt.TT) []Result {
 	}
 	s.lookups.Add(int64(len(fs)))
 	s.batches.Add(1)
-	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	d := time.Since(start)
+	s.latencyNS.Add(d.Nanoseconds())
+	if s.observeBatch != nil {
+		s.observeBatch("classify", len(fs), d)
+	}
 	return out
 }
 
@@ -171,7 +183,11 @@ func (s *Service) Insert(fs []*tt.TT) []InsertResult {
 	}
 	s.inserts.Add(int64(len(fs)))
 	s.batches.Add(1)
-	s.latencyNS.Add(time.Since(start).Nanoseconds())
+	d := time.Since(start)
+	s.latencyNS.Add(d.Nanoseconds())
+	if s.observeBatch != nil {
+		s.observeBatch("insert", len(fs), d)
+	}
 	return out
 }
 

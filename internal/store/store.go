@@ -546,6 +546,20 @@ func (s *Store) ShardSizes() []int {
 	return out
 }
 
+// ChainStats reports the collision-chain shape: how many distinct keys
+// are stored and the longest chain behind any one key. A growing maximum
+// means lookups on that key certify more candidates per probe — the
+// signal /metrics exports as npn_store_chain_max_length.
+func (s *Store) ChainStats() (chains, maxLen int) {
+	s.forEachChain(func(_ int, chain []*tt.TT) {
+		chains++
+		if len(chain) > maxLen {
+			maxLen = len(chain)
+		}
+	})
+	return chains, maxLen
+}
+
 // Snapshot returns a point-in-time copy of every representative. The
 // returned tables are the store's own (immutable) clones; callers must
 // not modify them.

@@ -33,6 +33,11 @@ type Options struct {
 	// internal/store uses it as a fingerprint of the MSV key configuration
 	// so replay knows whether logged class keys can be trusted.
 	Meta uint64
+	// ObserveFsync, when set, is called with the duration of every fsync —
+	// the hook internal/obs uses to feed the fsync-latency histogram. It
+	// runs under the writer's mutex (on the append path in every-append
+	// mode), so it must be cheap and must not call back into the writer.
+	ObserveFsync func(d time.Duration)
 }
 
 func (o Options) segmentBytes() int64 {
@@ -270,8 +275,12 @@ func (w *Writer) syncLocked() error {
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
+	}
+	if w.opts.ObserveFsync != nil {
+		w.opts.ObserveFsync(time.Since(start))
 	}
 	w.fsyncs.Add(1)
 	w.durable = w.size

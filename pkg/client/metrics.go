@@ -1,0 +1,31 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Metrics scrapes GET /metrics and parses the Prometheus text exposition
+// into a queryable snapshot: Value/Sum/Has for individual series, Names
+// for the inventory, Quantile for latency estimates out of the histogram
+// buckets. The endpoint exists only on servers started with metrics
+// enabled (npnserve's -metrics flag, on by default); elsewhere the 404
+// decodes into the usual *api.Error.
+func (c *Client) Metrics(ctx context.Context) (*obs.Scrape, error) {
+	status, body, err := c.do(ctx, http.MethodGet, "/metrics", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, decodeAPIError(status, body)
+	}
+	s, err := obs.Parse(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing metrics exposition: %w", err)
+	}
+	return s, nil
+}
