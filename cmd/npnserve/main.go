@@ -11,6 +11,8 @@
 //	         [-compact-every 0] [-follow URL] [-follow-mode proxy|local]
 //	         [-follow-interval 200ms] [-stale-after 0]
 //	         [-metrics] [-slow-request 500ms] [-pprof-addr addr]
+//	         [-keys file] [-key name:secret[:rps[:burst]],...]
+//	         [-anon-rps N] [-anon-burst N] [-max-inflight N]
 //
 // Endpoints (the /v2 surface of internal/api; see GET /v2/spec for the
 // machine-readable list and README for the full reference):
@@ -80,6 +82,17 @@
 // keyed by that ID (0 disables the log). -metrics=false strips all of it.
 // -pprof-addr serves net/http/pprof on a second, private listener (e.g.
 // "localhost:6060"); it is opt-in and never shares the API address.
+//
+// Untrusted-traffic hardening (internal/auth; see README "Hardening"):
+// -keys/-key mount an API keyring — requests must then carry
+// "Authorization: Bearer <secret>" and are rate-limited per key by the
+// key's own rps/burst quota (401 unauthorized / 429 rate_limited with
+// Retry-After otherwise). -anon-rps grants keyless requests a per-remote-
+// IP rate instead of a flat 401. -max-inflight sheds load with fast 429s
+// while that many batches are executing across the worker pools, keeping
+// overload from becoming queueing collapse. /healthz and /metrics stay
+// exempt so probes and scrapes survive exactly those events. With none of
+// these flags the edge is wide open, as before.
 package main
 
 import (
@@ -100,6 +113,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/federation"
 	"repro/internal/obs"
@@ -137,6 +151,13 @@ type config struct {
 	metrics     bool
 	slowRequest time.Duration
 	pprofAddr   string
+
+	// Untrusted-traffic hardening (internal/auth).
+	keysFile    string
+	keyInline   string
+	anonRPS     float64
+	anonBurst   int
+	maxInflight int64
 }
 
 func main() {
@@ -161,6 +182,11 @@ func main() {
 	flag.BoolVar(&cfg.metrics, "metrics", true, "serve GET /metrics (Prometheus text) and trace requests with X-Request-Id")
 	flag.DurationVar(&cfg.slowRequest, "slow-request", 500*time.Millisecond, "log requests slower than this as structured slow-request lines; 0 disables (with -metrics)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate private address (e.g. localhost:6060); empty disables")
+	flag.StringVar(&cfg.keysFile, "keys", "", "API key file: one name:secret[:rps[:burst]] per line (# comments); enables Bearer auth")
+	flag.StringVar(&cfg.keyInline, "key", "", "inline API key spec(s), comma-separated name:secret[:rps[:burst]]; merged with -keys")
+	flag.Float64Var(&cfg.anonRPS, "anon-rps", 0, "per-client (per remote IP) rate for requests without an API key; with keys configured, 0 rejects anonymous traffic (401); without keys, 0 disables anonymous limiting")
+	flag.IntVar(&cfg.anonBurst, "anon-burst", 0, "anonymous token-bucket depth (0 derives from -anon-rps)")
+	flag.Int64Var(&cfg.maxInflight, "max-inflight", 0, "shed load (429 + Retry-After) while this many batches are in flight across the worker pools; 0 disables")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "npnserve: ", log.LstdFlags)
@@ -176,20 +202,28 @@ func main() {
 		follower *replica.Follower
 		handler  http.Handler
 	)
-	hopts := cfg.handlerOptions()
 	if cfg.follow != "" {
 		f, err := buildFollower(cfg, logger)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		follower, reg = f, f.Registry()
-		handler = replica.NewHandlerOpts(f, hopts)
 	} else {
 		r, err := buildRegistry(cfg)
 		if err != nil {
 			logger.Fatal(err)
 		}
 		reg = r
+	}
+	// The handler options come after the registry: the load shedder reads
+	// its live worker-pool depth.
+	hopts, err := cfg.handlerOptions(reg)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if follower != nil {
+		handler = replica.NewHandlerOpts(follower, hopts)
+	} else {
 		handler = federation.NewHandlerOpts(reg, hopts)
 		if cfg.loadPath != "" {
 			loaded, err := loadSnapshots(reg, cfg.loadPath)
@@ -290,22 +324,57 @@ func (c config) bodyBound() int64 {
 	return c.maxBody
 }
 
-// handlerOptions assembles the observability surface both server roles
-// share: with -metrics a fresh obs registry (plus the Go runtime
-// collectors) and the request middleware with the -slow-request
-// threshold; without, just the body bound. The same options value feeds
+// handlerOptions assembles the observability and admission-control
+// surface both server roles share: with -metrics a fresh obs registry
+// (plus the Go runtime collectors) and the request middleware with the
+// -slow-request threshold, and with any hardening flag (-keys, -key,
+// -anon-rps, -max-inflight) the auth guard wired to reg's live
+// worker-pool depth. The same options value feeds
 // federation.NewHandlerOpts and replica.NewHandlerOpts, so primary and
-// follower expose the identical metric surface.
-func (c config) handlerOptions() federation.HandlerOptions {
+// follower expose the identical metric and admission surface.
+func (c config) handlerOptions(reg *federation.Registry) (federation.HandlerOptions, error) {
 	o := federation.HandlerOptions{MaxBody: c.bodyBound()}
-	if !c.metrics {
-		return o
+	if c.metrics {
+		m := obs.NewRegistry()
+		obs.RegisterRuntime(m)
+		o.Metrics = m
+		o.HTTP = obs.NewHTTPMetrics(m, obs.HTTPOptions{SlowRequest: c.slowRequest})
 	}
-	m := obs.NewRegistry()
-	obs.RegisterRuntime(m)
-	o.Metrics = m
-	o.HTTP = obs.NewHTTPMetrics(m, obs.HTTPOptions{SlowRequest: c.slowRequest})
-	return o
+	guard, err := c.buildGuard(reg, o.Metrics)
+	if err != nil {
+		return o, err
+	}
+	if guard != nil {
+		o.Guard = guard.Wrap
+	}
+	return o, nil
+}
+
+// buildGuard constructs the admission-control middleware from the
+// hardening flags, or returns nil when none is set — an unguarded server
+// behaves exactly as before.
+func (c config) buildGuard(reg *federation.Registry, m *obs.Registry) (*auth.Guard, error) {
+	kr, err := auth.LoadKeyring(c.keysFile, c.keyInline)
+	if err != nil {
+		return nil, err
+	}
+	if c.anonRPS < 0 {
+		return nil, fmt.Errorf("-anon-rps %v: must be >= 0", c.anonRPS)
+	}
+	if kr == nil && c.anonRPS == 0 && c.maxInflight <= 0 {
+		return nil, nil
+	}
+	opts := auth.Options{
+		Keys:      kr,
+		AnonRPS:   c.anonRPS,
+		AnonBurst: c.anonBurst,
+		Metrics:   m,
+	}
+	if c.maxInflight > 0 {
+		limit := c.maxInflight
+		opts.Pressure = func() (int64, int64) { return reg.InflightBatches(), limit }
+	}
+	return auth.NewGuard(opts), nil
 }
 
 // pprofMux mounts the net/http/pprof handlers on a private mux — the

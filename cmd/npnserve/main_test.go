@@ -40,7 +40,11 @@ func startServer(t *testing.T, cfg config) (*client.Client, *federation.Registry
 			t.Fatal(err)
 		}
 	}
-	srv := httptest.NewServer(federation.NewHandlerOpts(reg, cfg.handlerOptions()))
+	hopts, err := cfg.handlerOptions(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(federation.NewHandlerOpts(reg, hopts))
 	t.Cleanup(srv.Close)
 	return client.New(srv.URL), reg
 }

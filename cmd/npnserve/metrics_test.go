@@ -261,7 +261,11 @@ func TestFollowerLagGauges(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fsrv := httptest.NewServer(replica.NewHandlerOpts(fol, fcfg.handlerOptions()))
+	fopts, err := fcfg.handlerOptions(fol.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsrv := httptest.NewServer(replica.NewHandlerOpts(fol, fopts))
 	t.Cleanup(fsrv.Close)
 	fc := client.New(fsrv.URL)
 

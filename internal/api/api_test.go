@@ -150,6 +150,8 @@ func TestErrorStatusMapping(t *testing.T) {
 		CodeNotFound:             404,
 		CodeMethodNotAllowed:     405,
 		CodePrimaryUnreachable:   502,
+		CodeUnauthorized:         401,
+		CodeRateLimited:          429,
 		CodeVerifyFailed:         500,
 		CodeInternal:             500,
 	} {

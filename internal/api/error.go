@@ -60,6 +60,14 @@ const (
 	// CodePrimaryUnreachable is a follower that could not reach its
 	// primary for a forwarded write.
 	CodePrimaryUnreachable Code = "primary_unreachable"
+	// CodeUnauthorized is a request refused at the edge for missing or
+	// invalid API credentials (the Authorization: Bearer key).
+	CodeUnauthorized Code = "unauthorized"
+	// CodeRateLimited is a request refused by admission control — the
+	// client's token bucket is empty, or the server is shedding load.
+	// Responses carry a Retry-After header with the earliest useful
+	// moment to try again.
+	CodeRateLimited Code = "rate_limited"
 	// CodeInternal is an unexpected server-side failure.
 	CodeInternal Code = "internal"
 )
@@ -71,7 +79,8 @@ func Codes() []Code {
 		CodeBadRequest, CodeBadHex, CodeArityOutOfRange, CodeBatchTooLarge,
 		CodeBodyTooLarge, CodeUnsupportedMediaType, CodeReadOnly,
 		CodeNotDurable, CodeBadCircuit, CodeVerifyFailed, CodeNotFound,
-		CodeMethodNotAllowed, CodePrimaryUnreachable, CodeInternal,
+		CodeMethodNotAllowed, CodePrimaryUnreachable, CodeUnauthorized,
+		CodeRateLimited, CodeInternal,
 	}
 }
 
@@ -146,6 +155,10 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusMethodNotAllowed
 	case CodePrimaryUnreachable:
 		return http.StatusBadGateway
+	case CodeUnauthorized:
+		return http.StatusUnauthorized
+	case CodeRateLimited:
+		return http.StatusTooManyRequests
 	case CodeVerifyFailed, CodeInternal:
 		return http.StatusInternalServerError
 	default: // bad_request, bad_hex, arity_out_of_range, batch_too_large, bad_circuit

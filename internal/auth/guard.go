@@ -1,0 +1,213 @@
+package auth
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// Options configures a Guard.
+type Options struct {
+	// Keys is the server's API keyring. Nil disables authentication:
+	// every request is anonymous (and per-IP limited when AnonRPS > 0).
+	Keys *Keyring
+
+	// AnonRPS is the sustained per-client rate granted to requests that
+	// carry no API key, bucketed by remote IP. With a keyring mounted,
+	// 0 rejects anonymous traffic outright (401 unauthorized); without
+	// one, 0 leaves anonymous traffic unlimited.
+	AnonRPS float64
+	// AnonBurst is the anonymous bucket depth; non-positive defaults to
+	// ceil(AnonRPS), floored at 1.
+	AnonBurst int
+
+	// Pressure, when set, enables load shedding: it returns the live
+	// worker-pool depth (in-flight batches) and the admission limit, and
+	// the guard answers 429 while depth >= limit — overload degrades to
+	// fast rejections at the edge instead of queueing collapse. It runs
+	// on every request and must be cheap (atomic loads).
+	Pressure func() (depth, limit int64)
+
+	// MaxClients caps the rate-limit bucket table (see Limiter); zero
+	// means DefaultMaxClients.
+	MaxClients int
+
+	// Exempt lists route patterns that bypass every check. Nil means
+	// DefaultExempt (/healthz and /metrics); an explicitly empty slice
+	// exempts nothing.
+	Exempt []string
+
+	// Metrics, when set, registers the guard's counter families
+	// (npn_http_unauthorized_total, npn_http_rate_limited_total,
+	// npn_http_shed_total, by route) on the registry.
+	Metrics *obs.Registry
+}
+
+// DefaultExempt are the routes a zero-valued Options.Exempt bypasses:
+// liveness probes and metric scrapes must keep answering through exactly
+// the overload the guard manages.
+var DefaultExempt = []string{"/healthz", "/metrics"}
+
+// Guard is the admission-control middleware: authentication, per-client
+// rate limiting and load shedding in the api.Middleware shape. Wrap is
+// safe for concurrent use once the Guard is built.
+type Guard struct {
+	keys      *Keyring
+	anonRPS   float64
+	anonBurst int
+	pressure  func() (int64, int64)
+	limiter   Limiter
+	exempt    map[string]bool
+
+	// Counters may be nil (no metrics registry mounted).
+	unauthorized *obs.CounterVec
+	rateLimited  *obs.CounterVec
+	shed         *obs.CounterVec
+}
+
+// NewGuard builds the admission-control middleware.
+func NewGuard(o Options) *Guard {
+	g := &Guard{
+		keys:      o.Keys,
+		anonRPS:   o.AnonRPS,
+		anonBurst: o.AnonBurst,
+		pressure:  o.Pressure,
+		limiter:   Limiter{MaxClients: o.MaxClients},
+		exempt:    make(map[string]bool),
+	}
+	if g.anonBurst <= 0 {
+		if b := int(math.Ceil(g.anonRPS)); b > 1 {
+			g.anonBurst = b
+		} else {
+			g.anonBurst = 1
+		}
+	}
+	exempt := o.Exempt
+	if exempt == nil {
+		exempt = DefaultExempt
+	}
+	for _, r := range exempt {
+		g.exempt[r] = true
+	}
+	if o.Metrics != nil {
+		g.unauthorized = o.Metrics.CounterVec("npn_http_unauthorized_total",
+			"Requests refused for missing or invalid API credentials, by route.", "route")
+		g.rateLimited = o.Metrics.CounterVec("npn_http_rate_limited_total",
+			"Requests refused by per-client rate limiting, by route.", "route")
+		g.shed = o.Metrics.CounterVec("npn_http_shed_total",
+			"Requests shed because the worker pools were saturated, by route.", "route")
+	}
+	return g
+}
+
+// Wrap guards one route's handler. The signature matches api.Middleware
+// structurally, so a Router takes the method value directly:
+// rt.Use(g.Wrap). Checks run cheapest-first — shedding before
+// authentication before rate limiting — so a saturated server spends as
+// little as possible per rejected request.
+func (g *Guard) Wrap(route string, next http.HandlerFunc) http.HandlerFunc {
+	if g.exempt[route] {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if g.pressure != nil {
+			if depth, limit := g.pressure(); limit > 0 && depth >= limit {
+				inc(g.shed, route)
+				writeRateLimited(w, r, time.Second,
+					"server overloaded: %d batches in flight (limit %d)", depth, limit)
+				return
+			}
+		}
+		id, rps, burst, err := g.identify(r)
+		if err != nil {
+			inc(g.unauthorized, route)
+			api.WriteError(w, err.WithRequestID(obs.RequestIDFromContext(r.Context())))
+			return
+		}
+		if ok, retryAfter := g.limiter.Allow(id, rps, burst); !ok {
+			inc(g.rateLimited, route)
+			writeRateLimited(w, r, retryAfter,
+				"rate limit exceeded for %s", id)
+			return
+		}
+		next(w, r)
+	}
+}
+
+// identify resolves the request to a rate-limit identity and quota, or an
+// unauthorized error. A presented-but-unknown key always fails — it never
+// silently downgrades to the anonymous tier.
+func (g *Guard) identify(r *http.Request) (id string, rps float64, burst int, err *api.Error) {
+	secret, present := bearerToken(r)
+	switch {
+	case present && g.keys != nil:
+		k, ok := g.keys.Lookup(secret)
+		if !ok {
+			return "", 0, 0, api.Errf(api.CodeUnauthorized, "unknown API key")
+		}
+		return "key:" + k.Name, k.RPS, k.burst(), nil
+	case present: // a key was offered but no keyring is mounted
+		return "", 0, 0, api.Errf(api.CodeUnauthorized,
+			"this server does not accept API keys").
+			WithDetail("remove the Authorization header")
+	case g.keys != nil && g.anonRPS <= 0:
+		return "", 0, 0, api.Errf(api.CodeUnauthorized,
+			"missing API key").
+			WithDetail("send Authorization: Bearer <key>")
+	default: // anonymous tier, bucketed per remote IP
+		return "ip:" + remoteIP(r), g.anonRPS, g.anonBurst, nil
+	}
+}
+
+// inc bumps a counter that may be nil (metrics disabled).
+func inc(v *obs.CounterVec, route string) {
+	if v != nil {
+		v.With(route).Inc()
+	}
+}
+
+// writeRateLimited answers 429 with the stable rate_limited code and a
+// Retry-After header of at least one second (whole seconds, rounded up —
+// the HTTP header carries integers).
+func writeRateLimited(w http.ResponseWriter, r *http.Request, retryAfter time.Duration, format string, args ...any) {
+	secs := int64(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	e := api.Errf(api.CodeRateLimited, format, args...).
+		WithDetail("retry after %ds", secs).
+		WithRequestID(obs.RequestIDFromContext(r.Context()))
+	api.WriteError(w, e)
+}
+
+// bearerToken extracts the Authorization: Bearer credential, reporting
+// whether any Authorization header was presented at all.
+func bearerToken(r *http.Request) (token string, present bool) {
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		return "", false
+	}
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):], true
+	}
+	return "", true // a non-Bearer Authorization header is still an auth attempt
+}
+
+// remoteIP returns the connection's peer IP — deliberately not
+// X-Forwarded-For, which an untrusted client sets freely. Deployments
+// behind a trusted proxy should rate-limit at the proxy or issue keys.
+func remoteIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,112 @@
+package auth
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMaxClients bounds the number of live token buckets a Limiter
+// tracks. Anonymous traffic keys buckets by remote IP — an
+// attacker-controlled cardinality — so the table must not grow without
+// bound.
+const DefaultMaxClients = 1 << 16
+
+// Limiter is a table of token buckets, one per client identity (API key
+// name or remote IP). Buckets refill lazily on access: each Allow tops
+// the bucket up by elapsed×rate, capped at the burst depth, then spends
+// one token. Safe for concurrent use.
+type Limiter struct {
+	// MaxClients caps the bucket table; non-positive means
+	// DefaultMaxClients. When the table is full, fully-refilled buckets
+	// are swept (dropping one is indistinguishable from its client going
+	// idle); if none are sweepable, arbitrary buckets are dropped — a
+	// spraying attacker buys a fresh burst per identity, never unbounded
+	// server memory.
+	MaxClients int
+
+	// now is the clock, a test seam; nil means time.Now.
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// bucket is one client's token bucket. rate and burst are re-stamped on
+// every Allow so a key file reload (new quota, same name) takes effect on
+// the next request.
+type bucket struct {
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+// Allow spends one token from id's bucket with the given quota. It
+// returns whether the request is admitted and, when refused, how long
+// until a token will be available.
+func (l *Limiter) Allow(id string, rps float64, burst int) (ok bool, retryAfter time.Duration) {
+	if rps <= 0 {
+		return true, 0 // unlimited identity
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	now := time.Now()
+	if l.now != nil {
+		now = l.now()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buckets == nil {
+		l.buckets = make(map[string]*bucket)
+	}
+	b, exists := l.buckets[id]
+	if !exists {
+		l.evictLocked(now)
+		b = &bucket{tokens: float64(burst), last: now}
+		l.buckets[id] = b
+	}
+	b.rate, b.burst = rps, float64(burst)
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Clients returns the number of live buckets.
+func (l *Limiter) Clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// evictLocked makes room for one more bucket when the table is at its
+// cap: first sweep buckets that have had time to fully refill, then (only
+// if the sweep freed nothing) drop arbitrary entries.
+func (l *Limiter) evictLocked(now time.Time) {
+	maxClients := l.MaxClients
+	if maxClients <= 0 {
+		maxClients = DefaultMaxClients
+	}
+	if len(l.buckets) < maxClients {
+		return
+	}
+	for id, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*b.rate >= b.burst {
+			delete(l.buckets, id)
+		}
+	}
+	for id := range l.buckets {
+		if len(l.buckets) < maxClients {
+			break
+		}
+		delete(l.buckets, id)
+	}
+}

@@ -245,6 +245,22 @@ func (r *Registry) StartAutoCompact(every time.Duration, onErr func(error)) (sto
 	}
 }
 
+// InflightBatches sums the batches currently executing across every
+// active arity's worker pool — the live depth the load shedder
+// (internal/auth) compares against its admission limit. A handful of
+// atomic loads, cheap enough for every request.
+func (r *Registry) InflightBatches() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var total int64
+	for _, svc := range r.svcs {
+		if svc != nil {
+			total += svc.InflightBatches()
+		}
+	}
+	return total
+}
+
 // Active returns the arities whose services have been constructed, in
 // increasing order. The slice is always non-nil so it encodes as a JSON
 // array even when empty.
@@ -371,6 +387,7 @@ type Totals struct {
 	JournalErrors   int64 `json:"journal_errors"`
 	WALSegments     int   `json:"wal_segments"`
 	WALBytes        int64 `json:"wal_bytes"`
+	InflightBatches int64 `json:"inflight_batches"`
 }
 
 // ArityStats is one arity's stats row: the service counters plus, on a
@@ -430,6 +447,7 @@ func (r *Registry) Stats() Stats {
 		st.Totals.ProfileEntries += s.ProfileEntries
 		st.Totals.Deduped += s.Deduped
 		st.Totals.JournalErrors += s.JournalErrors
+		st.Totals.InflightBatches += s.InflightBatches
 	}
 	return st
 }

@@ -30,6 +30,12 @@ type HandlerOptions struct {
 	// HTTP, when non-nil, is installed as the router middleware: request
 	// IDs, per-route latency histograms, the slow-request log.
 	HTTP *obs.HTTPMetrics
+	// Guard, when non-nil, is the admission-control middleware
+	// (internal/auth): API-key authentication, per-client rate limiting
+	// and load shedding. Mounted inside the obs middleware, so refused
+	// requests are still traced and counted (as 4xx), and exempt routes
+	// (/healthz, /metrics) keep answering through overload.
+	Guard api.Middleware
 }
 
 func (o HandlerOptions) maxBody() int64 {
@@ -39,12 +45,16 @@ func (o HandlerOptions) maxBody() int64 {
 	return o.MaxBody
 }
 
-// mount wires o's observability onto a router: middleware first (so
-// /metrics itself is traced too), then the /metrics route and the
-// registry collectors.
+// mount wires o's observability and admission control onto a router:
+// middleware first (obs outermost so even guarded-away requests are
+// traced, the guard inside it), then the /metrics route and the registry
+// collectors.
 func (o HandlerOptions) mount(rt *api.Router, reg *Registry) {
 	if o.HTTP != nil {
 		rt.Use(o.HTTP.Wrap)
+	}
+	if o.Guard != nil {
+		rt.Use(o.Guard)
 	}
 	if o.Metrics != nil {
 		reg.RegisterMetrics(o.Metrics)

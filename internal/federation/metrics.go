@@ -34,6 +34,7 @@ const (
 	famSvcCollisions
 	famSvcDeduped
 	famSvcBatches
+	famSvcInflight
 	famSvcCacheEntries
 	famStoreClasses
 	famStoreCollisions
@@ -67,6 +68,7 @@ func registryFams() []obs.FuncFamily {
 		famSvcCollisions:   {Name: "npn_service_insert_collisions_total", Help: "New classes landing on an occupied key (chained), by arity.", Kind: obs.KindCounter, Labels: arity},
 		famSvcDeduped:      {Name: "npn_service_deduped_keys_total", Help: "Batch members answered by a duplicate in their own batch, by arity.", Kind: obs.KindCounter, Labels: arity},
 		famSvcBatches:      {Name: "npn_service_batches_total", Help: "Batches processed, by arity.", Kind: obs.KindCounter, Labels: arity},
+		famSvcInflight:     {Name: "npn_service_inflight_batches", Help: "Batches executing on the worker pool right now, by arity.", Kind: obs.KindGauge, Labels: arity},
 		famSvcCacheEntries: {Name: "npn_service_cache_entries", Help: "Entries in the function->result LRU cache, by arity.", Kind: obs.KindGauge, Labels: arity},
 		famStoreClasses:    {Name: "npn_store_classes", Help: "Classes stored, by arity.", Kind: obs.KindGauge, Labels: arity},
 		famStoreCollisions: {Name: "npn_store_collisions", Help: "Representatives beyond the first of their key, by arity.", Kind: obs.KindGauge, Labels: arity},
@@ -159,6 +161,7 @@ func (r *Registry) collectMetrics(emit func(fam int, labelValues []string, value
 		emit(famSvcCollisions, a, float64(s.Collisions))
 		emit(famSvcDeduped, a, float64(s.Deduped))
 		emit(famSvcBatches, a, float64(s.Batches))
+		emit(famSvcInflight, a, float64(s.InflightBatches))
 		emit(famSvcCacheEntries, a, float64(s.CacheEntries))
 		emit(famStoreClasses, a, float64(s.Classes))
 		emit(famStoreCollisions, a, float64(s.StoreCollisions))

@@ -11,16 +11,47 @@ import (
 )
 
 // RequestIDHeader is the header a request ID arrives in and is echoed on.
-// A caller-supplied ID is honored (truncated to MaxRequestIDLen); absent
-// one, the middleware mints a fresh random ID. Either way every response
-// carries the header, so a client can quote the ID when reporting a
-// failure and the slow-request log line is greppable by it.
+// A caller-supplied ID is honored after sanitization (control and
+// non-printable bytes stripped, truncated to MaxRequestIDLen); absent or
+// entirely unprintable, the middleware mints a fresh random ID. Either
+// way every response carries the header, so a client can quote the ID
+// when reporting a failure and the slow-request log line is greppable by
+// it.
 const RequestIDHeader = "X-Request-Id"
 
 // MaxRequestIDLen bounds accepted caller-supplied request IDs; longer
 // values are truncated rather than rejected (an ID is a correlation aid,
 // not a protocol field).
 const MaxRequestIDLen = 64
+
+// SanitizeRequestID makes a caller-supplied request ID safe to echo and
+// log: bytes outside printable ASCII (control characters, DEL, anything
+// non-ASCII) are stripped and the result is truncated to MaxRequestIDLen.
+// Untrusted header bytes reach the slow-request slog line and the
+// response header only through this filter. Returns "" when nothing safe
+// remains.
+func SanitizeRequestID(id string) string {
+	clean := true
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x20 || id[i] > 0x7e {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		if len(id) > MaxRequestIDLen {
+			return id[:MaxRequestIDLen]
+		}
+		return id
+	}
+	b := make([]byte, 0, MaxRequestIDLen)
+	for i := 0; i < len(id) && len(b) < MaxRequestIDLen; i++ {
+		if c := id[i]; c >= 0x20 && c <= 0x7e {
+			b = append(b, c)
+		}
+	}
+	return string(b)
+}
 
 type ctxKey int
 
@@ -99,10 +130,7 @@ func NewHTTPMetrics(r *Registry, opts HTTPOptions) *HTTPMetrics {
 // directly: rt.Use(m.Wrap).
 func (m *HTTPMetrics) Wrap(route string, next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get(RequestIDHeader)
-		if len(id) > MaxRequestIDLen {
-			id = id[:MaxRequestIDLen]
-		}
+		id := SanitizeRequestID(r.Header.Get(RequestIDHeader))
 		if id == "" {
 			id = newRequestID()
 		}
@@ -112,24 +140,35 @@ func (m *HTTPMetrics) Wrap(route string, next http.HandlerFunc) http.HandlerFunc
 		sr := &statusRecorder{ResponseWriter: w}
 		m.inflight.Add(1)
 		start := time.Now()
+		// The accounting runs in a defer so a panicking handler cannot
+		// leak the in-flight gauge or drop the request from the counters:
+		// the panic propagates to net/http (which tears the connection
+		// down) after the request is recorded as a 5xx.
+		panicked := true
+		defer func() {
+			d := time.Since(start)
+			m.inflight.Add(-1)
+			status := sr.code()
+			if panicked {
+				status = http.StatusInternalServerError
+			}
+			code := statusClass(status)
+			m.requests.With(route, r.Method, code).Inc()
+			m.latency.With(route, r.Method, code).ObserveDuration(d)
+			if m.opts.SlowRequest > 0 && d >= m.opts.SlowRequest {
+				m.slow.With(route).Inc()
+				m.opts.Logger.Warn("slow request",
+					"request_id", id,
+					"route", route,
+					"method", r.Method,
+					"status", status,
+					"duration_ms", float64(d.Nanoseconds())/1e6,
+					"threshold_ms", float64(m.opts.SlowRequest.Nanoseconds())/1e6,
+				)
+			}
+		}()
 		next(sr, r)
-		d := time.Since(start)
-		m.inflight.Add(-1)
-
-		code := statusClass(sr.code())
-		m.requests.With(route, r.Method, code).Inc()
-		m.latency.With(route, r.Method, code).ObserveDuration(d)
-		if m.opts.SlowRequest > 0 && d >= m.opts.SlowRequest {
-			m.slow.With(route).Inc()
-			m.opts.Logger.Warn("slow request",
-				"request_id", id,
-				"route", route,
-				"method", r.Method,
-				"status", sr.code(),
-				"duration_ms", float64(d.Nanoseconds())/1e6,
-				"threshold_ms", float64(m.opts.SlowRequest.Nanoseconds())/1e6,
-			)
-		}
+		panicked = false
 	}
 }
 

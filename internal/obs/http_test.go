@@ -141,3 +141,65 @@ func TestMetricsHandler(t *testing.T) {
 		t.Errorf("scraped = %v,%v want 1,true", v, ok)
 	}
 }
+
+func TestSanitizeRequestID(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain-id-123", "plain-id-123"},
+		{"", ""},
+		{"evil\r\nSet-Cookie: x=1", "evilSet-Cookie: x=1"}, // CRLF stripped: no log/header injection
+		{"tab\there", "tabhere"},
+		{"\x00\x1b[31m\x7f", "[31m"}, // NUL, ESC, DEL stripped
+		{"\x00\x01\x02", ""},         // nothing printable remains
+		{"héllo", "hllo"},            // non-ASCII stripped, not mangled
+		{strings.Repeat("a", 200), strings.Repeat("a", MaxRequestIDLen)},
+		{"\n" + strings.Repeat("b", 200), strings.Repeat("b", MaxRequestIDLen)},
+	} {
+		if got := SanitizeRequestID(tc.in); got != tc.want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMiddlewareMintsIDForUnprintableHeader(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, HTTPOptions{})
+	var seen string
+	h := m.Wrap("/v2/classify", func(w http.ResponseWriter, req *http.Request) {
+		seen = RequestIDFromContext(req.Context())
+	})
+	req := httptest.NewRequest(http.MethodPost, "/v2/classify", nil)
+	req.Header.Set(RequestIDHeader, "\x01\x02\x03")
+	h(httptest.NewRecorder(), req)
+	if seen == "" || strings.ContainsAny(seen, "\x01\x02\x03") {
+		t.Fatalf("unprintable header: context ID %q, want fresh minted ID", seen)
+	}
+}
+
+func TestMiddlewarePanicKeepsAccountingStraight(t *testing.T) {
+	r := NewRegistry()
+	m := NewHTTPMetrics(r, HTTPOptions{})
+	h := m.Wrap("/v2/classify", func(w http.ResponseWriter, req *http.Request) {
+		panic("handler exploded")
+	})
+
+	func() {
+		defer func() {
+			// The middleware must NOT swallow the panic — net/http owns
+			// the recovery policy (tear the connection down).
+			if recover() == nil {
+				t.Error("panic did not propagate through the middleware")
+			}
+		}()
+		h(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/v2/classify", nil))
+	}()
+
+	if got := m.inflight.Value(); got != 0 {
+		t.Errorf("inflight after panic = %v, want 0", got)
+	}
+	if got := m.requests.With("/v2/classify", "POST", "5xx").Value(); got != 1 {
+		t.Errorf("5xx count after panic = %v, want 1", got)
+	}
+	if got := m.latency.With("/v2/classify", "POST", "5xx").Count(); got != 1 {
+		t.Errorf("latency observations after panic = %v, want 1", got)
+	}
+}

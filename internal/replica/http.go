@@ -67,6 +67,9 @@ func NewHandlerOpts(f *Follower, o federation.HandlerOptions) http.Handler {
 	if o.HTTP != nil {
 		rt.Use(o.HTTP.Wrap)
 	}
+	if o.Guard != nil {
+		rt.Use(o.Guard)
+	}
 	if o.Metrics != nil {
 		reg.RegisterMetrics(o.Metrics)
 		f.RegisterMetrics(o.Metrics)

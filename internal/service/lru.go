@@ -7,7 +7,10 @@ import (
 
 // lruCache is a bounded, mutex-guarded LRU map from packed truth-table
 // bits to classification results. The store's representatives are never
-// removed, so cached hits can live until evicted by capacity.
+// removed, so cached hits can live until evicted by capacity. A
+// non-positive capacity means the cache is disabled: get always misses
+// and put stores nothing — never the insert-then-immediately-evict churn
+// a literal bound of zero would produce.
 type lruCache struct {
 	mu  sync.Mutex
 	cap int
@@ -21,6 +24,9 @@ type lruEntry struct {
 }
 
 func newLRUCache(capacity int) *lruCache {
+	if capacity < 0 {
+		capacity = 0
+	}
 	return &lruCache{
 		cap: capacity,
 		ll:  list.New(),
@@ -30,6 +36,9 @@ func newLRUCache(capacity int) *lruCache {
 
 // get returns the cached result and bumps the entry to most recent.
 func (c *lruCache) get(key string) (Result, bool) {
+	if c.cap <= 0 {
+		return Result{}, false
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -42,6 +51,9 @@ func (c *lruCache) get(key string) (Result, bool) {
 
 // put inserts or refreshes an entry, evicting the least recent past cap.
 func (c *lruCache) put(key string, val Result) {
+	if c.cap <= 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {

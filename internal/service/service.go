@@ -57,6 +57,10 @@ type Service struct {
 
 	started time.Time
 
+	// inflight counts batches currently executing on the worker pool —
+	// the live depth admission control (internal/auth) sheds on.
+	inflight atomic.Int64
+
 	// Atomic counters. Latency is accumulated per batch in nanoseconds.
 	lookups    atomic.Int64
 	hits       atomic.Int64
@@ -93,6 +97,13 @@ func (s *Service) Store() *store.Store { return s.st }
 // NumVars returns the arity the service serves.
 func (s *Service) NumVars() int { return s.st.NumVars() }
 
+// Workers returns the worker-pool width batches fan out across.
+func (s *Service) Workers() int { return s.workers }
+
+// InflightBatches returns the number of batches executing right now —
+// the queue-pressure signal load shedding compares against its limit.
+func (s *Service) InflightBatches() int64 { return s.inflight.Load() }
+
 // Result is the outcome of classifying one function.
 type Result struct {
 	// Key is the MSV class key (valid even on a miss).
@@ -120,6 +131,8 @@ type InsertResult struct {
 // worker pool. Results keep input order. Misses are reported per function
 // (Hit=false); they do not modify the store.
 func (s *Service) Classify(fs []*tt.TT) []Result {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	start := time.Now()
 	out := make([]Result, len(fs))
 	uniq, firstOf := dedupBatch(fs)
@@ -154,6 +167,8 @@ func (s *Service) Classify(fs []*tt.TT) []Result {
 // Insert adds every function's class if absent, fanning the batch across
 // the worker pool. Results keep input order.
 func (s *Service) Insert(fs []*tt.TT) []InsertResult {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	start := time.Now()
 	out := make([]InsertResult, len(fs))
 	uniq, firstOf := dedupBatch(fs)
@@ -332,6 +347,10 @@ type Stats struct {
 	Batches        int64   `json:"batches"`
 	AvgBatchMicros float64 `json:"avg_batch_micros"`
 
+	// InflightBatches is the number of batches executing at snapshot
+	// time — the live pool depth load shedding watches.
+	InflightBatches int64 `json:"inflight_batches"`
+
 	CacheEntries  int     `json:"cache_entries"`
 	CacheCapacity int     `json:"cache_capacity"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -355,6 +374,7 @@ func (s *Service) Stats() Stats {
 		Deduped:         s.deduped.Load(),
 		JournalErrors:   s.st.JournalErrors(),
 		Batches:         s.batches.Load(),
+		InflightBatches: s.inflight.Load(),
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 	}
 	st.ProfileHits, st.ProfileMisses, st.ProfileEntries = s.st.ProfileCacheStats()

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -279,5 +280,30 @@ func TestBatchDedup(t *testing.T) {
 	// A dedup hit must carry the same certified result as a store hit.
 	if res[2].Key != res[0].Key || res[2].Index != res[0].Index || !res[2].Rep.Equal(res[0].Rep) {
 		t.Fatal("scattered duplicate result diverged")
+	}
+}
+
+// TestInflightBatches: the live-depth gauge is 1 while a batch executes
+// (observed via the ObserveBatch hook, which runs before the decrement)
+// and 0 once the call returns — the signal edge load shedding keys off.
+func TestInflightBatches(t *testing.T) {
+	n := 3
+	var svc *Service
+	var during int64
+	svc = newTestService(n, Options{
+		Workers: 1,
+		ObserveBatch: func(op string, size int, d time.Duration) {
+			during = svc.InflightBatches()
+		},
+	})
+	svc.Classify([]*tt.TT{tt.MustFromHex(n, "e8")})
+	if during != 1 {
+		t.Fatalf("InflightBatches during batch = %d, want 1", during)
+	}
+	if got := svc.InflightBatches(); got != 0 {
+		t.Fatalf("InflightBatches after batch = %d, want 0", got)
+	}
+	if svc.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", svc.Workers())
 	}
 }

@@ -39,6 +39,12 @@ import (
 // DefaultTimeout is the whole-request timeout of the default HTTP client.
 const DefaultTimeout = 30 * time.Second
 
+// MaxRetryAfter caps how long the client honors a server's Retry-After
+// before giving up on the attempt budget instead: a server asking for a
+// longer pause than this is treated as unavailable and its error is
+// returned to the caller, who owns long waits.
+const MaxRetryAfter = 10 * time.Second
+
 // Client is a connection to one npnserve-compatible server. It is safe
 // for concurrent use.
 type Client struct {
@@ -46,6 +52,7 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	apiKey  string
 }
 
 // Option configures a Client.
@@ -64,6 +71,11 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // WithBackoff sets the base delay between retries (attempt k waits
 // k*backoff). Zero disables the delay.
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// WithAPIKey attaches an API key: every request carries it as
+// "Authorization: Bearer <key>", the credential a hardened npnserve
+// (-keys/-key) authenticates and meters quotas by.
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
 // New returns a client for the server at base (e.g. "http://host:8080").
 func New(base string, opts ...Option) *Client {
@@ -190,7 +202,8 @@ func (c *Client) Compact(ctx context.Context) (json.RawMessage, error) {
 // probe that retried 503s would mask and delay exactly the state it
 // exists to surface.
 func (c *Client) Healthz(ctx context.Context) (int, json.RawMessage, error) {
-	return c.once(ctx, http.MethodGet, "/healthz", "", nil)
+	status, _, body, err := c.once(ctx, http.MethodGet, "/healthz", "", nil)
+	return status, body, err
 }
 
 // Get is the raw GET escape hatch: one request (with retries) against an
@@ -235,7 +248,11 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 }
 
 // do issues one request with the retry policy: transport errors and
-// 502/503/504 are retried up to c.retries times with linear backoff.
+// 502/503/504 are retried up to c.retries times with linear backoff. A
+// 429 is retried only when the server names a Retry-After the client can
+// afford (≤ MaxRetryAfter) — the pause is the server's number, not the
+// backoff schedule — otherwise it is returned to the caller at once so
+// quota exhaustion is visible instead of silently amplified.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (int, []byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
@@ -244,12 +261,23 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 				return 0, nil, err
 			}
 		}
-		status, respBody, err := c.once(ctx, method, path, contentType, body)
+		status, hdr, respBody, err := c.once(ctx, method, path, contentType, body)
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
 				return 0, nil, err
 			}
+			continue
+		}
+		if status == http.StatusTooManyRequests && attempt < c.retries {
+			wait, ok := retryAfter(hdr)
+			if !ok {
+				return status, respBody, nil
+			}
+			if err := sleepCtx(ctx, wait); err != nil {
+				return 0, nil, err
+			}
+			lastErr = fmt.Errorf("client: %s %s: status %d", method, path, status)
 			continue
 		}
 		if retryableStatus(status) && attempt < c.retries {
@@ -261,28 +289,50 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	return 0, nil, lastErr
 }
 
-func (c *Client) once(ctx context.Context, method, path, contentType string, body []byte) (int, []byte, error) {
+// retryAfter reads a delay-seconds Retry-After header, reporting whether
+// the wait is one worth taking (present, parseable, ≤ MaxRetryAfter).
+// HTTP-date values are not produced by npnserve and are not parsed.
+func retryAfter(hdr http.Header) (time.Duration, bool) {
+	v := hdr.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs) * time.Second
+	if d > MaxRetryAfter {
+		return 0, false
+	}
+	return d, true
+}
+
+func (c *Client) once(ctx context.Context, method, path, contentType string, body []byte) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return resp.StatusCode, respBody, nil
+	return resp.StatusCode, resp.Header, respBody, nil
 }
 
 func retryableStatus(status int) bool {

@@ -127,6 +127,9 @@ func (c *Client) streamOnce(ctx context.Context, path string, fns []string, deli
 		return 0, err
 	}
 	req.Header.Set("Content-Type", api.NDJSONContentType)
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, &streamError{err}

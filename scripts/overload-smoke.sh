@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# overload-smoke.sh — drive a real npnserve process past its API-key
+# quota and assert the hardened-edge contract end to end: anonymous
+# traffic answers 401 unauthorized, in-quota keyed requests are served,
+# the overload answers 429 with an integer Retry-After and the stable
+# rate_limited code, the refusals are visible as counters on the live
+# /metrics exposition, and /healthz keeps answering 200 through all of
+# it (probes must survive exactly the overload the guard manages).
+#
+# Usage: scripts/overload-smoke.sh [path-to-npnserve-binary]
+# Requires: curl, jq.
+set -euo pipefail
+
+BIN=${1:-/tmp/npnserve}
+ADDR=127.0.0.1:18300
+BASE=http://$ADDR
+HERE=$(cd "$(dirname "$0")" && pwd)
+
+if [ ! -x "$BIN" ]; then
+  echo "overload-smoke: building npnserve to $BIN"
+  go build -o "$BIN" ./cmd/npnserve
+fi
+
+# A deliberately tiny quota (2 rps, burst 2) so a handful of requests is
+# already "overload".
+"$BIN" -addr "$ADDR" -arities 4-6 -key smoke:sekrit:2:2 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+"$HERE"/wait-healthz.sh "$BASE"
+
+FNS='{"functions":["1ee1"]}'
+AUTH='Authorization: Bearer sekrit'
+CT='Content-Type: application/json'
+
+# Anonymous traffic: a stable machine-readable 401.
+CODE=$(curl -s -o /tmp/overload-anon.json -w '%{http_code}' -X POST -H "$CT" "$BASE/v2/classify" -d "$FNS")
+[ "$CODE" = "401" ] || { echo "anonymous classify answered $CODE, want 401"; exit 1; }
+jq -e '.error.code == "unauthorized"' /tmp/overload-anon.json >/dev/null
+
+# A wrong key is refused too — never downgraded to anonymous.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H "$CT" -H 'Authorization: Bearer wrong' "$BASE/v2/classify" -d "$FNS")
+[ "$CODE" = "401" ] || { echo "wrong key answered $CODE, want 401"; exit 1; }
+
+# In quota: the key's first request is served.
+curl -sf -X POST -H "$CT" -H "$AUTH" "$BASE/v2/classify" -d "$FNS" | jq -e '.results | length == 1' >/dev/null
+
+# Loadgen past the quota: 20 back-to-back requests against burst 2 must
+# produce both served responses and 429 refusals.
+SERVED=0
+LIMITED=0
+for i in $(seq 1 20); do
+  CODE=$(curl -s -o /tmp/overload-last.json -D /tmp/overload-headers.txt -w '%{http_code}' \
+    -X POST -H "$CT" -H "$AUTH" "$BASE/v2/classify" -d "$FNS")
+  case "$CODE" in
+    200) SERVED=$((SERVED + 1)) ;;
+    429) LIMITED=$((LIMITED + 1)) ;;
+    *) echo "unexpected status $CODE under overload"; exit 1 ;;
+  esac
+done
+[ "$LIMITED" -gt 0 ] || { echo "no request was rate limited past burst 2"; exit 1; }
+echo "overload-smoke: $SERVED served, $LIMITED limited"
+
+# The last refusal carries the wire contract: integer Retry-After >= 1
+# and the stable rate_limited code in the error envelope.
+jq -e '.error.code == "rate_limited"' /tmp/overload-last.json >/dev/null
+RETRY=$(tr -d '\r' < /tmp/overload-headers.txt | awk -F': ' 'tolower($1) == "retry-after" {print $2}')
+[ -n "$RETRY" ] && [ "$RETRY" -ge 1 ] || { echo "429 Retry-After is '$RETRY', want integer >= 1"; exit 1; }
+
+# /healthz answers 200 from the same client mid-overload: the probe
+# route is exempt from the guard.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/healthz")
+[ "$CODE" = "200" ] || { echo "/healthz answered $CODE during overload"; exit 1; }
+
+# The refusals are observable on the live exposition, which is also
+# exempt and needs no key.
+curl -sf "$BASE/metrics" > /tmp/overload-metrics.txt
+awk '/^npn_http_rate_limited_total{/ { if ($2 > 0) found = 1 } END { exit !found }' /tmp/overload-metrics.txt \
+  || { echo "npn_http_rate_limited_total not > 0 on /metrics"; exit 1; }
+awk '/^npn_http_unauthorized_total{/ { if ($2 > 0) found = 1 } END { exit !found }' /tmp/overload-metrics.txt \
+  || { echo "npn_http_unauthorized_total not > 0 on /metrics"; exit 1; }
+
+kill "$PID"
+echo "overload-smoke: OK"
