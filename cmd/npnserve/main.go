@@ -11,8 +11,10 @@
 //	         [-compact-every 0] [-follow URL] [-follow-mode proxy|local]
 //	         [-follow-interval 200ms] [-stale-after 0]
 //	         [-metrics] [-slow-request 500ms] [-pprof-addr addr]
+//	         [-trace] [-trace-buffer 256] [-trace-sample 0.01]
 //	         [-keys file] [-key name:secret[:rps[:burst]],...]
 //	         [-anon-rps N] [-anon-burst N] [-max-inflight N]
+//	         [-trusted-proxies CIDR[,CIDR]]
 //
 // Endpoints (the /v2 surface of internal/api; see GET /v2/spec for the
 // machine-readable list and README for the full reference):
@@ -83,6 +85,19 @@
 // -pprof-addr serves net/http/pprof on a second, private listener (e.g.
 // "localhost:6060"); it is opt-in and never shares the API address.
 //
+// Request tracing (with -metrics): -trace roots a span timeline under
+// every request's X-Request-Id — per-stage spans through auth, the
+// service pipeline, the store, the WAL and the replica proxy hop — and
+// keeps a bounded flight recorder of -trace-buffer traces with
+// tail-based sampling: error responses and requests slower than
+// -slow-request are always retained, the rest at probability
+// -trace-sample. Retained traces are served from GET /v2/debug/traces
+// (newest first, ?min_ms= and ?route= filters) and
+// GET /v2/debug/traces/{id} (the full span tree); both stay
+// guard-exempt like /metrics. A follower in proxy mode stamps
+// X-Trace-Parent onto forwarded requests, so the primary's trace
+// records which remote span fathered it.
+//
 // Untrusted-traffic hardening (internal/auth; see README "Hardening"):
 // -keys/-key mount an API keyring — requests must then carry
 // "Authorization: Bearer <secret>" and are rate-limited per key by the
@@ -92,7 +107,13 @@
 // while that many batches are executing across the worker pools, keeping
 // overload from becoming queueing collapse. /healthz and /metrics stay
 // exempt so probes and scrapes survive exactly those events. With none of
-// these flags the edge is wide open, as before.
+// these flags the edge is wide open, as before. -trusted-proxies names
+// the load balancers (comma-separated CIDRs or bare IPs) whose
+// X-Forwarded-For the anonymous limiter may believe: only when the TCP
+// peer is in the list does the rightmost non-trusted hop become the
+// client identity, so an untrusted client can never spoof its way to a
+// fresh rate bucket. SIGHUP re-reads -keys and swaps the keyring in
+// place — keys rotate without dropping a connection.
 package main
 
 import (
@@ -151,13 +172,17 @@ type config struct {
 	metrics     bool
 	slowRequest time.Duration
 	pprofAddr   string
+	trace       bool
+	traceBuffer int
+	traceSample float64
 
 	// Untrusted-traffic hardening (internal/auth).
-	keysFile    string
-	keyInline   string
-	anonRPS     float64
-	anonBurst   int
-	maxInflight int64
+	keysFile       string
+	keyInline      string
+	anonRPS        float64
+	anonBurst      int
+	maxInflight    int64
+	trustedProxies string
 }
 
 func main() {
@@ -182,11 +207,15 @@ func main() {
 	flag.BoolVar(&cfg.metrics, "metrics", true, "serve GET /metrics (Prometheus text) and trace requests with X-Request-Id")
 	flag.DurationVar(&cfg.slowRequest, "slow-request", 500*time.Millisecond, "log requests slower than this as structured slow-request lines; 0 disables (with -metrics)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this separate private address (e.g. localhost:6060); empty disables")
+	flag.BoolVar(&cfg.trace, "trace", false, "record per-request span timelines into a flight recorder at GET /v2/debug/traces (with -metrics)")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", obs.DefaultTraceBuffer, "flight-recorder capacity in retained traces (with -trace)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0.01, "probability of retaining a fast, successful trace; errors and slow requests are always kept (with -trace)")
 	flag.StringVar(&cfg.keysFile, "keys", "", "API key file: one name:secret[:rps[:burst]] per line (# comments); enables Bearer auth")
 	flag.StringVar(&cfg.keyInline, "key", "", "inline API key spec(s), comma-separated name:secret[:rps[:burst]]; merged with -keys")
 	flag.Float64Var(&cfg.anonRPS, "anon-rps", 0, "per-client (per remote IP) rate for requests without an API key; with keys configured, 0 rejects anonymous traffic (401); without keys, 0 disables anonymous limiting")
 	flag.IntVar(&cfg.anonBurst, "anon-burst", 0, "anonymous token-bucket depth (0 derives from -anon-rps)")
 	flag.Int64Var(&cfg.maxInflight, "max-inflight", 0, "shed load (429 + Retry-After) while this many batches are in flight across the worker pools; 0 disables")
+	flag.StringVar(&cfg.trustedProxies, "trusted-proxies", "", "comma-separated CIDRs (or bare IPs) of load balancers whose X-Forwarded-For the anonymous limiter may believe")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "npnserve: ", log.LstdFlags)
@@ -217,7 +246,7 @@ func main() {
 	}
 	// The handler options come after the registry: the load shedder reads
 	// its live worker-pool depth.
-	hopts, err := cfg.handlerOptions(reg)
+	hopts, keyring, err := cfg.handlerOptionsKeyring(reg)
 	if err != nil {
 		logger.Fatal(err)
 	}
@@ -253,6 +282,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if keyring != nil {
+		go watchKeyringReload(ctx, keyring, cfg, logger)
+	}
 
 	if follower != nil {
 		go follower.Run(ctx)
@@ -333,48 +366,108 @@ func (c config) bodyBound() int64 {
 // federation.NewHandlerOpts and replica.NewHandlerOpts, so primary and
 // follower expose the identical metric and admission surface.
 func (c config) handlerOptions(reg *federation.Registry) (federation.HandlerOptions, error) {
+	o, _, err := c.handlerOptionsKeyring(reg)
+	return o, err
+}
+
+// handlerOptionsKeyring is handlerOptions plus the live keyring the
+// guard authenticates against, so main can swap it in place on SIGHUP.
+// The keyring is nil when no keys are configured.
+func (c config) handlerOptionsKeyring(reg *federation.Registry) (federation.HandlerOptions, *auth.Keyring, error) {
 	o := federation.HandlerOptions{MaxBody: c.bodyBound()}
 	if c.metrics {
 		m := obs.NewRegistry()
 		obs.RegisterRuntime(m)
 		o.Metrics = m
-		o.HTTP = obs.NewHTTPMetrics(m, obs.HTTPOptions{SlowRequest: c.slowRequest})
+		httpOpts := obs.HTTPOptions{SlowRequest: c.slowRequest}
+		if c.trace {
+			t := obs.NewTracer(m, obs.TraceOptions{
+				Buffer: c.traceBuffer,
+				Sample: c.traceSample,
+				Slow:   c.slowRequest,
+			})
+			o.Trace = t
+			httpOpts.Tracer = t
+		}
+		o.HTTP = obs.NewHTTPMetrics(m, httpOpts)
 	}
-	guard, err := c.buildGuard(reg, o.Metrics)
+	guard, kr, err := c.buildGuard(reg, o.Metrics)
 	if err != nil {
-		return o, err
+		return o, nil, err
 	}
 	if guard != nil {
 		o.Guard = guard.Wrap
 	}
-	return o, nil
+	return o, kr, nil
+}
+
+// watchKeyringReload swaps the guard's keyring in place on SIGHUP by
+// re-reading the -keys file (and re-parsing -key): key rotation without
+// dropping a connection. A reload that fails to parse keeps the
+// previous keyring serving — a bad edit never locks every caller out.
+func watchKeyringReload(ctx context.Context, kr *auth.Keyring, cfg config, logger *log.Logger) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			if err := reloadKeyring(kr, cfg); err != nil {
+				logger.Printf("keyring reload: %v (previous keyring stays active)", err)
+				continue
+			}
+			logger.Printf("keyring reloaded (%d keys)", kr.Len())
+		}
+	}
+}
+
+// reloadKeyring re-reads the key flags into a fresh keyring and swaps
+// it into kr. An empty result is refused: deleting the key file must
+// not silently turn authentication off.
+func reloadKeyring(kr *auth.Keyring, cfg config) error {
+	next, err := auth.LoadKeyring(cfg.keysFile, cfg.keyInline)
+	if err != nil {
+		return err
+	}
+	if next == nil || next.Len() == 0 {
+		return errors.New("reload produced an empty keyring")
+	}
+	kr.Swap(next)
+	return nil
 }
 
 // buildGuard constructs the admission-control middleware from the
 // hardening flags, or returns nil when none is set — an unguarded server
 // behaves exactly as before.
-func (c config) buildGuard(reg *federation.Registry, m *obs.Registry) (*auth.Guard, error) {
+func (c config) buildGuard(reg *federation.Registry, m *obs.Registry) (*auth.Guard, *auth.Keyring, error) {
 	kr, err := auth.LoadKeyring(c.keysFile, c.keyInline)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if c.anonRPS < 0 {
-		return nil, fmt.Errorf("-anon-rps %v: must be >= 0", c.anonRPS)
+		return nil, nil, fmt.Errorf("-anon-rps %v: must be >= 0", c.anonRPS)
+	}
+	proxies, err := auth.ParseProxyList(c.trustedProxies)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-trusted-proxies: %w", err)
 	}
 	if kr == nil && c.anonRPS == 0 && c.maxInflight <= 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	opts := auth.Options{
-		Keys:      kr,
-		AnonRPS:   c.anonRPS,
-		AnonBurst: c.anonBurst,
-		Metrics:   m,
+		Keys:           kr,
+		AnonRPS:        c.anonRPS,
+		AnonBurst:      c.anonBurst,
+		Metrics:        m,
+		TrustedProxies: proxies,
 	}
 	if c.maxInflight > 0 {
 		limit := c.maxInflight
 		opts.Pressure = func() (int64, int64) { return reg.InflightBatches(), limit }
 	}
-	return auth.NewGuard(opts), nil
+	return auth.NewGuard(opts), kr, nil
 }
 
 // pprofMux mounts the net/http/pprof handlers on a private mux — the

@@ -1,9 +1,11 @@
 package auth
 
 import (
+	"fmt"
 	"math"
 	"net"
 	"net/http"
+	"net/netip"
 	"strconv"
 	"strings"
 	"time"
@@ -39,9 +41,17 @@ type Options struct {
 	MaxClients int
 
 	// Exempt lists route patterns that bypass every check. Nil means
-	// DefaultExempt (/healthz and /metrics); an explicitly empty slice
-	// exempts nothing.
+	// DefaultExempt (/healthz, /metrics and the trace debug endpoints);
+	// an explicitly empty slice exempts nothing.
 	Exempt []string
+
+	// TrustedProxies lists CIDRs of load balancers whose X-Forwarded-For
+	// the guard believes. Only when the TCP peer is inside one of these
+	// prefixes does the anonymous tier bucket by the rightmost
+	// non-trusted forwarded hop instead of the peer address; an untrusted
+	// peer's forwarded headers are ignored entirely. Empty (the default)
+	// trusts nothing. Parse operator input with ParseProxyList.
+	TrustedProxies []netip.Prefix
 
 	// Metrics, when set, registers the guard's counter families
 	// (npn_http_unauthorized_total, npn_http_rate_limited_total,
@@ -50,9 +60,11 @@ type Options struct {
 }
 
 // DefaultExempt are the routes a zero-valued Options.Exempt bypasses:
-// liveness probes and metric scrapes must keep answering through exactly
-// the overload the guard manages.
-var DefaultExempt = []string{"/healthz", "/metrics"}
+// liveness probes, metric scrapes and flight-recorder reads must keep
+// answering through exactly the overload the guard manages — a trace of
+// the slow request is worth nothing if the guard 429s the scrape of it.
+var DefaultExempt = []string{"/healthz", "/metrics",
+	"/v2/debug/traces", "/v2/debug/traces/{id}"}
 
 // Guard is the admission-control middleware: authentication, per-client
 // rate limiting and load shedding in the api.Middleware shape. Wrap is
@@ -64,6 +76,7 @@ type Guard struct {
 	pressure  func() (int64, int64)
 	limiter   Limiter
 	exempt    map[string]bool
+	trusted   []netip.Prefix
 
 	// Counters may be nil (no metrics registry mounted).
 	unauthorized *obs.CounterVec
@@ -80,6 +93,7 @@ func NewGuard(o Options) *Guard {
 		pressure:  o.Pressure,
 		limiter:   Limiter{MaxClients: o.MaxClients},
 		exempt:    make(map[string]bool),
+		trusted:   o.TrustedProxies,
 	}
 	if g.anonBurst <= 0 {
 		if b := int(math.Ceil(g.anonRPS)); b > 1 {
@@ -116,9 +130,15 @@ func (g *Guard) Wrap(route string, next http.HandlerFunc) http.HandlerFunc {
 		return next
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
+		// The guard span ends before the handler runs: it times the
+		// admission decision, not the request. Child spans of the work
+		// itself stay siblings under the root, not under the guard.
+		_, sp := obs.StartSpan(r.Context(), "auth.guard")
 		if g.pressure != nil {
 			if depth, limit := g.pressure(); limit > 0 && depth >= limit {
 				inc(g.shed, route)
+				sp.SetAttr("outcome", "shed")
+				sp.End()
 				writeRateLimited(w, r, time.Second,
 					"server overloaded: %d batches in flight (limit %d)", depth, limit)
 				return
@@ -127,15 +147,23 @@ func (g *Guard) Wrap(route string, next http.HandlerFunc) http.HandlerFunc {
 		id, rps, burst, err := g.identify(r)
 		if err != nil {
 			inc(g.unauthorized, route)
+			sp.SetAttr("outcome", "unauthorized")
+			sp.End()
 			api.WriteError(w, err.WithRequestID(obs.RequestIDFromContext(r.Context())))
 			return
 		}
 		if ok, retryAfter := g.limiter.Allow(id, rps, burst); !ok {
 			inc(g.rateLimited, route)
+			sp.SetAttr("outcome", "rate_limited")
+			sp.SetAttr("client", id)
+			sp.End()
 			writeRateLimited(w, r, retryAfter,
 				"rate limit exceeded for %s", id)
 			return
 		}
+		sp.SetAttr("outcome", "ok")
+		sp.SetAttr("client", id)
+		sp.End()
 		next(w, r)
 	}
 }
@@ -160,9 +188,90 @@ func (g *Guard) identify(r *http.Request) (id string, rps float64, burst int, er
 		return "", 0, 0, api.Errf(api.CodeUnauthorized,
 			"missing API key").
 			WithDetail("send Authorization: Bearer <key>")
-	default: // anonymous tier, bucketed per remote IP
-		return "ip:" + remoteIP(r), g.anonRPS, g.anonBurst, nil
+	default: // anonymous tier, bucketed per client IP
+		return "ip:" + g.clientIP(r), g.anonRPS, g.anonBurst, nil
 	}
+}
+
+// clientIP resolves the address the anonymous tier buckets by. Without
+// trusted proxies (the default) it is the TCP peer, full stop. With
+// them, and only when the peer itself is inside a trusted prefix, the
+// X-Forwarded-For chain is walked right to left — the rightmost hop is
+// what the nearest proxy observed — and the first non-trusted address
+// wins; hops further left are client-controlled noise. A chain that is
+// all trusted (or unparseable) falls back to the peer.
+func (g *Guard) clientIP(r *http.Request) string {
+	peer := remoteIP(r)
+	if len(g.trusted) == 0 || !g.isTrusted(peer) {
+		return peer
+	}
+	var hops []string
+	for _, h := range r.Header.Values("X-Forwarded-For") {
+		hops = append(hops, strings.Split(h, ",")...)
+	}
+	for i := len(hops) - 1; i >= 0; i-- {
+		hop := strings.TrimSpace(hops[i])
+		if hop == "" {
+			continue
+		}
+		a, err := netip.ParseAddr(hop)
+		if err != nil {
+			return peer // a garbage hop means the chain is untrustworthy
+		}
+		if !g.prefixContains(a) {
+			return a.Unmap().String()
+		}
+	}
+	return peer
+}
+
+// isTrusted reports whether a textual address is inside a trusted
+// proxy prefix.
+func (g *Guard) isTrusted(ip string) bool {
+	a, err := netip.ParseAddr(ip)
+	if err != nil {
+		return false
+	}
+	return g.prefixContains(a)
+}
+
+func (g *Guard) prefixContains(a netip.Addr) bool {
+	a = a.Unmap()
+	for _, p := range g.trusted {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseProxyList parses a comma-separated list of proxy CIDRs (bare
+// addresses are accepted as single-host prefixes) — the -trusted-proxies
+// flag format. An empty string yields nil.
+func ParseProxyList(s string) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "/") {
+			a, err := netip.ParseAddr(part)
+			if err != nil {
+				return nil, fmt.Errorf("auth: bad proxy address %q: %w", part, err)
+			}
+			a = a.Unmap()
+			out = append(out, netip.PrefixFrom(a, a.BitLen()))
+			continue
+		}
+		p, err := netip.ParsePrefix(part)
+		if err != nil {
+			return nil, fmt.Errorf("auth: bad proxy CIDR %q: %w", part, err)
+		}
+		out = append(out, p.Masked())
+		continue
+	}
+	return out, nil
 }
 
 // inc bumps a counter that may be nil (metrics disabled).

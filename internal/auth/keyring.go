@@ -23,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Key is one API identity: a display name (never secret), the bearer
@@ -62,16 +63,26 @@ type entry struct {
 
 // Keyring holds the server's API keys. Lookups compare SHA-256 digests
 // with crypto/subtle over every entry, so the comparison cost does not
-// depend on which (or whether a) key matched. A Keyring is immutable
-// after construction and safe for concurrent use.
+// depend on which (or whether a) key matched. The entry set itself is
+// held behind an atomic pointer: readers see a consistent immutable
+// snapshot, and Swap replaces the whole set at once (the SIGHUP hot
+// reload in cmd/npnserve), so a Keyring is safe for concurrent use.
 type Keyring struct {
-	entries []entry
+	entries atomic.Pointer[[]entry]
+}
+
+// load returns the current immutable entry snapshot.
+func (kr *Keyring) load() []entry {
+	if p := kr.entries.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // NewKeyring builds a keyring from parsed keys, rejecting empty secrets
 // and duplicate names or secrets (one secret must map to one quota).
 func NewKeyring(keys []Key) (*Keyring, error) {
-	kr := &Keyring{}
+	var entries []entry
 	names := make(map[string]bool, len(keys))
 	digests := make(map[[sha256.Size]byte]bool, len(keys))
 	for _, k := range keys {
@@ -92,13 +103,26 @@ func NewKeyring(keys []Key) (*Keyring, error) {
 			return nil, fmt.Errorf("auth: key %q duplicates another key's secret", k.Name)
 		}
 		names[k.Name], digests[d] = true, true
-		kr.entries = append(kr.entries, entry{Key: k, digest: d})
+		entries = append(entries, entry{Key: k, digest: d})
 	}
+	kr := &Keyring{}
+	kr.entries.Store(&entries)
 	return kr, nil
 }
 
 // Len returns the number of keys on the ring.
-func (kr *Keyring) Len() int { return len(kr.entries) }
+func (kr *Keyring) Len() int { return len(kr.load()) }
+
+// Swap atomically replaces this ring's key set with next's. Holders of
+// the Keyring pointer (the Guard) start resolving against the new set on
+// their next Lookup; in-flight Lookups finish against whichever snapshot
+// they started with. The quota stamped on each identity is re-read from
+// the ring per request by the limiter, so rate changes apply immediately
+// too.
+func (kr *Keyring) Swap(next *Keyring) {
+	entries := next.load()
+	kr.entries.Store(&entries)
+}
 
 // Lookup resolves a presented secret to its key. Every entry is compared
 // in constant time regardless of earlier matches, so response timing
@@ -107,7 +131,7 @@ func (kr *Keyring) Lookup(secret string) (Key, bool) {
 	d := sha256.Sum256([]byte(secret))
 	var found Key
 	matched := 0
-	for _, e := range kr.entries {
+	for _, e := range kr.load() {
 		if subtle.ConstantTimeCompare(e.digest[:], d[:]) == 1 {
 			found = e.Key
 			matched = 1

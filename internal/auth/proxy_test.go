@@ -1,0 +1,136 @@
+package auth
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// xffCall issues a request from remoteAddr carrying an X-Forwarded-For
+// chain, returning the recorder.
+func xffCall(h http.HandlerFunc, remoteAddr, xff string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v2/classify", nil)
+	req.RemoteAddr = remoteAddr
+	if xff != "" {
+		req.Header.Set("X-Forwarded-For", xff)
+	}
+	h(rec, req)
+	return rec
+}
+
+func TestParseProxyList(t *testing.T) {
+	ps, err := ParseProxyList(" 10.0.0.0/8 , 192.168.1.7, 2001:db8::/32 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 {
+		t.Fatalf("got %d prefixes, want 3", len(ps))
+	}
+	if got := ps[1].Bits(); got != 32 {
+		t.Fatalf("bare IPv4 parsed as /%d, want single-host /32", got)
+	}
+	if ps, err := ParseProxyList(""); err != nil || ps != nil {
+		t.Fatalf("empty list: %v, %v — want nil, nil", ps, err)
+	}
+	if _, err := ParseProxyList("not-an-ip"); err == nil {
+		t.Fatal("garbage address accepted")
+	}
+	if _, err := ParseProxyList("10.0.0.0/33"); err == nil {
+		t.Fatal("garbage CIDR accepted")
+	}
+}
+
+func TestGuardTrustedProxyForwardedFor(t *testing.T) {
+	trusted, err := ParseProxyList("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuard(Options{AnonRPS: 1, AnonBurst: 1, TrustedProxies: trusted})
+	h := g.Wrap("/v2/classify", okHandler)
+
+	// Through a trusted proxy the forwarded client is the bucket: the
+	// same forwarded address throttles even when the proxy's ephemeral
+	// port differs, and a different forwarded client gets its own bucket.
+	if rec := xffCall(h, "10.0.0.1:1111", "1.2.3.4"); rec.Code != http.StatusOK {
+		t.Fatalf("first via proxy: status %d", rec.Code)
+	}
+	if rec := xffCall(h, "10.0.0.1:2222", "1.2.3.4"); rec.Code != http.StatusTooManyRequests {
+		t.Fatal("same forwarded client not throttled across proxy connections")
+	}
+	if rec := xffCall(h, "10.0.0.1:3333", "5.6.7.8"); rec.Code != http.StatusOK {
+		t.Fatalf("different forwarded client shares a bucket: status %d", rec.Code)
+	}
+}
+
+func TestGuardUntrustedPeerIgnoresForwardedFor(t *testing.T) {
+	trusted, _ := ParseProxyList("10.0.0.0/8")
+	g := NewGuard(Options{AnonRPS: 1, AnonBurst: 1, TrustedProxies: trusted})
+	h := g.Wrap("/v2/classify", okHandler)
+
+	// A peer outside the trusted list cannot mint fresh buckets by
+	// rotating X-Forwarded-For: both requests bucket as the peer itself.
+	if rec := xffCall(h, "203.0.113.9:1111", "1.1.1.1"); rec.Code != http.StatusOK {
+		t.Fatalf("first from untrusted peer: status %d", rec.Code)
+	}
+	if rec := xffCall(h, "203.0.113.9:2222", "2.2.2.2"); rec.Code != http.StatusTooManyRequests {
+		t.Fatal("untrusted peer escaped its bucket by spoofing X-Forwarded-For")
+	}
+}
+
+func TestGuardTrustedProxyRightmostNonTrustedHop(t *testing.T) {
+	trusted, _ := ParseProxyList("10.0.0.0/8")
+	g := NewGuard(Options{AnonRPS: 1, AnonBurst: 1, TrustedProxies: trusted})
+	h := g.Wrap("/v2/classify", okHandler)
+
+	// Two proxy tiers: the rightmost hop is the inner (trusted) proxy, so
+	// the hop left of it is the client — hops further left are noise the
+	// client controls.
+	if rec := xffCall(h, "10.0.0.1:1111", "9.9.9.9, 1.2.3.4, 10.0.0.2"); rec.Code != http.StatusOK {
+		t.Fatalf("chained proxies: status %d", rec.Code)
+	}
+	if rec := xffCall(h, "10.0.0.1:2222", "8.8.8.8, 1.2.3.4, 10.0.0.2"); rec.Code != http.StatusTooManyRequests {
+		t.Fatal("rightmost non-trusted hop not the bucket: leftmost noise minted a fresh bucket")
+	}
+
+	// A garbage hop poisons the chain: fall back to the peer.
+	if rec := xffCall(h, "10.0.0.3:1111", "not-an-ip"); rec.Code != http.StatusOK {
+		t.Fatalf("garbage chain first: status %d", rec.Code)
+	}
+	if rec := xffCall(h, "10.0.0.3:2222", "also-garbage"); rec.Code != http.StatusTooManyRequests {
+		t.Fatal("garbage chains did not fall back to one peer bucket")
+	}
+
+	// An all-trusted chain (the proxy talking for itself) is the peer too.
+	if rec := xffCall(h, "10.0.0.4:1111", "10.0.0.9"); rec.Code != http.StatusOK {
+		t.Fatalf("all-trusted chain: status %d", rec.Code)
+	}
+	if rec := xffCall(h, "10.0.0.4:2222", "10.0.0.8"); rec.Code != http.StatusTooManyRequests {
+		t.Fatal("all-trusted chains did not fall back to one peer bucket")
+	}
+}
+
+func TestKeyringSwapHotReload(t *testing.T) {
+	kr := mustKeyring(t, Key{Name: "old", Secret: "old-secret"})
+	g := NewGuard(Options{Keys: kr})
+	h := g.Wrap("/v2/classify", okHandler)
+
+	if rec := call(h, "old-secret", ""); rec.Code != http.StatusOK {
+		t.Fatalf("pre-swap old key: status %d", rec.Code)
+	}
+
+	// Swap replaces the keyring contents in place: the guard holds the
+	// same *Keyring, so rotation needs no guard rebuild.
+	kr.Swap(mustKeyring(t, Key{Name: "new", Secret: "new-secret"},
+		Key{Name: "extra", Secret: "extra-secret"}))
+
+	if rec := call(h, "old-secret", ""); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("post-swap old key: status %d, want 401", rec.Code)
+	}
+	if rec := call(h, "new-secret", ""); rec.Code != http.StatusOK {
+		t.Fatalf("post-swap new key: status %d", rec.Code)
+	}
+	if got := kr.Len(); got != 2 {
+		t.Fatalf("post-swap Len = %d, want 2", got)
+	}
+}

@@ -23,6 +23,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -30,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 	"repro/internal/tt"
@@ -318,9 +320,17 @@ func (r *Registry) route(fs []*tt.TT) ([]group, error) {
 // batch may mix arities freely; results keep input order. It fails as a
 // whole if any function's arity is outside the federated range.
 func (r *Registry) Classify(fs []*tt.TT) ([]service.Result, error) {
+	return r.ClassifyCtx(context.Background(), fs)
+}
+
+// ClassifyCtx is Classify with the request context threaded through for
+// tracing: the arity partition and group fan-out run under a
+// federation.route span, and each arity group's pipeline spans nest
+// beneath it.
+func (r *Registry) ClassifyCtx(ctx context.Context, fs []*tt.TT) ([]service.Result, error) {
 	out := make([]service.Result, len(fs))
-	err := r.fanOut(fs, func(g group) {
-		for j, res := range g.svc.Classify(g.fs) {
+	err := r.fanOut(ctx, fs, func(ctx context.Context, g group) {
+		for j, res := range g.svc.ClassifyCtx(ctx, g.fs) {
 			out[g.idx[j]] = res
 		}
 	})
@@ -333,9 +343,15 @@ func (r *Registry) Classify(fs []*tt.TT) ([]service.Result, error) {
 // Insert adds every function's class if absent, routed by arity. Results
 // keep input order.
 func (r *Registry) Insert(fs []*tt.TT) ([]service.InsertResult, error) {
+	return r.InsertCtx(context.Background(), fs)
+}
+
+// InsertCtx is Insert with the request context threaded through for
+// tracing; see ClassifyCtx.
+func (r *Registry) InsertCtx(ctx context.Context, fs []*tt.TT) ([]service.InsertResult, error) {
 	out := make([]service.InsertResult, len(fs))
-	err := r.fanOut(fs, func(g group) {
-		for j, res := range g.svc.Insert(g.fs) {
+	err := r.fanOut(ctx, fs, func(ctx context.Context, g group) {
+		for j, res := range g.svc.InsertCtx(ctx, g.fs) {
 			out[g.idx[j]] = res
 		}
 	})
@@ -347,14 +363,17 @@ func (r *Registry) Insert(fs []*tt.TT) ([]service.InsertResult, error) {
 
 // fanOut routes the batch and runs fn once per arity group, groups in
 // parallel (each group's service fans its sub-batch across its own worker
-// pool).
-func (r *Registry) fanOut(fs []*tt.TT, fn func(group)) error {
+// pool), all under one federation.route span.
+func (r *Registry) fanOut(ctx context.Context, fs []*tt.TT, fn func(context.Context, group)) error {
+	ctx, sp := obs.StartSpan(ctx, "federation.route")
+	defer sp.End()
 	groups, err := r.route(fs)
 	if err != nil {
 		return err
 	}
+	sp.SetInt("groups", int64(len(groups)))
 	if len(groups) == 1 {
-		fn(groups[0])
+		fn(ctx, groups[0])
 		return nil
 	}
 	var wg sync.WaitGroup
@@ -362,7 +381,7 @@ func (r *Registry) fanOut(fs []*tt.TT, fn func(group)) error {
 		wg.Add(1)
 		go func(g group) {
 			defer wg.Done()
-			fn(g)
+			fn(ctx, g)
 		}(g)
 	}
 	wg.Wait()

@@ -36,6 +36,11 @@ type HandlerOptions struct {
 	// requests are still traced and counted (as 4xx), and exempt routes
 	// (/healthz, /metrics) keep answering through overload.
 	Guard api.Middleware
+	// Trace, when non-nil, is the flight recorder behind the HTTP
+	// middleware's per-request traces (it must also be HTTP's
+	// HTTPOptions.Tracer); mounting it adds GET /v2/debug/traces and
+	// GET /v2/debug/traces/{id}, both guard-exempt by default.
+	Trace *obs.Tracer
 }
 
 func (o HandlerOptions) maxBody() int64 {
@@ -59,6 +64,14 @@ func (o HandlerOptions) mount(rt *api.Router, reg *Registry) {
 	if o.Metrics != nil {
 		reg.RegisterMetrics(o.Metrics)
 		rt.Handle("GET", "/metrics", "Prometheus metrics exposition", obs.Handler(o.Metrics))
+	}
+	if o.Trace != nil {
+		rt.Handle("GET", "/v2/debug/traces",
+			"flight recorder: retained request traces, newest first (?min_ms=&route=)",
+			api.HandleTraces(o.Trace))
+		rt.Handle("GET", "/v2/debug/traces/{id}",
+			"flight recorder: one trace's span tree, by request ID",
+			api.HandleTrace(o.Trace))
 	}
 }
 
@@ -120,7 +133,7 @@ func NewHandlerOpts(reg *Registry, o HandlerOptions) http.Handler {
 			if !ok {
 				return
 			}
-			results, err := reg.Classify(fs)
+			results, err := reg.ClassifyCtx(r.Context(), fs)
 			if err != nil {
 				service.WriteError(w, http.StatusBadRequest, "%v", err)
 				return
@@ -136,7 +149,7 @@ func NewHandlerOpts(reg *Registry, o HandlerOptions) http.Handler {
 			if !ok {
 				return
 			}
-			results, err := reg.Insert(fs)
+			results, err := reg.InsertCtx(r.Context(), fs)
 			if err != nil {
 				service.WriteError(w, http.StatusBadRequest, "%v", err)
 				return
@@ -228,16 +241,16 @@ func (b fedBackend) Resolve(s string) (*tt.TT, *api.Error) {
 	return f, nil
 }
 
-func (b fedBackend) Classify(_ context.Context, fs []*tt.TT) ([]api.Result, *api.Error) {
-	results, err := b.reg.Classify(fs)
+func (b fedBackend) Classify(ctx context.Context, fs []*tt.TT) ([]api.Result, *api.Error) {
+	results, err := b.reg.ClassifyCtx(ctx, fs)
 	if err != nil {
 		return nil, api.Errf(api.CodeInternal, "%v", err)
 	}
 	return service.ToAPIResults(results), nil
 }
 
-func (b fedBackend) Insert(_ context.Context, fs []*tt.TT) ([]api.InsertOutcome, *api.Error) {
-	results, err := b.reg.Insert(fs)
+func (b fedBackend) Insert(ctx context.Context, fs []*tt.TT) ([]api.InsertOutcome, *api.Error) {
+	results, err := b.reg.InsertCtx(ctx, fs)
 	if err != nil {
 		return nil, api.Errf(api.CodeInternal, "%v", err)
 	}

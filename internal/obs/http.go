@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -88,6 +89,12 @@ type HTTPOptions struct {
 	SlowRequest time.Duration
 	// Logger receives slow-request lines; nil means slog.Default.
 	Logger *slog.Logger
+	// Tracer, when non-nil, roots a span timeline per request under the
+	// request ID (honoring an X-Trace-Parent from an upstream hop) and
+	// hands finished traces to its flight recorder. Nil keeps tracing
+	// entirely off: StartSpan below the handler sees no active span and
+	// returns nil spans.
+	Tracer *Tracer
 }
 
 // HTTPMetrics is the per-request instrumentation middleware: it stamps
@@ -137,6 +144,14 @@ func (m *HTTPMetrics) Wrap(route string, next http.HandlerFunc) http.HandlerFunc
 		w.Header().Set(RequestIDHeader, id)
 		r = r.WithContext(ContextWithRequestID(r.Context(), id))
 
+		var tr *Trace
+		if m.opts.Tracer != nil {
+			tctx, t := m.opts.Tracer.StartTrace(r.Context(), route, r.Method, id,
+				r.Header.Get(TraceParentHeader))
+			tr = t
+			r = r.WithContext(tctx)
+		}
+
 		sr := &statusRecorder{ResponseWriter: w}
 		m.inflight.Add(1)
 		start := time.Now()
@@ -155,16 +170,22 @@ func (m *HTTPMetrics) Wrap(route string, next http.HandlerFunc) http.HandlerFunc
 			code := statusClass(status)
 			m.requests.With(route, r.Method, code).Inc()
 			m.latency.With(route, r.Method, code).ObserveDuration(d)
+			m.opts.Tracer.Finish(tr, status, d)
 			if m.opts.SlowRequest > 0 && d >= m.opts.SlowRequest {
 				m.slow.With(route).Inc()
-				m.opts.Logger.Warn("slow request",
+				args := []any{
 					"request_id", id,
 					"route", route,
 					"method", r.Method,
 					"status", status,
-					"duration_ms", float64(d.Nanoseconds())/1e6,
-					"threshold_ms", float64(m.opts.SlowRequest.Nanoseconds())/1e6,
-				)
+					"duration_ms", float64(d.Nanoseconds()) / 1e6,
+					"threshold_ms", float64(m.opts.SlowRequest.Nanoseconds()) / 1e6,
+				}
+				// With tracing on, name the stages the time actually went to.
+				if top := tr.TopSelf(3); len(top) > 0 {
+					args = append(args, "top_spans", strings.Join(top, ","))
+				}
+				m.opts.Logger.Warn("slow request", args...)
 			}
 		}()
 		next(sr, r)

@@ -276,7 +276,7 @@ func (r *Registry) RegisterFunc(fams []FuncFamily, collect func(emit func(fam in
 // atomicFloat is a float64 updated with CAS on its bit pattern.
 type atomicFloat struct{ bits atomic.Uint64 }
 
-func (a *atomicFloat) load() float64  { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
 func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
 func (a *atomicFloat) add(v float64) {
 	for {
@@ -292,7 +292,7 @@ func (a *atomicFloat) add(v float64) {
 // bucket the rank falls into. Observe is a bucket search plus three
 // atomic adds — cheap enough for per-request paths.
 type Histogram struct {
-	buckets []float64      // upper bounds, increasing; +Inf implicit
+	buckets []float64       // upper bounds, increasing; +Inf implicit
 	counts  []atomic.Uint64 // len(buckets)+1, last is +Inf
 	count   atomic.Uint64
 	sum     atomicFloat
@@ -317,8 +317,15 @@ func checkBuckets(buckets []float64) []float64 {
 	return append([]float64(nil), buckets...)
 }
 
-// Observe records one value.
+// Observe records one value. NaN and negative inputs are clamped to
+// zero — they land in the first bucket and contribute nothing to the
+// sum — so a bad caller cannot poison the +Inf bucket or the quantile
+// estimates (NaN would otherwise sort past every bound and corrupt the
+// running sum permanently).
 func (h *Histogram) Observe(v float64) {
+	if v != v || v < 0 {
+		v = 0
+	}
 	i := sort.SearchFloat64s(h.buckets, v) // first bucket with bound >= v
 	h.counts[i].Add(1)
 	h.count.Add(1)

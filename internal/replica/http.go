@@ -75,6 +75,12 @@ func NewHandlerOpts(f *Follower, o federation.HandlerOptions) http.Handler {
 		f.RegisterMetrics(o.Metrics)
 		rt.Handle("GET", "/metrics", "Prometheus metrics exposition", obs.Handler(o.Metrics))
 	}
+	if o.Trace != nil {
+		rt.Handle("GET", "/v2/debug/traces", "flight recorder: retained request traces, newest first (?min_ms=&route=)",
+			api.HandleTraces(o.Trace))
+		rt.Handle("GET", "/v2/debug/traces/{id}", "flight recorder: one trace's span tree, by request ID",
+			api.HandleTrace(o.Trace))
+	}
 	b := replicaBackend{f}
 	jsonBody := service.MaxBodyBytes(reg.MaxVars())
 
@@ -87,7 +93,7 @@ func NewHandlerOpts(f *Follower, o federation.HandlerOptions) http.Handler {
 			if !ok {
 				return
 			}
-			results, err := reg.Classify(fs)
+			results, err := reg.ClassifyCtx(r.Context(), fs)
 			if err != nil {
 				service.WriteError(w, http.StatusBadRequest, "%v", err)
 				return
@@ -206,7 +212,7 @@ func (b replicaBackend) Resolve(s string) (*tt.TT, *api.Error) {
 // local misses standing — the graceful degradation that keeps a follower
 // serving when its primary is gone.
 func (b replicaBackend) Classify(ctx context.Context, fs []*tt.TT) ([]api.Result, *api.Error) {
-	results, err := b.f.Registry().Classify(fs)
+	results, err := b.f.Registry().ClassifyCtx(ctx, fs)
 	if err != nil {
 		return nil, api.Errf(api.CodeInternal, "%v", err)
 	}
@@ -229,7 +235,12 @@ func (b replicaBackend) Insert(ctx context.Context, fs []*tt.TT) ([]api.InsertOu
 		hexes[i] = fn.Hex()
 	}
 	b.f.proxiedInserts.Add(1)
-	resp, err := b.f.api.Insert(ctx, hexes)
+	hctx, sp := obs.StartSpan(ctx, "replica.primary_hop")
+	sp.SetAttr("op", "insert")
+	sp.SetInt("items", int64(len(hexes)))
+	resp, err := b.f.api.Insert(hctx, hexes)
+	sp.SetBool("ok", err == nil)
+	sp.End()
 	if err != nil {
 		b.f.proxyErrors.Add(1)
 		if e, ok := err.(*api.Error); ok {
@@ -270,7 +281,12 @@ func (f *Follower) askPrimary(ctx context.Context, missFns []string) []api.Class
 		return nil
 	}
 	f.proxiedClassifies.Add(int64(len(missFns)))
-	resp, err := f.api.Classify(ctx, missFns)
+	hctx, sp := obs.StartSpan(ctx, "replica.primary_hop")
+	sp.SetAttr("op", "classify")
+	sp.SetInt("items", int64(len(missFns)))
+	resp, err := f.api.Classify(hctx, missFns)
+	sp.SetBool("ok", err == nil)
+	sp.End()
 	if err != nil {
 		f.proxyErrors.Add(1)
 		f.logf("replica: proxy classify: %v", err)
@@ -361,7 +377,11 @@ func (f *Follower) relayInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	f.proxiedInserts.Add(1)
-	status, respBody, err := f.api.Post(r.Context(), "/v1/insert", "application/json", body)
+	hctx, sp := obs.StartSpan(r.Context(), "replica.primary_hop")
+	sp.SetAttr("op", "insert")
+	status, respBody, err := f.api.Post(hctx, "/v1/insert", "application/json", body)
+	sp.SetBool("ok", err == nil)
+	sp.End()
 	if err != nil {
 		f.proxyErrors.Add(1)
 		service.WriteError(w, http.StatusBadGateway, "primary unreachable: %v", err)

@@ -19,12 +19,14 @@
 package service
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/npn"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/tt"
 )
@@ -131,15 +133,40 @@ type InsertResult struct {
 // worker pool. Results keep input order. Misses are reported per function
 // (Hit=false); they do not modify the store.
 func (s *Service) Classify(fs []*tt.TT) []Result {
+	return s.ClassifyCtx(context.Background(), fs)
+}
+
+// ClassifyCtx is Classify with the request context threaded through for
+// tracing: the batch runs under a service.batch span, the wait between
+// batch admission and the first worker touching work is a service.queue
+// span, and every unique function gets a service.certify span recording
+// its LRU outcome. With tracing off every span is nil and the cost is a
+// context lookup.
+func (s *Service) ClassifyCtx(ctx context.Context, fs []*tt.TT) []Result {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	start := time.Now()
+	ctx, batch := obs.StartSpan(ctx, "service.batch")
+	batch.SetAttr("op", "classify")
+	batch.SetInt("size", int64(len(fs)))
 	out := make([]Result, len(fs))
 	uniq, firstOf := dedupBatch(fs)
+	batch.SetInt("unique", int64(len(uniq)))
+	// The queue span opens before the fan-out and is closed by whichever
+	// worker goroutine runs first: its duration is the time the batch
+	// spent waiting for pool capacity rather than doing work.
+	_, queue := obs.StartSpan(ctx, "service.queue")
+	var queueOnce sync.Once
 	s.fanOut(len(uniq), func(i int) {
+		if queue != nil {
+			queueOnce.Do(queue.End)
+		}
 		j := uniq[i]
-		out[j] = s.classifyOne(fs[j])
+		out[j] = s.classifyOne(ctx, fs[j])
 	})
+	if queue != nil {
+		queueOnce.Do(queue.End) // empty batch: nothing ever ran
+	}
 	if firstOf != nil {
 		for i, j := range firstOf {
 			if j == i {
@@ -161,20 +188,39 @@ func (s *Service) Classify(fs []*tt.TT) []Result {
 	if s.observeBatch != nil {
 		s.observeBatch("classify", len(fs), d)
 	}
+	batch.End()
 	return out
 }
 
 // Insert adds every function's class if absent, fanning the batch across
 // the worker pool. Results keep input order.
 func (s *Service) Insert(fs []*tt.TT) []InsertResult {
+	return s.InsertCtx(context.Background(), fs)
+}
+
+// InsertCtx is Insert with the request context threaded through for
+// tracing; see ClassifyCtx for the span layout.
+func (s *Service) InsertCtx(ctx context.Context, fs []*tt.TT) []InsertResult {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	start := time.Now()
+	ctx, batch := obs.StartSpan(ctx, "service.batch")
+	batch.SetAttr("op", "insert")
+	batch.SetInt("size", int64(len(fs)))
 	out := make([]InsertResult, len(fs))
 	uniq, firstOf := dedupBatch(fs)
+	batch.SetInt("unique", int64(len(uniq)))
+	_, queue := obs.StartSpan(ctx, "service.queue")
+	var queueOnce sync.Once
 	s.fanOut(len(uniq), func(i int) {
+		if queue != nil {
+			queueOnce.Do(queue.End)
+		}
 		j := uniq[i]
-		key, index, isNew := s.st.Add(fs[j])
+		ictx, sp := obs.StartSpan(ctx, "service.certify")
+		key, index, isNew := s.st.AddCtx(ictx, fs[j])
+		sp.SetBool("new", isNew)
+		sp.End()
 		out[j] = InsertResult{Key: key, Index: index, New: isNew}
 		if isNew {
 			s.created.Add(1)
@@ -183,6 +229,9 @@ func (s *Service) Insert(fs []*tt.TT) []InsertResult {
 			}
 		}
 	})
+	if queue != nil {
+		queueOnce.Do(queue.End)
+	}
 	if firstOf != nil {
 		for i, j := range firstOf {
 			if j == i {
@@ -203,6 +252,7 @@ func (s *Service) Insert(fs []*tt.TT) []InsertResult {
 	if s.observeBatch != nil {
 		s.observeBatch("insert", len(fs), d)
 	}
+	batch.End()
 	return out
 }
 
@@ -237,18 +287,25 @@ func dedupBatch(fs []*tt.TT) (uniq []int, firstOf []int) {
 	return uniq, firstOf
 }
 
-// classifyOne serves one lookup through the cache.
-func (s *Service) classifyOne(f *tt.TT) Result {
+// classifyOne serves one lookup through the cache, under a
+// service.certify span recording whether the LRU answered.
+func (s *Service) classifyOne(ctx context.Context, f *tt.TT) Result {
+	ctx, sp := obs.StartSpan(ctx, "service.certify")
 	var ck string
 	if s.cache != nil {
 		ck = cacheKey(f)
 		if r, ok := s.cache.get(ck); ok {
 			s.cacheHits.Add(1)
 			s.hits.Add(1)
+			sp.SetAttr("cache", "hit")
+			sp.End()
 			return r
 		}
 	}
-	rep, key, index, w, ok := s.st.Lookup(f)
+	sp.SetAttr("cache", "miss")
+	rep, key, index, w, ok := s.st.LookupCtx(ctx, f)
+	sp.SetBool("hit", ok)
+	sp.End()
 	r := Result{Key: key, Index: index, Hit: ok, Rep: rep, Witness: w}
 	if ok {
 		s.hits.Add(1)

@@ -46,6 +46,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -55,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/match"
 	"repro/internal/npn"
+	"repro/internal/obs"
 	"repro/internal/tt"
 	"repro/internal/ttio"
 )
@@ -105,6 +107,34 @@ type Options struct {
 type Journal interface {
 	LogInsert(key uint64, f *tt.TT) error
 	Commit() error
+}
+
+// CtxJournal is an optional Journal extension: a journal implementing it
+// receives the request context on both phases so it can attach tracing
+// spans to the append and the fsync wait. internal/wal's Writer
+// implements it; plain Journals keep working unchanged.
+type CtxJournal interface {
+	Journal
+	LogInsertCtx(ctx context.Context, key uint64, f *tt.TT) error
+	CommitCtx(ctx context.Context) error
+}
+
+// logInsertCtx routes a journal append through the context-aware variant
+// when the journal offers one.
+func logInsertCtx(ctx context.Context, j Journal, key uint64, f *tt.TT) error {
+	if cj, ok := j.(CtxJournal); ok {
+		return cj.LogInsertCtx(ctx, key, f)
+	}
+	return j.LogInsert(key, f)
+}
+
+// commitCtx routes a journal commit through the context-aware variant
+// when the journal offers one.
+func commitCtx(ctx context.Context, j Journal) error {
+	if cj, ok := j.(CtxJournal); ok {
+		return cj.CommitCtx(ctx)
+	}
+	return j.Commit()
 }
 
 // engines is one borrowed pair of stateful signature engines.
@@ -266,7 +296,18 @@ func (s *Store) publishProfile(sh *shard, key uint64, i int, rp *match.RepProfil
 // enabled it builds f's query profile once and matches it against each
 // member's memoized profile (building and publishing missing ones);
 // disabled, it falls back to the rebuild-per-query Equivalent path.
-func (s *Store) certifyChain(sh *shard, key uint64, reps []*tt.TT, profs []*match.RepProfile, f *tt.TT, e *engines) (int, npn.Transform, bool) {
+// A traced context records the chain walk as a store.certify span with
+// the chain length and profile-cache outcome.
+func (s *Store) certifyChain(ctx context.Context, sh *shard, key uint64, reps []*tt.TT, profs []*match.RepProfile, f *tt.TT, e *engines) (int, npn.Transform, bool) {
+	var pHits, pMisses int64
+	if _, sp := obs.StartSpan(ctx, "store.certify"); sp != nil {
+		defer func() {
+			sp.SetInt("chain", int64(len(reps)))
+			sp.SetInt("profile_hits", pHits)
+			sp.SetInt("profile_misses", pMisses)
+			sp.End()
+		}()
+	}
 	if s.noProfile {
 		for i, rep := range reps {
 			if tr, eq := e.m.Equivalent(rep, f); eq {
@@ -293,8 +334,10 @@ func (s *Store) certifyChain(sh *shard, key uint64, reps []*tt.TT, profs []*matc
 		}
 		if rp != nil {
 			s.profHits.Add(1)
+			pHits++
 		} else {
 			s.profMisses.Add(1)
+			pMisses++
 			rp = s.publishProfile(sh, key, i, e.m.RepProfile(rep))
 		}
 		if tr, eq := e.m.MatchProfiled(rp, q); eq {
@@ -322,20 +365,30 @@ func (s *Store) certifyChain(sh *shard, key uint64, reps []*tt.TT, profs []*matc
 // On a read-only store Add refuses immediately (key 0, index -1) without
 // hashing; only the replicated apply path can publish into it.
 func (s *Store) Add(f *tt.TT) (key uint64, index int, isNew bool) {
+	return s.AddCtx(context.Background(), f)
+}
+
+// AddCtx is Add with the request context threaded through for tracing:
+// the insert runs under a store.add span, the chain certification under
+// store.certify, and a context-aware journal (CtxJournal) records its
+// append and fsync phases as wal.* spans.
+func (s *Store) AddCtx(ctx context.Context, f *tt.TT) (key uint64, index int, isNew bool) {
 	if s.readOnly {
 		return 0, -1, false
 	}
-	return s.addCertified(f)
+	return s.addCertified(ctx, f)
 }
 
 // addCertified is the certified insert path shared by Add and the
 // untrusted branch of ApplyLogRecord: hash, chain certification, journal,
 // publication. It ignores the read-only gate, which governs only the
 // public surface.
-func (s *Store) addCertified(f *tt.TT) (key uint64, index int, isNew bool) {
+func (s *Store) addCertified(ctx context.Context, f *tt.TT) (key uint64, index int, isNew bool) {
 	if f.NumVars() != s.n {
 		panic("store: function arity does not match store")
 	}
+	ctx, sp := obs.StartSpan(ctx, "store.add")
+	defer sp.End()
 	e := s.borrow()
 	defer s.release(e)
 
@@ -345,7 +398,7 @@ func (s *Store) addCertified(f *tt.TT) (key uint64, index int, isNew bool) {
 	// Fast path: scan the chain as published so far without holding any
 	// lock during the (expensive) exact matching.
 	reps, profs := sh.snapshot(key)
-	if i, _, eq := s.certifyChain(sh, key, reps, profs, f, e); eq {
+	if i, _, eq := s.certifyChain(ctx, sh, key, reps, profs, f, e); eq {
 		return key, i, false
 	}
 
@@ -366,7 +419,7 @@ func (s *Store) addCertified(f *tt.TT) (key uint64, index int, isNew bool) {
 	}
 	j := s.journal
 	if j != nil {
-		if err := j.LogInsert(key, f); err != nil {
+		if err := logInsertCtx(ctx, j, key, f); err != nil {
 			sh.mu.Unlock()
 			s.journalErrs.Add(1)
 			return key, -1, false
@@ -376,7 +429,7 @@ func (s *Store) addCertified(f *tt.TT) (key uint64, index int, isNew bool) {
 	index = len(c.reps) - 1
 	sh.mu.Unlock()
 	if j != nil {
-		if err := j.Commit(); err != nil {
+		if err := commitCtx(ctx, j); err != nil {
 			s.journalErrs.Add(1)
 			return key, -1, false
 		}
@@ -428,7 +481,7 @@ func (s *Store) ApplyLogRecord(meta uint64, key uint64, f *tt.TT) bool {
 	if meta == s.fp {
 		return s.addRecovered(key, f)
 	}
-	_, _, isNew := s.addCertified(f)
+	_, _, isNew := s.addCertified(context.Background(), f)
 	return isNew
 }
 
@@ -494,18 +547,35 @@ func (s *Store) ApplySnapshot(fs []*tt.TT) int {
 // returned key is valid even on a miss (it identifies where f's class
 // would live).
 func (s *Store) Lookup(f *tt.TT) (rep *tt.TT, key uint64, index int, witness npn.Transform, ok bool) {
+	return s.LookupCtx(context.Background(), f)
+}
+
+// LookupCtx is Lookup with the request context threaded through for
+// tracing: the shard probe runs under a store.lookup span (shard index
+// and chain length as attributes) with the chain walk nested as
+// store.certify.
+func (s *Store) LookupCtx(ctx context.Context, f *tt.TT) (rep *tt.TT, key uint64, index int, witness npn.Transform, ok bool) {
 	if f.NumVars() != s.n {
 		panic("store: function arity does not match store")
 	}
+	ctx, sp := obs.StartSpan(ctx, "store.lookup")
 	e := s.borrow()
 	defer s.release(e)
 
 	key = e.cls.Hash(f)
 	sh := s.shardFor(key)
 	reps, profs := sh.snapshot(key)
-	if i, tr, eq := s.certifyChain(sh, key, reps, profs, f, e); eq {
+	if sp != nil {
+		sp.SetInt("shard", int64(key&s.mask))
+		sp.SetInt("chain", int64(len(reps)))
+	}
+	if i, tr, eq := s.certifyChain(ctx, sh, key, reps, profs, f, e); eq {
+		sp.SetBool("hit", true)
+		sp.End()
 		return reps[i], key, i, tr, true
 	}
+	sp.SetBool("hit", false)
+	sp.End()
 	return nil, key, -1, npn.Transform{}, false
 }
 

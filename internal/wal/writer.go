@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tt"
 )
 
@@ -247,6 +249,35 @@ func (w *Writer) Commit() error {
 		return nil
 	}
 	return w.Sync()
+}
+
+// LogInsertCtx implements store.CtxJournal: LogInsert under a wal.append
+// tracing span, so a traced insert shows how long the buffered append
+// (and any segment rotation it triggered) took. With tracing off the
+// span is nil and this is LogInsert plus a context lookup.
+func (w *Writer) LogInsertCtx(ctx context.Context, key uint64, f *tt.TT) error {
+	_, sp := obs.StartSpan(ctx, "wal.append")
+	err := w.LogInsert(key, f)
+	sp.End()
+	return err
+}
+
+// CommitCtx implements store.CtxJournal: Commit under a wal.fsync span.
+// In group-fsync mode the background flusher owns durability and the
+// span records a zero-length wait (mode=group); in every-append mode it
+// measures the request's actual fsync stall.
+func (w *Writer) CommitCtx(ctx context.Context) error {
+	_, sp := obs.StartSpan(ctx, "wal.fsync")
+	if sp != nil {
+		if w.opts.FsyncEvery > 0 {
+			sp.SetAttr("mode", "group")
+		} else {
+			sp.SetAttr("mode", "every-append")
+		}
+	}
+	err := w.Commit()
+	sp.End()
+	return err
 }
 
 // DurableSize returns the active segment's sequence and the length of

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/tt"
 )
 
@@ -322,6 +323,17 @@ func (c *Client) once(ctx context.Context, method, path, contentType string, bod
 	}
 	if c.apiKey != "" {
 		req.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+	// Cross-hop trace propagation: a caller holding a traced request
+	// context (the follower proxy re-asking its primary) stamps the
+	// request ID and the active span's coordinates onto the outgoing
+	// request, so the primary's trace records which remote span fathered
+	// it. Both are no-ops outside a traced request.
+	if id := obs.RequestIDFromContext(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	if parent := obs.TraceParent(ctx); parent != "" {
+		req.Header.Set(obs.TraceParentHeader, parent)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -1,0 +1,66 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"context"
+
+	"repro/internal/obs"
+)
+
+// TraceQuery filters the flight-recorder listing: MinMillis keeps only
+// traces at least that slow, Route keeps only one route pattern (exact
+// match against the mux pattern, e.g. "/v2/insert"). Zero values mean
+// no filter.
+type TraceQuery struct {
+	MinMillis float64
+	Route     string
+}
+
+func (q TraceQuery) query() string {
+	v := url.Values{}
+	if q.MinMillis > 0 {
+		v.Set("min_ms", strconv.FormatFloat(q.MinMillis, 'f', -1, 64))
+	}
+	if q.Route != "" {
+		v.Set("route", q.Route)
+	}
+	if len(v) == 0 {
+		return ""
+	}
+	return "?" + v.Encode()
+}
+
+// Traces lists the server's retained request traces, newest first, from
+// GET /v2/debug/traces. The endpoint exists only on servers started
+// with tracing enabled (npnserve's -trace flag); elsewhere the 404
+// decodes into the usual *api.Error.
+func (c *Client) Traces(ctx context.Context, q TraceQuery) (*obs.TraceList, error) {
+	raw, err := c.getRawJSON(ctx, "/v2/debug/traces"+q.query())
+	if err != nil {
+		return nil, err
+	}
+	var out obs.TraceList
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding trace list: %w", err)
+	}
+	return &out, nil
+}
+
+// Trace fetches one retained trace's full span tree by request ID from
+// GET /v2/debug/traces/{id}. A trace that was sampled out or evicted
+// from the ring answers not_found/404.
+func (c *Client) Trace(ctx context.Context, id string) (*obs.TraceDetail, error) {
+	raw, err := c.getRawJSON(ctx, "/v2/debug/traces/"+url.PathEscape(id))
+	if err != nil {
+		return nil, err
+	}
+	var out obs.TraceDetail
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("client: decoding trace %q: %w", id, err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# trace-smoke.sh — drive a real primary/follower pair with -trace on and
+# assert the flight-recorder contract end to end: a slow follower-proxied
+# insert is tail-retained on both processes under one X-Request-Id, the
+# follower's span tree crosses the proxy hop (replica.primary_hop), the
+# primary's tree reaches the WAL fsync and is rooted under the
+# follower's hop span (X-Trace-Parent), the listing filters work, an
+# error request is retained even at -trace-sample 0, and the recorder's
+# health counters appear on /metrics.
+#
+# Usage: scripts/trace-smoke.sh [path-to-npnserve-binary]
+# Requires: curl, jq.
+set -euo pipefail
+
+BIN=${1:-/tmp/npnserve}
+PADDR=127.0.0.1:18400
+FADDR=127.0.0.1:18401
+PBASE=http://$PADDR
+FBASE=http://$FADDR
+HERE=$(cd "$(dirname "$0")" && pwd)
+
+if [ ! -x "$BIN" ]; then
+  echo "trace-smoke: building npnserve to $BIN"
+  go build -o "$BIN" ./cmd/npnserve
+fi
+
+DATA=$(mktemp -d)
+
+# Primary: durable, every trace retained (sample 1) so the proxied
+# insert's server-side tree is guaranteed to be inspectable.
+"$BIN" -addr "$PADDR" -arities 4-10 -data "$DATA" -fsync-interval 0 \
+  -trace -trace-sample 1 &
+PRIMARY=$!
+# Follower: sample 0 — nothing is retained unless the tail criteria
+# (slow past 1ms, or an error status) fire, which is exactly what this
+# smoke exercises.
+"$BIN" -addr "$FADDR" -arities 4-10 -follow "$PBASE" -follow-mode proxy \
+  -follow-interval 100ms -trace -trace-sample 0 -slow-request 1ms &
+FOLLOWER=$!
+trap 'kill "$PRIMARY" "$FOLLOWER" 2>/dev/null || true' EXIT
+"$HERE"/wait-healthz.sh "$PBASE"
+"$HERE"/wait-healthz.sh "$FBASE"
+
+# A batch of fresh n=10 classes: certifying these (plus one fsync per
+# append) keeps the proxied request comfortably past the 1ms slow
+# threshold — the artificial delay that makes the tail sampler keep it.
+FNS=$(for i in $(seq 1 60); do openssl rand -hex 128; done | jq -R . | jq -cs '{functions:.}')
+CT='Content-Type: application/json'
+RID='X-Request-Id: trace-smoke-1'
+
+curl -sf -X POST -H "$CT" -H "$RID" "$FBASE/v2/insert" -d "$FNS" | jq -e '.errors == 0' >/dev/null
+
+# The follower retained the slow request under the caller's request ID...
+jq_names='[.root | recurse(.children[]?) | .name]'
+curl -sf "$FBASE/v2/debug/traces" | jq -e '.traces[] | select(.id == "trace-smoke-1")' >/dev/null \
+  || { echo "follower flight recorder has no trace-smoke-1"; exit 1; }
+curl -sf "$FBASE/v2/debug/traces/trace-smoke-1" > /tmp/trace-follower.json
+jq -e '.reason == "slow"' /tmp/trace-follower.json >/dev/null \
+  || { echo "follower trace not retained as slow: $(jq -c '{reason,duration_ms}' /tmp/trace-follower.json)"; exit 1; }
+# ...and its span tree crosses the proxy hop.
+jq -e "$jq_names | contains([\"replica.primary_hop\"])" /tmp/trace-follower.json >/dev/null \
+  || { echo "follower span tree has no replica.primary_hop: $(jq -c "$jq_names" /tmp/trace-follower.json)"; exit 1; }
+
+# The primary holds the same request ID, rooted under the follower's hop
+# span, with the pipeline visible down to the WAL fsync.
+curl -sf "$PBASE/v2/debug/traces/trace-smoke-1" > /tmp/trace-primary.json
+jq -e '.remote | startswith("trace-smoke-1/")' /tmp/trace-primary.json >/dev/null \
+  || { echo "primary trace not parented under the follower hop: $(jq -c '.remote' /tmp/trace-primary.json)"; exit 1; }
+for span in service.certify store.add wal.fsync; do
+  jq -e "$jq_names | contains([\"$span\"])" /tmp/trace-primary.json >/dev/null \
+    || { echo "primary span tree has no $span: $(jq -c "$jq_names" /tmp/trace-primary.json)"; exit 1; }
+done
+
+# Listing filters: the slow insert survives min_ms=1 on its route and
+# vanishes under a route it never took.
+curl -sf "$FBASE/v2/debug/traces?min_ms=1&route=/v2/insert" | \
+  jq -e '.traces | map(.id) | contains(["trace-smoke-1"])' >/dev/null
+curl -sf "$FBASE/v2/debug/traces?route=/v2/classify" | \
+  jq -e '.traces | map(.id) | contains(["trace-smoke-1"]) | not' >/dev/null
+
+# An error request is always retained, sample rate be damned.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -H "$CT" -H 'X-Request-Id: trace-smoke-err' \
+  "$FBASE/v2/classify" -d '{not json')
+[ "$CODE" = "400" ] || { echo "bad body answered $CODE, want 400"; exit 1; }
+curl -sf "$FBASE/v2/debug/traces/trace-smoke-err" | jq -e '.reason == "error" and .status == 400' >/dev/null \
+  || { echo "error trace not retained at -trace-sample 0"; exit 1; }
+
+# The recorder reports its own health on /metrics. (Scrape to a file:
+# grep -q closing the pipe early would trip curl under pipefail.)
+curl -sf "$FBASE/metrics" > /tmp/trace-metrics.txt
+grep -q '^npn_trace_retained_total ' /tmp/trace-metrics.txt \
+  || { echo "no npn_trace_retained_total series"; exit 1; }
+grep -q '^npn_trace_dropped_total ' /tmp/trace-metrics.txt \
+  || { echo "no npn_trace_dropped_total series"; exit 1; }
+
+echo "trace-smoke: OK"
