@@ -91,10 +91,14 @@
 // keeps a bounded flight recorder of -trace-buffer traces with
 // tail-based sampling: error responses and requests slower than
 // -slow-request are always retained, the rest at probability
-// -trace-sample. Retained traces are served from GET /v2/debug/traces
+// -trace-sample. Guard rejections (401/429) are the exception — an
+// unauthenticated client mints those for free, so they only qualify
+// as slow or sampled and can never flush the ring. Retained traces are served from GET /v2/debug/traces
 // (newest first, ?min_ms= and ?route= filters) and
-// GET /v2/debug/traces/{id} (the full span tree); both stay
-// guard-exempt like /metrics. A follower in proxy mode stamps
+// GET /v2/debug/traces/{id} (the full span tree); on a keyed edge both
+// require an API key like any route — trace details name client
+// identities — but are never rate-limited or shed, so operators can
+// read them mid-overload. A follower in proxy mode stamps
 // X-Trace-Parent onto forwarded requests, so the primary's trace
 // records which remote span fathered it.
 //

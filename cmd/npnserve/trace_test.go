@@ -163,23 +163,34 @@ func TestTraceErrorAlwaysRetained(t *testing.T) {
 	}
 }
 
-// TestTraceDebugRoutesGuardExemptAndListed: the flight-recorder routes
-// stay readable through a locked-down edge (like /metrics) and are
-// listed in /v2/spec.
-func TestTraceDebugRoutesGuardExemptAndListed(t *testing.T) {
+// TestTraceDebugRoutesAuthenticatedAndListed: on a keyed edge the
+// flight-recorder routes demand credentials like any API route — trace
+// details name client identities — but skip rate limiting, so an
+// authorized operator reads them through exactly the overload being
+// debugged. Both are listed in /v2/spec.
+func TestTraceDebugRoutesAuthenticatedAndListed(t *testing.T) {
 	ctx := context.Background()
 	cfg := traceConfig(t)
-	cfg.keyInline = "ci:sekrit"
-	c, _ := startServer(t, cfg) // keyless client
+	cfg.keyInline = "ci:sekrit:1:1" // burst-1 quota: one API call, then 429
+	c, _ := startServer(t, cfg)     // keyless client
 
 	if _, err := c.Classify(ctx, []string{"1ee1"}); err == nil {
 		t.Fatal("keyless classify served on a keyed server")
 	}
-	if _, err := c.Traces(ctx, client.TraceQuery{}); err != nil {
-		t.Fatalf("keyless /v2/debug/traces refused: %v", err)
+	if _, err := c.Traces(ctx, client.TraceQuery{}); err == nil {
+		t.Fatal("keyless /v2/debug/traces served on a keyed server")
+	} else if e, ok := err.(*api.Error); !ok || e.Code != api.CodeUnauthorized {
+		t.Fatalf("keyless trace read = %v, want unauthorized", err)
 	}
 
 	kc := client.New(c.Base(), client.WithAPIKey("sekrit"))
+	// Repeated reads through a burst-1 quota: authenticated trace reads
+	// are never rate-limited and spend no tokens.
+	for i := 0; i < 3; i++ {
+		if _, err := kc.Traces(ctx, client.TraceQuery{}); err != nil {
+			t.Fatalf("keyed trace read %d refused: %v", i, err)
+		}
+	}
 	spec, err := kc.Spec(ctx)
 	if err != nil {
 		t.Fatal(err)

@@ -461,3 +461,57 @@ func TestGuardExemptRoutes(t *testing.T) {
 		t.Errorf("empty Exempt: /healthz status %d, want 401", rec.Code)
 	}
 }
+
+func TestGuardAuthOnlyRoutes(t *testing.T) {
+	// The flight-recorder routes authenticate — trace details name client
+	// identities, so a keyed edge must not serve them keyless — but skip
+	// rate limiting and load shedding, staying readable through exactly
+	// the overload under debug.
+	g := NewGuard(Options{
+		Keys:     mustKeyring(t, Key{Name: "ci", Secret: "sekrit", RPS: 1, Burst: 1}),
+		Pressure: func() (int64, int64) { return 10, 10 }, // saturated: everything sheds
+	})
+	for _, route := range DefaultAuthOnly {
+		h := g.Wrap(route, okHandler)
+		rec := call(h, "", "")
+		if rec.Code != http.StatusUnauthorized {
+			t.Errorf("%s keyless: status %d, want 401", route, rec.Code)
+		}
+		// Repeated keyed reads pass despite the burst-1 quota and the
+		// saturated pressure signal — and spend no tokens doing so.
+		for i := 0; i < 3; i++ {
+			if rec := call(h, "sekrit", ""); rec.Code != http.StatusOK {
+				t.Errorf("%s keyed read %d: status %d, want 200", route, i, rec.Code)
+			}
+		}
+	}
+	// On an unsaturated guard the auth-only reads spend no tokens: the
+	// API bucket still has its full burst, and once that is gone the
+	// trace routes keep answering.
+	gNoShed := NewGuard(Options{
+		Keys: mustKeyring(t, Key{Name: "ci", Secret: "sekrit", RPS: 1, Burst: 1}),
+	})
+	api1 := gNoShed.Wrap("/v2/classify", okHandler)
+	if rec := call(api1, "sekrit", ""); rec.Code != http.StatusOK {
+		t.Errorf("first API call: status %d, want 200", rec.Code)
+	}
+	if rec := call(api1, "sekrit", ""); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("second API call: status %d, want 429", rec.Code)
+	}
+	for _, route := range DefaultAuthOnly {
+		if rec := call(gNoShed.Wrap(route, okHandler), "sekrit", ""); rec.Code != http.StatusOK {
+			t.Errorf("%s while API quota exhausted: status %d, want 200", route, rec.Code)
+		}
+	}
+
+	// An explicitly empty AuthOnly list drops the tier: trace routes go
+	// through the full check sequence like any other route.
+	g = NewGuard(Options{
+		Keys:     mustKeyring(t, Key{Name: "ci", Secret: "sekrit"}),
+		AuthOnly: []string{},
+		Pressure: func() (int64, int64) { return 10, 10 },
+	})
+	if rec := call(g.Wrap(DefaultAuthOnly[0], okHandler), "sekrit", ""); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("empty AuthOnly: trace route not shed, status %d", rec.Code)
+	}
+}

@@ -41,9 +41,15 @@ type Options struct {
 	MaxClients int
 
 	// Exempt lists route patterns that bypass every check. Nil means
-	// DefaultExempt (/healthz, /metrics and the trace debug endpoints);
-	// an explicitly empty slice exempts nothing.
+	// DefaultExempt (/healthz and /metrics); an explicitly empty slice
+	// exempts nothing.
 	Exempt []string
+
+	// AuthOnly lists route patterns that still authenticate but skip
+	// rate limiting and load shedding. Nil means DefaultAuthOnly (the
+	// flight-recorder debug endpoints); an explicitly empty slice puts
+	// every non-exempt route through the full check sequence.
+	AuthOnly []string
 
 	// TrustedProxies lists CIDRs of load balancers whose X-Forwarded-For
 	// the guard believes. Only when the TCP peer is inside one of these
@@ -60,11 +66,17 @@ type Options struct {
 }
 
 // DefaultExempt are the routes a zero-valued Options.Exempt bypasses:
-// liveness probes, metric scrapes and flight-recorder reads must keep
-// answering through exactly the overload the guard manages — a trace of
-// the slow request is worth nothing if the guard 429s the scrape of it.
-var DefaultExempt = []string{"/healthz", "/metrics",
-	"/v2/debug/traces", "/v2/debug/traces/{id}"}
+// liveness probes and metric scrapes must keep answering through
+// exactly the overload the guard manages.
+var DefaultExempt = []string{"/healthz", "/metrics"}
+
+// DefaultAuthOnly are the routes a zero-valued Options.AuthOnly puts in
+// the authenticate-but-never-throttle tier: flight-recorder reads name
+// client identities and routes, so on a keyed edge they demand the same
+// credentials as any API route — but a trace of the slow request is
+// worth nothing if the guard 429s the read of it, so an authorized
+// operator is never rate-limited or shed away from them.
+var DefaultAuthOnly = []string{"/v2/debug/traces", "/v2/debug/traces/{id}"}
 
 // Guard is the admission-control middleware: authentication, per-client
 // rate limiting and load shedding in the api.Middleware shape. Wrap is
@@ -76,6 +88,7 @@ type Guard struct {
 	pressure  func() (int64, int64)
 	limiter   Limiter
 	exempt    map[string]bool
+	authOnly  map[string]bool
 	trusted   []netip.Prefix
 
 	// Counters may be nil (no metrics registry mounted).
@@ -93,6 +106,7 @@ func NewGuard(o Options) *Guard {
 		pressure:  o.Pressure,
 		limiter:   Limiter{MaxClients: o.MaxClients},
 		exempt:    make(map[string]bool),
+		authOnly:  make(map[string]bool),
 		trusted:   o.TrustedProxies,
 	}
 	if g.anonBurst <= 0 {
@@ -108,6 +122,13 @@ func NewGuard(o Options) *Guard {
 	}
 	for _, r := range exempt {
 		g.exempt[r] = true
+	}
+	authOnly := o.AuthOnly
+	if authOnly == nil {
+		authOnly = DefaultAuthOnly
+	}
+	for _, r := range authOnly {
+		g.authOnly[r] = true
 	}
 	if o.Metrics != nil {
 		g.unauthorized = o.Metrics.CounterVec("npn_http_unauthorized_total",
@@ -129,12 +150,13 @@ func (g *Guard) Wrap(route string, next http.HandlerFunc) http.HandlerFunc {
 	if g.exempt[route] {
 		return next
 	}
+	authOnly := g.authOnly[route]
 	return func(w http.ResponseWriter, r *http.Request) {
 		// The guard span ends before the handler runs: it times the
 		// admission decision, not the request. Child spans of the work
 		// itself stay siblings under the root, not under the guard.
 		_, sp := obs.StartSpan(r.Context(), "auth.guard")
-		if g.pressure != nil {
+		if !authOnly && g.pressure != nil {
 			if depth, limit := g.pressure(); limit > 0 && depth >= limit {
 				inc(g.shed, route)
 				sp.SetAttr("outcome", "shed")
@@ -152,14 +174,18 @@ func (g *Guard) Wrap(route string, next http.HandlerFunc) http.HandlerFunc {
 			api.WriteError(w, err.WithRequestID(obs.RequestIDFromContext(r.Context())))
 			return
 		}
-		if ok, retryAfter := g.limiter.Allow(id, rps, burst); !ok {
-			inc(g.rateLimited, route)
-			sp.SetAttr("outcome", "rate_limited")
-			sp.SetAttr("client", id)
-			sp.End()
-			writeRateLimited(w, r, retryAfter,
-				"rate limit exceeded for %s", id)
-			return
+		// Auth-only routes spend no tokens: the flight recorder must stay
+		// readable through exactly the rate storm or overload under debug.
+		if !authOnly {
+			if ok, retryAfter := g.limiter.Allow(id, rps, burst); !ok {
+				inc(g.rateLimited, route)
+				sp.SetAttr("outcome", "rate_limited")
+				sp.SetAttr("client", id)
+				sp.End()
+				writeRateLimited(w, r, retryAfter,
+					"rate limit exceeded for %s", id)
+				return
+			}
 		}
 		sp.SetAttr("outcome", "ok")
 		sp.SetAttr("client", id)
@@ -313,10 +339,17 @@ func bearerToken(r *http.Request) (token string, present bool) {
 // remoteIP returns the connection's peer IP — deliberately not
 // X-Forwarded-For, which an untrusted client sets freely. Deployments
 // behind a trusted proxy should rate-limit at the proxy or issue keys.
+// The address is canonicalized through netip (IPv4-mapped IPv6
+// unmapped) so textual variants of one peer — "::ffff:1.2.3.4" vs
+// "1.2.3.4" — share a single rate bucket, matching the form clientIP
+// derives from a forwarded hop.
 func remoteIP(r *http.Request) string {
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
-		return r.RemoteAddr
+		host = r.RemoteAddr
+	}
+	if a, err := netip.ParseAddr(host); err == nil {
+		return a.Unmap().String()
 	}
 	return host
 }

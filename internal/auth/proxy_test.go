@@ -110,6 +110,21 @@ func TestGuardTrustedProxyRightmostNonTrustedHop(t *testing.T) {
 	}
 }
 
+func TestGuardPeerAddressNormalized(t *testing.T) {
+	g := NewGuard(Options{AnonRPS: 1, AnonBurst: 1})
+	h := g.Wrap("/v2/classify", okHandler)
+
+	// An IPv4-mapped IPv6 peer (a dual-stack listener's view of an IPv4
+	// client) and the plain IPv4 form are one client: both textual
+	// variants must land in the same anonymous bucket.
+	if rec := xffCall(h, "[::ffff:203.0.113.9]:1111", ""); rec.Code != http.StatusOK {
+		t.Fatalf("mapped-form first request: status %d", rec.Code)
+	}
+	if rec := xffCall(h, "203.0.113.9:2222", ""); rec.Code != http.StatusTooManyRequests {
+		t.Fatal("textual variants of one peer landed in different buckets")
+	}
+}
+
 func TestKeyringSwapHotReload(t *testing.T) {
 	kr := mustKeyring(t, Key{Name: "old", Secret: "old-secret"})
 	g := NewGuard(Options{Keys: kr})

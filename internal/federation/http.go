@@ -39,7 +39,9 @@ type HandlerOptions struct {
 	// Trace, when non-nil, is the flight recorder behind the HTTP
 	// middleware's per-request traces (it must also be HTTP's
 	// HTTPOptions.Tracer); mounting it adds GET /v2/debug/traces and
-	// GET /v2/debug/traces/{id}, both guard-exempt by default.
+	// GET /v2/debug/traces/{id}. By default the guard authenticates both
+	// (trace details name client identities) but never rate-limits or
+	// sheds them (auth.DefaultAuthOnly).
 	Trace *obs.Tracer
 }
 

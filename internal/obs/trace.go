@@ -315,8 +315,11 @@ type TraceOptions struct {
 	Buffer int
 	// Sample is the probability an unremarkable trace (fast, non-error)
 	// is retained, 0..1. Error traces and traces at least Slow are always
-	// retained — that is the tail-based part. Sampling is deterministic:
-	// every round(1/Sample)-th unremarkable trace is kept.
+	// retained — that is the tail-based part — except guard rejections
+	// (401/429), which an unauthenticated client can mint for free and
+	// which therefore only qualify through the slow or sampled criteria.
+	// Sampling is deterministic: every round(1/Sample)-th unremarkable
+	// trace is kept.
 	Sample float64
 	// Slow is the duration at or above which a trace is always retained.
 	// Zero disables the slow criterion.
@@ -397,6 +400,10 @@ func (t *Tracer) StartTrace(ctx context.Context, route, method, id, parentHeader
 // Finish completes a trace and applies the tail-sampling decision:
 // retain on error status (>= 400), on duration at or past the slow
 // threshold, or when the deterministic sampler picks it; drop otherwise.
+// Guard rejections — 401 unauthorized and 429 rate_limited — are not
+// errors for retention purposes: they cost an attacker nothing, so 256
+// cheap probes must not flush the ring of the slow and failing traces
+// an operator actually needs. They still qualify as slow or sampled.
 // Safe on a nil tracer or nil trace.
 func (t *Tracer) Finish(tr *Trace, status int, d time.Duration) {
 	if t == nil || tr == nil {
@@ -413,7 +420,7 @@ func (t *Tracer) Finish(tr *Trace, status int, d time.Duration) {
 
 	reason := ""
 	switch {
-	case status >= 400:
+	case status >= 400 && status != 401 && status != 429:
 		reason = "error"
 	case t.slow > 0 && d >= t.slow:
 		reason = "slow"

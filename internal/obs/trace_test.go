@@ -162,6 +162,50 @@ func TestTailSamplingKeepsErrorsAndSlow(t *testing.T) {
 	}
 }
 
+// TestGuardRejectionsNotUnconditionallyRetained: 401/429 responses are
+// mintable for free by an unauthenticated client, so they must not ride
+// the always-keep-errors rule and flush the ring — they only qualify
+// through the slow and sampled criteria like a successful request.
+func TestGuardRejectionsNotUnconditionallyRetained(t *testing.T) {
+	tracer := NewTracer(nil, TraceOptions{Sample: 0, Slow: 10 * time.Millisecond})
+
+	finishOne(tracer, "probe-401", 401, time.Millisecond)
+	finishOne(tracer, "probe-429", 429, time.Millisecond)
+	if _, ok := tracer.Get("probe-401"); ok {
+		t.Fatal("cheap 401 probe retained at sample 0")
+	}
+	if _, ok := tracer.Get("probe-429"); ok {
+		t.Fatal("cheap 429 probe retained at sample 0")
+	}
+
+	// A genuinely slow rejection is still interesting — the slow
+	// criterion keeps it.
+	d, ok := finishAndGet(tracer, "slow-429", 429, 20*time.Millisecond)
+	if !ok || d.Reason != "slow" {
+		t.Fatalf("slow 429: ok=%v reason=%q, want retained as slow", ok, d.Reason)
+	}
+
+	// Other 4xx/5xx remain unconditional: the error rule is untouched for
+	// statuses a probe cannot mint without doing real work.
+	d, ok = finishAndGet(tracer, "real-err", 400, time.Millisecond)
+	if !ok || d.Reason != "error" {
+		t.Fatalf("400: ok=%v reason=%q, want retained as error", ok, d.Reason)
+	}
+
+	// And at sample 1 a rejection is kept, but as an unremarkable sample.
+	all := NewTracer(nil, TraceOptions{Sample: 1})
+	d, ok = finishAndGet(all, "sampled-401", 401, time.Millisecond)
+	if !ok || d.Reason != "sampled" {
+		t.Fatalf("401 at sample 1: ok=%v reason=%q, want retained as sampled", ok, d.Reason)
+	}
+}
+
+// finishAndGet runs one trace through the tracer and fetches it back.
+func finishAndGet(t *Tracer, id string, status int, d time.Duration) (TraceDetail, bool) {
+	finishOne(t, id, status, d)
+	return t.Get(id)
+}
+
 func TestDeterministicSampling(t *testing.T) {
 	tracer := NewTracer(nil, TraceOptions{Sample: 0.5})
 	if tracer.every != 2 {
