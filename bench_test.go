@@ -10,11 +10,17 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/baseline"
 	"repro/internal/bdd"
 	"repro/internal/bench"
@@ -426,6 +432,91 @@ func BenchmarkLookupCachedVsUncached(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkTransportClassify compares the two /v2/classify transports end
+// to end through a real HTTP server: the JSON envelope versus the
+// length-framed binary format of docs/WIRE.md, same warm single-arity
+// service, same 16-function batch of NPN-disguised hits per request. Each
+// sub-benchmark reports the payload sizes as req-B and resp-B metrics, so
+// BENCH_lookup.json can record the bytes-on-wire delta next to the ns/op
+// delta. The binary rows measure the full stack — codec, negotiation,
+// handler, store — not the codec in isolation (that cost is bounded by
+// TestBinaryCodecAllocs).
+func BenchmarkTransportClassify(b *testing.B) {
+	const batch = 16
+	for _, n := range []int{6, 8} {
+		fs := circuitWorkload(n)
+		if len(fs) > batch {
+			fs = fs[:batch]
+		}
+		svc := service.New(store.New(n, store.Options{Config: store.ServingConfig()}),
+			service.Options{Workers: 2})
+		for _, r := range svc.Insert(fs) {
+			if r.Index < 0 {
+				b.Fatal("insert refused")
+			}
+		}
+		queries := make([]*tt.TT, len(fs))
+		hexes := make([]string, len(fs))
+		for i, f := range fs {
+			tr := npn.Identity(n)
+			tr.Perm[0], tr.Perm[n-1] = uint8(n-1), 0
+			tr.NegMask = 0b0110
+			tr.OutNeg = i%2 == 1
+			queries[i] = tr.Apply(f)
+			hexes[i] = queries[i].Hex()
+		}
+		srv := httptest.NewServer(service.NewHandler(svc))
+
+		jsonBody, err := json.Marshal(api.BatchRequest{Functions: hexes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		binBody := api.EncodeBinaryRequest(queries, false)
+
+		for _, mode := range []struct {
+			name        string
+			contentType string
+			accept      string
+			body        []byte
+		}{
+			{"json", "application/json", "", jsonBody},
+			{"binary", api.BinaryContentType, api.BinaryContentType, binBody},
+		} {
+			b.Run(fmt.Sprintf("%s-n%d-batch%d", mode.name, n, batch), func(b *testing.B) {
+				post := func() int {
+					req, err := http.NewRequest(http.MethodPost, srv.URL+"/v2/classify", bytes.NewReader(mode.body))
+					if err != nil {
+						b.Fatal(err)
+					}
+					req.Header.Set("Content-Type", mode.contentType)
+					if mode.accept != "" {
+						req.Header.Set("Accept", mode.accept)
+					}
+					resp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer resp.Body.Close()
+					body, err := io.ReadAll(resp.Body)
+					if err != nil || resp.StatusCode != http.StatusOK {
+						b.Fatalf("status %d err %v", resp.StatusCode, err)
+					}
+					return len(body)
+				}
+				respBytes := post()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					post()
+				}
+				b.ReportMetric(float64(len(mode.body)), "req-B")
+				b.ReportMetric(float64(respBytes), "resp-B")
+			})
+		}
+		srv.Close()
 	}
 }
 

@@ -146,8 +146,11 @@ func emitMain(args []string) {
 // benchLine matches `go test -bench -benchmem` result lines, e.g.
 //
 //	BenchmarkWALReplay/replay-10k-8  42  28812345 ns/op  1234 B/op  56 allocs/op
+//
+// Custom ReportMetric columns (the transport benchmark's req-B/resp-B
+// payload sizes) may sit between ns/op and B/op and are skipped.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+[\d.]+ \S+-B)*(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func parseBench(f io.Reader) ([]BenchLine, error) {
 	var out []BenchLine

@@ -17,6 +17,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkLookupCachedVsUncached/full-uncached-n6         	   16614	     15104 ns/op	    6819 B/op	      97 allocs/op
 BenchmarkWALReplay/replay                                	      30	   9280500 ns/op	 2981437 B/op	  100357 allocs/op
 BenchmarkBare                                            	 1000000	      1042 ns/op
+BenchmarkTransportClassify/binary-n6-batch16             	   32944	     70210 ns/op	       149.0 req-B	       437.0 resp-B	   16494 B/op	     204 allocs/op
 PASS
 ok  	repro	7.247s
 `
@@ -24,8 +25,8 @@ ok  	repro	7.247s
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) != 3 {
-		t.Fatalf("parsed %d lines, want 3: %+v", len(lines), lines)
+	if len(lines) != 4 {
+		t.Fatalf("parsed %d lines, want 4: %+v", len(lines), lines)
 	}
 	l := lines[0]
 	if l.Name != "BenchmarkLookupCachedVsUncached/full-uncached-n6" ||
@@ -38,6 +39,13 @@ ok  	repro	7.247s
 	bare := lines[2]
 	if bare.Name != "BenchmarkBare" || bare.NsPerOp != 1042 || bare.BytesPerOp != 0 || bare.AllocsPerOp != 0 {
 		t.Fatalf("line 2 = %+v", bare)
+	}
+	// Custom ReportMetric columns (req-B/resp-B) between ns/op and B/op
+	// must not swallow the -benchmem columns.
+	tr := lines[3]
+	if tr.Name != "BenchmarkTransportClassify/binary-n6-batch16" ||
+		tr.NsPerOp != 70210 || tr.BytesPerOp != 16494 || tr.AllocsPerOp != 204 {
+		t.Fatalf("line 3 = %+v", tr)
 	}
 }
 

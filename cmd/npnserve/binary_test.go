@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/tt"
+	"repro/pkg/client"
+)
+
+// TestBinaryTransportEndToEnd drives the length-framed binary transport
+// through the full flag-configured server: classes inserted over the
+// auto-negotiating client are looked up with a raw binary exchange, the
+// witness in the frame certifies locally, the response mirrors the
+// request's CRC choice, and an unserved arity inside a valid frame stays
+// a per-item error.
+func TestBinaryTransportEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(77))
+	c, _ := startServer(t, config{arities: "4-8", shards: 4, workers: 2, cache: 64})
+
+	var fs []*tt.TT
+	var hexes []string
+	for n := 4; n <= 8; n++ {
+		f := tt.Random(n, rng)
+		fs = append(fs, f)
+		hexes = append(hexes, f.Hex())
+	}
+	ins, err := c.Insert(ctx, hexes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Disguise each function with a random NPN transform, then ask over a
+	// raw CRC-carrying binary exchange.
+	var queries []*tt.TT
+	for _, f := range fs {
+		queries = append(queries, randomTransformed(rng, f))
+	}
+	frame := api.EncodeBinaryRequest(queries, true)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base()+"/v2/classify", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", api.BinaryContentType)
+	req.Header.Set("Accept", api.BinaryContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != api.BinaryContentType {
+		t.Fatalf("status %d content-type %q: %s", resp.StatusCode, resp.Header.Get("Content-Type"), buf.Bytes())
+	}
+	body := buf.Bytes()
+	if body[3]&1 == 0 {
+		t.Fatal("response frame does not mirror the request CRC flag")
+	}
+	items, err := api.DecodeBinaryClassify(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(queries) {
+		t.Fatalf("%d items, want %d", len(items), len(queries))
+	}
+	for i, it := range items {
+		if it.Err != nil || !it.Hit {
+			t.Fatalf("item %d: %+v", i, it)
+		}
+		if api.KeyHex(it.Key) != ins.Results[i].Class {
+			t.Fatalf("item %d: class %s, want %s", i, api.KeyHex(it.Key), ins.Results[i].Class)
+		}
+		// The frame's witness certifies against the frame's representative.
+		if !it.Witness.Apply(it.Rep).Equal(queries[i]) {
+			t.Fatalf("item %d: witness does not certify", i)
+		}
+	}
+
+	// An arity outside -arities (n=3 against 4-8) fails only its item.
+	mixed := []*tt.TT{queries[0], tt.Random(3, rng)}
+	frame = api.EncodeBinaryRequest(mixed, false)
+	status, raw, err := c.Post(ctx, "/v2/classify", api.BinaryContentType, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("mixed-arity frame: status %d: %s", status, raw)
+	}
+	// No Accept header on the escape hatch: binary in, JSON out.
+	var cls api.ClassifyResponse
+	if err := json.Unmarshal(raw, &cls); err != nil {
+		t.Fatal(err)
+	}
+	if cls.Errors != 1 || cls.Results[0].Error != nil || cls.Results[1].Error == nil ||
+		cls.Results[1].Error.Code != api.CodeArityOutOfRange {
+		t.Fatalf("mixed-arity items: %+v", cls.Results)
+	}
+	if cls.Results[0].Function != queries[0].Hex() {
+		t.Fatalf("binary-in/JSON-out echo %q, want canonical hex %q", cls.Results[0].Function, queries[0].Hex())
+	}
+
+	// The auto-negotiating client agrees with the raw exchange end to end.
+	var qh []string
+	for _, q := range queries {
+		qh = append(qh, q.Hex())
+	}
+	ccls, err := c.Classify(ctx, qh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ccls.Results {
+		if !r.Hit || r.Class != ins.Results[i].Class {
+			t.Fatalf("client item %d: %+v", i, r)
+		}
+		if err := client.ReplayWitness(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

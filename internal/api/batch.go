@@ -110,9 +110,17 @@ func insertBatch(ctx context.Context, b Backend, fns []string) ([]InsertItem, in
 }
 
 // HandleClassify returns the POST /v2/classify handler over b: a buffered
-// batch lookup where one bad truth table fails only its own item.
+// batch lookup where one bad truth table fails only its own item. The
+// endpoint speaks two transports, negotiated per request: the JSON
+// envelope (default) and the length-framed binary format of docs/WIRE.md
+// (Content-Type selects the request decoding, Accept the response
+// encoding, and the two sides mix freely).
 func HandleClassify(b Backend, maxBody int64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if IsBinaryRequest(r) || AcceptsBinary(r) {
+			handleClassifyNegotiated(b, maxBody, w, r)
+			return
+		}
 		fns, ok := DecodeBatch(w, r, maxBody)
 		if !ok {
 			return
@@ -129,9 +137,14 @@ func HandleClassify(b Backend, maxBody int64) http.HandlerFunc {
 // HandleInsert returns the POST /v2/insert handler over b. Per-item
 // failures (bad_hex, arity_out_of_range, not_durable) are reported inside
 // a 200 response; whole-batch conditions (read_only, primary_unreachable)
-// are error envelopes.
+// are error envelopes. Like HandleClassify, it negotiates between the
+// JSON envelope and the binary frame per request.
 func HandleInsert(b Backend, maxBody int64) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if IsBinaryRequest(r) || AcceptsBinary(r) {
+			handleInsertNegotiated(b, maxBody, w, r)
+			return
+		}
 		fns, ok := DecodeBatch(w, r, maxBody)
 		if !ok {
 			return

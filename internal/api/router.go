@@ -31,6 +31,13 @@ type Spec struct {
 	Role       string   `json:"role"`
 	Routes     []Route  `json:"routes"`
 	ErrorCodes []string `json:"error_codes"`
+	// Docs points at the normative wire specification for this surface —
+	// the byte-level contract (JSON envelopes, NDJSON streaming, the
+	// binary frame format) that the route list only names.
+	Docs string `json:"docs,omitempty"`
+	// BinaryContentType is the media type of the length-framed binary
+	// transport accepted and produced by /v2/classify and /v2/insert.
+	BinaryContentType string `json:"binary_content_type,omitempty"`
 }
 
 // Router is the shared HTTP mount point of every serving stack: routes
@@ -170,7 +177,12 @@ func (rt *Router) Spec() Spec {
 	for i, c := range codes {
 		cs[i] = string(c)
 	}
-	return Spec{Service: "npnserve", APIVersion: Version, Role: rt.role, Routes: rt.Routes(), ErrorCodes: cs}
+	return Spec{
+		Service: "npnserve", APIVersion: Version, Role: rt.role,
+		Routes: rt.Routes(), ErrorCodes: cs,
+		Docs:              "docs/WIRE.md",
+		BinaryContentType: BinaryContentType,
+	}
 }
 
 // WriteJSON emits a JSON response with the given status.

@@ -117,6 +117,10 @@ type Result struct {
 	Hit bool
 	// RepHex is the certified representative's hex form (empty on a miss).
 	RepHex string
+	// Rep is the representative's parsed table when the backend has it at
+	// hand (hit only, optional): the binary transport encodes from it
+	// directly instead of re-decoding RepHex. Never mutated by consumers.
+	Rep *tt.TT
 	// Witness is a transform τ with τ(RepHex) = function (hit only).
 	Witness npn.Transform
 }
@@ -149,6 +153,26 @@ type Backend interface {
 	Resolve(hex string) (*tt.TT, *Error)
 	Classify(ctx context.Context, fs []*tt.TT) ([]Result, *Error)
 	Insert(ctx context.Context, fs []*tt.TT) ([]InsertOutcome, *Error)
+}
+
+// ArityBackend is an optional Backend extension for transports that carry
+// each function's arity explicitly (the binary frame) instead of encoding
+// it in the hex length. CheckArity reports whether n-variable functions
+// are served, with the same readiness contract as Resolve: a nil *Error
+// means Classify/Insert on n-variable functions cannot fail per item.
+// Backends without it still serve binary requests — the handler falls back
+// to Resolve on the hex form, paying one encode per function.
+type ArityBackend interface {
+	CheckArity(n int) *Error
+}
+
+// checkArity validates one binary-decoded function against the backend.
+func checkArity(b Backend, f *tt.TT) *Error {
+	if ab, ok := b.(ArityBackend); ok {
+		return ab.CheckArity(f.NumVars())
+	}
+	_, e := b.Resolve(f.Hex())
+	return e
 }
 
 // KeyHex renders a class key in its canonical 16-digit wire form.

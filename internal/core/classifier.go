@@ -92,10 +92,19 @@ func (c Config) Enabled() string {
 // Classifier computes MSV keys for functions of a fixed arity. It reuses
 // scratch buffers and is not safe for concurrent use.
 type Classifier struct {
-	n      int
-	cfg    Config
-	eng    *sig.Engine
-	keyCap int
+	n   int
+	cfg Config
+	eng *sig.Engine
+
+	// Hot-path scratch, reused across Hash calls so the serving lookup
+	// path computes keys without allocating: two key buffers (balanced
+	// functions serialize both output phases), an int buffer for the
+	// sorted signature vectors, and a lazily-built table for the
+	// complemented phase.
+	keyBuf  []byte
+	keyBuf2 []byte
+	intBuf  []int
+	phase   *tt.TT
 }
 
 // New returns a classifier for n-variable functions.
@@ -112,6 +121,17 @@ func (c *Classifier) Config() Config { return c.cfg }
 // KeyBytes returns the canonical serialized MSV of f. The returned slice is
 // freshly allocated and owned by the caller.
 func (c *Classifier) KeyBytes(f *tt.TT) []byte {
+	return append([]byte(nil), c.keyView(f)...)
+}
+
+// Hash returns the 64-bit FNV-1a hash of the canonical MSV. It reuses the
+// classifier's scratch buffers and allocates nothing in steady state.
+func (c *Classifier) Hash(f *tt.TT) uint64 { return fnv1a(c.keyView(f)) }
+
+// keyView computes the canonical serialized MSV of f into the classifier's
+// scratch buffers. The returned slice aliases that scratch: it is valid
+// only until the next keyView/Hash/KeyBytes call.
+func (c *Classifier) keyView(f *tt.TT) []byte {
 	if f.NumVars() != c.n {
 		panic("core: function arity does not match classifier")
 	}
@@ -119,39 +139,50 @@ func (c *Classifier) KeyBytes(f *tt.TT) []byte {
 	half := f.NumBits() / 2
 	switch {
 	case ones > half:
-		return c.rawKey(f.Not())
+		c.keyBuf = c.rawKey(c.keyBuf[:0], c.notScratch(f))
+		return c.keyBuf
 	case ones < half:
-		return c.rawKey(f)
+		c.keyBuf = c.rawKey(c.keyBuf[:0], f)
+		return c.keyBuf
 	default:
 		// Balanced: output negation cannot be resolved by satisfy count
 		// (Theorems 3–4); take the lexicographically smaller serialization.
-		a := c.rawKey(f)
-		b := c.rawKey(f.Not())
-		if lexLess(b, a) {
-			return b
+		c.keyBuf = c.rawKey(c.keyBuf[:0], f)
+		c.keyBuf2 = c.rawKey(c.keyBuf2[:0], c.notScratch(f))
+		if lexLess(c.keyBuf2, c.keyBuf) {
+			return c.keyBuf2
 		}
-		return a
+		return c.keyBuf
 	}
 }
 
-// Hash returns the 64-bit FNV-1a hash of the canonical MSV.
-func (c *Classifier) Hash(f *tt.TT) uint64 { return fnv1a(c.KeyBytes(f)) }
-
-// rawKey serializes the MSV of f in its given output phase.
-func (c *Classifier) rawKey(f *tt.TT) []byte {
-	if c.keyCap == 0 {
-		c.keyCap = 64
+// notScratch returns ¬f in the classifier's reusable phase table.
+func (c *Classifier) notScratch(f *tt.TT) *tt.TT {
+	if c.phase == nil {
+		c.phase = tt.New(c.n)
 	}
+	c.phase.CopyFrom(f)
+	c.phase.NotInPlace()
+	return c.phase
+}
+
+// ints borrows the classifier's reusable int scratch, emptied.
+func (c *Classifier) ints() []int { return c.intBuf[:0] }
+
+// rawKey serializes the MSV of f in its given output phase, appending to k
+// (pass a scratch buffer truncated to zero length to avoid allocation).
+func (c *Classifier) rawKey(k []byte, f *tt.TT) []byte {
 	// Component order is cheap-to-expensive so that staged refinement
 	// (ClassifyRefined) and the monolithic key agree on the lexicographic
 	// phase choice for balanced functions.
-	k := make([]byte, 0, c.keyCap)
 	k = appendInt(k, f.CountOnes())
 	if c.cfg.OCV1 {
-		k = appendInts(k, c.eng.OCV1(f))
+		c.intBuf = c.eng.AppendOCV1(c.ints(), f)
+		k = appendInts(k, c.intBuf)
 	}
 	if c.cfg.OIV {
-		k = appendInts(k, c.eng.OIV(f))
+		c.intBuf = c.eng.AppendOIV(c.ints(), f)
+		k = appendInts(k, c.intBuf)
 	}
 	if c.cfg.OSV {
 		h0, h1 := c.eng.OSV01(f)
@@ -159,7 +190,8 @@ func (c *Classifier) rawKey(f *tt.TT) []byte {
 		k = appendInts(k, h1)
 	}
 	if c.cfg.OCV2 {
-		k = appendInts(k, c.eng.OCV2(f))
+		c.intBuf = c.eng.AppendOCV2(c.ints(), f)
+		k = appendInts(k, c.intBuf)
 	}
 	if c.cfg.OCVL >= 3 && c.cfg.OCVL <= f.NumVars() {
 		k = appendInts(k, c.eng.OCVL(f, c.cfg.OCVL))
@@ -183,9 +215,6 @@ func (c *Classifier) rawKey(f *tt.TT) []byte {
 	}
 	if c.cfg.Spectral {
 		k = appendSpectral(k, f)
-	}
-	if len(k) > c.keyCap {
-		c.keyCap = len(k)
 	}
 	return k
 }

@@ -145,7 +145,7 @@ func TestFig3BalancedPair(t *testing.T) {
 		g := tr.Apply(f)
 		// Only interesting when the sensitivity split actually swaps.
 		e := New(4, Config{OSV: true})
-		if bytes.Equal(e.rawKey(f), e.rawKey(g)) {
+		if bytes.Equal(e.rawKey(nil, f), e.rawKey(nil, g)) {
 			continue
 		}
 		if !bytes.Equal(c.KeyBytes(f), c.KeyBytes(g)) {

@@ -79,10 +79,10 @@ func ClassifyRefined(n int, stages []Config, fs []*tt.TT) *Result {
 		c := classifiers[s]
 		var k0, k1 []byte
 		if states[i].cand&1 != 0 {
-			k0 = c.rawKey(states[i].f)
+			k0 = c.rawKey(nil, states[i].f)
 		}
 		if states[i].cand&2 != 0 {
-			k1 = c.rawKey(complemented(i))
+			k1 = c.rawKey(nil, complemented(i))
 		}
 		switch {
 		case k1 == nil:

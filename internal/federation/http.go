@@ -243,6 +243,22 @@ func (b fedBackend) Resolve(s string) (*tt.TT, *api.Error) {
 	return f, nil
 }
 
+// CheckArity implements api.ArityBackend for the binary transport: the
+// arity must be federated, and its service is constructed up front so
+// Classify/Insert cannot fail later — the same readiness contract as
+// Resolve, minus the hex round-trip.
+func (b fedBackend) CheckArity(n int) *api.Error {
+	if n < b.reg.MinVars() || n > b.reg.MaxVars() {
+		return api.Errf(api.CodeArityOutOfRange,
+			"function of arity %d outside the federated range %d..%d",
+			n, b.reg.MinVars(), b.reg.MaxVars())
+	}
+	if _, err := b.reg.Service(n); err != nil {
+		return api.Errf(api.CodeInternal, "%v", err)
+	}
+	return nil
+}
+
 func (b fedBackend) Classify(ctx context.Context, fs []*tt.TT) ([]api.Result, *api.Error) {
 	results, err := b.reg.ClassifyCtx(ctx, fs)
 	if err != nil {

@@ -32,21 +32,33 @@ type profile struct {
 }
 
 func newProfile(f *tt.TT, eng *sig.Engine) *profile {
+	p := &profile{}
+	fillProfile(p, f, eng)
+	return p
+}
+
+// fillProfile (re)computes p for f, reusing p's slices when they already
+// have the right arity — the allocation-free path behind QueryProfile.
+func fillProfile(p *profile, f *tt.TT, eng *sig.Engine) {
 	n := f.NumVars()
-	p := &profile{f: f, n: n}
-	p.inf = make([]int, n)
-	p.cof1 = make([][2]int, n)
-	p.unate = make([]sig.Unateness, n)
+	p.f, p.n = f, n
+	if len(p.inf) != n {
+		p.inf = make([]int, n)
+		p.cof1 = make([][2]int, n)
+		p.unate = make([]sig.Unateness, n)
+		p.cof2 = make([][][4]int, n)
+		for i := 0; i < n; i++ {
+			p.cof2[i] = make([][4]int, n)
+		}
+	}
 	total := f.CountOnes()
 	for i := 0; i < n; i++ {
 		p.inf[i] = eng.Influence(f, i)
 		c1 := f.CofactorCount(i, true)
 		p.cof1[i] = [2]int{total - c1, c1}
-		p.unate[i] = sig.VarUnateness(f, i)
+		p.unate[i] = eng.Unateness(f, i)
 	}
-	p.cof2 = make([][][4]int, n)
 	for i := 0; i < n; i++ {
-		p.cof2[i] = make([][4]int, n)
 		for j := i + 1; j < n; j++ {
 			c11 := f.CofactorCount2(i, true, j, true)
 			c10 := f.CofactorCount2(i, true, j, false)
@@ -55,7 +67,6 @@ func newProfile(f *tt.TT, eng *sig.Engine) *profile {
 			p.cof2[i][j] = [4]int{c00, c10, c01, c11} // index vi | vj<<1
 		}
 	}
-	return p
 }
 
 // cof2At returns the 2-ary count for (var i = vi, var j = vj), any order.
@@ -71,11 +82,26 @@ func (p *profile) cof2At(i, vi, j, vj int) int {
 type Matcher struct {
 	n   int
 	eng *sig.Engine
+
+	// Hot-path scratch, reused across calls so serving-path certification
+	// allocates nothing in steady state: the backtracking assignment
+	// arrays, a table for the final exact verification, and the profile +
+	// wrapper behind QueryProfile.
+	assignVar []int // g-var i -> f-var
+	assignNeg []int // g-var i -> phase bit
+	applyBuf  *tt.TT
+	qprof     profile
+	qwrap     Profile
 }
 
 // NewMatcher returns a matcher for n-variable functions.
 func NewMatcher(n int) *Matcher {
-	return &Matcher{n: n, eng: sig.NewEngine(n)}
+	return &Matcher{
+		n:         n,
+		eng:       sig.NewEngine(n),
+		assignVar: make([]int, n),
+		assignNeg: make([]int, n),
+	}
 }
 
 // Profile is an immutable precomputation of the signatures the matcher
@@ -91,12 +117,28 @@ type Profile struct {
 // not modify it).
 func (p *Profile) Fn() *tt.TT { return p.p.f }
 
-// Profile computes the query-side matcher profile of g.
+// Profile computes the query-side matcher profile of g. The result is
+// freshly allocated and may outlive the matcher; the serving hot path uses
+// QueryProfile instead.
 func (m *Matcher) Profile(g *tt.TT) *Profile {
 	if g.NumVars() != m.n {
 		panic("match: arity mismatch")
 	}
 	return &Profile{p: newProfile(g, m.eng), ones: g.CountOnes()}
+}
+
+// QueryProfile is Profile backed by the matcher's own scratch: it allocates
+// nothing in steady state, but the returned Profile (and anything derived
+// from it) is valid only until the next QueryProfile call on this matcher.
+// It is the per-query profile of the serving lookup path, where one profile
+// is built and immediately consumed by MatchProfiled over a collision chain.
+func (m *Matcher) QueryProfile(g *tt.TT) *Profile {
+	if g.NumVars() != m.n {
+		panic("match: arity mismatch")
+	}
+	fillProfile(&m.qprof, g, m.eng)
+	m.qwrap = Profile{p: &m.qprof, ones: g.CountOnes()}
+	return &m.qwrap
 }
 
 // RepProfile is an immutable precomputation of both output phases of a
@@ -184,81 +226,81 @@ func (m *Matcher) Equivalent(f, g *tt.TT) (npn.Transform, bool) {
 // records whether pf profiles the complemented phase of the original f, so
 // the witness reported upward already contains the output negation.
 func (m *Matcher) matchProfiles(pf, pg *profile, outNeg bool) (npn.Transform, bool) {
-	fc, g := pf.f, pg.f
-	n := m.n
-	assignVar := make([]int, n) // g-var i -> f-var
-	assignNeg := make([]int, n) // g-var i -> phase bit
-	used := 0
-
-	var search func(i int) bool
-	search = func(i int) bool {
-		if i == n {
-			// Final exact verification keeps the matcher sound even if a
-			// pruning rule were too weak. fc already carries the candidate
-			// output phase, so the check is a pure PN application.
-			inner := npn.Identity(n)
-			for k := 0; k < n; k++ {
-				inner.Perm[k] = uint8(assignVar[k])
-				inner.NegMask |= uint32(assignNeg[k]) << uint(k)
-			}
-			return inner.Apply(fc).Equal(g)
-		}
-		for j := 0; j < n; j++ {
-			if used>>uint(j)&1 == 1 {
-				continue
-			}
-			if pf.inf[j] != pg.inf[i] {
-				continue
-			}
-			for b := 0; b < 2; b++ {
-				// 1-ary: |g|x_i=v| must equal |fc|x_j=v⊕b|.
-				if pg.cof1[i][0] != pf.cof1[j][b] || pg.cof1[i][1] != pf.cof1[j][1^b] {
-					continue
-				}
-				// Unateness: g's variable i behaves like fc's variable j
-				// with the candidate phase applied.
-				want := pf.unate[j]
-				if b == 1 {
-					want = want.Negate()
-				}
-				if pg.unate[i] != want {
-					continue
-				}
-				// 2-ary against every already-assigned variable.
-				ok := true
-				for prev := 0; prev < i && ok; prev++ {
-					jp, bp := assignVar[prev], assignNeg[prev]
-					for vi := 0; vi < 2 && ok; vi++ {
-						for vp := 0; vp < 2; vp++ {
-							if pg.cof2At(i, vi, prev, vp) != pf.cof2At(j, vi^b, jp, vp^bp) {
-								ok = false
-								break
-							}
-						}
-					}
-				}
-				if !ok {
-					continue
-				}
-				assignVar[i], assignNeg[i] = j, b
-				used |= 1 << uint(j)
-				if search(i + 1) {
-					return true
-				}
-				used &^= 1 << uint(j)
-			}
-		}
-		return false
-	}
-
-	if search(0) {
+	if m.search(pf, pg, 0, 0) {
+		n := m.n
 		tr := npn.Identity(n)
 		tr.OutNeg = outNeg
 		for k := 0; k < n; k++ {
-			tr.Perm[k] = uint8(assignVar[k])
-			tr.NegMask |= uint32(assignNeg[k]) << uint(k)
+			tr.Perm[k] = uint8(m.assignVar[k])
+			tr.NegMask |= uint32(m.assignNeg[k]) << uint(k)
 		}
 		return tr, true
 	}
 	return npn.Transform{}, false
+}
+
+// search backtracks over (variable, phase) assignments for position i, with
+// used the bitmask of f-variables already taken. The assignment under
+// construction lives in the matcher's scratch arrays, so a search allocates
+// nothing.
+func (m *Matcher) search(pf, pg *profile, i int, used uint32) bool {
+	n := m.n
+	if i == n {
+		// Final exact verification keeps the matcher sound even if a
+		// pruning rule were too weak. pf.f already carries the candidate
+		// output phase, so the check is a pure PN application.
+		inner := npn.Identity(n)
+		for k := 0; k < n; k++ {
+			inner.Perm[k] = uint8(m.assignVar[k])
+			inner.NegMask |= uint32(m.assignNeg[k]) << uint(k)
+		}
+		if m.applyBuf == nil {
+			m.applyBuf = tt.New(n)
+		}
+		return inner.ApplyInto(m.applyBuf, pf.f).Equal(pg.f)
+	}
+	for j := 0; j < n; j++ {
+		if used>>uint(j)&1 == 1 {
+			continue
+		}
+		if pf.inf[j] != pg.inf[i] {
+			continue
+		}
+		for b := 0; b < 2; b++ {
+			// 1-ary: |g|x_i=v| must equal |fc|x_j=v⊕b|.
+			if pg.cof1[i][0] != pf.cof1[j][b] || pg.cof1[i][1] != pf.cof1[j][1^b] {
+				continue
+			}
+			// Unateness: g's variable i behaves like fc's variable j
+			// with the candidate phase applied.
+			want := pf.unate[j]
+			if b == 1 {
+				want = want.Negate()
+			}
+			if pg.unate[i] != want {
+				continue
+			}
+			// 2-ary against every already-assigned variable.
+			ok := true
+			for prev := 0; prev < i && ok; prev++ {
+				jp, bp := m.assignVar[prev], m.assignNeg[prev]
+				for vi := 0; vi < 2 && ok; vi++ {
+					for vp := 0; vp < 2; vp++ {
+						if pg.cof2At(i, vi, prev, vp) != pf.cof2At(j, vi^b, jp, vp^bp) {
+							ok = false
+							break
+						}
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			m.assignVar[i], m.assignNeg[i] = j, b
+			if m.search(pf, pg, i+1, used|1<<uint(j)) {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -80,11 +80,22 @@ func (t Transform) Validate() error {
 // (delta-swaps), the negations as masked shifts — so one application costs
 // O(n·2^n/64) word steps rather than a per-minterm loop.
 func (t Transform) Apply(f *tt.TT) *tt.TT {
-	if f.NumVars() != t.N {
+	return t.ApplyInto(f.Clone(), f)
+}
+
+// ApplyInto computes τ(f) into dst — Apply with the result table supplied
+// by the caller, so hot paths (matcher verification, witness replay) can
+// reuse one scratch table instead of allocating per application. dst and f
+// must have the transform's arity and may not alias. Returns dst.
+func (t Transform) ApplyInto(dst, f *tt.TT) *tt.TT {
+	if f.NumVars() != t.N || dst.NumVars() != t.N {
 		panic("npn: transform arity mismatch")
 	}
 	n := t.N
-	r := f.Clone()
+	r := dst
+	if r != f {
+		r.CopyFrom(f)
+	}
 	// g(x) = f(y) with y_{π(k)} = x_k: variable π(k) of f must end up at
 	// position k. Walk the positions, bringing each wanted variable in by
 	// one transposition; cur/at track which original variable currently

@@ -207,6 +207,22 @@ func (b replicaBackend) Resolve(s string) (*tt.TT, *api.Error) {
 	return f, nil
 }
 
+// CheckArity implements api.ArityBackend for the binary transport: the
+// arity must be inside the replicated federated range and its service
+// ready, mirroring Resolve.
+func (b replicaBackend) CheckArity(n int) *api.Error {
+	reg := b.f.Registry()
+	if n < reg.MinVars() || n > reg.MaxVars() {
+		return api.Errf(api.CodeArityOutOfRange,
+			"function of arity %d outside the federated range %d..%d",
+			n, reg.MinVars(), reg.MaxVars())
+	}
+	if _, err := reg.Service(n); err != nil {
+		return api.Errf(api.CodeInternal, "%v", err)
+	}
+	return nil
+}
+
 // Classify answers from the replicated stores; in proxy mode the misses
 // are re-asked of the primary and merged, and a proxy failure leaves the
 // local misses standing — the graceful degradation that keeps a follower

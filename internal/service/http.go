@@ -231,6 +231,16 @@ func (b backend) Resolve(s string) (*tt.TT, *api.Error) {
 	return f, nil
 }
 
+// CheckArity implements api.ArityBackend for the binary transport: this
+// stack serves exactly one arity.
+func (b backend) CheckArity(n int) *api.Error {
+	if n != b.svc.NumVars() {
+		return api.Errf(api.CodeArityOutOfRange,
+			"function of arity %d; this server serves arity %d", n, b.svc.NumVars())
+	}
+	return nil
+}
+
 func (b backend) Classify(_ context.Context, fs []*tt.TT) ([]api.Result, *api.Error) {
 	return ToAPIResults(b.svc.Classify(fs)), nil
 }
@@ -259,6 +269,7 @@ func ToAPIResults(rs []Result) []api.Result {
 		out[i] = api.Result{Key: r.Key, Index: r.Index, Hit: r.Hit, Witness: r.Witness}
 		if r.Hit {
 			out[i].RepHex = r.Rep.Hex()
+			out[i].Rep = r.Rep
 		}
 	}
 	return out

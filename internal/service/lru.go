@@ -49,6 +49,22 @@ func (c *lruCache) get(key string) (Result, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
+// getBytes is get keyed by the raw packed bytes. The m[string(key)] lookup
+// compiles to a no-copy map probe, so a hit (or miss) allocates nothing.
+func (c *lruCache) getBytes(key []byte) (Result, bool) {
+	if c.cap <= 0 {
+		return Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[string(key)]
+	if !ok {
+		return Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
 // put inserts or refreshes an entry, evicting the least recent past cap.
 func (c *lruCache) put(key string, val Result) {
 	if c.cap <= 0 {

@@ -291,10 +291,14 @@ func dedupBatch(fs []*tt.TT) (uniq []int, firstOf []int) {
 // service.certify span recording whether the LRU answered.
 func (s *Service) classifyOne(ctx context.Context, f *tt.TT) Result {
 	ctx, sp := obs.StartSpan(ctx, "service.certify")
-	var ck string
+	// The key lives in a stack buffer so a cache hit allocates nothing;
+	// only the miss path (which pays a store lookup anyway) materializes
+	// the string for put.
+	var kb [32]byte
+	var ck []byte
 	if s.cache != nil {
-		ck = cacheKey(f)
-		if r, ok := s.cache.get(ck); ok {
+		ck = appendCacheKey(kb[:0], f)
+		if r, ok := s.cache.getBytes(ck); ok {
 			s.cacheHits.Add(1)
 			s.hits.Add(1)
 			sp.SetAttr("cache", "hit")
@@ -313,7 +317,7 @@ func (s *Service) classifyOne(ctx context.Context, f *tt.TT) Result {
 		// forever; misses are not cached because a later insert would
 		// invalidate them.
 		if s.cache != nil {
-			s.cache.put(ck, r)
+			s.cache.put(string(ck), r)
 		}
 	} else {
 		s.misses.Add(1)
@@ -359,14 +363,19 @@ func (s *Service) fanOut(count int, fn func(i int)) {
 // cacheKey packs the function's truth-table words into a string key. The
 // arity is fixed per service, so the bits identify the function.
 func cacheKey(f *tt.TT) string {
-	words := f.Words()
-	b := make([]byte, 0, 8*len(words))
-	for _, w := range words {
+	return string(appendCacheKey(nil, f))
+}
+
+// appendCacheKey appends the packed truth-table words of f to b — the
+// allocation-free form of cacheKey for the hot path, which passes a stack
+// buffer and looks the bytes up without building a string.
+func appendCacheKey(b []byte, f *tt.TT) []byte {
+	for _, w := range f.Words() {
 		b = append(b,
 			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
 			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	return string(b)
+	return b
 }
 
 // Stats is a point-in-time snapshot of the service counters.

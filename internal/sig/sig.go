@@ -138,31 +138,47 @@ func SatCount(f *tt.TT) int { return f.CountOnes() }
 // OCV1 returns the 1-ary ordered cofactor vector: the 2n cofactor satisfy
 // counts |f|x_i=v| sorted in non-decreasing order.
 func (e *Engine) OCV1(f *tt.TT) []int {
+	return e.AppendOCV1(make([]int, 0, 2*e.n), f)
+}
+
+// AppendOCV1 appends the 1-ary ordered cofactor vector to v and returns
+// the extended slice — the allocation-free form of OCV1 for callers that
+// reuse a scratch slice across functions (the serving hot path). Only the
+// appended tail is sorted; v's existing prefix is untouched.
+func (e *Engine) AppendOCV1(v []int, f *tt.TT) []int {
 	e.check(f)
-	v := make([]int, 0, 2*e.n)
+	lo := len(v)
+	total := f.CountOnes()
 	for i := 0; i < e.n; i++ {
 		c1 := f.CofactorCount(i, true)
-		v = append(v, f.CountOnes()-c1, c1)
+		v = append(v, total-c1, c1)
 	}
-	e.sortCounts(v)
+	e.sortCounts(v[lo:])
 	return v
 }
 
 // OCV2 returns the 2-ary ordered cofactor vector: the C(n,2)·4 two-variable
 // cofactor satisfy counts sorted in non-decreasing order.
 func (e *Engine) OCV2(f *tt.TT) []int {
+	return e.AppendOCV2(make([]int, 0, e.n*(e.n-1)*2), f)
+}
+
+// AppendOCV2 appends the 2-ary ordered cofactor vector to v and returns
+// the extended slice; see AppendOCV1 for the scratch-reuse contract.
+func (e *Engine) AppendOCV2(v []int, f *tt.TT) []int {
 	e.check(f)
-	v := make([]int, 0, e.n*(e.n-1)*2)
+	lo := len(v)
+	total := f.CountOnes()
 	for i := 0; i < e.n; i++ {
 		for j := i + 1; j < e.n; j++ {
 			c11 := f.CofactorCount2(i, true, j, true)
 			c01 := f.CofactorCount2(i, false, j, true)
 			c10 := f.CofactorCount2(i, true, j, false)
-			c00 := f.CountOnes() - c11 - c01 - c10
+			c00 := total - c11 - c01 - c10
 			v = append(v, c00, c01, c10, c11)
 		}
 	}
-	e.sortCounts(v)
+	e.sortCounts(v[lo:])
 	return v
 }
 
@@ -242,12 +258,18 @@ func lastMask(n, wi, nw int) uint64 {
 // OIV returns the ordered influence vector: the n integer influences sorted
 // in non-decreasing order.
 func (e *Engine) OIV(f *tt.TT) []int {
+	return e.AppendOIV(make([]int, 0, e.n), f)
+}
+
+// AppendOIV appends the ordered influence vector to v and returns the
+// extended slice; see AppendOCV1 for the scratch-reuse contract.
+func (e *Engine) AppendOIV(v []int, f *tt.TT) []int {
 	e.check(f)
-	v := make([]int, e.n)
+	lo := len(v)
 	for i := 0; i < e.n; i++ {
-		v[i] = e.Influence(f, i)
+		v = append(v, e.Influence(f, i))
 	}
-	e.sortCounts(v)
+	e.sortCounts(v[lo:])
 	return v
 }
 

@@ -67,6 +67,51 @@ func VarUnateness(f *tt.TT, i int) Unateness {
 	}
 }
 
+// Unateness returns VarUnateness(f, i) computed directly on the truth-table
+// words: the two cofactor halves are compared in place instead of being
+// materialized as tables, so the call allocates nothing — this is the form
+// the matcher's profile fill uses on the serving hot path.
+func (e *Engine) Unateness(f *tt.TT, i int) Unateness {
+	e.check(f)
+	words := f.Words()
+	le, ge := true, true
+	if i < 6 {
+		s := uint(1) << uint(i)
+		p := tt.VarMaskWord(i)
+		for wi, w := range words {
+			w &= lastMask(e.n, wi, e.nw)
+			lo := w &^ p        // minterms with x_i = 0
+			hi := (w & p) >> s  // minterms with x_i = 1, aligned onto them
+			le = le && lo&^hi == 0
+			ge = ge && hi&^lo == 0
+			if !le && !ge {
+				return Binate
+			}
+		}
+	} else {
+		stride := 1 << (uint(i) - 6)
+		for wi := 0; wi < len(words); wi++ {
+			if wi&stride != 0 {
+				continue
+			}
+			lo, hi := words[wi], words[wi|stride]
+			le = le && lo&^hi == 0
+			ge = ge && hi&^lo == 0
+			if !le && !ge {
+				return Binate
+			}
+		}
+	}
+	switch {
+	case le && ge:
+		return Vacuous
+	case le:
+		return PosUnate
+	default:
+		return NegUnate
+	}
+}
+
 // implies reports a ≤ b pointwise (a → b is a tautology).
 func implies(a, b *tt.TT) bool {
 	aw, bw := a.Words(), b.Words()

@@ -99,3 +99,38 @@ func TestUnatenessProfileLength(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineUnatenessMatchesVarUnateness checks the word-level in-place
+// unateness against the cofactor-table reference on random functions of
+// every supported arity, including the multi-word n > 6 stride path.
+func TestEngineUnatenessMatchesVarUnateness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 1; n <= 9; n++ {
+		e := NewEngine(n)
+		for trial := 0; trial < 50; trial++ {
+			f := tt.Random(n, rng)
+			for i := 0; i < n; i++ {
+				want := VarUnateness(f, i)
+				if got := e.Unateness(f, i); got != want {
+					t.Fatalf("n=%d var=%d f=%s: Engine.Unateness=%v, VarUnateness=%v",
+						n, i, f.Hex(), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineUnatenessAllocs gates the in-place path: it must not allocate.
+func TestEngineUnatenessAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	e := NewEngine(8)
+	f := tt.Random(8, rng)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			e.Unateness(f, i)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Engine.Unateness allocates %.1f/run, want 0", allocs)
+	}
+}

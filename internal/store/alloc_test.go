@@ -1,0 +1,55 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/npn"
+	"repro/internal/tt"
+)
+
+// TestLookupHitAllocs gates the zero-alloc serving hot path: a cached
+// Lookup hit against a warm store — MSV hashing, query profile build, and
+// matcher certification included — must not allocate in steady state.
+// The bound is 2 (not 0) only to absorb a GC emptying the engine pool
+// mid-measurement; the steady-state path itself allocates nothing.
+func TestLookupHitAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the measured path")
+	}
+	for _, n := range []int{6, 8} {
+		s := New(n, Options{Config: ServingConfig()})
+		rng := rand.New(rand.NewSource(int64(900 + n)))
+		fs := make([]*tt.TT, 64)
+		for i := range fs {
+			fs[i] = tt.Random(n, rng)
+			s.Add(fs[i])
+		}
+		// Disguised queries exercise real certification, not Equal fast
+		// paths; a warm pass populates the profile cache and engine pool.
+		queries := make([]*tt.TT, len(fs))
+		for i, f := range fs {
+			tr := npn.Identity(n)
+			tr.Perm[0], tr.Perm[n-1] = uint8(n-1), 0
+			tr.NegMask = 0b11
+			tr.OutNeg = i%2 == 1
+			queries[i] = tr.Apply(f)
+		}
+		for _, q := range queries {
+			if _, _, _, _, ok := s.Lookup(q); !ok {
+				t.Fatalf("n=%d: warm lookup missed", n)
+			}
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			q := queries[i%len(queries)]
+			i++
+			if _, _, _, _, ok := s.Lookup(q); !ok {
+				t.Fatalf("n=%d: lookup missed", n)
+			}
+		})
+		if allocs > 2 {
+			t.Errorf("n=%d: cached serving Lookup allocates %.1f/op, want ~0", n, allocs)
+		}
+	}
+}

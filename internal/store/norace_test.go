@@ -1,0 +1,5 @@
+//go:build !race
+
+package store
+
+const raceEnabled = false

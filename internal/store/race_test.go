@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation gates skip under it because the instrumentation itself
+// allocates on the measured path.
+const raceEnabled = true

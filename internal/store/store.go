@@ -326,7 +326,9 @@ func (s *Store) certifyChain(ctx context.Context, sh *shard, key uint64, reps []
 			continue
 		}
 		if q == nil {
-			q = e.m.Profile(f)
+			// Scratch-backed: valid until e.m's next QueryProfile call,
+			// which cannot happen while this engine set is borrowed.
+			q = e.m.QueryProfile(f)
 		}
 		var rp *match.RepProfile
 		if i < len(profs) {

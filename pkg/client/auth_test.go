@@ -82,7 +82,10 @@ func TestRateLimitedRetryAfterHonored(t *testing.T) {
 	}))
 	t.Cleanup(srv.Close)
 
-	c := client.New(srv.URL, client.WithRetries(1), client.WithBackoff(time.Millisecond))
+	// Pinned to JSON so the call count below sees only the retry policy,
+	// not the binary-transport probe.
+	c := client.New(srv.URL, client.WithRetries(1), client.WithBackoff(time.Millisecond),
+		client.WithJSONTransport())
 	if _, err := c.Classify(context.Background(), []string{"e8"}); err != nil {
 		t.Fatalf("429+Retry-After was not retried: %v", err)
 	}

@@ -1,0 +1,144 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/tt"
+)
+
+// The client auto-negotiates the length-framed binary transport of
+// docs/WIRE.md: when every function in a batch names its arity
+// unambiguously, Classify and Insert send a binary frame and ask for a
+// binary response. The first proof that the server does not speak it —
+// an unsupported_media_type refusal, or a 200 that is not a binary
+// frame — latches a permanent JSON fallback for the client's lifetime,
+// so one round trip is the whole cost of probing an older server.
+
+// useBinary reports whether the binary transport is still worth trying.
+func (c *Client) useBinary() bool { return !c.jsonOnly && !c.binaryOff.Load() }
+
+// parseBinaryBatch parses a hex batch into truth tables with the arity
+// each hex length implies. It reports ok=false — meaning "send this
+// batch as JSON" — when any function cannot travel in a binary frame
+// with full fidelity: a one-digit table (ambiguous across arities 0–2),
+// a length that is not a power of two, an arity beyond tt.MaxVars, or
+// hex that does not parse (the JSON path owns the canonical bad_hex
+// error). An empty batch also goes JSON for its canonical error.
+func parseBinaryBatch(fns []string) ([]*tt.TT, bool) {
+	if len(fns) == 0 {
+		return nil, false
+	}
+	fs := make([]*tt.TT, len(fns))
+	for i, s := range fns {
+		l := len(s)
+		if l < 2 || l&(l-1) != 0 {
+			return nil, false
+		}
+		n := bits.TrailingZeros(uint(l)) + 2
+		if n > tt.MaxVars {
+			return nil, false
+		}
+		f, err := tt.FromHex(n, s)
+		if err != nil {
+			return nil, false
+		}
+		fs[i] = f
+	}
+	return fs, true
+}
+
+// postBinary sends one binary-framed batch and returns the binary
+// response body. fallback=true (always alongside a non-nil error) means
+// the server does not speak the transport and the caller should retry
+// the same batch as JSON — the permanent fallback flag is already set.
+func (c *Client) postBinary(ctx context.Context, path string, fs []*tt.TT) (body []byte, fallback bool, err error) {
+	frame := api.EncodeBinaryRequest(fs, false)
+	status, resp, err := c.doAccept(ctx, http.MethodPost, path,
+		api.BinaryContentType, api.BinaryContentType, frame)
+	if err != nil {
+		return nil, false, err
+	}
+	if status != http.StatusOK {
+		err := decodeAPIError(status, resp)
+		if apiErr, ok := err.(*api.Error); ok && apiErr.Code == api.CodeUnsupportedMediaType {
+			c.binaryOff.Store(true)
+			return nil, true, err
+		}
+		return nil, false, err
+	}
+	// A 200 that does not open with the frame magic is a server (or
+	// intermediary) that ignored the negotiation and answered JSON.
+	if len(resp) < 2 || resp[0] != 'N' || resp[1] != 'B' {
+		c.binaryOff.Store(true)
+		return nil, true, fmt.Errorf("client: %s: 200 response is not a binary frame", path)
+	}
+	return resp, false, nil
+}
+
+// classifyBinary runs one classify batch over the binary transport and
+// reshapes the decoded frame into the same ClassifyResponse the JSON
+// path returns, echoing the caller's own hex strings.
+func (c *Client) classifyBinary(ctx context.Context, fns []string, fs []*tt.TT) (*api.ClassifyResponse, bool, error) {
+	body, fallback, err := c.postBinary(ctx, "/v2/classify", fs)
+	if err != nil {
+		return nil, fallback, err
+	}
+	items, err := api.DecodeBinaryClassify(body)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: decoding binary classify response: %w", err)
+	}
+	if len(items) != len(fns) {
+		return nil, false, fmt.Errorf("client: binary classify response has %d items, want %d", len(items), len(fns))
+	}
+	out := &api.ClassifyResponse{Results: make([]api.ClassifyItem, len(items))}
+	for i, it := range items {
+		if it.Err != nil {
+			out.Results[i] = api.ClassifyItem{Function: fns[i], Error: it.Err}
+			out.Errors++
+			continue
+		}
+		ci := api.ClassifyItem{Function: fns[i], Hit: it.Hit, Class: api.KeyHex(it.Key)}
+		if it.Hit {
+			idx := it.Index
+			ci.Index = &idx
+			ci.Rep = it.Rep.Hex()
+			ci.Witness = api.NewWitness(it.Witness)
+		}
+		out.Results[i] = ci
+	}
+	return out, false, nil
+}
+
+// insertBinary is classifyBinary's insert twin.
+func (c *Client) insertBinary(ctx context.Context, fns []string, fs []*tt.TT) (*api.InsertResponse, bool, error) {
+	body, fallback, err := c.postBinary(ctx, "/v2/insert", fs)
+	if err != nil {
+		return nil, fallback, err
+	}
+	items, err := api.DecodeBinaryInsert(body)
+	if err != nil {
+		return nil, false, fmt.Errorf("client: decoding binary insert response: %w", err)
+	}
+	if len(items) != len(fns) {
+		return nil, false, fmt.Errorf("client: binary insert response has %d items, want %d", len(items), len(fns))
+	}
+	out := &api.InsertResponse{Results: make([]api.InsertItem, len(items))}
+	for i, it := range items {
+		if it.Err != nil {
+			out.Results[i] = api.InsertItem{Function: fns[i], Error: it.Err}
+			out.Errors++
+			continue
+		}
+		out.Results[i] = api.InsertItem{
+			Function: fns[i],
+			Class:    api.KeyHex(it.Key),
+			Index:    it.Index,
+			New:      it.New,
+		}
+	}
+	return out, false, nil
+}

@@ -30,6 +30,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/api"
@@ -54,6 +55,10 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	apiKey  string
+	// jsonOnly pins the JSON transport (WithJSONTransport); binaryOff
+	// latches once a server proves it does not speak the binary frame.
+	jsonOnly  bool
+	binaryOff atomic.Bool
 }
 
 // Option configures a Client.
@@ -78,6 +83,11 @@ func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = 
 // (-keys/-key) authenticates and meters quotas by.
 func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
 
+// WithJSONTransport pins Classify and Insert to the JSON envelope,
+// disabling the binary-frame negotiation. Useful against intermediaries
+// that inspect bodies, or when debugging with text-only tooling.
+func WithJSONTransport() Option { return func(c *Client) { c.jsonOnly = true } }
+
 // New returns a client for the server at base (e.g. "http://host:8080").
 func New(base string, opts ...Option) *Client {
 	c := &Client{
@@ -97,8 +107,22 @@ func (c *Client) Base() string { return c.base }
 
 // Classify looks up a batch of hex truth tables via POST /v2/classify.
 // Per-item failures are on the returned items; the error return is for
-// envelope-level failures only.
+// envelope-level failures only. When every function's arity is
+// unambiguous the batch travels as a binary frame (docs/WIRE.md),
+// falling back to the JSON envelope — permanently, after one refusal —
+// against servers that do not speak it.
 func (c *Client) Classify(ctx context.Context, fns []string) (*api.ClassifyResponse, error) {
+	if c.useBinary() {
+		if fs, ok := parseBinaryBatch(fns); ok {
+			out, fallback, err := c.classifyBinary(ctx, fns, fs)
+			if err == nil {
+				return out, nil
+			}
+			if !fallback {
+				return nil, err
+			}
+		}
+	}
 	var out api.ClassifyResponse
 	if err := c.postJSON(ctx, "/v2/classify", api.BatchRequest{Functions: fns}, &out); err != nil {
 		return nil, err
@@ -106,8 +130,20 @@ func (c *Client) Classify(ctx context.Context, fns []string) (*api.ClassifyRespo
 	return &out, nil
 }
 
-// Insert inserts a batch of hex truth tables via POST /v2/insert.
+// Insert inserts a batch of hex truth tables via POST /v2/insert,
+// negotiating the transport exactly as Classify does.
 func (c *Client) Insert(ctx context.Context, fns []string) (*api.InsertResponse, error) {
+	if c.useBinary() {
+		if fs, ok := parseBinaryBatch(fns); ok {
+			out, fallback, err := c.insertBinary(ctx, fns, fs)
+			if err == nil {
+				return out, nil
+			}
+			if !fallback {
+				return nil, err
+			}
+		}
+	}
 	var out api.InsertResponse
 	if err := c.postJSON(ctx, "/v2/insert", api.BatchRequest{Functions: fns}, &out); err != nil {
 		return nil, err
@@ -203,7 +239,7 @@ func (c *Client) Compact(ctx context.Context) (json.RawMessage, error) {
 // probe that retried 503s would mask and delay exactly the state it
 // exists to surface.
 func (c *Client) Healthz(ctx context.Context) (int, json.RawMessage, error) {
-	status, _, body, err := c.once(ctx, http.MethodGet, "/healthz", "", nil)
+	status, _, body, err := c.once(ctx, http.MethodGet, "/healthz", "", "", nil)
 	return status, body, err
 }
 
@@ -255,6 +291,12 @@ func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
 // backoff schedule — otherwise it is returned to the caller at once so
 // quota exhaustion is visible instead of silently amplified.
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) (int, []byte, error) {
+	return c.doAccept(ctx, method, path, contentType, "", body)
+}
+
+// doAccept is do with an explicit Accept header — the binary transport
+// negotiates the response encoding through it.
+func (c *Client) doAccept(ctx context.Context, method, path, contentType, accept string, body []byte) (int, []byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
@@ -262,7 +304,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 				return 0, nil, err
 			}
 		}
-		status, hdr, respBody, err := c.once(ctx, method, path, contentType, body)
+		status, hdr, respBody, err := c.once(ctx, method, path, contentType, accept, body)
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
@@ -309,7 +351,7 @@ func retryAfter(hdr http.Header) (time.Duration, bool) {
 	return d, true
 }
 
-func (c *Client) once(ctx context.Context, method, path, contentType string, body []byte) (int, http.Header, []byte, error) {
+func (c *Client) once(ctx context.Context, method, path, contentType, accept string, body []byte) (int, http.Header, []byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -320,6 +362,9 @@ func (c *Client) once(ctx context.Context, method, path, contentType string, bod
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	if c.apiKey != "" {
 		req.Header.Set("Authorization", "Bearer "+c.apiKey)

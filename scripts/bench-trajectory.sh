@@ -37,7 +37,7 @@ go build -o "$WORK/npnserve" ./cmd/npnserve
 go build -o "$WORK/benchtraj" ./cmd/benchtraj
 
 echo "== benchmarks (benchtime=$BENCHTIME)"
-go test -run '^$' -bench 'LookupCachedVsUncached|WALReplay|StoreThroughput' \
+go test -run '^$' -bench 'LookupCachedVsUncached|TransportClassify|WALReplay|StoreThroughput' \
   -benchtime "$BENCHTIME" -benchmem . | tee "$WORK/bench.txt"
 
 echo "== loadgen against a live durable server on $ADDR"

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# docs-check.sh — keep the documentation honest.
+#
+# Two checks, both over README.md plus everything in docs/:
+#
+#   1. Links: every relative markdown link target must exist on disk
+#      (anchors are stripped; http(s) links are not fetched).
+#   2. Flag drift: every flag registered in cmd/npnserve/main.go must be
+#      mentioned in docs/OPERATIONS.md, so adding a server flag without
+#      documenting it fails CI.
+#
+# Usage: scripts/docs-check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== markdown links"
+docs=(README.md docs/*.md)
+for doc in "${docs[@]}"; do
+  dir=$(dirname "$doc")
+  # inline links: [text](target) — skip absolute URLs and pure anchors
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN  $doc -> $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+echo "== npnserve flags vs docs/OPERATIONS.md"
+flags=$(grep -oE 'flag\.[A-Za-z0-9]+Var\(&[^,]+, "[a-z-]+"' cmd/npnserve/main.go \
+  | sed -E 's/.*"([a-z-]+)"$/\1/' | sort -u)
+[ -n "$flags" ] || { echo "no flags parsed from cmd/npnserve/main.go"; exit 1; }
+for f in $flags; do
+  if ! grep -q -- "-$f" docs/OPERATIONS.md; then
+    echo "UNDOCUMENTED  -$f (cmd/npnserve flag missing from docs/OPERATIONS.md)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-check: FAILED"
+  exit 1
+fi
+echo "docs-check: ok ($(echo "$flags" | wc -l) flags, ${#docs[@]} documents)"
