@@ -386,6 +386,11 @@ var cutEnumSink int
 // chains the profile cache is designed to make affordable — the cache is
 // the difference between that config being a win or a loss). Results are
 // recorded in BENCH_lookup.json.
+//
+// The allocation profile this benchmark reports is load-bearing: the hit
+// path carries //npn:noalloc annotations that cmd/npnlint checks against
+// escape analysis, and store.TestNoallocParity pins that annotation set
+// to the same function list the AllocsPerRun gates measure.
 func BenchmarkLookupCachedVsUncached(b *testing.B) {
 	for _, n := range []int{6, 8} {
 		fs := circuitWorkload(n)

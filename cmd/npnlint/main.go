@@ -1,0 +1,35 @@
+// npnlint is the repo's domain-aware lint driver: five analyzers that
+// machine-check serving invariants generic linters cannot express (see
+// the package comment on internal/lint and docs/DEVELOPMENT.md).
+//
+// Usage:
+//
+//	go run ./cmd/npnlint ./...
+//	go run ./cmd/npnlint -only metricsdrift ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/errtaxonomy"
+	"repro/internal/lint/lockfsync"
+	"repro/internal/lint/metricsdrift"
+	"repro/internal/lint/noalloc"
+	"repro/internal/lint/spanend"
+)
+
+// Analyzers is the full suite, in the order findings are attributed.
+var Analyzers = []*lint.Analyzer{
+	lockfsync.Analyzer,
+	spanend.Analyzer,
+	errtaxonomy.Analyzer,
+	metricsdrift.Analyzer,
+	noalloc.Analyzer,
+}
+
+func main() {
+	os.Exit(lint.Main(Analyzers, os.Args[1:], os.Stdout, os.Stderr))
+}

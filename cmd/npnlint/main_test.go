@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestListAnalyzers checks the registered analyzer set through the real
+// flag surface.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := lint.Main(Analyzers, []string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("npnlint -list exited %d\n%s", code, stderr.String())
+	}
+	for _, name := range []string{"lockfsync", "spanend", "errtaxonomy", "metricsdrift", "noalloc"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output is missing %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestRepoClean is the smoke test: the real multichecker, flags and
+// loader included, must run clean over the whole module — the same
+// invocation CI performs.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := lint.Main(Analyzers, []string{"-C", "../..", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("npnlint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}

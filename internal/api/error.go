@@ -138,9 +138,14 @@ func (e *Error) WithRequestID(id string) *Error {
 
 // HTTPStatus maps the code to its response status. Per-item errors inside
 // a 200 batch response never reach this; it applies when an Error is the
-// whole response.
+// whole response. Every registered code has an explicit case (the
+// errtaxonomy analyzer enforces this): the default exists only for a
+// code minted outside the taxonomy, which is itself a server bug and is
+// reported as one.
 func (e *Error) HTTPStatus() int {
 	switch e.Code {
+	case CodeBadRequest, CodeBadHex, CodeArityOutOfRange, CodeBatchTooLarge, CodeBadCircuit:
+		return http.StatusBadRequest
 	case CodeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge
 	case CodeUnsupportedMediaType:
@@ -161,8 +166,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusTooManyRequests
 	case CodeVerifyFailed, CodeInternal:
 		return http.StatusInternalServerError
-	default: // bad_request, bad_hex, arity_out_of_range, batch_too_large, bad_circuit
-		return http.StatusBadRequest
+	default: // unregistered code: a server bug, not a client error
+		return http.StatusInternalServerError
 	}
 }
 

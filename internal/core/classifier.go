@@ -126,11 +126,15 @@ func (c *Classifier) KeyBytes(f *tt.TT) []byte {
 
 // Hash returns the 64-bit FNV-1a hash of the canonical MSV. It reuses the
 // classifier's scratch buffers and allocates nothing in steady state.
+//
+//npn:noalloc
 func (c *Classifier) Hash(f *tt.TT) uint64 { return fnv1a(c.keyView(f)) }
 
 // keyView computes the canonical serialized MSV of f into the classifier's
 // scratch buffers. The returned slice aliases that scratch: it is valid
 // only until the next keyView/Hash/KeyBytes call.
+//
+//npn:noalloc
 func (c *Classifier) keyView(f *tt.TT) []byte {
 	if f.NumVars() != c.n {
 		panic("core: function arity does not match classifier")

@@ -1,0 +1,229 @@
+// A stdlib-only analogue of golang.org/x/tools/go/analysis/analysistest:
+// fixture packages live under <analyzer>/testdata/src/<importpath>/ and
+// carry `// want "regexp"` comments on the lines where findings are
+// expected. Fixture import paths shadow real ones (a fixture declares its
+// own repro/internal/obs stub), so analyzers match the same package paths
+// they match in the real module; imports the fixture tree does not
+// provide resolve through the compiler's export data.
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FixtureDiagnostics loads the fixture packages rooted at
+// fixtureRoot/src and runs a over them, returning every finding (nolint
+// already applied) and the loaded program.
+func FixtureDiagnostics(t *testing.T, a *Analyzer, fixtureRoot string, pkgPaths ...string) ([]Diagnostic, *Program) {
+	t.Helper()
+	prog, err := loadFixture(fixtureRoot, pkgPaths)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags, err := RunAnalyzer(a, prog, nil)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	return diags, prog
+}
+
+// RunFixture runs a over the fixture tree and diffs its findings in Go
+// files against the `// want` expectations. Findings against non-Go
+// files (docs) are returned for the caller to assert.
+func RunFixture(t *testing.T, a *Analyzer, fixtureRoot string, pkgPaths ...string) []Diagnostic {
+	t.Helper()
+	diags, prog := FixtureDiagnostics(t, a, fixtureRoot, pkgPaths...)
+	wants := collectWants(t, prog)
+	var nonGo []Diagnostic
+	matched := map[int]bool{}
+	for _, d := range diags {
+		if !strings.HasSuffix(d.File, ".go") {
+			nonGo = append(nonGo, d)
+			continue
+		}
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.File || w.line != d.Line {
+				continue
+			}
+			if w.re.MatchString(d.Msg) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return nonGo
+}
+
+type wantExpect struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// collectWants parses `// want "re" ["re"...]` comments from every
+// loaded fixture file.
+func collectWants(t *testing.T, prog *Program) []wantExpect {
+	t.Helper()
+	var out []wantExpect
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(m[1], -1) {
+						s, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(s)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+						}
+						out = append(out, wantExpect{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loadFixture loads pkgPaths (and their fixture-tree dependency closure)
+// from fixtureRoot/src, with export data covering out-of-tree imports.
+func loadFixture(fixtureRoot string, pkgPaths []string) (*Program, error) {
+	root, err := filepath.Abs(fixtureRoot)
+	if err != nil {
+		return nil, err
+	}
+	overlay := func(path string) (string, []string, bool) {
+		dir := filepath.Join(root, "src", filepath.FromSlash(path))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return "", nil, false
+		}
+		var files []string
+		for _, e := range ents {
+			name := e.Name()
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				files = append(files, filepath.Join(dir, name))
+			}
+		}
+		if len(files) == 0 {
+			return "", nil, false
+		}
+		return dir, files, true
+	}
+
+	// Walk the overlay import closure to learn which imports need export
+	// data, then resolve those through one `go list -export -deps` run.
+	external := map[string]bool{}
+	seen := map[string]bool{}
+	queue := append([]string(nil), pkgPaths...)
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		_, files, ok := overlay(path)
+		if !ok {
+			return nil, fmt.Errorf("fixture package %q not found under %s/src", path, fixtureRoot)
+		}
+		fset := token.NewFileSet()
+		for _, file := range files {
+			af, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			for _, imp := range af.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if _, _, ok := overlay(p); ok {
+					if !seen[p] {
+						queue = append(queue, p)
+					}
+				} else if p != "unsafe" {
+					external[p] = true
+				}
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(external) > 0 {
+		var paths []string
+		for p := range external {
+			paths = append(paths, p)
+		}
+		sortStrings(paths)
+		// Run from this module's root so `go list` has a module context.
+		modRoot, err := moduleRoot(".")
+		if err != nil {
+			return nil, err
+		}
+		listed, err := goList(modRoot, paths)
+		if err != nil {
+			return nil, err
+		}
+		for path, p := range listed {
+			if p.Export != "" {
+				exports[path] = p.Export
+			}
+		}
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Dir:    root,
+		Module: "repro",
+		Info:   newTypesInfo(),
+		byPath: map[string]*Package{},
+	}
+	gcImp := newExportImporter(prog.Fset, exports)
+	ld := &sourceLoader{
+		prog:     prog,
+		fallback: gcImp,
+		checked:  map[string]*types.Package{},
+		resolve:  func(string) (*listedPkg, bool) { return nil, false },
+		overlay:  overlay,
+	}
+	var roots []string
+	for p := range seen {
+		roots = append(roots, p)
+	}
+	sortStrings(roots)
+	for _, p := range roots {
+		if _, err := ld.load(p); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}

@@ -1,0 +1,126 @@
+// Shared semantic helpers for the analyzers: resolving call expressions
+// to their callee objects, indexing function bodies by object, and
+// devirtualizing interface method calls to the module types that
+// implement them — the machinery behind lockfsync's interprocedural
+// reachability.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncBodies indexes every function and method declaration in the
+// program by its types object, so analyzers can walk from a call site
+// into the callee's body.
+func FuncBodies(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CalleeOf resolves a call expression to the *types.Func it statically
+// invokes: a package function, a method on a concrete receiver, or an
+// interface method (the caller decides whether to devirtualize). It
+// returns nil for calls through function values, builtins and type
+// conversions.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// IsInterfaceCall reports whether call invokes a method through an
+// interface value.
+func IsInterfaceCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	_, isIface := s.Recv().Underlying().(*types.Interface)
+	return isIface
+}
+
+// Implementations returns, for an interface method obj, the concrete
+// methods of module types that implement it — the devirtualization set a
+// whole-module analysis may assume the call dispatches into. Types are
+// drawn from every loaded package's scope (including unexported ones).
+func Implementations(pass *Pass, iface *types.Interface, method *types.Func) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	for _, pkg := range pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if types.IsInterface(named) {
+				continue
+			}
+			for _, typ := range []types.Type{named, types.NewPointer(named)} {
+				if !types.Implements(typ, iface) {
+					continue
+				}
+				obj, _, _ := types.LookupFieldOrMethod(typ, true, method.Pkg(), method.Name())
+				if fn, ok := obj.(*types.Func); ok && !seen[fn] {
+					seen[fn] = true
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FuncID renders a stable human-readable identifier for fn:
+// pkg.Func or pkg.(*Recv).Method.
+func FuncID(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if ok && sig.Recv() != nil {
+		return pkg + ".(" + types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return "" }) + ")." + fn.Name()
+	}
+	if pkg != "" {
+		return pkg + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,339 @@
+// A small statement-level control-flow graph over go/ast, sufficient for
+// the path questions the analyzers ask ("is a function exit reachable
+// from this statement without passing through that one?"). It models if,
+// for, range, switch, type switch, select, block nesting, return, and
+// unlabeled break/continue/fallthrough. Functions using goto or labeled
+// branches set OK=false and the analyzers skip them rather than guess —
+// the repo has none, and the conservative bail-out keeps the analysis
+// honest if one ever appears.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// EdgeKind annotates a CFG edge with the branch it takes.
+type EdgeKind int
+
+const (
+	// EdgeNormal is ordinary fallthrough control flow.
+	EdgeNormal EdgeKind = iota
+	// EdgeTrue leaves an if node when its condition held.
+	EdgeTrue
+	// EdgeFalse leaves an if node when its condition did not hold.
+	EdgeFalse
+)
+
+// Edge is one directed CFG edge.
+type Edge struct {
+	To   *CFGNode
+	Kind EdgeKind
+}
+
+// CFGNode is one statement (Stmt == nil for the synthetic exit node).
+type CFGNode struct {
+	Stmt  ast.Stmt
+	Succs []Edge
+	// Cond is set on if nodes: the branch condition governing EdgeTrue
+	// and EdgeFalse successors.
+	Cond ast.Expr
+}
+
+// CFG is the graph of one function body.
+type CFG struct {
+	Entry *CFGNode // synthetic; its successors start the body
+	Exit  *CFGNode // synthetic; reached by every return and by falling off the end
+	Nodes []*CFGNode
+	// OK is false when the body uses control flow the builder does not
+	// model (goto, labeled branches); analyzers must then skip the body.
+	OK bool
+}
+
+// EnclosingStmt returns the innermost non-block statement ancestor of n
+// within body — the statement the CFG builder models as n's node (block
+// statements are flattened and never get nodes of their own).
+func EnclosingStmt(body *ast.BlockStmt, n ast.Node) ast.Stmt {
+	var found ast.Stmt
+	var stack []ast.Node
+	ast.Inspect(body, func(m ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, m)
+		if m == n {
+			for i := len(stack) - 1; i >= 0; i-- {
+				s, ok := stack[i].(ast.Stmt)
+				if !ok {
+					continue
+				}
+				if _, isBlock := s.(*ast.BlockStmt); isBlock {
+					continue
+				}
+				found = s
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// NodeFor returns the CFG node for stmt, or nil.
+func (g *CFG) NodeFor(stmt ast.Stmt) *CFGNode {
+	for _, n := range g.Nodes {
+		if n.Stmt == stmt {
+			return n
+		}
+	}
+	return nil
+}
+
+// BuildCFG builds the graph of body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{OK: true}}
+	b.g.Entry = b.newNode(nil)
+	b.g.Exit = b.newNode(nil)
+	frontier := b.stmtList(body.List, []*CFGNode{b.g.Entry}, EdgeNormal)
+	b.connect(frontier, b.g.Exit, EdgeNormal)
+	return b.g
+}
+
+type loopCtx struct {
+	breakTo    *CFGNode
+	continueTo *CFGNode
+	isSwitch   bool // break targets switches/selects too
+}
+
+type cfgBuilder struct {
+	g     *CFG
+	loops []loopCtx
+	// pendingFallthrough collects fallthrough nodes awaiting the next
+	// case clause's first node.
+	pendingFallthrough []*CFGNode
+}
+
+func (b *cfgBuilder) newNode(s ast.Stmt) *CFGNode {
+	n := &CFGNode{Stmt: s}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) connect(from []*CFGNode, to *CFGNode, kind EdgeKind) {
+	for _, f := range from {
+		f.Succs = append(f.Succs, Edge{To: to, Kind: kind})
+	}
+}
+
+// stmtList threads the frontier through a statement list.
+func (b *cfgBuilder) stmtList(list []ast.Stmt, from []*CFGNode, kind EdgeKind) []*CFGNode {
+	cur, curKind := from, kind
+	for _, s := range list {
+		cur = b.stmt(s, cur, curKind)
+		curKind = EdgeNormal
+	}
+	return cur
+}
+
+// stmt wires one statement into the graph and returns the new frontier —
+// the nodes whose control continues to whatever follows s.
+func (b *cfgBuilder) stmt(s ast.Stmt, from []*CFGNode, kind EdgeKind) []*CFGNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, from, kind)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			init := b.newNode(s.Init)
+			b.connect(from, init, kind)
+			from, kind = []*CFGNode{init}, EdgeNormal
+		}
+		cond := b.newNode(s)
+		cond.Cond = s.Cond
+		b.connect(from, cond, kind)
+		thenOut := b.stmtList(s.Body.List, []*CFGNode{cond}, EdgeTrue)
+		var elseOut []*CFGNode
+		if s.Else != nil {
+			elseOut = b.stmt(s.Else, []*CFGNode{cond}, EdgeFalse)
+		} else {
+			elseOut = []*CFGNode{cond}
+			// The implicit-else edge kind is applied when the frontier is
+			// next connected; record it by a synthetic join node so the
+			// EdgeFalse annotation is not lost.
+			join := b.newNode(nil)
+			b.connect(elseOut, join, EdgeFalse)
+			elseOut = []*CFGNode{join}
+		}
+		return append(thenOut, elseOut...)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			init := b.newNode(s.Init)
+			b.connect(from, init, kind)
+			from, kind = []*CFGNode{init}, EdgeNormal
+		}
+		head := b.newNode(s)
+		head.Cond = s.Cond
+		b.connect(from, head, kind)
+		var post *CFGNode
+		if s.Post != nil {
+			post = b.newNode(s.Post)
+			post.Succs = append(post.Succs, Edge{To: head})
+		}
+		continueTo := head
+		if post != nil {
+			continueTo = post
+		}
+		after := b.newNode(nil) // synthetic loop-exit join
+		b.loops = append(b.loops, loopCtx{breakTo: after, continueTo: continueTo})
+		bodyKind := EdgeNormal
+		if s.Cond != nil {
+			bodyKind = EdgeTrue
+		}
+		bodyOut := b.stmtList(s.Body.List, []*CFGNode{head}, bodyKind)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.connect(bodyOut, continueTo, EdgeNormal)
+		if s.Cond != nil {
+			head.Succs = append(head.Succs, Edge{To: after, Kind: EdgeFalse})
+		}
+		return []*CFGNode{after}
+
+	case *ast.RangeStmt:
+		head := b.newNode(s)
+		b.connect(from, head, kind)
+		after := b.newNode(nil)
+		head.Succs = append(head.Succs, Edge{To: after}) // empty collection
+		b.loops = append(b.loops, loopCtx{breakTo: after, continueTo: head})
+		bodyOut := b.stmtList(s.Body.List, []*CFGNode{head}, EdgeNormal)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.connect(bodyOut, head, EdgeNormal)
+		return []*CFGNode{after}
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.switchLike(s, from, kind)
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		b.connect(from, n, kind)
+		n.Succs = append(n.Succs, Edge{To: b.g.Exit})
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.newNode(s)
+		b.connect(from, n, kind)
+		if s.Label != nil {
+			b.g.OK = false
+			return nil
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if len(b.loops) > 0 {
+				n.Succs = append(n.Succs, Edge{To: b.loops[len(b.loops)-1].breakTo})
+				return nil
+			}
+			b.g.OK = false
+		case token.CONTINUE:
+			for i := len(b.loops) - 1; i >= 0; i-- {
+				if b.loops[i].isSwitch {
+					continue
+				}
+				n.Succs = append(n.Succs, Edge{To: b.loops[i].continueTo})
+				return nil
+			}
+			b.g.OK = false
+		case token.FALLTHROUGH:
+			b.pendingFallthrough = append(b.pendingFallthrough, n)
+		case token.GOTO:
+			b.g.OK = false
+		}
+		return nil
+
+	case *ast.LabeledStmt:
+		b.g.OK = false
+		return b.stmt(s.Stmt, from, kind)
+
+	default:
+		// Plain statements: assignments, expressions, declarations, defer,
+		// go, send, incdec. One node, straight through.
+		n := b.newNode(s)
+		b.connect(from, n, kind)
+		return []*CFGNode{n}
+	}
+}
+
+// switchLike wires switch, type switch and select: every clause body
+// starts at the head node; the frontier is the union of clause exits,
+// plus the head itself when there is no default clause.
+func (b *cfgBuilder) switchLike(s ast.Stmt, from []*CFGNode, kind EdgeKind) []*CFGNode {
+	var init ast.Stmt
+	var clauses []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init = s.Init
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		init = s.Init
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	if init != nil {
+		n := b.newNode(init)
+		b.connect(from, n, kind)
+		from, kind = []*CFGNode{n}, EdgeNormal
+	}
+	head := b.newNode(s)
+	b.connect(from, head, kind)
+	after := b.newNode(nil)
+	b.loops = append(b.loops, loopCtx{breakTo: after, isSwitch: true})
+	var out []*CFGNode
+	hasDefault := false
+	// One synthetic entry node per clause, so a fallthrough from clause i
+	// can target clause i+1's body precisely.
+	entries := make([]*CFGNode, len(clauses))
+	for i := range clauses {
+		entries[i] = b.newNode(nil)
+		head.Succs = append(head.Succs, Edge{To: entries[i]})
+	}
+	var carried []*CFGNode
+	for i, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+				body = c.Body
+			} else {
+				// The comm statement itself executes when the case fires.
+				body = append([]ast.Stmt{c.Comm}, c.Body...)
+			}
+		}
+		for _, ft := range carried {
+			ft.Succs = append(ft.Succs, Edge{To: entries[i]})
+		}
+		carried = nil
+		clauseOut := b.stmtList(body, []*CFGNode{entries[i]}, EdgeNormal)
+		carried = b.pendingFallthrough
+		b.pendingFallthrough = nil
+		out = append(out, clauseOut...)
+	}
+	if len(carried) > 0 {
+		// fallthrough in the final clause is a compile error; be safe.
+		b.g.OK = false
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.connect(out, after, EdgeNormal)
+	if !hasDefault {
+		head.Succs = append(head.Succs, Edge{To: after})
+	}
+	return []*CFGNode{after}
+}

@@ -1,0 +1,156 @@
+// Package errtaxonomy keeps the error-code taxonomy closed: every
+// api.Code constant must be published by api.Codes() (which feeds
+// GET /v2/spec and docs/WIRE.md) and must have an explicit case in
+// (*Error).HTTPStatus — a code that falls through to the default status
+// is wrong on the wire the day someone assumes the default. Conversely,
+// no package may mint an error code string that is not a declared
+// constant: `api.Code("oops")` or `api.Error{Code: "oops"}` anywhere in
+// the module is a finding, because such a code is invisible to the spec
+// endpoint, the docs, and the client SDK's switch statements.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the errtaxonomy analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "api error codes must be registered in Codes() and HTTPStatus, and never minted ad hoc",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	apiPath := pass.Module + "/internal/api"
+	apiPkg := pass.Package(apiPath)
+	if apiPkg == nil {
+		return nil // api package not under analysis
+	}
+	codeObj, ok := apiPkg.Types.Scope().Lookup("Code").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	codeType := codeObj.Type()
+
+	// The declared taxonomy: every package-level constant of type Code.
+	declared := map[types.Object]string{} // object -> string value
+	values := map[string]bool{}
+	scope := apiPkg.Types.Scope()
+	for _, name := range scope.Names() {
+		cst, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(cst.Type(), codeType) {
+			continue
+		}
+		v := constant.StringVal(cst.Val())
+		declared[cst] = v
+		values[v] = true
+	}
+
+	published := identsResolvingTo(pass, apiPkg, "Codes", declared)
+	cased := httpStatusCases(pass, apiPkg, declared)
+
+	for obj, val := range declared {
+		if !published[obj] {
+			pass.Reportf(obj.Pos(), "api.Code %s (%q) is not returned by api.Codes(); it is invisible to GET /v2/spec", obj.Name(), val)
+		}
+		if !cased[obj] {
+			pass.Reportf(obj.Pos(), "api.Code %s (%q) has no explicit case in (*Error).HTTPStatus; it would silently take the default status", obj.Name(), val)
+		}
+	}
+
+	// Ad-hoc minting: any string literal the type-checker assigned the
+	// Code type whose value is outside the declared set. Declared
+	// constants pass by construction (their values define the set).
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				expr, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				switch expr.(type) {
+				case *ast.BasicLit, *ast.CallExpr: // literals and conversions
+				default:
+					return true
+				}
+				tv, ok := pass.Info.Types[expr]
+				if !ok || tv.Type == nil || !types.Identical(tv.Type, codeType) {
+					return true
+				}
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true
+				}
+				if v := constant.StringVal(tv.Value); !values[v] {
+					pass.Reportf(expr.Pos(), "error code %q is not a declared api.Code constant; register it in the api taxonomy instead of minting it inline", v)
+					return false // don't double-report the literal inside a conversion
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// identsResolvingTo collects, inside the named function of pkg, every
+// identifier that resolves to one of the declared Code constants.
+func identsResolvingTo(pass *lint.Pass, pkg *lint.Package, funcName string, declared map[types.Object]string) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	fd := findFunc(pkg, funcName)
+	if fd == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if _, isCode := declared[obj]; isCode {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// httpStatusCases collects the Code constants that appear in the case
+// lists of switch statements inside the HTTPStatus method.
+func httpStatusCases(pass *lint.Pass, pkg *lint.Package, declared map[types.Object]string) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	fd := findFunc(pkg, "HTTPStatus")
+	if fd == nil {
+		return out
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					if _, isCode := declared[obj]; isCode {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// findFunc returns the function or method declaration named name in pkg.
+func findFunc(pkg *lint.Package, name string) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/errtaxonomy"
+)
+
+// TestFixture diffs the analyzer against the `// want` expectations in
+// testdata/src: Code constants missing from Codes() and/or HTTPStatus
+// are flagged at their declarations, inline-minted code strings are
+// flagged at their literals, and declared codes (including conversions
+// that land on declared values) stay clean.
+func TestFixture(t *testing.T) {
+	if nonGo := lint.RunFixture(t, errtaxonomy.Analyzer, "testdata", "a", "repro/internal/api"); len(nonGo) != 0 {
+		t.Errorf("unexpected non-Go findings: %v", nonGo)
+	}
+}

@@ -1,0 +1,26 @@
+// Package a is the minting half of the errtaxonomy fixture: error code
+// strings outside the declared taxonomy are findings, declared
+// constants (and conversions that land on declared values) are not.
+package a
+
+import "repro/internal/api"
+
+func bad() api.Code {
+	return api.Code("minted_inline") // want `error code "minted_inline" is not a declared api\.Code constant`
+}
+
+func badLit() *api.Error {
+	return &api.Error{Code: "also_minted", Msg: "x"} // want `error code "also_minted" is not a declared api\.Code constant`
+}
+
+func good() api.Code {
+	return api.CodeOK
+}
+
+func goodConv() api.Code {
+	return api.Code("ok_code") // conversion to a declared value: clean
+}
+
+func goodLit() *api.Error {
+	return &api.Error{Code: api.CodeUncased, Msg: "x"}
+}

@@ -1,0 +1,39 @@
+// Package api is the errtaxonomy fixture: a Code taxonomy where one
+// constant is fully registered, one is missing from Codes(), one has no
+// HTTPStatus case, and one is missing from both.
+package api
+
+import "net/http"
+
+// Code is a machine-readable error code.
+type Code string
+
+const (
+	CodeOK      Code = "ok_code"     // published and cased: clean
+	CodeUnpub   Code = "unpublished" // want `not returned by api\.Codes`
+	CodeUncased Code = "uncased"     // want `no explicit case in \(\*Error\)\.HTTPStatus`
+	CodeOrphan  Code = "orphan_code" // want `not returned by api\.Codes` `no explicit case`
+)
+
+// Codes publishes the registered taxonomy.
+func Codes() []Code {
+	return []Code{CodeOK, CodeUncased}
+}
+
+// Error is a wire error.
+type Error struct {
+	Code Code
+	Msg  string
+}
+
+// HTTPStatus maps a code to its transport status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeOK:
+		return http.StatusOK
+	case CodeUnpub:
+		return http.StatusTeapot
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,195 @@
+// Package lint is the repo's domain-aware static-analysis suite: a small
+// stdlib-only framework in the shape of golang.org/x/tools/go/analysis
+// (which the offline toolchain cannot vendor) plus the five analyzers
+// that machine-check serving invariants accumulated over PRs 1-9 —
+// invariants generic lint (vet, staticcheck) cannot see because they are
+// about *this* codebase's contracts, not the language's.
+//
+// The analyzers (each in its own subpackage, registered in Analyzers):
+//
+//   - lockfsync:    no blocking I/O (fsync, file create/rename, HTTP,
+//     sleeps) reachable while a store shard mutex is held — the PR 3
+//     LogInsert/Commit split, generalized and enforced interprocedurally.
+//   - spanend:      every obs.StartSpan result has End() called on all
+//     return paths; the nil-safe span API makes a leak silent otherwise.
+//   - errtaxonomy:  every api.Code constant is published by api.Codes()
+//     and has an explicit HTTPStatus case, and no ad-hoc code strings are
+//     minted outside the registered taxonomy — so a new code cannot skip
+//     GET /v2/spec or docs/WIRE.md.
+//   - metricsdrift: every metric family registered with internal/obs
+//     follows the npn_ naming rules and appears in docs/OPERATIONS.md's
+//     metric-family table, and every npn_* family the docs mention is
+//     actually registered (dead docs fail too).
+//   - noalloc:      functions annotated //npn:noalloc are checked against
+//     the compiler's -gcflags=-m escape diagnostics, so a heap escape on
+//     the PR 9 zero-alloc hot path fails lint at compile time instead of
+//     only when alloc_test.go happens to run.
+//
+// cmd/npnlint is the multichecker driver; Main in this package is its
+// engine, so `go test` can run the same binary logic in-process.
+//
+// Suppression: a finding is silenced by a `//nolint:npn/<name>` comment
+// on the flagged line (or the whole-line comment directly above it), and
+// the directive must carry a justification after the analyzer name — a
+// bare nolint is itself a finding. See docs/DEVELOPMENT.md.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run is invoked once with a Pass
+// holding the whole loaded program (not once per package): the repo's
+// invariants are cross-package by nature, so the framework hands every
+// analyzer the full module view.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+	// NeedEscapes asks the driver to populate Pass.Escapes by compiling
+	// the analyzed patterns with -gcflags=-m (noalloc).
+	NeedEscapes bool
+}
+
+// Package is one module package loaded from source: its syntax trees and
+// its type-checked package object. Type information lives in the shared
+// Pass.Info.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+}
+
+// Escape is one compiler escape diagnostic from `go build -gcflags=-m`,
+// positioned in module-root-relative file coordinates.
+type Escape struct {
+	File string // module-root-relative path
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Pass is the program view handed to each analyzer.
+type Pass struct {
+	// Fset positions every file in Pkgs.
+	Fset *token.FileSet
+	// Pkgs are the module packages under analysis, in dependency order.
+	Pkgs []*Package
+	// Dir is the root directory for non-Go artifacts the invariants span
+	// (docs/OPERATIONS.md); the module root in real runs, the fixture root
+	// under analysistest.
+	Dir string
+	// Module is the module path ("repro"); analyzers anchor package
+	// lookups like Module+"/internal/obs" on it.
+	Module string
+	// Info is the merged type information of every package in Pkgs.
+	Info *types.Info
+	// Escapes holds the compiler's escape diagnostics for Pkgs; populated
+	// only for analyzers that declare NeedEscapes (noalloc).
+	Escapes []Escape
+
+	byPath map[string]*Package
+	diags  *[]Diagnostic
+	name   string
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Pass) Package(path string) *Package { return p.byPath[path] }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.name, File: position.Filename,
+		Line: position.Line, Col: position.Column,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportFilef records a finding against a non-Go file (a docs table row);
+// such findings cannot be nolint-suppressed.
+func (p *Pass) ReportFilef(file string, line int, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.name, File: file, Line: line,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// PosForLine maps a (line, col) coordinate in the file containing n
+// back to a token.Pos, so findings sourced from external tool output
+// (compiler diagnostics) participate in position-based suppression.
+func PosForLine(fset *token.FileSet, n ast.Node, line, col int) token.Pos {
+	tf := fset.File(n.Pos())
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return n.Pos()
+	}
+	p := tf.LineStart(line)
+	if col > 1 {
+		p += token.Pos(col - 1)
+	}
+	if p > token.Pos(tf.Base()+tf.Size()) {
+		p = tf.LineStart(line)
+	}
+	return p
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	File     string
+	Line     int
+	Col      int
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	if d.Col > 0 {
+		return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Msg)
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Analyzer, d.Msg)
+}
+
+// sortDiags orders findings by file, line, column, analyzer.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// RunAnalyzer executes a on the loaded program and returns its findings
+// with nolint suppression already applied.
+func RunAnalyzer(a *Analyzer, prog *Program, escapes []Escape) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Fset:    prog.Fset,
+		Pkgs:    prog.Pkgs,
+		Dir:     prog.Dir,
+		Module:  prog.Module,
+		Info:    prog.Info,
+		Escapes: escapes,
+		byPath:  prog.byPath,
+		diags:   &diags,
+		name:    a.Name,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	diags = applyNolint(prog, a.Name, diags)
+	sortDiags(diags)
+	return diags, nil
+}

@@ -1,0 +1,315 @@
+// The program loader: resolves build metadata through `go list -export`,
+// parses every module package from source, and type-checks them against
+// the compiler's export data for out-of-module dependencies. This is the
+// stdlib-only equivalent of golang.org/x/tools/go/packages.Load in
+// LoadAllSyntax mode for one module — the offline toolchain has no
+// x/tools, and the repo's dependency closure is pure stdlib, so the gc
+// export-data importer plus `go list` covers everything the analyzers
+// need.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Program is a loaded module: every matched package (plus its in-module
+// dependencies) with full syntax and types.
+type Program struct {
+	Fset   *token.FileSet
+	Dir    string // module root
+	Module string // module path
+	Pkgs   []*Package
+	Info   *types.Info
+	byPath map[string]*Package
+}
+
+// listedPkg is the subset of `go list -json` the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+	Incomplete bool
+}
+
+// goList runs `go list -export -deps -json` in dir over patterns.
+func goList(dir string, patterns []string) (map[string]*listedPkg, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Module,Incomplete"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	pkgs := map[string]*listedPkg{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		q := p
+		pkgs[p.ImportPath] = &q
+	}
+	return pkgs, nil
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// newTypesInfo returns an Info with every map the analyzers consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load parses and type-checks the module packages matched by patterns
+// (plus their in-module dependency closure) rooted at dir. Out-of-module
+// imports resolve through the compiler's export data.
+func Load(dir string, patterns []string) (*Program, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, p := range listed {
+		if p.Module != nil {
+			modPath = p.Module.Path
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module packages matched %v", patterns)
+	}
+	inModule := func(path string) bool {
+		return path == modPath || strings.HasPrefix(path, modPath+"/")
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		Dir:    root,
+		Module: modPath,
+		Info:   newTypesInfo(),
+		byPath: map[string]*Package{},
+	}
+	exports := map[string]string{}
+	for path, p := range listed {
+		if p.Export != "" {
+			exports[path] = p.Export
+		}
+	}
+	gcImp := newExportImporter(prog.Fset, exports)
+
+	ld := &sourceLoader{
+		prog:     prog,
+		fallback: gcImp,
+		checked:  map[string]*types.Package{},
+		resolve: func(path string) (*listedPkg, bool) {
+			p, ok := listed[path]
+			return p, ok && inModule(path)
+		},
+	}
+	// Dependency order falls out of the recursive importer; iterating the
+	// listed set in any order converges to the same Program.
+	var roots []string
+	for path := range listed {
+		if inModule(path) {
+			roots = append(roots, path)
+		}
+	}
+	// Deterministic load order keeps Pkgs stable across runs.
+	sortStrings(roots)
+	for _, path := range roots {
+		if _, err := ld.load(path); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// newExportImporter returns the gc export-data importer reading from the
+// path map produced by `go list -export`.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+}
+
+// sourceLoader type-checks in-module packages from source, memoized, with
+// the gc export-data importer as the fallback for everything else.
+type sourceLoader struct {
+	prog     *Program
+	fallback types.Importer
+	checked  map[string]*types.Package
+	loading  []string
+	resolve  func(path string) (*listedPkg, bool)
+	// overlay, when set, resolves an import path to a directory of source
+	// files that takes priority over resolve — the analysistest fixture
+	// tree (testdata/src/<path>).
+	overlay func(path string) (dirpath string, files []string, ok bool)
+}
+
+func (l *sourceLoader) Import(path string) (*types.Package, error) {
+	return l.load(path)
+}
+
+func (l *sourceLoader) load(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	for _, p := range l.loading {
+		if p == path {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+	}
+
+	var dir string
+	var files []string
+	if l.overlay != nil {
+		if d, fs, ok := l.overlay(path); ok {
+			dir, files = d, fs
+		}
+	}
+	if dir == "" {
+		p, ok := l.resolve(path)
+		if !ok {
+			return l.fallback.Import(path)
+		}
+		dir = p.Dir
+		for _, g := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, g))
+		}
+	}
+
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	var astFiles []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(l.prog.Fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		astFiles = append(astFiles, af)
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", goArch()),
+	}
+	tpkg, err := conf.Check(path, l.prog.Fset, astFiles, l.prog.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	l.checked[path] = tpkg
+	pkg := &Package{Path: path, Dir: dir, Files: astFiles, Types: tpkg}
+	l.prog.Pkgs = append(l.prog.Pkgs, pkg)
+	l.prog.byPath[path] = pkg
+	return tpkg, nil
+}
+
+func goArch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	out, err := exec.Command("go", "env", "GOARCH").Output()
+	if err != nil {
+		return "amd64"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// escapeLine matches one compiler diagnostic: path:line:col: message.
+var escapeLine = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.*)$`)
+
+// EscapeDiagnostics compiles patterns with -gcflags=-m (which the go
+// tool applies only to the named packages) and parses the escape-analysis
+// output. The build cache replays diagnostics for unchanged packages, so
+// repeated runs cost one cache probe per package, not a rebuild.
+func EscapeDiagnostics(dir string, patterns []string) ([]Escape, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+	var escapes []Escape
+	for _, line := range strings.Split(out.String(), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		escapes = append(escapes, Escape{File: m[1], Line: ln, Col: col, Msg: m[4]})
+	}
+	return escapes, nil
+}

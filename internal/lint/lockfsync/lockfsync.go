@@ -1,0 +1,394 @@
+// Package lockfsync enforces the store's oldest serving invariant: no
+// blocking I/O — fsync, file create/rename/remove, HTTP round-trips,
+// sleeps — may be reachable while a store shard mutex is held. PR 3
+// split the WAL's LogInsert (under lock, buffered append only) from
+// Commit (after unlock, fsync) exactly to keep lock hold times bounded
+// by memory speed; this analyzer re-proves that split on every build,
+// interprocedurally, so a helper that grows an fsync three calls deep
+// cannot silently reintroduce a tail-latency cliff.
+//
+// Mechanics: a lock region starts at any Lock/RLock call on a mutex
+// field of a struct declared in <module>/internal/store and extends
+// along the control-flow graph until the matching Unlock/RUnlock on the
+// same receiver expression (a deferred Unlock extends the region to
+// function end). Every call statically reachable from the region is
+// checked against a table of blocking stdlib roots; interface calls are
+// devirtualized to every module type that implements them, which is how
+// the analysis sees through store.Journal into *wal.Writer. Calls
+// through plain function values and calls inside nested function
+// literals are not followed.
+//
+// (*os.File).Write and Read are deliberately not roots: buffered
+// page-cache writes under lock are part of the PR 3 design; only
+// durability barriers and metadata operations block unboundedly.
+package lockfsync
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the lockfsync analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "lockfsync",
+	Doc:  "no blocking I/O reachable while a store shard mutex is held",
+	Run:  run,
+}
+
+// blockingRoots maps lint.FuncID renderings of stdlib functions to a
+// short reason. Entries are matched after the callee resolves to a
+// non-module package.
+var blockingRoots = map[string]string{
+	"os.OpenFile":                 "opens a file",
+	"os.Open":                     "opens a file",
+	"os.Create":                   "creates a file",
+	"os.ReadFile":                 "reads a file",
+	"os.WriteFile":                "writes a file",
+	"os.Remove":                   "removes a file",
+	"os.RemoveAll":                "removes files",
+	"os.Rename":                   "renames a file",
+	"os.Truncate":                 "truncates a file",
+	"os.Mkdir":                    "creates a directory",
+	"os.MkdirAll":                 "creates directories",
+	"os.ReadDir":                  "reads a directory",
+	"os.Stat":                     "stats a file",
+	"os.(*File).Sync":             "fsyncs",
+	"os.(*File).Close":            "closes a file (flushes)",
+	"net/http.(*Client).Do":       "does an HTTP round-trip",
+	"net/http.(*Client).Get":      "does an HTTP round-trip",
+	"net/http.(*Client).Post":     "does an HTTP round-trip",
+	"net/http.(*Client).PostForm": "does an HTTP round-trip",
+	"net/http.(*Client).Head":     "does an HTTP round-trip",
+	"net/http.Get":                "does an HTTP round-trip",
+	"net/http.Post":               "does an HTTP round-trip",
+	"net/http.PostForm":           "does an HTTP round-trip",
+	"net/http.Head":               "does an HTTP round-trip",
+	"net.Dial":                    "dials the network",
+	"net.DialTimeout":             "dials the network",
+	"net.Listen":                  "listens on the network",
+	"time.Sleep":                  "sleeps",
+	"syscall.Fsync":               "fsyncs",
+	"syscall.Fdatasync":           "fsyncs",
+	"path/filepath.Glob":          "walks the filesystem",
+}
+
+type checker struct {
+	pass   *lint.Pass
+	bodies map[*types.Func]*ast.FuncDecl
+	// memo caches the blocking call chain (nil = does not block) per
+	// function; inProgress breaks recursion cycles.
+	memo       map[*types.Func][]string
+	inProgress map[*types.Func]bool
+	storePath  string
+}
+
+func run(pass *lint.Pass) error {
+	c := &checker{
+		pass:       pass,
+		bodies:     lint.FuncBodies(pass),
+		memo:       map[*types.Func][]string{},
+		inProgress: map[*types.Func]bool{},
+		storePath:  pass.Module + "/internal/store",
+	}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					c.checkBody(fd.Body)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lockCall describes one Lock/RLock call found in a body.
+type lockCall struct {
+	call *ast.CallExpr
+	recv string // rendered receiver expression, e.g. "sh.mu"
+	read bool   // RLock (matches RUnlock) vs Lock (matches Unlock)
+}
+
+// mutexCall decodes call as a (Lock|RLock|Unlock|RUnlock) invocation on
+// a sync mutex field owned by a store-package struct, returning the
+// rendered receiver and the method name; ok is false otherwise.
+func (c *checker) mutexCall(call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, isSeln := c.pass.Info.Selections[sel]
+	if !isSeln {
+		return "", "", false
+	}
+	// The receiver must be a sync.Mutex or sync.RWMutex...
+	rt := s.Recv()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	// ...reached through a field of a struct declared in the store package.
+	inner, isSel2 := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel2 {
+		return "", "", false
+	}
+	fieldSel, isSeln2 := c.pass.Info.Selections[inner]
+	if !isSeln2 || fieldSel.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	field := fieldSel.Obj()
+	if field.Pkg() == nil || field.Pkg().Path() != c.storePath {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), method, true
+}
+
+// checkBody finds lock regions in one function body and checks every
+// call reachable inside them.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	var locks []lockCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		recv, method, ok := c.mutexCall(call)
+		if !ok {
+			return true
+		}
+		if method == "Lock" || method == "RLock" {
+			locks = append(locks, lockCall{call: call, recv: recv, read: method == "RLock"})
+		}
+		return true
+	})
+	if len(locks) == 0 {
+		return
+	}
+	g := lint.BuildCFG(body)
+	if !g.OK {
+		// Unmodeled control flow: fall back to checking the whole body.
+		for _, lk := range locks {
+			c.checkStmts(allStmts(body), lk)
+		}
+		return
+	}
+	for _, lk := range locks {
+		start := g.NodeFor(lint.EnclosingStmt(body, lk.call))
+		if start == nil {
+			c.checkStmts(allStmts(body), lk)
+			continue
+		}
+		c.checkStmts(c.lockRegion(g, start, lk), lk)
+	}
+}
+
+// stmtHead returns the parts of s that execute *at* s's CFG node. A
+// compound statement's node is only its head (an if's condition, a
+// range's operand); the branch bodies are separate nodes, so including
+// them here would leak the region past an in-branch unlock.
+func stmtHead(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Node{s.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		return []ast.Node{s.X}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return []ast.Node{s.Tag}
+		}
+		return nil
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{s.Assign}
+	case *ast.SelectStmt:
+		return nil
+	case *ast.GoStmt:
+		return nil // the spawned goroutine does not hold the caller's lock
+	default:
+		return []ast.Node{s}
+	}
+}
+
+// lockRegion walks the CFG from the Lock call and returns the statements
+// reachable before the matching non-deferred Unlock executes.
+func (c *checker) lockRegion(g *lint.CFG, start *lint.CFGNode, lk lockCall) []ast.Stmt {
+	unlockName := "Unlock"
+	if lk.read {
+		unlockName = "RUnlock"
+	}
+	releases := func(s ast.Stmt) bool {
+		if _, isDefer := s.(*ast.DeferStmt); isDefer {
+			return false // deferred unlock releases at return, not here
+		}
+		found := false
+		for _, h := range stmtHead(s) {
+			ast.Inspect(h, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if recv, method, ok := c.mutexCall(call); ok && method == unlockName && recv == lk.recv {
+						found = true
+					}
+				}
+				return !found
+			})
+		}
+		return found
+	}
+	var region []ast.Stmt
+	seen := map[*lint.CFGNode]bool{}
+	var walk func(n *lint.CFGNode)
+	walk = func(n *lint.CFGNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		if n.Stmt != nil {
+			if n != start && releases(n.Stmt) {
+				return // region ends here; the unlock statement itself is out
+			}
+			region = append(region, n.Stmt)
+		}
+		for _, e := range n.Succs {
+			walk(e.To)
+		}
+	}
+	walk(start)
+	return region
+}
+
+// checkStmts reports every blocking call chain reachable from the heads
+// of the given lock-region statements.
+func (c *checker) checkStmts(stmts []ast.Stmt, lk lockCall) {
+	reported := map[*ast.CallExpr]bool{}
+	for _, s := range stmts {
+		for _, h := range stmtHead(s) {
+			ast.Inspect(h, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					if reported[n] {
+						return true
+					}
+					if chain := c.callBlocks(n); chain != nil {
+						reported[n] = true
+						c.pass.Reportf(n.Pos(), "blocking I/O reachable while %s.%s() is held: %s",
+							lk.recv, lockName(lk), strings.Join(chain, " -> "))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func lockName(lk lockCall) string {
+	if lk.read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// callBlocks returns the call chain to a blocking root if call can
+// block, else nil.
+func (c *checker) callBlocks(call *ast.CallExpr) []string {
+	fn := lint.CalleeOf(c.pass.Info, call)
+	if fn == nil {
+		return nil // function value, builtin, conversion
+	}
+	if lint.IsInterfaceCall(c.pass.Info, call) {
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		s := c.pass.Info.Selections[sel]
+		iface := s.Recv().Underlying().(*types.Interface)
+		for _, impl := range lint.Implementations(c.pass, iface, fn) {
+			if chain := c.funcBlocks(impl); chain != nil {
+				return append([]string{lint.FuncID(fn) + " (via " + lint.FuncID(impl) + ")"}, chain[1:]...)
+			}
+		}
+		return nil
+	}
+	return c.funcBlocks(fn)
+}
+
+// funcBlocks reports whether fn transitively reaches a blocking root,
+// returning the chain of FuncIDs ending at the root.
+func (c *checker) funcBlocks(fn *types.Func) []string {
+	id := lint.FuncID(fn)
+	if reason, ok := blockingRoots[id]; ok {
+		return []string{id + " (" + reason + ")"}
+	}
+	if chain, ok := c.memo[fn]; ok {
+		return chain
+	}
+	body, ok := c.bodies[fn]
+	if !ok || body.Body == nil {
+		return nil // out-of-module and not a known root: assume fine
+	}
+	if c.inProgress[fn] {
+		return nil // recursion: optimistic fixpoint
+	}
+	c.inProgress[fn] = true
+	defer delete(c.inProgress, fn)
+
+	var result []string
+	ast.Inspect(body.Body, func(n ast.Node) bool {
+		if result != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false // spawned work does not hold the caller's lock
+		case *ast.CallExpr:
+			if chain := c.callBlocks(n); chain != nil {
+				result = append([]string{id}, chain...)
+				return false
+			}
+		}
+		return true
+	})
+	c.memo[fn] = result
+	return result
+}
+
+// allStmts flattens every statement in body (conservative fallback).
+func allStmts(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,19 @@
+package lockfsync_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/lockfsync"
+)
+
+// TestFixture diffs the analyzer against the `// want` expectations in
+// testdata/src: blocking calls under a store shard mutex found directly,
+// through a helper chain, and through a devirtualized interface — and no
+// findings once the lock is released (including an in-branch unlock),
+// for buffered writes, or for goroutine handoffs.
+func TestFixture(t *testing.T) {
+	if nonGo := lint.RunFixture(t, lockfsync.Analyzer, "testdata", "repro/internal/store"); len(nonGo) != 0 {
+		t.Errorf("unexpected non-Go findings: %v", nonGo)
+	}
+}

@@ -1,0 +1,101 @@
+// Package store is the lockfsync fixture: a shard guarded by a mutex,
+// with critical sections that block directly, through helpers, and
+// through a devirtualized interface — plus clean sections that release
+// first, write buffered data, or hand the work to a goroutine.
+package store
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu   sync.RWMutex
+	vals map[string]string
+}
+
+// journal abstracts durability; the analyzer must devirtualize calls
+// through it to the one module implementation.
+type journal interface {
+	flush() error
+}
+
+type fileJournal struct{ f *os.File }
+
+func (j *fileJournal) flush() error { return j.f.Sync() }
+
+// badDirect fsyncs while the shard lock is held.
+func (s *shard) badDirect(f *os.File) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return f.Sync() // want `blocking I/O reachable while s\.mu\.Lock\(\) is held: os\.\(\*File\)\.Sync \(fsyncs\)`
+}
+
+// badSleep sleeps under the read lock.
+func (s *shard) badSleep() {
+	s.mu.RLock()
+	time.Sleep(time.Millisecond) // want `while s\.mu\.RLock\(\) is held: time\.Sleep \(sleeps\)`
+	s.mu.RUnlock()
+}
+
+// badHelper reaches a rename two calls deep: the finding must carry the
+// whole chain.
+func (s *shard) badHelper() {
+	s.mu.Lock()
+	s.rotate() // want `s\.mu\.Lock\(\) is held: .*\(\*shard\)\.rotate -> .*store\.swapFiles -> os\.Rename \(renames a file\)`
+	s.mu.Unlock()
+}
+
+func (s *shard) rotate() {
+	swapFiles("seg.0", "seg.1")
+}
+
+func swapFiles(a, b string) {
+	_ = os.Rename(a, b)
+}
+
+// badIface fsyncs through the journal interface.
+func (s *shard) badIface(j journal) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.flush() // want `\(journal\)\.flush \(via .*\(\*fileJournal\)\.flush\) -> os\.\(\*File\)\.Sync \(fsyncs\)`
+}
+
+// goodAfterUnlock releases before blocking: clean.
+func (s *shard) goodAfterUnlock(f *os.File) error {
+	s.mu.Lock()
+	s.vals["k"] = "v"
+	s.mu.Unlock()
+	return f.Sync()
+}
+
+// goodBranchUnlock releases inside a branch before blocking on that
+// path: the region must not leak past the in-branch unlock.
+func (s *shard) goodBranchUnlock(f *os.File, fast bool) error {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return f.Sync()
+	}
+	s.vals["k"] = "v"
+	s.mu.Unlock()
+	return f.Sync()
+}
+
+// goodBufferedWrite writes under the lock: page-cache writes are part
+// of the design, only durability barriers block.
+func (s *shard) goodBufferedWrite(f *os.File) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, _ = f.Write([]byte("x"))
+}
+
+// goodGoroutine spawns the fsync: the goroutine does not hold the lock.
+func (s *shard) goodGoroutine(f *os.File) {
+	s.mu.Lock()
+	go func() {
+		_ = f.Sync()
+	}()
+	s.mu.Unlock()
+}

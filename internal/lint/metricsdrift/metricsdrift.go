@@ -1,0 +1,256 @@
+// Package metricsdrift keeps the metric surface and its documentation
+// from drifting apart. Every family registered against internal/obs —
+// through the Registry constructors or an obs.FuncFamily literal — must
+// (1) be a compile-time string constant, (2) follow the naming contract
+// (snake_case with the npn_ prefix; counters end in _total, gauges and
+// histograms do not), and (3) have a row in the metric-family table of
+// docs/OPERATIONS.md. The check runs both ways: an npn_* name the docs
+// mention that no code registers is dead documentation and fails too
+// (histogram _bucket/_sum/_count forms resolve to their base family).
+//
+// The obs package itself is exempt: its constructors forward caller
+// names through non-constant parameters by design.
+package metricsdrift
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the metricsdrift analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "metricsdrift",
+	Doc:  "metric families must follow npn_ naming and stay in sync with docs/OPERATIONS.md",
+	Run:  run,
+}
+
+// nameRE is the naming contract for a metric family.
+var nameRE = regexp.MustCompile(`^npn_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+// registryCtors maps Registry constructor names to the family kind they
+// register.
+var registryCtors = map[string]string{
+	"Counter": "counter", "CounterVec": "counter",
+	"Gauge": "gauge", "GaugeVec": "gauge", "GaugeFunc": "gauge",
+	"Histogram": "histogram", "HistogramVec": "histogram",
+}
+
+// family is one registered metric family.
+type family struct {
+	name string
+	kind string
+	pos  token.Pos
+}
+
+func run(pass *lint.Pass) error {
+	obsPath := pass.Module + "/internal/obs"
+	obsPkg := pass.Package(obsPath)
+	if obsPkg == nil {
+		return nil
+	}
+	kindByValue := obsKindValues(obsPkg)
+	famType, _ := obsPkg.Types.Scope().Lookup("FuncFamily").(*types.TypeName)
+
+	var fams []family
+	for _, pkg := range pass.Pkgs {
+		// The obs package registers families of its own (runtime, trace)
+		// which are checked like any other; only its forwarding of
+		// non-constant caller names is exempt.
+		inObs := pkg.Path == obsPath
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fams = appendCtorFamily(pass, fams, n, obsPath, inObs)
+				case *ast.CompositeLit:
+					if famType != nil {
+						fams = appendLiteralFamily(pass, fams, n, famType.Type(), kindByValue, inObs)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, fam := range fams {
+		checkName(pass, fam)
+	}
+	checkDocs(pass, fams)
+	return nil
+}
+
+// obsKindValues maps the integer values of the obs Kind constants to
+// kind strings.
+func obsKindValues(obsPkg *lint.Package) map[int64]string {
+	out := map[int64]string{}
+	scope := obsPkg.Types.Scope()
+	for name, kind := range map[string]string{
+		"KindCounter": "counter", "KindGauge": "gauge", "KindHistogram": "histogram",
+	} {
+		if cst, ok := scope.Lookup(name).(*types.Const); ok {
+			if v, ok := constant.Int64Val(cst.Val()); ok {
+				out[v] = kind
+			}
+		}
+	}
+	return out
+}
+
+// appendCtorFamily records a family registered through a Registry
+// constructor call, reporting non-constant names.
+func appendCtorFamily(pass *lint.Pass, fams []family, call *ast.CallExpr, obsPath string, inObs bool) []family {
+	fn := lint.CalleeOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return fams
+	}
+	kind, ok := registryCtors[fn.Name()]
+	if !ok || len(call.Args) == 0 {
+		return fams
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return fams // only Registry methods register families
+	}
+	arg := call.Args[0]
+	tv := pass.Info.Types[arg]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		if !inObs {
+			pass.Reportf(arg.Pos(), "metric family name passed to obs.(*Registry).%s must be a compile-time string constant", fn.Name())
+		}
+		return fams
+	}
+	return append(fams, family{name: constant.StringVal(tv.Value), kind: kind, pos: arg.Pos()})
+}
+
+// appendLiteralFamily records a family declared as an obs.FuncFamily
+// composite literal.
+func appendLiteralFamily(pass *lint.Pass, fams []family, lit *ast.CompositeLit, famType types.Type, kindByValue map[int64]string, inObs bool) []family {
+	tv, ok := pass.Info.Types[ast.Expr(lit)]
+	if !ok || tv.Type == nil || !types.Identical(tv.Type, famType) {
+		return fams
+	}
+	var nameExpr, kindExpr ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue // positional FuncFamily literals are not used; skip
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			nameExpr = kv.Value
+		case "Kind":
+			kindExpr = kv.Value
+		}
+	}
+	if nameExpr == nil {
+		return fams
+	}
+	ntv := pass.Info.Types[nameExpr]
+	if ntv.Value == nil || ntv.Value.Kind() != constant.String {
+		if !inObs {
+			pass.Reportf(nameExpr.Pos(), "obs.FuncFamily Name must be a compile-time string constant")
+		}
+		return fams
+	}
+	kind := "counter" // Kind zero value
+	if kindExpr != nil {
+		if ktv := pass.Info.Types[kindExpr]; ktv.Value != nil {
+			if v, ok := constant.Int64Val(ktv.Value); ok {
+				if k, known := kindByValue[v]; known {
+					kind = k
+				}
+			}
+		}
+	}
+	return append(fams, family{name: constant.StringVal(ntv.Value), kind: kind, pos: nameExpr.Pos()})
+}
+
+// checkName enforces the naming contract on one family.
+func checkName(pass *lint.Pass, fam family) {
+	if !nameRE.MatchString(fam.name) {
+		pass.Reportf(fam.pos, "metric family %q does not match the naming contract %s", fam.name, nameRE)
+		return
+	}
+	isTotal := strings.HasSuffix(fam.name, "_total")
+	if fam.kind == "counter" && !isTotal {
+		pass.Reportf(fam.pos, "counter family %q must end in _total", fam.name)
+	}
+	if fam.kind != "counter" && isTotal {
+		pass.Reportf(fam.pos, "%s family %q must not end in _total (reserved for counters)", fam.kind, fam.name)
+	}
+}
+
+// npnTokenRE extracts metric-name-shaped tokens from the docs.
+var npnTokenRE = regexp.MustCompile(`\bnpn_[a-z0-9_]+`)
+
+// checkDocs diffs the registered family set against docs/OPERATIONS.md.
+func checkDocs(pass *lint.Pass, fams []family) {
+	docPath := filepath.Join(pass.Dir, "docs", "OPERATIONS.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		for _, fam := range fams {
+			pass.Reportf(fam.pos, "metric family %q cannot be documented: %s is missing", fam.name, docPath)
+		}
+		return
+	}
+	registered := map[string]bool{}
+	for _, fam := range fams {
+		registered[fam.name] = true
+	}
+
+	// Documented = names appearing in a table row; mentioned = any
+	// npn_* token anywhere, with its first line for reporting.
+	documented := map[string]bool{}
+	mentionLine := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, tok := range npnTokenRE.FindAllString(line, -1) {
+			tok = strings.TrimRight(tok, "_")
+			if _, seen := mentionLine[tok]; !seen {
+				mentionLine[tok] = i + 1
+			}
+			if strings.HasPrefix(strings.TrimSpace(line), "|") {
+				documented[tok] = true
+			}
+		}
+	}
+
+	rel := docPath
+	if r, err := filepath.Rel(pass.Dir, docPath); err == nil {
+		rel = r
+	}
+	for _, fam := range fams {
+		if !documented[fam.name] {
+			pass.Reportf(fam.pos, "metric family %q has no row in the %s metric-family table", fam.name, rel)
+		}
+	}
+	var toks []string
+	for tok := range mentionLine {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	for _, tok := range toks {
+		base := tok
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(tok, suf) && registered[strings.TrimSuffix(tok, suf)] {
+				base = strings.TrimSuffix(tok, suf)
+				break
+			}
+		}
+		if !registered[base] {
+			pass.ReportFilef(rel, mentionLine[tok], "%s documents metric %q but no code registers it", rel, tok)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package metricsdrift_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/metricsdrift"
+)
+
+// TestFixture diffs the analyzer against the `// want` expectations in
+// testdata/src (naming-contract violations, the _total rules for both
+// constructor- and literal-registered families, non-constant names,
+// and a family missing from the docs table) and then asserts the one
+// docs-side finding: a table row documenting a family no code
+// registers. Histogram _bucket mentions resolving to a registered base
+// family must stay clean.
+func TestFixture(t *testing.T) {
+	nonGo := lint.RunFixture(t, metricsdrift.Analyzer, "testdata", "a")
+	if len(nonGo) != 1 {
+		t.Fatalf("got %d docs findings, want exactly the dead-row one: %v", len(nonGo), nonGo)
+	}
+	d := nonGo[0]
+	if d.File != "docs/OPERATIONS.md" || !strings.Contains(d.Msg, `documents metric "npn_a_ghost_total" but no code registers it`) {
+		t.Errorf("unexpected docs finding: %v", d)
+	}
+}

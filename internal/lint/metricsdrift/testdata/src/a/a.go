@@ -1,0 +1,34 @@
+// Package a is the metricsdrift fixture: constructor- and
+// literal-registered families that follow or break the naming contract,
+// a family missing from the docs table, and a non-constant name.
+package a
+
+import "repro/internal/obs"
+
+var reg = &obs.Registry{}
+
+const histName = "npn_a_latency_seconds"
+
+var (
+	good      = reg.Counter("npn_a_requests_total", "served requests")
+	goodGauge = reg.Gauge("npn_a_depth", "queue depth")
+	goodHist  = reg.Histogram(histName, "serve latency", nil)
+
+	badPrefix  = reg.Counter("a_requests_total", "x")     // want `does not match the naming contract` `has no row`
+	badCounter = reg.CounterVec("npn_a_events", "x", "k") // want `counter family "npn_a_events" must end in _total`
+	badGauge   = reg.Gauge("npn_a_bytes_total", "x")      // want `gauge family "npn_a_bytes_total" must not end in _total`
+
+	undoc = reg.Counter("npn_a_undocumented_total", "x") // want `has no row in the docs/OPERATIONS\.md metric-family table`
+)
+
+func register() {
+	reg.RegisterFunc([]obs.FuncFamily{
+		{Name: "npn_a_cache_hits_total", Kind: obs.KindCounter},
+		{Name: "npn_a_cache_bytes", Kind: obs.KindGauge},
+		{Name: "npn_a_cache_miss", Kind: obs.KindCounter}, // want `counter family "npn_a_cache_miss" must end in _total`
+	}, nil)
+}
+
+func nonConst(name string) {
+	reg.Counter(name, "x") // want `must be a compile-time string constant`
+}

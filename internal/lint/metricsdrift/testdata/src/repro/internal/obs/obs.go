@@ -1,0 +1,48 @@
+// Package obs is the metricsdrift fixture stub: the Registry
+// constructors and FuncFamily/Kind shapes the analyzer matches. The
+// constructors forward their name through a non-constant parameter,
+// which is exactly the forwarding the real obs package is exempt from.
+package obs
+
+// Kind classifies a metric family.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Registry registers metric families.
+type Registry struct{}
+
+type Counter struct{}
+type CounterVec struct{}
+type Gauge struct{}
+type GaugeVec struct{}
+type Histogram struct{}
+type HistogramVec struct{}
+
+func (r *Registry) Counter(name, help string) *Counter             { return nil }
+func (r *Registry) Gauge(name, help string) *Gauge                 { return nil }
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec { return nil }
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec     { return nil }
+
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram { return nil }
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return nil
+}
+
+// FuncFamily declares a family whose samples a callback emits.
+type FuncFamily struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []string
+}
+
+// RegisterFunc registers callback-backed families.
+func (r *Registry) RegisterFunc(fams []FuncFamily, collect func(emit func(fam int, labelValues []string, value float64))) {
+}

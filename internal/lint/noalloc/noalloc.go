@@ -1,0 +1,94 @@
+// Package noalloc checks //npn:noalloc annotations against the
+// compiler's escape analysis. The PR 9 zero-alloc serving path is
+// guarded at runtime by testing.AllocsPerRun gates, but those only fire
+// for the inputs the tests happen to exercise; the annotation asks the
+// compiler instead: any "escapes to heap" or "moved to heap" diagnostic
+// positioned inside an annotated function is a finding. "leaking param"
+// diagnostics are deliberately ignored — a leaked parameter allocates
+// at the caller, if anywhere, and several hot-path functions
+// intentionally return slices they were handed. Escapes of string
+// literals (`"..." escapes to heap`, from panic("...") guards) are also
+// ignored: a constant string boxed into an interface points at static
+// data and allocates nothing at runtime.
+//
+// The driver populates Pass.Escapes by building the analyzed packages
+// with -gcflags=-m (NeedEscapes); the build cache replays diagnostics
+// for unchanged packages, so the steady-state cost is one cache probe.
+package noalloc
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &lint.Analyzer{
+	Name:        "noalloc",
+	Doc:         "functions annotated //npn:noalloc must have no heap escapes",
+	Run:         run,
+	NeedEscapes: true,
+}
+
+// Directive is the annotation marking a function as heap-allocation-free.
+const Directive = "//npn:noalloc"
+
+// constStringRE matches a string-literal escape diagnostic.
+var constStringRE = regexp.MustCompile(`^".*" escapes to heap$`)
+
+// Annotated returns every //npn:noalloc-annotated function declaration
+// in the pass, keyed by module-root-relative file path.
+func Annotated(pass *lint.Pass) map[string][]*ast.FuncDecl {
+	out := map[string][]*ast.FuncDecl{}
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+						file := pass.Fset.Position(fd.Pos()).Filename
+						if rel, err := filepath.Rel(pass.Dir, file); err == nil {
+							file = filepath.ToSlash(rel)
+						}
+						out[file] = append(out[file], fd)
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func run(pass *lint.Pass) error {
+	annotated := Annotated(pass)
+	if len(annotated) == 0 {
+		return nil
+	}
+	for _, esc := range pass.Escapes {
+		msg := esc.Msg
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		if constStringRE.MatchString(msg) {
+			continue // a panic("...") guard; static data, no allocation
+		}
+		file := filepath.ToSlash(esc.File)
+		for _, fd := range annotated[file] {
+			start := pass.Fset.Position(fd.Pos()).Line
+			end := pass.Fset.Position(fd.End()).Line
+			if esc.Line < start || esc.Line > end {
+				continue
+			}
+			pos := lint.PosForLine(pass.Fset, fd, esc.Line, esc.Col)
+			pass.Reportf(pos, "%s is annotated %s but the compiler reports: %s", fd.Name.Name, Directive, msg)
+		}
+	}
+	return nil
+}

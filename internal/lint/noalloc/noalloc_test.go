@@ -1,0 +1,88 @@
+package noalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/noalloc"
+)
+
+const fixturePkg = "repro/internal/lint/noalloc/testdata/src/a"
+
+// TestFixture runs the analyzer over a real compiled fixture package
+// with diagnostics from an actual `go build -gcflags=-m` run: the two
+// deliberately-escaping annotated functions must be findings, while the
+// clean annotated function, the panic-string literal, and the
+// unannotated escaper must stay silent.
+func TestFixture(t *testing.T) {
+	prog, err := lint.Load(".", []string{fixturePkg})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	escapes, err := lint.EscapeDiagnostics(".", []string{fixturePkg})
+	if err != nil {
+		t.Fatalf("escape diagnostics: %v", err)
+	}
+	if len(escapes) == 0 {
+		t.Fatal("go build -gcflags=-m produced no diagnostics; the escape plumbing is broken")
+	}
+	diags, err := lint.RunAnalyzer(noalloc.Analyzer, prog, escapes)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	flagged := map[string]bool{}
+	for _, d := range diags {
+		name, _, ok := strings.Cut(d.Msg, " is annotated ")
+		if !ok {
+			t.Errorf("unexpected finding shape: %v", d)
+			continue
+		}
+		flagged[name] = true
+	}
+	for _, want := range []string{"escaper", "grower"} {
+		if !flagged[want] {
+			t.Errorf("annotated escaping function %s was not flagged; findings: %v", want, diags)
+		}
+		delete(flagged, want)
+	}
+	for name := range flagged {
+		t.Errorf("function %s flagged but must be clean", name)
+	}
+}
+
+// TestAnnotated checks the directive scanner against the fixture file.
+func TestAnnotated(t *testing.T) {
+	prog, err := lint.Load(".", []string{fixturePkg})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := lint.RunAnalyzer(&lint.Analyzer{
+		Name: "annotated-probe",
+		Run: func(pass *lint.Pass) error {
+			ann := noalloc.Annotated(pass)
+			fds := ann["internal/lint/noalloc/testdata/src/a/a.go"]
+			var names []string
+			for _, fd := range fds {
+				names = append(names, fd.Name.Name)
+			}
+			got := strings.Join(names, ",")
+			if got != "escaper,grower,clean,guarded" {
+				return errProbe(got)
+			}
+			return nil
+		},
+	}, prog, nil)
+	if err != nil {
+		t.Fatalf("Annotated mismatch: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("probe reported findings: %v", diags)
+	}
+}
+
+type errProbe string
+
+func (e errProbe) Error() string {
+	return "annotated set = " + string(e) + `, want "escaper,grower,clean,guarded"`
+}

@@ -1,0 +1,52 @@
+// Package a is the noalloc fixture: a real, compilable package (loaded
+// by explicit path — ./... skips testdata) whose escape diagnostics
+// come from the actual `go build -gcflags=-m` run. escaper and grower
+// are deliberately annotated while escaping; clean and guarded are
+// annotated and allocation-free (guarded's panic string literal is
+// static data and must be exempt).
+package a
+
+var sink *int
+
+// escaper publishes the address of its parameter, forcing it to the
+// heap.
+//
+//npn:noalloc
+func escaper(x int) *int {
+	sink = &x
+	return sink
+}
+
+// grower returns a fresh slice: the make escapes to the heap.
+//
+//npn:noalloc
+func grower(n int) []byte {
+	return make([]byte, n)
+}
+
+// clean is annotated and truly allocation-free.
+//
+//npn:noalloc
+func clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// guarded panics on bad input; the constant panic string is boxed into
+// an interface but points at static data, so it must not be a finding.
+//
+//npn:noalloc
+func guarded(a, b int) int {
+	if b == 0 {
+		panic("a: division by zero")
+	}
+	return a / b
+}
+
+// unannotated escapes freely: without the directive there is nothing to
+// check.
+func unannotated(n int) []byte {
+	return append([]byte(nil), make([]byte, n)...)
+}

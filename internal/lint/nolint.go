@@ -1,0 +1,116 @@
+// nolint handling: a finding is suppressed by `//nolint:npn/<analyzer>`
+// on the flagged line or on a whole-line comment directly above it, and
+// the directive must carry a justification — `//nolint:npn/lockfsync`
+// alone is itself reported, `//nolint:npn/lockfsync -- the sync here is
+// bounded by X` suppresses. The justification requirement is the point:
+// every silenced invariant violation documents why it is safe, in the
+// code, where the next refactor will read it.
+package lint
+
+import (
+	"go/ast"
+	"os"
+	"strings"
+)
+
+// nolintDirective is one parsed //nolint:npn/<name> comment.
+type nolintDirective struct {
+	analyzer      string
+	line          int // line the comment sits on
+	file          string
+	justification string
+	ownLine       bool // the comment is alone on its line (suppresses the line below)
+}
+
+const nolintPrefix = "//nolint:npn/"
+
+// collectNolint scans every file's comments for npn nolint directives.
+func collectNolint(prog *Program) []nolintDirective {
+	var out []nolintDirective
+	lines := map[string][]string{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseNolint(c)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					d.file = pos.Filename
+					d.line = pos.Line
+					// Standalone (suppresses the next line) when nothing but
+					// whitespace precedes it on its source line.
+					if _, ok := lines[d.file]; !ok {
+						data, err := os.ReadFile(d.file)
+						if err == nil {
+							lines[d.file] = strings.Split(string(data), "\n")
+						} else {
+							lines[d.file] = nil
+						}
+					}
+					if ls := lines[d.file]; d.line-1 < len(ls) && pos.Column > 0 {
+						prefix := ls[d.line-1]
+						if pos.Column-1 <= len(prefix) {
+							d.ownLine = strings.TrimSpace(prefix[:pos.Column-1]) == ""
+						}
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseNolint extracts the analyzer name and justification from one
+// comment, if it is an npn nolint directive.
+func parseNolint(c *ast.Comment) (nolintDirective, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, nolintPrefix) {
+		return nolintDirective{}, false
+	}
+	rest := text[len(nolintPrefix):]
+	name := rest
+	just := ""
+	for i, r := range rest {
+		if r == ' ' || r == '\t' {
+			name, just = rest[:i], strings.TrimSpace(rest[i:])
+			break
+		}
+	}
+	just = strings.TrimLeft(just, "-— \t")
+	return nolintDirective{analyzer: name, justification: strings.TrimSpace(just)}, true
+}
+
+// applyNolint filters diags through the directives for one analyzer and
+// appends findings for bare directives that lack a justification.
+func applyNolint(prog *Program, analyzer string, diags []Diagnostic) []Diagnostic {
+	dirs := collectNolint(prog)
+	var out []Diagnostic
+	suppressed := func(d Diagnostic) bool {
+		for _, dir := range dirs {
+			if dir.analyzer != analyzer || dir.file != d.File || dir.justification == "" {
+				continue
+			}
+			if dir.line == d.Line || (dir.ownLine && dir.line == d.Line-1) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		if !suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if dir.analyzer == analyzer && dir.justification == "" {
+			out = append(out, Diagnostic{
+				Analyzer: analyzer, File: dir.file, Line: dir.line,
+				Msg: "nolint:npn/" + analyzer + " needs a justification after the analyzer name",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// The multichecker engine behind cmd/npnlint: flag parsing, program
+// loading, analyzer dispatch and finding output, factored here so the
+// cmd smoke test can run the identical logic in-process.
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Main loads the packages matched by the positional patterns, runs the
+// given analyzers and prints findings to stdout. It returns the process
+// exit code: 0 clean, 1 findings, 2 usage or load failure.
+func Main(analyzers []*Analyzer, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("npnlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "directory to run in (module root is found from here)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: npnlint [-only a,b] [-C dir] packages...\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	selected := analyzers
+	if *only != "" {
+		byName := map[string]*Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "npnlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			selected = append(selected, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	prog, err := Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "npnlint: %v\n", err)
+		return 2
+	}
+	var escapes []Escape
+	for _, a := range selected {
+		if a.NeedEscapes {
+			escapes, err = EscapeDiagnostics(*dir, patterns)
+			if err != nil {
+				fmt.Fprintf(stderr, "npnlint: %v\n", err)
+				return 2
+			}
+			break
+		}
+	}
+
+	var all []Diagnostic
+	for _, a := range selected {
+		diags, err := RunAnalyzer(a, prog, escapes)
+		if err != nil {
+			fmt.Fprintf(stderr, "npnlint: %v\n", err)
+			return 2
+		}
+		all = append(all, diags...)
+	}
+	sortDiags(all)
+	for _, d := range all {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stderr, "npnlint: %d finding(s)\n", len(all))
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,379 @@
+// Package spanend checks that every span returned by obs.StartSpan has
+// End() called on every path out of the function that started it. The
+// span API is nil-safe by design (tracing off => nil span, End on nil is
+// a no-op), which means a forgotten End never crashes — it silently
+// truncates the timeline and pins the span's slot until the trace is
+// evicted. This analyzer makes the leak loud.
+//
+// A span is considered handled when any of these hold:
+//
+//   - sp.End() (or `defer sp.End()`) is reached on every path to every
+//     return, proven over the statement CFG; the nil-guard idiom
+//     `if sp != nil { ... }` is understood, so paths where sp is nil do
+//     not require an End;
+//   - sp.End is taken as a method value (sync.Once.Do(sp.End) etc.);
+//   - sp is captured by a function literal that calls End, or escapes
+//     the function (returned, passed as an argument, stored into a
+//     struct, map or global) — ownership moved, the analysis stops.
+//
+// Discarding the span result with `_` or calling StartSpan as a bare
+// statement is always a finding.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the spanend analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "spanend",
+	Doc:  "obs.StartSpan results must be ended on every return path",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	obsPath := pass.Module + "/internal/obs"
+	for _, pkg := range pass.Pkgs {
+		if pkg.Path == obsPath {
+			continue // the span implementation manages its own lifecycle
+		}
+		for _, f := range pkg.Files {
+			checkFile(pass, f, obsPath)
+		}
+	}
+	return nil
+}
+
+// checkFile visits every function-like body (declarations and literals)
+// in f and checks each StartSpan call it directly contains.
+func checkFile(pass *lint.Pass, f *ast.File, obsPath string) {
+	var visit func(body *ast.BlockStmt)
+	visit = func(body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		// Recurse into nested literals first; each body is analyzed as its
+		// own function with its own CFG.
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+				visit(lit.Body)
+				return false
+			}
+			return true
+		})
+		for _, call := range directStartSpanCalls(pass, body, obsPath) {
+			checkSpan(pass, body, call, obsPath)
+		}
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			visit(fd.Body)
+		}
+	}
+}
+
+// isStartSpan reports whether call invokes obs.StartSpan.
+func isStartSpan(pass *lint.Pass, call *ast.CallExpr, obsPath string) bool {
+	fn := lint.CalleeOf(pass.Info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == obsPath && fn.Name() == "StartSpan"
+}
+
+// directStartSpanCalls returns the StartSpan calls lexically inside body
+// but not inside a nested function literal.
+func directStartSpanCalls(pass *lint.Pass, body *ast.BlockStmt, obsPath string) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isStartSpan(pass, call, obsPath) {
+			out = append(out, call)
+		}
+		return true
+	})
+	return out
+}
+
+// checkSpan analyzes one StartSpan call inside body.
+func checkSpan(pass *lint.Pass, body *ast.BlockStmt, call *ast.CallExpr, obsPath string) {
+	asg := enclosingAssign(body, call)
+	if asg == nil || len(asg.Lhs) != 2 {
+		pass.Reportf(call.Pos(), "result of obs.StartSpan is discarded; the span is never ended")
+		return
+	}
+	spIdent, ok := asg.Lhs[1].(*ast.Ident)
+	if !ok {
+		return // sp assigned through a selector/index: treat as escaped
+	}
+	if spIdent.Name == "_" {
+		pass.Reportf(call.Pos(), "span returned by obs.StartSpan is discarded with _; it is never ended")
+		return
+	}
+	sp, _ := pass.Info.Defs[spIdent].(*types.Var)
+	if sp == nil {
+		sp, _ = pass.Info.Uses[spIdent].(*types.Var) // plain = assignment
+	}
+	if sp == nil {
+		return
+	}
+
+	u := classifyUses(pass, body, call, sp)
+	if u.escapes || u.closureEnd || u.methodValue {
+		return
+	}
+	if len(u.endStmts) == 0 {
+		pass.Reportf(call.Pos(), "span %s is never ended on any path (no %s.End() call)", sp.Name(), sp.Name())
+		return
+	}
+
+	// Path-sensitivity: is Exit reachable from the StartSpan statement
+	// without passing an End (or a reassignment, or a path where sp is
+	// provably nil)?
+	g := lint.BuildCFG(body)
+	if !g.OK {
+		return // unmodeled control flow; stay quiet rather than guess
+	}
+	start := g.NodeFor(lint.EnclosingStmt(body, call))
+	if start == nil {
+		return
+	}
+	if leakNode := findLeakPath(pass, g, start, sp, u); leakNode != nil {
+		line := pass.Fset.Position(exitExamplePos(leakNode, body)).Line
+		pass.Reportf(call.Pos(), "span %s is not ended on all paths: a return around line %d is reachable without %s.End()", sp.Name(), line, sp.Name())
+	}
+}
+
+// spanUses is what classifyUses learned about sp inside the body.
+type spanUses struct {
+	endStmts    map[ast.Stmt]bool // statements that call sp.End() directly
+	killStmts   map[ast.Stmt]bool // endStmts plus reassignments and panics
+	escapes     bool
+	closureEnd  bool
+	methodValue bool
+}
+
+// classifyUses scans body for every use of sp and buckets each one.
+func classifyUses(pass *lint.Pass, body *ast.BlockStmt, start *ast.CallExpr, sp *types.Var) spanUses {
+	u := spanUses{endStmts: map[ast.Stmt]bool{}, killStmts: map[ast.Stmt]bool{}}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure capturing sp: if it ends the span, ownership is
+			// handled (the closure is typically deferred); if it uses sp
+			// any other way, that is an escape.
+			usesSp, endsSp := false, false
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == sp {
+					usesSp = true
+				}
+				if c, ok := m.(*ast.CallExpr); ok {
+					if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Info.Uses[id] == sp {
+							endsSp = true
+						}
+					}
+				}
+				return true
+			})
+			if endsSp {
+				u.closureEnd = true
+			} else if usesSp {
+				u.escapes = true
+			}
+			return false
+		case *ast.Ident:
+			if pass.Info.Uses[n] != sp {
+				return true
+			}
+			classifyOneUse(pass, &u, stack, body)
+		case *ast.AssignStmt:
+			// Reassignment of sp kills tracking of the old span value.
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.Info.Uses[id] == sp {
+					if !containsCall(n, start) {
+						u.killStmts[lint.EnclosingStmt(body, n)] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if fn := lint.CalleeOf(pass.Info, n); fn != nil && fn.Pkg() == nil && fn.Name() == "panic" {
+				u.killStmts[lint.EnclosingStmt(body, n)] = true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+					u.killStmts[lint.EnclosingStmt(body, n)] = true
+				}
+			}
+		}
+		return true
+	})
+	for s := range u.endStmts {
+		u.killStmts[s] = true
+	}
+	return u
+}
+
+// classifyOneUse inspects the ancestor chain of one identifier use of sp
+// (stack[len(stack)-1] is the ident itself).
+func classifyOneUse(pass *lint.Pass, u *spanUses, stack []ast.Node, body *ast.BlockStmt) {
+	// Walk up: ident -> (selector) -> (call) ...
+	parent := func(i int) ast.Node {
+		if len(stack)-1-i < 0 {
+			return nil
+		}
+		return stack[len(stack)-1-i]
+	}
+	if sel, ok := parent(1).(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "End" {
+			if call, ok := parent(2).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+				u.endStmts[lint.EnclosingStmt(body, call)] = true
+				return
+			}
+			// sp.End as a method value (e.g. once.Do(sp.End)).
+			u.methodValue = true
+			return
+		}
+		// Another method or field on sp: fine, not an End, not an escape.
+		if call, ok := parent(2).(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			return
+		}
+	}
+	// Comparisons with nil are the guard idiom, not an escape.
+	if bin, ok := parent(1).(*ast.BinaryExpr); ok {
+		if isNilCheck(pass, bin) != nil {
+			return
+		}
+	}
+	// The defining assignment itself.
+	if asg, ok := parent(1).(*ast.AssignStmt); ok {
+		for _, lhs := range asg.Lhs {
+			if lhs == parent(0) {
+				return
+			}
+		}
+	}
+	// Anything else — argument, return value, composite literal, field
+	// store, address-of — moves ownership out of this function.
+	u.escapes = true
+}
+
+// isNilCheck returns the non-nil operand ident if bin is `x == nil` or
+// `x != nil`, else nil.
+func isNilCheck(pass *lint.Pass, bin *ast.BinaryExpr) *ast.Ident {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := pass.Info.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	var other ast.Expr
+	if isNil(bin.X) {
+		other = bin.Y
+	} else if isNil(bin.Y) {
+		other = bin.X
+	} else {
+		return nil
+	}
+	id, _ := ast.Unparen(other).(*ast.Ident)
+	return id
+}
+
+// findLeakPath searches the CFG from start for a path to Exit that does
+// not pass a kill statement, pruning branches where sp is known nil.
+// It returns a node on the leaking path (a return or the exit), or nil.
+func findLeakPath(pass *lint.Pass, g *lint.CFG, start *lint.CFGNode, sp *types.Var, u spanUses) *lint.CFGNode {
+	seen := map[*lint.CFGNode]bool{}
+	var last *lint.CFGNode
+	var dfs func(n *lint.CFGNode) bool
+	dfs = func(n *lint.CFGNode) bool {
+		if n == g.Exit {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		if n != start && n.Stmt != nil && u.killStmts[n.Stmt] {
+			return false
+		}
+		for _, e := range n.Succs {
+			// Prune the sp-is-nil side of a nil guard: End on a nil span is
+			// both a no-op and unnecessary.
+			if n.Cond != nil {
+				if bin, ok := ast.Unparen(n.Cond).(*ast.BinaryExpr); ok {
+					if id := isNilCheck(pass, bin); id != nil && pass.Info.Uses[id] == sp {
+						nilKind := lint.EdgeTrue // x == nil: true branch has sp nil
+						if bin.Op.String() == "!=" {
+							nilKind = lint.EdgeFalse
+						}
+						if e.Kind == nilKind {
+							continue
+						}
+					}
+				}
+			}
+			last = n
+			if dfs(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	if dfs(start) {
+		if last != nil {
+			return last
+		}
+		return g.Exit
+	}
+	return nil
+}
+
+// exitExamplePos picks a position to cite for the leaking node: the
+// return statement on the path when one exists, else the body's end.
+func exitExamplePos(n *lint.CFGNode, body *ast.BlockStmt) token.Pos {
+	if n != nil && n.Stmt != nil {
+		return n.Stmt.Pos()
+	}
+	return body.Rbrace
+}
+
+// enclosingAssign returns the assignment whose RHS is exactly the call,
+// or nil.
+func enclosingAssign(body *ast.BlockStmt, call *ast.CallExpr) *ast.AssignStmt {
+	var found *ast.AssignStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if asg, ok := n.(*ast.AssignStmt); ok && len(asg.Rhs) == 1 && ast.Unparen(asg.Rhs[0]) == call {
+			found = asg
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// containsCall reports whether node contains call.
+func containsCall(node ast.Node, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if n == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

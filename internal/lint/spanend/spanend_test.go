@@ -1,0 +1,32 @@
+package spanend_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/spanend"
+)
+
+// TestFixture diffs the analyzer against the `// want` expectations in
+// testdata/src: leaked spans on every shape (discard, blank, no End,
+// path-sensitive leak) and silence on every handled shape (defer,
+// all-paths End, nil guards, escape, closure, method value, justified
+// nolint).
+func TestFixture(t *testing.T) {
+	if nonGo := lint.RunFixture(t, spanend.Analyzer, "testdata", "a"); len(nonGo) != 0 {
+		t.Errorf("unexpected non-Go findings: %v", nonGo)
+	}
+}
+
+// TestBareNolint checks that a //nolint:npn/spanend directive without a
+// justification is itself reported.
+func TestBareNolint(t *testing.T) {
+	diags, _ := lint.FixtureDiagnostics(t, spanend.Analyzer, "testdata/nolint", "a")
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want exactly the bare-directive one: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Msg, "needs a justification") {
+		t.Errorf("unexpected finding: %v", diags[0])
+	}
+}

@@ -1,0 +1,6 @@
+// Package a exercises the bare-nolint rule: a directive that names the
+// analyzer but carries no justification is itself a finding.
+package a
+
+//nolint:npn/spanend
+func unjustified() {}

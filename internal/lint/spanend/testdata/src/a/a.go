@@ -1,0 +1,104 @@
+// Package a is the spanend fixture: each function exercises one
+// handled-or-leaked span shape the analyzer must classify correctly.
+package a
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+func use(ctx context.Context) {}
+
+// goodDefer ends via defer: clean on every path.
+func goodDefer(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "good-defer")
+	defer sp.End()
+	use(ctx)
+}
+
+// goodAllPaths ends explicitly on both branches.
+func goodAllPaths(ctx context.Context, fast bool) {
+	_, sp := obs.StartSpan(ctx, "good-all-paths")
+	if fast {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+// goodNilGuardReturn returns early only when sp is nil, where End is
+// unnecessary; the non-nil path always ends.
+func goodNilGuardReturn(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "good-nil-guard")
+	if sp == nil {
+		return
+	}
+	sp.End()
+}
+
+// goodNilGuardEnd ends inside the non-nil guard, which covers every
+// span that actually exists.
+func goodNilGuardEnd(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "good-nil-guard-end")
+	use(ctx)
+	if sp != nil {
+		sp.End()
+	}
+}
+
+// goodEscape returns the span: ownership moves to the caller.
+func goodEscape(ctx context.Context) *obs.Span {
+	_, sp := obs.StartSpan(ctx, "good-escape")
+	return sp
+}
+
+// goodClosure defers a cleanup literal that ends the span.
+func goodClosure(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "good-closure")
+	defer func() {
+		sp.End()
+	}()
+	use(ctx)
+}
+
+// goodMethodValue hands sp.End off as a method value.
+func goodMethodValue(ctx context.Context, once *sync.Once) {
+	_, sp := obs.StartSpan(ctx, "good-method-value")
+	once.Do(sp.End)
+}
+
+// badDiscard drops both StartSpan results on the floor.
+func badDiscard(ctx context.Context) {
+	obs.StartSpan(ctx, "bad-discard") // want `result of obs\.StartSpan is discarded`
+}
+
+// badBlank discards the span with the blank identifier.
+func badBlank(ctx context.Context) {
+	ctx, _ = obs.StartSpan(ctx, "bad-blank") // want `discarded with _`
+	use(ctx)
+}
+
+// badNeverEnded uses the span but never ends it.
+func badNeverEnded(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "bad-never") // want `span sp is never ended on any path`
+	sp.SetAttr("k", "v")
+}
+
+// badLeakPath ends the span only on the slow path; the fast return
+// leaks it.
+func badLeakPath(ctx context.Context, fast bool) {
+	_, sp := obs.StartSpan(ctx, "bad-leak") // want `span sp is not ended on all paths`
+	if fast {
+		return
+	}
+	sp.End()
+}
+
+// suppressed is badNeverEnded under a justified nolint: no finding.
+func suppressed(ctx context.Context) {
+	//nolint:npn/spanend -- fixture: exercises justified suppression
+	_, sp := obs.StartSpan(ctx, "suppressed")
+	sp.SetAttr("k", "v")
+}

@@ -1,0 +1,21 @@
+// Package obs is a fixture stub of the real tracing API: StartSpan
+// returns a nil-safe span whose End the spanend analyzer requires on
+// every return path. Only the shapes the analyzer matches are stubbed.
+package obs
+
+import "context"
+
+// Span is one fixture span. A nil *Span is valid: End on nil is a no-op.
+type Span struct{ name string }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// SetAttr records an attribute (a non-End method use of the span).
+func (s *Span) SetAttr(key, value string) {}
+
+// StartSpan opens a span; the analyzer matches this by package path and
+// name.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}

@@ -132,6 +132,8 @@ func (m *Matcher) Profile(g *tt.TT) *Profile {
 // from it) is valid only until the next QueryProfile call on this matcher.
 // It is the per-query profile of the serving lookup path, where one profile
 // is built and immediately consumed by MatchProfiled over a collision chain.
+//
+//npn:noalloc
 func (m *Matcher) QueryProfile(g *tt.TT) *Profile {
 	if g.NumVars() != m.n {
 		panic("match: arity mismatch")

@@ -87,6 +87,8 @@ func (t Transform) Apply(f *tt.TT) *tt.TT {
 // by the caller, so hot paths (matcher verification, witness replay) can
 // reuse one scratch table instead of allocating per application. dst and f
 // must have the transform's arity and may not alias. Returns dst.
+//
+//npn:noalloc
 func (t Transform) ApplyInto(dst, f *tt.TT) *tt.TT {
 	if f.NumVars() != t.N || dst.NumVars() != t.N {
 		panic("npn: transform arity mismatch")

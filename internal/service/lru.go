@@ -51,6 +51,8 @@ func (c *lruCache) get(key string) (Result, bool) {
 
 // getBytes is get keyed by the raw packed bytes. The m[string(key)] lookup
 // compiles to a no-copy map probe, so a hit (or miss) allocates nothing.
+//
+//npn:noalloc
 func (c *lruCache) getBytes(key []byte) (Result, bool) {
 	if c.cap <= 0 {
 		return Result{}, false

@@ -369,6 +369,8 @@ func cacheKey(f *tt.TT) string {
 // appendCacheKey appends the packed truth-table words of f to b — the
 // allocation-free form of cacheKey for the hot path, which passes a stack
 // buffer and looks the bytes up without building a string.
+//
+//npn:noalloc
 func appendCacheKey(b []byte, f *tt.TT) []byte {
 	for _, w := range f.Words() {
 		b = append(b,

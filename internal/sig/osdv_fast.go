@@ -67,7 +67,7 @@ func (e *Engine) classListsScratch(sen []uint8, f *tt.TT, val bool) [][]int32 {
 	}
 	off := 0
 	for s := 0; s <= n; s++ {
-		e.classes[s] = e.classBuf[off:off : off+int(cnt[s])]
+		e.classes[s] = e.classBuf[off : off : off+int(cnt[s])]
 		off += int(cnt[s])
 	}
 	if f == nil {

@@ -35,13 +35,13 @@ import (
 // reusing internal scratch space across calls. An Engine is not safe for
 // concurrent use; create one per goroutine.
 type Engine struct {
-	n       int
-	nw      int
-	diff    []uint64 // scratch: XOR difference table of one variable
-	flip    []uint64 // scratch: flipped copy
-	plane   [5][]uint64
-	carry   []uint64
-	sen []uint8 // per-minterm local sensitivity, valid after senProfile
+	n     int
+	nw    int
+	diff  []uint64 // scratch: XOR difference table of one variable
+	flip  []uint64 // scratch: flipped copy
+	plane [5][]uint64
+	carry []uint64
+	sen   []uint8 // per-minterm local sensitivity, valid after senProfile
 
 	// OSDV fast-path scratch: pair-distance calculator (lazy) and the
 	// counting-sort buffers behind classListsScratch.
@@ -145,6 +145,8 @@ func (e *Engine) OCV1(f *tt.TT) []int {
 // the extended slice — the allocation-free form of OCV1 for callers that
 // reuse a scratch slice across functions (the serving hot path). Only the
 // appended tail is sorted; v's existing prefix is untouched.
+//
+//npn:noalloc
 func (e *Engine) AppendOCV1(v []int, f *tt.TT) []int {
 	e.check(f)
 	lo := len(v)
@@ -165,6 +167,8 @@ func (e *Engine) OCV2(f *tt.TT) []int {
 
 // AppendOCV2 appends the 2-ary ordered cofactor vector to v and returns
 // the extended slice; see AppendOCV1 for the scratch-reuse contract.
+//
+//npn:noalloc
 func (e *Engine) AppendOCV2(v []int, f *tt.TT) []int {
 	e.check(f)
 	lo := len(v)
@@ -263,6 +267,8 @@ func (e *Engine) OIV(f *tt.TT) []int {
 
 // AppendOIV appends the ordered influence vector to v and returns the
 // extended slice; see AppendOCV1 for the scratch-reuse contract.
+//
+//npn:noalloc
 func (e *Engine) AppendOIV(v []int, f *tt.TT) []int {
 	e.check(f)
 	lo := len(v)

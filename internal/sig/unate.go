@@ -80,8 +80,8 @@ func (e *Engine) Unateness(f *tt.TT, i int) Unateness {
 		p := tt.VarMaskWord(i)
 		for wi, w := range words {
 			w &= lastMask(e.n, wi, e.nw)
-			lo := w &^ p        // minterms with x_i = 0
-			hi := (w & p) >> s  // minterms with x_i = 1, aligned onto them
+			lo := w &^ p       // minterms with x_i = 0
+			hi := (w & p) >> s // minterms with x_i = 1, aligned onto them
 			le = le && lo&^hi == 0
 			ge = ge && hi&^lo == 0
 			if !le && !ge {

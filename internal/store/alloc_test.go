@@ -13,6 +13,11 @@ import (
 // matcher certification included — must not allocate in steady state.
 // The bound is 2 (not 0) only to absorb a GC emptying the engine pool
 // mid-measurement; the steady-state path itself allocates nothing.
+//
+// The functions on this path carry //npn:noalloc annotations checked
+// statically by cmd/npnlint against the compiler's escape analysis;
+// TestNoallocParity (noalloc_parity_test.go) keeps the annotation set
+// and this dynamic gate covering the same canonical list.
 func TestLookupHitAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates on the measured path")

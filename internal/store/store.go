@@ -255,6 +255,8 @@ func (s *Store) ProfileCacheStats() (hits, misses, entries int64) {
 // snapshot copies the chain header for key under one read lock. The
 // returned slices are immutable views: appends under the write lock go
 // through growth copies, so published elements never move or change.
+//
+//npn:noalloc
 func (sh *shard) snapshot(key uint64) (reps []*tt.TT, profs []*match.RepProfile) {
 	sh.mu.RLock()
 	if c := sh.chains[key]; c != nil {
@@ -298,6 +300,8 @@ func (s *Store) publishProfile(sh *shard, key uint64, i int, rp *match.RepProfil
 // disabled, it falls back to the rebuild-per-query Equivalent path.
 // A traced context records the chain walk as a store.certify span with
 // the chain length and profile-cache outcome.
+//
+//npn:noalloc
 func (s *Store) certifyChain(ctx context.Context, sh *shard, key uint64, reps []*tt.TT, profs []*match.RepProfile, f *tt.TT, e *engines) (int, npn.Transform, bool) {
 	var pHits, pMisses int64
 	if _, sp := obs.StartSpan(ctx, "store.certify"); sp != nil {
@@ -556,6 +560,8 @@ func (s *Store) Lookup(f *tt.TT) (rep *tt.TT, key uint64, index int, witness npn
 // tracing: the shard probe runs under a store.lookup span (shard index
 // and chain length as attributes) with the chain walk nested as
 // store.certify.
+//
+//npn:noalloc
 func (s *Store) LookupCtx(ctx context.Context, f *tt.TT) (rep *tt.TT, key uint64, index int, witness npn.Transform, ok bool) {
 	if f.NumVars() != s.n {
 		panic("store: function arity does not match store")

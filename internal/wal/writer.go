@@ -198,6 +198,9 @@ func (w *Writer) createSegment(seq uint64) error {
 func (w *Writer) Append(key uint64, f *tt.TT) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.rotateIfFullLocked(); err != nil {
+		return err
+	}
 	if err := w.appendLocked(key, f); err != nil {
 		return err
 	}
@@ -207,14 +210,25 @@ func (w *Writer) Append(key uint64, f *tt.TT) error {
 	return nil
 }
 
-func (w *Writer) appendLocked(key uint64, f *tt.TT) error {
+// rotateIfFullLocked rotates when the active segment has reached the
+// threshold. Rotation fsyncs and creates files, so the journal path must
+// only reach it from Commit — after the store shard lock is released —
+// never from LogInsert.
+func (w *Writer) rotateIfFullLocked() error {
 	if w.closed {
 		return ErrClosed
 	}
 	if w.size >= w.opts.segmentBytes() && w.segRecords > 0 {
-		if err := w.rotateLocked(); err != nil {
-			return err
-		}
+		return w.rotateLocked()
+	}
+	return nil
+}
+
+// appendLocked buffers one record. It never syncs and never rotates:
+// it is the only WAL work allowed under a store shard lock.
+func (w *Writer) appendLocked(key uint64, f *tt.TT) error {
+	if w.closed {
+		return ErrClosed
 	}
 	w.scratch = appendRecord(w.scratch[:0], key, f)
 	n, err := w.bw.Write(w.scratch)
@@ -233,10 +247,13 @@ func (w *Writer) appendLocked(key uint64, f *tt.TT) error {
 
 // LogInsert and Commit are the store.Journal hook. LogInsert only
 // buffers the record — it is called under a store shard lock, so it must
-// never pay a disk sync there. Commit, called by the store after the
-// class is published and the lock released, makes acknowledged appends
-// durable: an fsync in the every-append mode, a no-op in group mode
-// (the background flusher owns durability there).
+// never pay a disk sync or touch segment files there (the lockfsync
+// analyzer enforces this). Commit, called by the store after the class
+// is published and the lock released, owes the deferred work: it rotates
+// a full segment, and in every-append mode fsyncs the acknowledged
+// appends (group mode leaves durability to the background flusher). A
+// segment can therefore overshoot SegmentBytes by the records buffered
+// between commits — bounded by one insert batch.
 func (w *Writer) LogInsert(key uint64, f *tt.TT) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -245,16 +262,24 @@ func (w *Writer) LogInsert(key uint64, f *tt.TT) error {
 
 // Commit implements store.Journal; see LogInsert.
 func (w *Writer) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if err := w.rotateIfFullLocked(); err != nil {
+		return err
+	}
 	if w.opts.FsyncEvery > 0 {
 		return nil
 	}
-	return w.Sync()
+	return w.syncLocked()
 }
 
 // LogInsertCtx implements store.CtxJournal: LogInsert under a wal.append
 // tracing span, so a traced insert shows how long the buffered append
-// (and any segment rotation it triggered) took. With tracing off the
-// span is nil and this is LogInsert plus a context lookup.
+// took. With tracing off the span is nil and this is LogInsert plus a
+// context lookup.
 func (w *Writer) LogInsertCtx(ctx context.Context, key uint64, f *tt.TT) error {
 	_, sp := obs.StartSpan(ctx, "wal.append")
 	err := w.LogInsert(key, f)

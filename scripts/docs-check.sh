@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # docs-check.sh — keep the documentation honest.
 #
-# Two checks, both over README.md plus everything in docs/:
+# Three checks over README.md plus everything in docs/:
 #
 #   1. Links: every relative markdown link target must exist on disk
 #      (anchors are stripped; http(s) links are not fetched).
 #   2. Flag drift: every flag registered in cmd/npnserve/main.go must be
 #      mentioned in docs/OPERATIONS.md, so adding a server flag without
 #      documenting it fails CI.
+#   3. Metric drift: the docs/OPERATIONS.md metric-family table is diffed
+#      against the families the code actually registers, both ways. This
+#      is delegated to the metricsdrift analyzer in cmd/npnlint so the
+#      docs checker and the linter share one source of truth.
 #
 # Usage: scripts/docs-check.sh
 set -euo pipefail
@@ -43,6 +47,15 @@ for f in $flags; do
     fail=1
   fi
 done
+
+echo "== metric families vs docs/OPERATIONS.md (npnlint metricsdrift)"
+if command -v go >/dev/null 2>&1; then
+  if ! go run ./cmd/npnlint -only metricsdrift ./...; then
+    fail=1
+  fi
+else
+  echo "SKIPPED  go toolchain not on PATH; metric-family drift not checked"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "docs-check: FAILED"
